@@ -1,0 +1,370 @@
+// Package bench is the benchmark harness regenerating every table and
+// figure of the paper's evaluation (§VI) under `go test -bench`. Each
+// BenchmarkEn corresponds to experiment En in DESIGN.md's experiment
+// index; ablations follow as BenchmarkAblation*. Reported custom metrics
+// (accuracy %, None %, latency components) are the paper's quantities;
+// run cmd/benchrunner for the same data as formatted tables.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"htapxplain/internal/eval"
+	"htapxplain/internal/expert"
+	"htapxplain/internal/explain"
+	"htapxplain/internal/htap"
+	"htapxplain/internal/llm"
+	"htapxplain/internal/sqlparser"
+	"htapxplain/internal/study"
+	"htapxplain/internal/treecnn"
+	"htapxplain/internal/vectordb"
+	"htapxplain/internal/workload"
+)
+
+var (
+	envOnce sync.Once
+	envVal  *eval.Env
+	envErr  error
+)
+
+func benchEnv(b *testing.B) *eval.Env {
+	b.Helper()
+	envOnce.Do(func() { envVal, envErr = eval.NewEnv(eval.DefaultEnvConfig()) })
+	if envErr != nil {
+		b.Fatalf("NewEnv: %v", envErr)
+	}
+	return envVal
+}
+
+// BenchmarkE1_Example1 regenerates Example 1 (paper Tables II & III):
+// plan both engines, execute, explain; reports the modeled speedup.
+func BenchmarkE1_Example1(b *testing.B) {
+	env := benchEnv(b)
+	ex := explain.New(env.Sys, env.Router, env.KB, llm.Doubao(), explain.DefaultOptions())
+	b.ResetTimer()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		out, err := ex.ExplainSQL(htap.Example1SQL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = out.Result.Speedup()
+	}
+	b.ReportMetric(speedup, "AP-speedup-x")
+}
+
+// BenchmarkE2_Accuracy regenerates the §VI-B headline accuracy over the
+// 200-query test set with K=2 (paper: 91% accurate, 3.5% None).
+func BenchmarkE2_Accuracy(b *testing.B) {
+	env := benchEnv(b)
+	queries := env.TestQueries(200)
+	b.ResetTimer()
+	var rep eval.AccuracyReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, _, err = env.EvaluateAccuracy(llm.Doubao(), 2, queries)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*rep.AccurateRate(), "accurate-%")
+	b.ReportMetric(100*rep.NoneRate(), "none-%")
+}
+
+// BenchmarkE3_KSweep regenerates the retrieval-K sweep (paper: K=1 → 85%
+// / 8% None; K in [2,5] → 89-91%).
+func BenchmarkE3_KSweep(b *testing.B) {
+	env := benchEnv(b)
+	queries := env.TestQueries(100)
+	for _, k := range []int{1, 2, 3, 4, 5} {
+		k := k
+		b.Run(benchName("K", k), func(b *testing.B) {
+			var rep eval.AccuracyReport
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, _, err = env.EvaluateAccuracy(llm.Doubao(), k, queries)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(100*rep.AccurateRate(), "accurate-%")
+			b.ReportMetric(100*rep.NoneRate(), "none-%")
+		})
+	}
+}
+
+// BenchmarkE4_Models regenerates the model comparison (paper: minimal
+// differences between Doubao and ChatGPT-4.0).
+func BenchmarkE4_Models(b *testing.B) {
+	env := benchEnv(b)
+	queries := env.TestQueries(100)
+	for _, m := range []llm.Model{llm.Doubao(), llm.ChatGPT4()} {
+		m := m
+		b.Run(m.Name(), func(b *testing.B) {
+			var rep eval.AccuracyReport
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, _, err = env.EvaluateAccuracy(m, 2, queries)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(100*rep.AccurateRate(), "accurate-%")
+		})
+	}
+}
+
+// BenchmarkE5_RouterEncode measures the smart-router embedding step
+// (paper: <1 ms per plan pair).
+func BenchmarkE5_RouterEncode(b *testing.B) {
+	env := benchEnv(b)
+	res, err := env.Sys.Run(htap.Example1SQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = env.Router.EmbedPair(&res.Pair)
+	}
+}
+
+// BenchmarkE5_KBSearch measures retrieval over the paper's 20-entry KB
+// (paper: <0.1 ms per request).
+func BenchmarkE5_KBSearch(b *testing.B) {
+	env := benchEnv(b)
+	res, err := env.Sys.Run(htap.Example1SQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := env.Router.EmbedPair(&res.Pair)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.KB.TopK(enc, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5_KBScaling measures exact vs HNSW search as the KB grows
+// (the paper's §VI-B outlook on vector indexing).
+func BenchmarkE5_KBScaling(b *testing.B) {
+	for _, n := range []int{20, 2000, 20000} {
+		store := vectordb.New(treecnn.PairDim, vectordb.Cosine)
+		hnsw := vectordb.New(treecnn.PairDim, vectordb.Cosine)
+		vec := make([]float64, treecnn.PairDim)
+		seed := uint64(12345)
+		next := func() float64 {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			return float64(seed%2000)/1000 - 1
+		}
+		for i := 0; i < n; i++ {
+			v := make([]float64, treecnn.PairDim)
+			for d := range v {
+				v[d] = next()
+			}
+			if _, err := store.Add(v); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := hnsw.Add(v); err != nil {
+				b.Fatal(err)
+			}
+		}
+		hnsw.BuildHNSW(12, 64, 3)
+		for d := range vec {
+			vec[d] = next()
+		}
+		b.Run(benchName("exact_n", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := store.Search(vec, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(benchName("hnsw_n", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := hnsw.SearchHNSW(vec, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6_Study regenerates the participant study (paper §VI-C).
+func BenchmarkE6_Study(b *testing.B) {
+	env := benchEnv(b)
+	res, err := env.Sys.Run(htap.Example1SQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := explain.New(env.Sys, env.Router, env.KB, llm.Doubao(), explain.DefaultOptions())
+	out, err := ex.ExplainResult(res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth, err := env.Oracle.Judge(res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := expert.GradeExplanation(out.Text(), truth)
+	m := study.MaterialsFromPair(&res.Pair, out.Text(), g.Verdict == expert.VerdictAccurate)
+	b.ResetTimer()
+	var o study.Outcome
+	for i := 0; i < b.N; i++ {
+		o = study.Run(study.DefaultConfig(), m)
+	}
+	b.ReportMetric(o.GroupAMeanMinutes, "withLLM-min")
+	b.ReportMetric(o.GroupBMeanMinutes, "plansOnly-min")
+	b.ReportMetric(o.DifficultyPlans, "difficulty-plans")
+	b.ReportMetric(o.DifficultyLLM, "difficulty-llm")
+}
+
+// BenchmarkE7_DBGPT regenerates the DBG-PT failure-mode comparison
+// (paper §VI-D).
+func BenchmarkE7_DBGPT(b *testing.B) {
+	env := benchEnv(b)
+	queries := env.TestQueries(60)
+	b.ResetTimer()
+	var ours, base eval.FailureCensus
+	for i := 0; i < b.N; i++ {
+		var err error
+		ours, base, err = env.CompareWithDBGPT(llm.Doubao(), queries)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(base.CostComparison), "dbgpt-cost-cmp")
+	b.ReportMetric(float64(base.IndexMisattribution), "dbgpt-idx-misattr")
+	b.ReportMetric(float64(ours.CostComparison+ours.IndexMisattribution), "ours-failures")
+}
+
+// BenchmarkE8_RouterInference measures routing prediction latency (paper:
+// ~1 ms) and reports held-out routing accuracy.
+func BenchmarkE8_RouterInference(b *testing.B) {
+	env := benchEnv(b)
+	res, err := env.Sys.Run(htap.Example1SQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := env.EvaluateRouter(env.TestQueries(60))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = env.Router.Predict(&res.Pair)
+	}
+	b.ReportMetric(100*rep.TestAcc, "routing-accuracy-%")
+	b.ReportMetric(rep.ModelKB, "model-KB")
+}
+
+// BenchmarkAblation_KBSize sweeps the curated KB size (DESIGN.md ★).
+func BenchmarkAblation_KBSize(b *testing.B) {
+	env := benchEnv(b)
+	queries := env.TestQueries(60)
+	candidates := workload.NewGenerator(env.Cfg.WorkloadSeed).Batch(60)
+	for _, size := range []int{5, 20, 40} {
+		size := size
+		b.Run(benchName("size", size), func(b *testing.B) {
+			kb, err := explain.CurateKB(env.Sys, env.Router, env.Oracle, candidates, size)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sub := &eval.Env{Cfg: env.Cfg, Sys: env.Sys, Router: env.Router, Oracle: env.Oracle, KB: kb}
+			b.ResetTimer()
+			var rep eval.AccuracyReport
+			for i := 0; i < b.N; i++ {
+				rep, _, err = sub.EvaluateAccuracy(llm.Doubao(), 2, queries)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(100*rep.AccurateRate(), "accurate-%")
+		})
+	}
+}
+
+// BenchmarkAblation_Guardrail measures the forbidden cost-comparison rate
+// with and without the §V prompt prohibition (un-grounded path).
+func BenchmarkAblation_Guardrail(b *testing.B) {
+	env := benchEnv(b)
+	queries := env.TestQueries(40)
+	for _, guard := range []bool{true, false} {
+		guard := guard
+		b.Run(benchName("guardrail", boolToInt(guard)), func(b *testing.B) {
+			ex := explain.New(env.Sys, env.Router, env.KB, llm.Doubao(), explain.Options{
+				K: 2, UseRAG: false, IncludeGuardrail: guard,
+			})
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				bad := 0
+				for _, q := range queries {
+					res, err := env.Sys.Run(q.SQL)
+					if err != nil {
+						b.Fatal(err)
+					}
+					out, err := ex.ExplainResult(res)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if containsFold(out.Text(), "comparing the costs") {
+						bad++
+					}
+				}
+				rate = 100 * float64(bad) / float64(len(queries))
+			}
+			b.ReportMetric(rate, "cost-cmp-%")
+		})
+	}
+}
+
+// BenchmarkSubstrate_ParseAndPlan measures the parser + both optimizers
+// on the Example 1 query (substrate overhead context for E5).
+func BenchmarkSubstrate_ParseAndPlan(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Sys.Explain(htap.Example1SQL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSubstrate_Parse measures the SQL parser alone.
+func BenchmarkSubstrate_Parse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlparser.Parse(htap.Example1SQL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSubstrate_ExecuteBoth measures full dual-engine execution of
+// Example 1 on the physical dataset.
+func BenchmarkSubstrate_ExecuteBoth(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Sys.Run(htap.Example1SQL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return fmt.Sprintf("%s=%d", prefix, v)
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func containsFold(s, sub string) bool {
+	return strings.Contains(strings.ToLower(s), sub)
+}

@@ -1,0 +1,108 @@
+// Command kbctl curates and inspects the RAG knowledge base: build the
+// paper's 20-entry curated KB from the synthetic workload, list entries,
+// show factor coverage, expire stale entries, and save/load snapshots.
+//
+// Usage:
+//
+//	kbctl -build kb.gob -size 20
+//	kbctl -list kb.gob
+//	kbctl -coverage kb.gob
+//	kbctl -expire 10 -in kb.gob -out kb2.gob
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"htapxplain/internal/eval"
+	"htapxplain/internal/knowledge"
+)
+
+func main() {
+	var (
+		build    = flag.String("build", "", "curate a KB and save it to this file")
+		size     = flag.Int("size", 20, "curated KB size (with -build)")
+		list     = flag.String("list", "", "list the entries of a saved KB")
+		coverage = flag.String("coverage", "", "show factor coverage of a saved KB")
+		expire   = flag.Int64("expire", 0, "expire entries with seq <= this value")
+		in       = flag.String("in", "", "input KB file (with -expire)")
+		out      = flag.String("out", "", "output KB file (with -expire)")
+	)
+	flag.Parse()
+
+	switch {
+	case *build != "":
+		cfg := eval.DefaultEnvConfig()
+		cfg.KBSize = *size
+		fmt.Printf("building environment and curating a %d-entry knowledge base ...\n", *size)
+		env, err := eval.NewEnv(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*build)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := env.KB.Save(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved %d entries to %s\n", env.KB.Len(), *build)
+	case *list != "":
+		kb := load(*list)
+		for _, e := range kb.Entries() {
+			fmt.Printf("#%d seq=%d [%s %.1fx]%s\n  sql: %s\n  factors: %v\n  expert: %s\n\n",
+				e.ID, e.Seq, e.Winner, e.Speedup, correctedTag(e), e.SQL, e.Factors, e.Explanation)
+		}
+	case *coverage != "":
+		kb := load(*coverage)
+		fmt.Printf("%d live entries; factor coverage:\n", kb.Len())
+		for f, n := range kb.FactorCoverage() {
+			fmt.Printf("  %-24s %d\n", f, n)
+		}
+	case *expire > 0:
+		if *in == "" || *out == "" {
+			fatal(fmt.Errorf("-expire requires -in and -out"))
+		}
+		kb := load(*in)
+		n := kb.ExpireOlderThan(*expire)
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := kb.Save(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("expired %d entries; %d remain; saved to %s\n", n, kb.Len(), *out)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func correctedTag(e *knowledge.Entry) string {
+	if e.Corrected {
+		return " (expert-corrected)"
+	}
+	return ""
+}
+
+func load(path string) *knowledge.Base {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	kb, err := knowledge.Load(f)
+	if err != nil {
+		fatal(err)
+	}
+	return kb
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kbctl:", err)
+	os.Exit(1)
+}

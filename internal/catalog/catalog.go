@@ -1,0 +1,218 @@
+// Package catalog defines the database schema metadata used by both HTAP
+// engines: tables, columns, indexes, and table statistics. The shipped
+// catalog is the TPC-H schema (the paper's evaluation schema), but the
+// types are generic so tests can build small ad-hoc schemas.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ColType is the logical type of a column.
+type ColType int
+
+const (
+	TypeInt ColType = iota
+	TypeFloat
+	TypeString
+	TypeDate // stored as days since epoch (int64) but formatted as a date
+)
+
+func (t ColType) String() string {
+	switch t {
+	case TypeInt:
+		return "INT"
+	case TypeFloat:
+		return "FLOAT"
+	case TypeString:
+		return "STRING"
+	case TypeDate:
+		return "DATE"
+	default:
+		return fmt.Sprintf("ColType(%d)", int(t))
+	}
+}
+
+// Column describes one column of a table.
+type Column struct {
+	Name string
+	Type ColType
+	// NDV is the estimated number of distinct values, used for
+	// selectivity estimation. Zero means "unknown" (treated as table
+	// cardinality).
+	NDV int64
+}
+
+// IndexKind distinguishes primary-key indexes from secondary indexes.
+type IndexKind int
+
+const (
+	PrimaryIndex IndexKind = iota
+	SecondaryIndex
+)
+
+func (k IndexKind) String() string {
+	if k == PrimaryIndex {
+		return "PRIMARY"
+	}
+	return "SECONDARY"
+}
+
+// Index describes an ordered index on a single column (the subset the TP
+// engine supports; composite keys are modeled as their leading column).
+type Index struct {
+	Name   string
+	Table  string
+	Column string
+	Kind   IndexKind
+	// Unique reports whether the indexed column is unique in the table.
+	Unique bool
+}
+
+// Table describes one table: its columns, indexes and statistics.
+type Table struct {
+	Name    string
+	Columns []Column
+	Indexes []Index
+	// Rows is the (estimated) table cardinality at the modeled scale.
+	Rows int64
+	// AvgRowBytes is the average width of a stored row, used by the
+	// engines' cost models.
+	AvgRowBytes int64
+}
+
+// Column returns the named column, or false if it does not exist.
+func (t *Table) Column(name string) (Column, bool) {
+	for _, c := range t.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return c, true
+		}
+	}
+	return Column{}, false
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// IndexOn returns the index covering the given column, if any.
+func (t *Table) IndexOn(column string) (Index, bool) {
+	for _, ix := range t.Indexes {
+		if strings.EqualFold(ix.Column, column) {
+			return ix, true
+		}
+	}
+	return Index{}, false
+}
+
+// Catalog is a set of tables plus global knobs. It is immutable after
+// construction from the engines' point of view; the explainer may consult
+// it for schema context in prompts.
+type Catalog struct {
+	tables map[string]*Table
+	// ScaleFactor is the TPC-H scale factor the statistics model
+	// (the paper uses 100 GB = SF 100).
+	ScaleFactor float64
+}
+
+// New returns an empty catalog with the given modeled scale factor.
+func New(scaleFactor float64) *Catalog {
+	return &Catalog{tables: make(map[string]*Table), ScaleFactor: scaleFactor}
+}
+
+// AddTable registers a table. It returns an error on duplicate names.
+func (c *Catalog) AddTable(t *Table) error {
+	key := strings.ToLower(t.Name)
+	if _, dup := c.tables[key]; dup {
+		return fmt.Errorf("catalog: duplicate table %q", t.Name)
+	}
+	c.tables[key] = t
+	return nil
+}
+
+// Table looks up a table by (case-insensitive) name.
+func (c *Catalog) Table(name string) (*Table, bool) {
+	t, ok := c.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Tables returns all tables sorted by name (deterministic iteration).
+func (c *Catalog) Tables() []*Table {
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Table, len(names))
+	for i, n := range names {
+		out[i] = c.tables[n]
+	}
+	return out
+}
+
+// AddIndex attaches a secondary index to an existing table. The paper's
+// running example adds an index on customer.c_phone this way.
+func (c *Catalog) AddIndex(table, column, name string) error {
+	t, ok := c.Table(table)
+	if !ok {
+		return fmt.Errorf("catalog: no such table %q", table)
+	}
+	if _, ok := t.Column(column); !ok {
+		return fmt.Errorf("catalog: no column %q in table %q", column, table)
+	}
+	if _, exists := t.IndexOn(column); exists {
+		return fmt.Errorf("catalog: index on %s.%s already exists", table, column)
+	}
+	t.Indexes = append(t.Indexes, Index{
+		Name: name, Table: t.Name, Column: column, Kind: SecondaryIndex,
+	})
+	return nil
+}
+
+// DropIndex removes a secondary index by column. Primary indexes cannot be
+// dropped.
+func (c *Catalog) DropIndex(table, column string) error {
+	t, ok := c.Table(table)
+	if !ok {
+		return fmt.Errorf("catalog: no such table %q", table)
+	}
+	for i, ix := range t.Indexes {
+		if strings.EqualFold(ix.Column, column) {
+			if ix.Kind == PrimaryIndex {
+				return fmt.Errorf("catalog: cannot drop primary index on %s.%s", table, column)
+			}
+			t.Indexes = append(t.Indexes[:i], t.Indexes[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("catalog: no index on %s.%s", table, column)
+}
+
+// SchemaSummary renders a short human-readable schema description used as
+// prompt background context.
+func (c *Catalog) SchemaSummary() string {
+	var b strings.Builder
+	for _, t := range c.Tables() {
+		fmt.Fprintf(&b, "%s(%d rows):", t.Name, t.Rows)
+		for i, col := range t.Columns {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteByte(' ')
+			b.WriteString(col.Name)
+		}
+		for _, ix := range t.Indexes {
+			fmt.Fprintf(&b, " [%s idx on %s]", strings.ToLower(ix.Kind.String()), ix.Column)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,163 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTPCHSchemaComplete(t *testing.T) {
+	c := TPCH(100)
+	want := []string{"region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem"}
+	for _, name := range want {
+		tb, ok := c.Table(name)
+		if !ok {
+			t.Fatalf("missing table %q", name)
+		}
+		if len(tb.Columns) == 0 {
+			t.Errorf("table %q has no columns", name)
+		}
+		if tb.Rows <= 0 {
+			t.Errorf("table %q has no modeled rows", name)
+		}
+		if tb.AvgRowBytes <= 0 {
+			t.Errorf("table %q has no row width", name)
+		}
+	}
+	if got := len(c.Tables()); got != len(want) {
+		t.Errorf("table count = %d, want %d", got, len(want))
+	}
+}
+
+func TestTPCHCardinalitiesScale(t *testing.T) {
+	sf1 := TPCH(1)
+	sf100 := TPCH(100)
+	o1, _ := sf1.Table("orders")
+	o100, _ := sf100.Table("orders")
+	if o1.Rows != 1_500_000 {
+		t.Errorf("orders @SF1 = %d, want 1.5M", o1.Rows)
+	}
+	if o100.Rows != 150_000_000 {
+		t.Errorf("orders @SF100 = %d, want 150M", o100.Rows)
+	}
+	// nation and region are fixed-size per the TPC-H spec
+	n1, _ := sf1.Table("nation")
+	n100, _ := sf100.Table("nation")
+	if n1.Rows != 25 || n100.Rows != 25 {
+		t.Errorf("nation must stay 25 rows at any SF: %d / %d", n1.Rows, n100.Rows)
+	}
+}
+
+func TestTableColumnLookups(t *testing.T) {
+	c := TPCH(1)
+	cust, _ := c.Table("customer")
+	col, ok := cust.Column("c_phone")
+	if !ok || col.Type != TypeString {
+		t.Fatalf("c_phone lookup: %+v %v", col, ok)
+	}
+	if _, ok := cust.Column("C_PHONE"); !ok {
+		t.Error("column lookup should be case-insensitive")
+	}
+	if _, ok := cust.Column("nope"); ok {
+		t.Error("bogus column should not resolve")
+	}
+	if i := cust.ColumnIndex("c_custkey"); i != 0 {
+		t.Errorf("c_custkey index = %d", i)
+	}
+	if i := cust.ColumnIndex("nope"); i != -1 {
+		t.Errorf("bogus column index = %d", i)
+	}
+}
+
+func TestPrimaryAndForeignIndexes(t *testing.T) {
+	c := TPCH(1)
+	orders, _ := c.Table("orders")
+	pk, ok := orders.IndexOn("o_orderkey")
+	if !ok || pk.Kind != PrimaryIndex || !pk.Unique {
+		t.Fatalf("pk on o_orderkey: %+v %v", pk, ok)
+	}
+	fk, ok := orders.IndexOn("o_custkey")
+	if !ok || fk.Kind != SecondaryIndex {
+		t.Fatalf("fk on o_custkey: %+v %v", fk, ok)
+	}
+	if _, ok := orders.IndexOn("o_comment"); ok {
+		t.Error("o_comment should not be indexed")
+	}
+}
+
+func TestAddDropIndex(t *testing.T) {
+	c := TPCH(1)
+	if err := c.AddIndex("customer", "c_phone", "idx_phone"); err != nil {
+		t.Fatalf("AddIndex: %v", err)
+	}
+	cust, _ := c.Table("customer")
+	if _, ok := cust.IndexOn("c_phone"); !ok {
+		t.Fatal("index not visible after AddIndex")
+	}
+	if err := c.AddIndex("customer", "c_phone", "dup"); err == nil {
+		t.Error("duplicate index should error")
+	}
+	if err := c.AddIndex("nope", "x", "i"); err == nil {
+		t.Error("unknown table should error")
+	}
+	if err := c.AddIndex("customer", "nope", "i"); err == nil {
+		t.Error("unknown column should error")
+	}
+	if err := c.DropIndex("customer", "c_phone"); err != nil {
+		t.Fatalf("DropIndex: %v", err)
+	}
+	if err := c.DropIndex("customer", "c_phone"); err == nil {
+		t.Error("double drop should error")
+	}
+	if err := c.DropIndex("customer", "c_custkey"); err == nil {
+		t.Error("dropping a primary index must be refused")
+	}
+}
+
+func TestDuplicateTableRejected(t *testing.T) {
+	c := New(1)
+	if err := c.AddTable(&Table{Name: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTable(&Table{Name: "T"}); err == nil {
+		t.Error("duplicate table (case-insensitive) should error")
+	}
+}
+
+func TestTablesDeterministicOrder(t *testing.T) {
+	c := TPCH(1)
+	first := c.Tables()
+	second := c.Tables()
+	for i := range first {
+		if first[i].Name != second[i].Name {
+			t.Fatal("Tables() iteration order must be deterministic")
+		}
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i-1].Name >= first[i].Name {
+			t.Fatal("Tables() must be sorted by name")
+		}
+	}
+}
+
+func TestSchemaSummaryMentionsEverything(t *testing.T) {
+	s := TPCH(1).SchemaSummary()
+	for _, want := range []string{"customer", "c_phone", "orders", "primary idx", "secondary idx"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("SchemaSummary missing %q", want)
+		}
+	}
+}
+
+func TestColTypeString(t *testing.T) {
+	cases := map[ColType]string{
+		TypeInt: "INT", TypeFloat: "FLOAT", TypeString: "STRING", TypeDate: "DATE",
+	}
+	for ct, want := range cases {
+		if got := ct.String(); got != want {
+			t.Errorf("%v.String() = %q", ct, got)
+		}
+	}
+	if IndexKind(PrimaryIndex).String() != "PRIMARY" || SecondaryIndex.String() != "SECONDARY" {
+		t.Error("IndexKind strings wrong")
+	}
+}

@@ -1,0 +1,165 @@
+package catalog
+
+// TPC-H schema definition. Row counts below are the *modeled* cardinalities
+// at the catalog's scale factor; the in-memory data generator populates a
+// scaled-down physical copy while the statistics (and hence optimizer
+// behaviour and the latency model) reflect the modeled scale, mirroring the
+// paper's 100 GB deployment.
+
+// TPCH builds the TPC-H catalog at the given scale factor. Statistics
+// (Rows) scale linearly with sf except for nation and region, per the
+// TPC-H specification.
+func TPCH(sf float64) *Catalog {
+	c := New(sf)
+	s := func(base float64) int64 {
+		n := int64(base * sf)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+
+	mustAdd := func(t *Table) {
+		if err := c.AddTable(t); err != nil {
+			panic(err) // static schema; duplicates are programmer error
+		}
+	}
+
+	mustAdd(&Table{
+		Name: "region",
+		Columns: []Column{
+			{Name: "r_regionkey", Type: TypeInt, NDV: 5},
+			{Name: "r_name", Type: TypeString, NDV: 5},
+			{Name: "r_comment", Type: TypeString, NDV: 5},
+		},
+		Indexes: []Index{{Name: "pk_region", Table: "region", Column: "r_regionkey", Kind: PrimaryIndex, Unique: true}},
+		Rows:    5, AvgRowBytes: 120,
+	})
+	mustAdd(&Table{
+		Name: "nation",
+		Columns: []Column{
+			{Name: "n_nationkey", Type: TypeInt, NDV: 25},
+			{Name: "n_name", Type: TypeString, NDV: 25},
+			{Name: "n_regionkey", Type: TypeInt, NDV: 5},
+			{Name: "n_comment", Type: TypeString, NDV: 25},
+		},
+		Indexes: []Index{
+			{Name: "pk_nation", Table: "nation", Column: "n_nationkey", Kind: PrimaryIndex, Unique: true},
+			{Name: "fk_nation_region", Table: "nation", Column: "n_regionkey", Kind: SecondaryIndex},
+		},
+		Rows: 25, AvgRowBytes: 128,
+	})
+	mustAdd(&Table{
+		Name: "supplier",
+		Columns: []Column{
+			{Name: "s_suppkey", Type: TypeInt, NDV: s(10_000)},
+			{Name: "s_name", Type: TypeString, NDV: s(10_000)},
+			{Name: "s_address", Type: TypeString, NDV: s(10_000)},
+			{Name: "s_nationkey", Type: TypeInt, NDV: 25},
+			{Name: "s_phone", Type: TypeString, NDV: s(10_000)},
+			{Name: "s_acctbal", Type: TypeFloat, NDV: s(9_000)},
+			{Name: "s_comment", Type: TypeString, NDV: s(10_000)},
+		},
+		Indexes: []Index{
+			{Name: "pk_supplier", Table: "supplier", Column: "s_suppkey", Kind: PrimaryIndex, Unique: true},
+			{Name: "fk_supplier_nation", Table: "supplier", Column: "s_nationkey", Kind: SecondaryIndex},
+		},
+		Rows: s(10_000), AvgRowBytes: 160,
+	})
+	mustAdd(&Table{
+		Name: "part",
+		Columns: []Column{
+			{Name: "p_partkey", Type: TypeInt, NDV: s(200_000)},
+			{Name: "p_name", Type: TypeString, NDV: s(200_000)},
+			{Name: "p_mfgr", Type: TypeString, NDV: 5},
+			{Name: "p_brand", Type: TypeString, NDV: 25},
+			{Name: "p_type", Type: TypeString, NDV: 150},
+			{Name: "p_size", Type: TypeInt, NDV: 50},
+			{Name: "p_container", Type: TypeString, NDV: 40},
+			{Name: "p_retailprice", Type: TypeFloat, NDV: s(100_000)},
+			{Name: "p_comment", Type: TypeString, NDV: s(200_000)},
+		},
+		Indexes: []Index{{Name: "pk_part", Table: "part", Column: "p_partkey", Kind: PrimaryIndex, Unique: true}},
+		Rows:    s(200_000), AvgRowBytes: 156,
+	})
+	mustAdd(&Table{
+		Name: "partsupp",
+		Columns: []Column{
+			{Name: "ps_partkey", Type: TypeInt, NDV: s(200_000)},
+			{Name: "ps_suppkey", Type: TypeInt, NDV: s(10_000)},
+			{Name: "ps_availqty", Type: TypeInt, NDV: 10_000},
+			{Name: "ps_supplycost", Type: TypeFloat, NDV: s(100_000)},
+			{Name: "ps_comment", Type: TypeString, NDV: s(800_000)},
+		},
+		Indexes: []Index{
+			{Name: "pk_partsupp", Table: "partsupp", Column: "ps_partkey", Kind: PrimaryIndex},
+			{Name: "fk_partsupp_supp", Table: "partsupp", Column: "ps_suppkey", Kind: SecondaryIndex},
+		},
+		Rows: s(800_000), AvgRowBytes: 144,
+	})
+	mustAdd(&Table{
+		Name: "customer",
+		Columns: []Column{
+			{Name: "c_custkey", Type: TypeInt, NDV: s(150_000)},
+			{Name: "c_name", Type: TypeString, NDV: s(150_000)},
+			{Name: "c_address", Type: TypeString, NDV: s(150_000)},
+			{Name: "c_nationkey", Type: TypeInt, NDV: 25},
+			{Name: "c_phone", Type: TypeString, NDV: s(150_000)},
+			{Name: "c_acctbal", Type: TypeFloat, NDV: s(140_000)},
+			{Name: "c_mktsegment", Type: TypeString, NDV: 5},
+			{Name: "c_comment", Type: TypeString, NDV: s(150_000)},
+		},
+		Indexes: []Index{
+			{Name: "pk_customer", Table: "customer", Column: "c_custkey", Kind: PrimaryIndex, Unique: true},
+			{Name: "fk_customer_nation", Table: "customer", Column: "c_nationkey", Kind: SecondaryIndex},
+		},
+		Rows: s(150_000), AvgRowBytes: 180,
+	})
+	mustAdd(&Table{
+		Name: "orders",
+		Columns: []Column{
+			{Name: "o_orderkey", Type: TypeInt, NDV: s(1_500_000)},
+			{Name: "o_custkey", Type: TypeInt, NDV: s(150_000)},
+			{Name: "o_orderstatus", Type: TypeString, NDV: 3},
+			{Name: "o_totalprice", Type: TypeFloat, NDV: s(1_400_000)},
+			{Name: "o_orderdate", Type: TypeDate, NDV: 2_406},
+			{Name: "o_orderpriority", Type: TypeString, NDV: 5},
+			{Name: "o_clerk", Type: TypeString, NDV: s(1_000)},
+			{Name: "o_shippriority", Type: TypeInt, NDV: 1},
+			{Name: "o_comment", Type: TypeString, NDV: s(1_500_000)},
+		},
+		Indexes: []Index{
+			{Name: "pk_orders", Table: "orders", Column: "o_orderkey", Kind: PrimaryIndex, Unique: true},
+			{Name: "fk_orders_customer", Table: "orders", Column: "o_custkey", Kind: SecondaryIndex},
+		},
+		Rows: s(1_500_000), AvgRowBytes: 122,
+	})
+	mustAdd(&Table{
+		Name: "lineitem",
+		Columns: []Column{
+			{Name: "l_orderkey", Type: TypeInt, NDV: s(1_500_000)},
+			{Name: "l_partkey", Type: TypeInt, NDV: s(200_000)},
+			{Name: "l_suppkey", Type: TypeInt, NDV: s(10_000)},
+			{Name: "l_linenumber", Type: TypeInt, NDV: 7},
+			{Name: "l_quantity", Type: TypeFloat, NDV: 50},
+			{Name: "l_extendedprice", Type: TypeFloat, NDV: s(900_000)},
+			{Name: "l_discount", Type: TypeFloat, NDV: 11},
+			{Name: "l_tax", Type: TypeFloat, NDV: 9},
+			{Name: "l_returnflag", Type: TypeString, NDV: 3},
+			{Name: "l_linestatus", Type: TypeString, NDV: 2},
+			{Name: "l_shipdate", Type: TypeDate, NDV: 2_526},
+			{Name: "l_commitdate", Type: TypeDate, NDV: 2_466},
+			{Name: "l_receiptdate", Type: TypeDate, NDV: 2_554},
+			{Name: "l_shipinstruct", Type: TypeString, NDV: 4},
+			{Name: "l_shipmode", Type: TypeString, NDV: 7},
+			{Name: "l_comment", Type: TypeString, NDV: s(4_500_000)},
+		},
+		Indexes: []Index{
+			{Name: "pk_lineitem", Table: "lineitem", Column: "l_orderkey", Kind: PrimaryIndex},
+			{Name: "fk_lineitem_part", Table: "lineitem", Column: "l_partkey", Kind: SecondaryIndex},
+			{Name: "fk_lineitem_supp", Table: "lineitem", Column: "l_suppkey", Kind: SecondaryIndex},
+		},
+		Rows: s(6_000_000), AvgRowBytes: 138,
+	})
+	return c
+}

@@ -1,0 +1,188 @@
+// Package colstore implements the AP engine's column-oriented storage:
+// per-column typed vectors split into fixed-size chunks with min/max zone
+// maps. Scans read only the referenced columns and can skip chunks whose
+// zone map proves no row matches — the storage-format advantage the AP
+// engine's explanations cite.
+package colstore
+
+import (
+	"fmt"
+	"strings"
+
+	"htapxplain/internal/catalog"
+	"htapxplain/internal/value"
+)
+
+// ChunkSize is the number of rows per column chunk (zone-map granularity).
+const ChunkSize = 1024
+
+// Column is one stored column: the full vector plus per-chunk zone maps.
+type Column struct {
+	Name string
+	vals []value.Value
+	// zone maps: min/max per chunk (valid for orderable kinds)
+	zmin []value.Value
+	zmax []value.Value
+}
+
+// Len returns the number of values.
+func (c *Column) Len() int { return len(c.vals) }
+
+// Value returns the value at row id.
+func (c *Column) Value(id int) value.Value { return c.vals[id] }
+
+// NumChunks returns the number of zone-mapped chunks.
+func (c *Column) NumChunks() int { return len(c.zmin) }
+
+// ChunkRange returns the [min,max] zone map of chunk k.
+func (c *Column) ChunkRange(k int) (value.Value, value.Value) { return c.zmin[k], c.zmax[k] }
+
+// Table is one column-oriented table.
+type Table struct {
+	Meta    *catalog.Table
+	columns []*Column
+	numRows int
+}
+
+// Store is the column engine's storage manager.
+type Store struct {
+	tables map[string]*Table
+}
+
+// NewStore builds a column store over the given physical data.
+func NewStore(cat *catalog.Catalog, data map[string][]value.Row) (*Store, error) {
+	s := &Store{tables: make(map[string]*Table, len(data))}
+	for _, meta := range cat.Tables() {
+		rows, ok := data[strings.ToLower(meta.Name)]
+		if !ok {
+			return nil, fmt.Errorf("colstore: no data for table %q", meta.Name)
+		}
+		t := &Table{Meta: meta, numRows: len(rows)}
+		for ci, colMeta := range meta.Columns {
+			col := &Column{Name: strings.ToLower(colMeta.Name), vals: make([]value.Value, len(rows))}
+			for ri, r := range rows {
+				col.vals[ri] = r[ci]
+			}
+			col.buildZoneMaps()
+			t.columns = append(t.columns, col)
+		}
+		s.tables[strings.ToLower(meta.Name)] = t
+	}
+	return s, nil
+}
+
+func (c *Column) buildZoneMaps() {
+	n := len(c.vals)
+	for start := 0; start < n; start += ChunkSize {
+		end := start + ChunkSize
+		if end > n {
+			end = n
+		}
+		mn, mx := c.vals[start], c.vals[start]
+		for _, v := range c.vals[start+1 : end] {
+			if v.Compare(mn) < 0 {
+				mn = v
+			}
+			if v.Compare(mx) > 0 {
+				mx = v
+			}
+		}
+		c.zmin = append(c.zmin, mn)
+		c.zmax = append(c.zmax, mx)
+	}
+	if n == 0 {
+		c.zmin = append(c.zmin, value.Null)
+		c.zmax = append(c.zmax, value.Null)
+	}
+}
+
+// Table returns the named table.
+func (s *Store) Table(name string) (*Table, bool) {
+	t, ok := s.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// NumRows returns the physical row count.
+func (t *Table) NumRows() int { return t.numRows }
+
+// Column returns the column at position i.
+func (t *Table) Column(i int) *Column { return t.columns[i] }
+
+// ColumnByName returns the named column, or nil.
+func (t *Table) ColumnByName(name string) *Column {
+	i := t.Meta.ColumnIndex(name)
+	if i < 0 {
+		return nil
+	}
+	return t.columns[i]
+}
+
+// ScanStats reports the work a columnar scan performed, feeding the latency
+// model.
+type ScanStats struct {
+	RowsVisited   int // rows actually evaluated (after chunk skipping)
+	ChunksSkipped int
+	ChunksTotal   int
+	ColumnsRead   int
+}
+
+// RangePruner describes an optional single-column range [Lo,Hi] the scan
+// can use against zone maps; nil bounds are open.
+type RangePruner struct {
+	Col    int
+	Lo, Hi *value.Value
+}
+
+// Scan evaluates pred over the table, reading only cols, and returns the
+// matching row ids. pred receives the row id and a getter for any column
+// position. If pruner is non-nil, chunks whose zone map falls entirely
+// outside [Lo,Hi] are skipped without visiting rows.
+func (t *Table) Scan(cols []int, pruner *RangePruner, pred func(id int) bool) ([]int, ScanStats) {
+	stats := ScanStats{ColumnsRead: len(cols)}
+	var match []int
+	n := t.numRows
+	var zc *Column
+	if pruner != nil {
+		zc = t.columns[pruner.Col]
+	}
+	for start := 0; start < n; start += ChunkSize {
+		end := start + ChunkSize
+		if end > n {
+			end = n
+		}
+		stats.ChunksTotal++
+		if zc != nil {
+			k := start / ChunkSize
+			mn, mx := zc.ChunkRange(k)
+			if pruner.Lo != nil && mx.Compare(*pruner.Lo) < 0 {
+				stats.ChunksSkipped++
+				continue
+			}
+			if pruner.Hi != nil && mn.Compare(*pruner.Hi) > 0 {
+				stats.ChunksSkipped++
+				continue
+			}
+		}
+		for id := start; id < end; id++ {
+			stats.RowsVisited++
+			if pred == nil || pred(id) {
+				match = append(match, id)
+			}
+		}
+	}
+	return match, stats
+}
+
+// Materialize assembles value rows for the given ids over the given column
+// positions (late materialization).
+func (t *Table) Materialize(ids []int, cols []int) []value.Row {
+	out := make([]value.Row, len(ids))
+	for i, id := range ids {
+		r := make(value.Row, len(cols))
+		for j, c := range cols {
+			r[j] = t.columns[c].vals[id]
+		}
+		out[i] = r
+	}
+	return out
+}

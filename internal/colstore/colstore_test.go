@@ -1,0 +1,176 @@
+package colstore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"htapxplain/internal/catalog"
+	"htapxplain/internal/value"
+)
+
+func tinyCatalog(rows int64) *catalog.Catalog {
+	c := catalog.New(1)
+	_ = c.AddTable(&catalog.Table{
+		Name: "t",
+		Columns: []catalog.Column{
+			{Name: "k", Type: catalog.TypeInt, NDV: rows},
+			{Name: "s", Type: catalog.TypeString, NDV: 10},
+			{Name: "f", Type: catalog.TypeFloat, NDV: rows},
+		},
+		Rows: rows, AvgRowBytes: 48,
+	})
+	return c
+}
+
+func buildStore(t testing.TB, n int, keyOf func(i int) int64) *Table {
+	t.Helper()
+	rows := make([]value.Row, n)
+	for i := 0; i < n; i++ {
+		rows[i] = value.Row{
+			value.NewInt(keyOf(i)),
+			value.NewString("s"),
+			value.NewFloat(float64(i) / 2),
+		}
+	}
+	s, err := NewStore(tinyCatalog(int64(n)), map[string][]value.Row{"t": rows})
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	tb, _ := s.Table("t")
+	return tb
+}
+
+func TestScanAllRowsNoPruner(t *testing.T) {
+	tb := buildStore(t, 2500, func(i int) int64 { return int64(i) })
+	ids, stats := tb.Scan([]int{0}, nil, nil)
+	if len(ids) != 2500 {
+		t.Fatalf("scan matched %d rows, want 2500", len(ids))
+	}
+	if stats.RowsVisited != 2500 || stats.ChunksSkipped != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.ChunksTotal != 3 { // ceil(2500/1024)
+		t.Errorf("chunks = %d, want 3", stats.ChunksTotal)
+	}
+}
+
+func TestZoneMapPruningSkipsChunks(t *testing.T) {
+	// keys ascending → zone maps are tight ranges, so a narrow range
+	// predicate must skip all but one chunk
+	tb := buildStore(t, 4096, func(i int) int64 { return int64(i) })
+	lo, hi := value.NewInt(3000), value.NewInt(3010)
+	pruner := &RangePruner{Col: 0, Lo: &lo, Hi: &hi}
+	ids, stats := tb.Scan([]int{0}, pruner, func(id int) bool {
+		v := tb.Column(0).Value(id)
+		return v.I >= 3000 && v.I <= 3010
+	})
+	if len(ids) != 11 {
+		t.Fatalf("matched %d rows, want 11", len(ids))
+	}
+	if stats.ChunksSkipped != 3 {
+		t.Errorf("skipped %d chunks, want 3 of 4", stats.ChunksSkipped)
+	}
+	if stats.RowsVisited >= 4096 {
+		t.Errorf("visited %d rows — pruning had no effect", stats.RowsVisited)
+	}
+}
+
+// TestPruningNeverChangesResultsProperty: scanning with a pruner must
+// return exactly the same ids as scanning without one.
+func TestPruningNeverChangesResultsProperty(t *testing.T) {
+	prop := func(seed int64, loRaw, hiRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 512 + rng.Intn(3000)
+		tb := buildStore(t, n, func(i int) int64 { return int64(rng.Intn(5000)) })
+		lo64, hi64 := int64(loRaw%5000), int64(hiRaw%5000)
+		if lo64 > hi64 {
+			lo64, hi64 = hi64, lo64
+		}
+		lo, hi := value.NewInt(lo64), value.NewInt(hi64)
+		pred := func(id int) bool {
+			v := tb.Column(0).Value(id)
+			return v.I >= lo64 && v.I <= hi64
+		}
+		withPruner, _ := tb.Scan([]int{0}, &RangePruner{Col: 0, Lo: &lo, Hi: &hi}, pred)
+		without, _ := tb.Scan([]int{0}, nil, pred)
+		if len(withPruner) != len(without) {
+			return false
+		}
+		for i := range withPruner {
+			if withPruner[i] != without[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaterializeSelectsColumns(t *testing.T) {
+	tb := buildStore(t, 10, func(i int) int64 { return int64(i * 10) })
+	rows := tb.Materialize([]int{2, 5}, []int{0, 2})
+	if len(rows) != 2 || len(rows[0]) != 2 {
+		t.Fatalf("materialize shape: %v", rows)
+	}
+	if rows[0][0].I != 20 || rows[1][0].I != 50 {
+		t.Errorf("materialized keys: %v", rows)
+	}
+	if rows[0][1].K != value.KindFloat {
+		t.Errorf("second column should be the float column, got %v", rows[0][1].K)
+	}
+}
+
+func TestColumnByName(t *testing.T) {
+	tb := buildStore(t, 5, func(i int) int64 { return int64(i) })
+	if c := tb.ColumnByName("f"); c == nil || c.Len() != 5 {
+		t.Errorf("ColumnByName(f) = %v", c)
+	}
+	if c := tb.ColumnByName("nope"); c != nil {
+		t.Error("bogus column should be nil")
+	}
+}
+
+func TestZoneMapBoundsAreTight(t *testing.T) {
+	tb := buildStore(t, 2048, func(i int) int64 { return int64(i) })
+	col := tb.Column(0)
+	if col.NumChunks() != 2 {
+		t.Fatalf("chunks = %d", col.NumChunks())
+	}
+	mn, mx := col.ChunkRange(0)
+	if mn.I != 0 || mx.I != 1023 {
+		t.Errorf("chunk 0 zone map [%v,%v]", mn, mx)
+	}
+	mn, mx = col.ChunkRange(1)
+	if mn.I != 1024 || mx.I != 2047 {
+		t.Errorf("chunk 1 zone map [%v,%v]", mn, mx)
+	}
+}
+
+func TestScanStatsColumnsRead(t *testing.T) {
+	tb := buildStore(t, 100, func(i int) int64 { return int64(i) })
+	_, stats := tb.Scan([]int{0, 2}, nil, nil)
+	if stats.ColumnsRead != 2 {
+		t.Errorf("ColumnsRead = %d", stats.ColumnsRead)
+	}
+}
+
+func TestNewStoreRequiresAllTables(t *testing.T) {
+	if _, err := NewStore(tinyCatalog(1), map[string][]value.Row{}); err == nil {
+		t.Error("missing table data should error")
+	}
+}
+
+func TestEmptyTableScan(t *testing.T) {
+	s, err := NewStore(tinyCatalog(0), map[string][]value.Row{"t": {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := s.Table("t")
+	ids, stats := tb.Scan([]int{0}, nil, nil)
+	if len(ids) != 0 || stats.RowsVisited != 0 {
+		t.Errorf("empty scan: ids=%v stats=%+v", ids, stats)
+	}
+}

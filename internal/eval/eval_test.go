@@ -1,0 +1,183 @@
+package eval
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"htapxplain/internal/expert"
+	"htapxplain/internal/llm"
+)
+
+// sharedEnv builds the (expensive) environment once for the package tests.
+var (
+	envOnce sync.Once
+	envVal  *Env
+	envErr  error
+)
+
+func sharedEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		envVal, envErr = NewEnv(DefaultEnvConfig())
+	})
+	if envErr != nil {
+		t.Fatalf("NewEnv: %v", envErr)
+	}
+	return envVal
+}
+
+func TestEnvConstruction(t *testing.T) {
+	env := sharedEnv(t)
+	if got := env.KB.Len(); got != env.Cfg.KBSize {
+		t.Errorf("KB size = %d, want %d", got, env.Cfg.KBSize)
+	}
+	cov := env.KB.FactorCoverage()
+	if len(cov) < 3 {
+		t.Errorf("curated KB covers only %d factors, want >= 3: %v", len(cov), cov)
+	}
+}
+
+func TestAccuracyAtK2MatchesPaperBand(t *testing.T) {
+	env := sharedEnv(t)
+	rep, cases, err := env.EvaluateAccuracy(llm.Doubao(), 2, env.TestQueries(200))
+	if err != nil {
+		t.Fatalf("EvaluateAccuracy: %v", err)
+	}
+	t.Logf("K=2: %s", rep)
+	// paper: 91% accurate at K=2 (89-91% over K in [2,5])
+	if rep.AccurateRate() < 0.80 {
+		for _, c := range cases {
+			if c.Grade.Verdict != expert.VerdictAccurate {
+				t.Logf("MISS [%s] truth=%s/%v text=%q", c.Grade.Verdict, c.Truth.Winner, c.Truth.Primary, trunc(c.Text, 160))
+			}
+		}
+		t.Errorf("accuracy %.1f%% below the paper band (~91%%)", 100*rep.AccurateRate())
+	}
+	if rep.NoneRate() > 0.10 {
+		t.Errorf("None rate %.1f%% too high (paper: 3.5%%)", 100*rep.NoneRate())
+	}
+}
+
+func TestKSweepShape(t *testing.T) {
+	env := sharedEnv(t)
+	queries := env.TestQueries(120)
+	accs := map[int]float64{}
+	nones := map[int]float64{}
+	for _, k := range []int{1, 2, 3, 5} {
+		rep, _, err := env.EvaluateAccuracy(llm.Doubao(), k, queries)
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		accs[k] = rep.AccurateRate()
+		nones[k] = rep.NoneRate()
+		t.Logf("K=%d: %s", k, rep)
+	}
+	// paper shape: K=1 is worse than K>=2 and has more None outputs
+	if accs[1] > accs[2] {
+		t.Errorf("K=1 accuracy (%.2f) should not beat K=2 (%.2f)", accs[1], accs[2])
+	}
+	if nones[1] < nones[2] {
+		t.Errorf("K=1 None rate (%.2f) should be >= K=2 (%.2f)", nones[1], nones[2])
+	}
+	// K in [2,5] should be a tight band (paper: 89-91%)
+	for _, k := range []int{3, 5} {
+		if d := accs[k] - accs[2]; d < -0.08 || d > 0.08 {
+			t.Errorf("K=%d accuracy %.2f deviates from K=2 %.2f by more than 8 points", k, accs[k], accs[2])
+		}
+	}
+}
+
+func TestModelsMinimalDifference(t *testing.T) {
+	env := sharedEnv(t)
+	queries := env.TestQueries(100)
+	repD, _, err := env.EvaluateAccuracy(llm.Doubao(), 2, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repC, _, err := env.EvaluateAccuracy(llm.ChatGPT4(), 2, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("doubao: %s", repD)
+	t.Logf("chatgpt4: %s", repC)
+	if d := repD.AccurateRate() - repC.AccurateRate(); d < -0.06 || d > 0.06 {
+		t.Errorf("model accuracy gap %.2f too large (paper: minimal differences)", d)
+	}
+}
+
+func TestLatencyDecomposition(t *testing.T) {
+	env := sharedEnv(t)
+	_, cases, err := env.EvaluateAccuracy(llm.Doubao(), 2, env.TestQueries(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := Latency(cases)
+	t.Logf("encode=%v search=%v think=%v gen=%v", lat.MeanEncode, lat.MeanSearch, lat.MeanThink, lat.MeanGen)
+	if lat.MeanEncode > time.Millisecond {
+		t.Errorf("router encoding %v exceeds paper's ~1ms bound", lat.MeanEncode)
+	}
+	if lat.MeanSearch > 100*time.Microsecond {
+		t.Errorf("KB search %v exceeds paper's <0.1ms at 20 entries", lat.MeanSearch)
+	}
+	if lat.MeanThink > 2*time.Second {
+		t.Errorf("LLM think time %v exceeds paper's ≤2s", lat.MeanThink)
+	}
+	if lat.MeanGen < 4*time.Second || lat.MeanGen > 16*time.Second {
+		t.Errorf("LLM generation %v outside paper's ~10s envelope", lat.MeanGen)
+	}
+}
+
+func TestDBGPTComparisonFailureModes(t *testing.T) {
+	env := sharedEnv(t)
+	ours, base, err := env.CompareWithDBGPT(llm.Doubao(), env.TestQueries(120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("ours:   %+v", ours)
+	t.Logf("dbgpt:  %+v", base)
+	if base.IndexMisattribution == 0 {
+		t.Error("DBG-PT should exhibit index misattribution on function-wrapped predicates")
+	}
+	if base.CostComparison == 0 {
+		t.Error("DBG-PT should sometimes compare costs despite instructions")
+	}
+	if base.ColumnarOveremph == 0 {
+		t.Error("DBG-PT should overemphasize columnar storage")
+	}
+	if ours.IndexMisattribution > 0 {
+		t.Errorf("our grounded pipeline misattributed indexes %d times", ours.IndexMisattribution)
+	}
+	if ours.CostComparison > 0 {
+		t.Errorf("our grounded pipeline compared costs %d times", ours.CostComparison)
+	}
+	if ours.MissesDominant >= base.MissesDominant && base.MissesDominant > 0 {
+		t.Errorf("ours misses dominant factor as often as DBG-PT (%d vs %d)", ours.MissesDominant, base.MissesDominant)
+	}
+}
+
+func TestRouterSubstrateClaims(t *testing.T) {
+	env := sharedEnv(t)
+	rep, err := env.EvaluateRouter(env.TestQueries(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("router: train=%.2f test=%.2f params=%d size=%.1fKB infer=%.1fµs",
+		rep.TrainAcc, rep.TestAcc, rep.Params, rep.ModelKB, rep.InferUsec)
+	if rep.TestAcc < 0.8 {
+		t.Errorf("router test accuracy %.2f below 'high accuracy' claim", rep.TestAcc)
+	}
+	if rep.ModelKB >= 1024 {
+		t.Errorf("router model %.0fKB exceeds the paper's <1MB", rep.ModelKB)
+	}
+	if rep.InferUsec > 1000 {
+		t.Errorf("router inference %.0fµs exceeds the paper's ~1ms", rep.InferUsec)
+	}
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,84 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"htapxplain/internal/llm"
+)
+
+// TestExperimentReportsGenerate smoke-tests every report generator used
+// by cmd/benchrunner: each must run without error and carry its headline
+// structure.
+func TestExperimentReportsGenerate(t *testing.T) {
+	env := sharedEnv(t)
+	model := llm.Doubao()
+	cases := []struct {
+		name  string
+		run   func() (string, error)
+		wants []string
+	}{
+		{"E1", func() (string, error) { return E1Example1(env, model) },
+			[]string{"TP plan", "AP plan", "explanation by experts", "explanation by our approach", "DBG-PT"}},
+		{"E2", func() (string, error) { return E2Accuracy(env, model) },
+			[]string{"accurate", "None outputs", "91%"}},
+		{"E4", func() (string, error) { return E4Models(env) },
+			[]string{"doubao-sim", "chatgpt4-sim"}},
+		{"E5", func() (string, error) { return E5Latency(env, model) },
+			[]string{"router encoding", "KB search", "LLM generation"}},
+		{"E6", func() (string, error) { return E6Study(env, model) },
+			[]string{"3.5 min", "8.2 min", "difficulty"}},
+		{"E8", func() (string, error) { return E8Router(env) },
+			[]string{"routing accuracy", "model size"}},
+		{"A2", func() (string, error) { return AblationGuardrail(env, model) },
+			[]string{"guardrail", "cost comparisons"}},
+		{"A3", func() (string, error) { return AblationEmbedding(env) },
+			[]string{"router (task-specific)", "structural features"}},
+	}
+	for _, c := range cases {
+		out, err := c.run()
+		if err != nil {
+			t.Errorf("%s failed: %v", c.name, err)
+			continue
+		}
+		for _, w := range c.wants {
+			if !strings.Contains(out, w) {
+				t.Errorf("%s report missing %q:\n%s", c.name, w, out)
+			}
+		}
+	}
+}
+
+func TestE1GradesOurExplanationAccurate(t *testing.T) {
+	env := sharedEnv(t)
+	out, err := E1Example1(env, llm.Doubao())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "our approach (doubao-sim): [graded accurate]") {
+		t.Errorf("Example 1 must grade accurate:\n%s", out)
+	}
+}
+
+func TestKBScalingReportShowsCrossover(t *testing.T) {
+	out, err := E5KBScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "20000") || !strings.Contains(out, "recall@2") {
+		t.Errorf("scaling report malformed:\n%s", out)
+	}
+}
+
+func TestAblationKBSizeSaturates(t *testing.T) {
+	env := sharedEnv(t)
+	out, err := AblationKBSize(env, llm.Doubao())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []string{"5", "10", "20", "40"} {
+		if !strings.Contains(out, size) {
+			t.Errorf("KB size %s missing:\n%s", size, out)
+		}
+	}
+}

@@ -1,0 +1,389 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"htapxplain/internal/sqlparser"
+	"htapxplain/internal/value"
+)
+
+// Evaluator computes an expression over one row.
+type Evaluator func(row value.Row) (value.Value, error)
+
+// Compile translates an AST expression into an Evaluator bound to the
+// given schema. Aggregates are rejected here; the aggregation operators
+// handle them.
+func Compile(e sqlparser.Expr, s Schema) (Evaluator, error) {
+	switch x := e.(type) {
+	case *sqlparser.IntLit:
+		v := value.NewInt(x.V)
+		return func(value.Row) (value.Value, error) { return v, nil }, nil
+	case *sqlparser.FloatLit:
+		v := value.NewFloat(x.V)
+		return func(value.Row) (value.Value, error) { return v, nil }, nil
+	case *sqlparser.StringLit:
+		v := value.NewString(x.V)
+		return func(value.Row) (value.Value, error) { return v, nil }, nil
+	case *sqlparser.ColumnRef:
+		idx, err := s.Resolve(x)
+		if err != nil {
+			return nil, err
+		}
+		return func(row value.Row) (value.Value, error) { return row[idx], nil }, nil
+	case *sqlparser.BinaryExpr:
+		return compileBinary(x, s)
+	case *sqlparser.NotExpr:
+		inner, err := Compile(x.Inner, s)
+		if err != nil {
+			return nil, err
+		}
+		return func(row value.Row) (value.Value, error) {
+			v, err := inner(row)
+			if err != nil {
+				return value.Null, err
+			}
+			if v.IsNull() {
+				return value.Null, nil
+			}
+			return value.NewBool(!v.Bool()), nil
+		}, nil
+	case *sqlparser.InExpr:
+		return compileIn(x, s)
+	case *sqlparser.BetweenExpr:
+		ev, err := Compile(x.Expr, s)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := Compile(x.Lo, s)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := Compile(x.Hi, s)
+		if err != nil {
+			return nil, err
+		}
+		return func(row value.Row) (value.Value, error) {
+			v, err := ev(row)
+			if err != nil {
+				return value.Null, err
+			}
+			l, err := lo(row)
+			if err != nil {
+				return value.Null, err
+			}
+			h, err := hi(row)
+			if err != nil {
+				return value.Null, err
+			}
+			if v.IsNull() || l.IsNull() || h.IsNull() {
+				return value.Null, nil
+			}
+			return value.NewBool(v.Compare(l) >= 0 && v.Compare(h) <= 0), nil
+		}, nil
+	case *sqlparser.LikeExpr:
+		ev, err := Compile(x.Expr, s)
+		if err != nil {
+			return nil, err
+		}
+		pat := x.Pattern
+		return func(row value.Row) (value.Value, error) {
+			v, err := ev(row)
+			if err != nil {
+				return value.Null, err
+			}
+			if v.IsNull() {
+				return value.Null, nil
+			}
+			return value.NewBool(likeMatch(v.String(), pat)), nil
+		}, nil
+	case *sqlparser.FuncExpr:
+		return compileFunc(x, s)
+	case *sqlparser.AggExpr:
+		return nil, fmt.Errorf("exec: aggregate %s outside aggregation context", x)
+	default:
+		return nil, fmt.Errorf("exec: unsupported expression %T", e)
+	}
+}
+
+func compileBinary(x *sqlparser.BinaryExpr, s Schema) (Evaluator, error) {
+	left, err := Compile(x.Left, s)
+	if err != nil {
+		return nil, err
+	}
+	right, err := Compile(x.Right, s)
+	if err != nil {
+		return nil, err
+	}
+	op := x.Op
+	switch op {
+	case sqlparser.OpAnd:
+		return func(row value.Row) (value.Value, error) {
+			l, err := left(row)
+			if err != nil {
+				return value.Null, err
+			}
+			if !l.IsNull() && !l.Bool() {
+				return value.NewBool(false), nil
+			}
+			r, err := right(row)
+			if err != nil {
+				return value.Null, err
+			}
+			if !r.IsNull() && !r.Bool() {
+				return value.NewBool(false), nil
+			}
+			if l.IsNull() || r.IsNull() {
+				return value.Null, nil
+			}
+			return value.NewBool(true), nil
+		}, nil
+	case sqlparser.OpOr:
+		return func(row value.Row) (value.Value, error) {
+			l, err := left(row)
+			if err != nil {
+				return value.Null, err
+			}
+			if !l.IsNull() && l.Bool() {
+				return value.NewBool(true), nil
+			}
+			r, err := right(row)
+			if err != nil {
+				return value.Null, err
+			}
+			if !r.IsNull() && r.Bool() {
+				return value.NewBool(true), nil
+			}
+			if l.IsNull() || r.IsNull() {
+				return value.Null, nil
+			}
+			return value.NewBool(false), nil
+		}, nil
+	case sqlparser.OpAdd, sqlparser.OpSub, sqlparser.OpMul, sqlparser.OpDiv:
+		return func(row value.Row) (value.Value, error) {
+			l, err := left(row)
+			if err != nil {
+				return value.Null, err
+			}
+			r, err := right(row)
+			if err != nil {
+				return value.Null, err
+			}
+			if l.IsNull() || r.IsNull() {
+				return value.Null, nil
+			}
+			lf, ok1 := l.AsFloat()
+			rf, ok2 := r.AsFloat()
+			if !ok1 || !ok2 {
+				return value.Null, fmt.Errorf("exec: arithmetic on non-numeric values %s, %s", l.K, r.K)
+			}
+			var out float64
+			switch op {
+			case sqlparser.OpAdd:
+				out = lf + rf
+			case sqlparser.OpSub:
+				out = lf - rf
+			case sqlparser.OpMul:
+				out = lf * rf
+			case sqlparser.OpDiv:
+				if rf == 0 {
+					return value.Null, nil // SQL-ish: division by zero yields NULL here
+				}
+				out = lf / rf
+			}
+			if l.K == value.KindInt && r.K == value.KindInt && op != sqlparser.OpDiv {
+				return value.NewInt(int64(out)), nil
+			}
+			return value.NewFloat(out), nil
+		}, nil
+	default: // comparisons
+		return func(row value.Row) (value.Value, error) {
+			l, err := left(row)
+			if err != nil {
+				return value.Null, err
+			}
+			r, err := right(row)
+			if err != nil {
+				return value.Null, err
+			}
+			if l.IsNull() || r.IsNull() {
+				return value.Null, nil
+			}
+			c := l.Compare(r)
+			var b bool
+			switch op {
+			case sqlparser.OpEq:
+				b = c == 0
+			case sqlparser.OpNe:
+				b = c != 0
+			case sqlparser.OpLt:
+				b = c < 0
+			case sqlparser.OpLe:
+				b = c <= 0
+			case sqlparser.OpGt:
+				b = c > 0
+			case sqlparser.OpGe:
+				b = c >= 0
+			}
+			return value.NewBool(b), nil
+		}, nil
+	}
+}
+
+func compileIn(x *sqlparser.InExpr, s Schema) (Evaluator, error) {
+	ev, err := Compile(x.Expr, s)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]Evaluator, len(x.List))
+	for i, it := range x.List {
+		iev, err := Compile(it, s)
+		if err != nil {
+			return nil, err
+		}
+		items[i] = iev
+	}
+	not := x.Not
+	return func(row value.Row) (value.Value, error) {
+		v, err := ev(row)
+		if err != nil {
+			return value.Null, err
+		}
+		if v.IsNull() {
+			return value.Null, nil
+		}
+		for _, iev := range items {
+			iv, err := iev(row)
+			if err != nil {
+				return value.Null, err
+			}
+			if v.Equal(iv) {
+				return value.NewBool(!not), nil
+			}
+		}
+		return value.NewBool(not), nil
+	}, nil
+}
+
+func compileFunc(x *sqlparser.FuncExpr, s Schema) (Evaluator, error) {
+	args := make([]Evaluator, len(x.Args))
+	for i, a := range x.Args {
+		ev, err := Compile(a, s)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = ev
+	}
+	evalArgs := func(row value.Row) ([]value.Value, error) {
+		out := make([]value.Value, len(args))
+		for i, ev := range args {
+			v, err := ev(row)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch x.Name {
+	case "SUBSTRING", "SUBSTR":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("exec: %s requires 3 arguments, got %d", x.Name, len(args))
+		}
+		return func(row value.Row) (value.Value, error) {
+			vs, err := evalArgs(row)
+			if err != nil {
+				return value.Null, err
+			}
+			if vs[0].IsNull() || vs[1].IsNull() || vs[2].IsNull() {
+				return value.Null, nil
+			}
+			str := vs[0].String()
+			start := int(vs[1].I) // SQL is 1-based
+			length := int(vs[2].I)
+			if start < 1 {
+				start = 1
+			}
+			if start > len(str) {
+				return value.NewString(""), nil
+			}
+			end := start - 1 + length
+			if end > len(str) {
+				end = len(str)
+			}
+			return value.NewString(str[start-1 : end]), nil
+		}, nil
+	case "UPPER":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("exec: UPPER requires 1 argument")
+		}
+		return func(row value.Row) (value.Value, error) {
+			vs, err := evalArgs(row)
+			if err != nil || vs[0].IsNull() {
+				return value.Null, err
+			}
+			return value.NewString(strings.ToUpper(vs[0].String())), nil
+		}, nil
+	case "LOWER":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("exec: LOWER requires 1 argument")
+		}
+		return func(row value.Row) (value.Value, error) {
+			vs, err := evalArgs(row)
+			if err != nil || vs[0].IsNull() {
+				return value.Null, err
+			}
+			return value.NewString(strings.ToLower(vs[0].String())), nil
+		}, nil
+	case "LENGTH":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("exec: LENGTH requires 1 argument")
+		}
+		return func(row value.Row) (value.Value, error) {
+			vs, err := evalArgs(row)
+			if err != nil || vs[0].IsNull() {
+				return value.Null, err
+			}
+			return value.NewInt(int64(len(vs[0].String()))), nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("exec: unsupported function %s", x.Name)
+	}
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards (case-sensitive;
+// the generated data is all lower case).
+func likeMatch(s, pattern string) bool {
+	// dynamic-programming match, iterative with backtracking on %
+	si, pi := 0, 0
+	star, match := -1, 0
+	for si < len(s) {
+		if pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]) {
+			si++
+			pi++
+		} else if pi < len(pattern) && pattern[pi] == '%' {
+			star = pi
+			match = si
+			pi++
+		} else if star >= 0 {
+			pi = star + 1
+			match++
+			si = match
+		} else {
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+// Truthy evaluates a predicate evaluator to a boolean (NULL → false).
+func Truthy(ev Evaluator, row value.Row) (bool, error) {
+	v, err := ev(row)
+	if err != nil {
+		return false, err
+	}
+	return !v.IsNull() && v.Bool(), nil
+}

@@ -1,0 +1,688 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"htapxplain/internal/colstore"
+	"htapxplain/internal/rowstore"
+	"htapxplain/internal/sqlparser"
+	"htapxplain/internal/value"
+)
+
+// Operator is a materializing physical operator: Run produces the full
+// result set and records work counters into the context.
+type Operator interface {
+	Schema() Schema
+	Run(ctx *Context) ([]value.Row, error)
+}
+
+// ---------------------------------------------------------------- scans
+
+// RowTableScan is a full heap scan of a row-store table.
+type RowTableScan struct {
+	Table   *rowstore.Table
+	Binding string
+	out     Schema
+}
+
+// NewRowTableScan constructs a full-table scan.
+func NewRowTableScan(t *rowstore.Table, binding string) *RowTableScan {
+	return &RowTableScan{Table: t, Binding: binding, out: TableSchema(t.Meta, binding)}
+}
+
+func (s *RowTableScan) Schema() Schema { return s.out }
+
+func (s *RowTableScan) Run(ctx *Context) ([]value.Row, error) {
+	rows := s.Table.Scan()
+	ctx.Stats.RowsScanned += int64(len(rows))
+	ctx.Stats.BytesScanned += int64(len(rows)) * s.Table.Meta.AvgRowBytes
+	return rows, nil
+}
+
+// RowIndexScan fetches rows through an ordered index: either a set of
+// point keys (equality / IN list) or a single range.
+type RowIndexScan struct {
+	Table   *rowstore.Table
+	Index   *rowstore.Index
+	Binding string
+	Keys    []value.Value // point lookups; nil → use range
+	Lo, Hi  *value.Value
+	out     Schema
+}
+
+// NewRowIndexScan constructs an index access path.
+func NewRowIndexScan(t *rowstore.Table, ix *rowstore.Index, binding string, keys []value.Value, lo, hi *value.Value) *RowIndexScan {
+	return &RowIndexScan{Table: t, Index: ix, Binding: binding, Keys: keys, Lo: lo, Hi: hi,
+		out: TableSchema(t.Meta, binding)}
+}
+
+func (s *RowIndexScan) Schema() Schema { return s.out }
+
+func (s *RowIndexScan) Run(ctx *Context) ([]value.Row, error) {
+	var ids []int32
+	if s.Keys != nil {
+		ctx.Stats.IndexProbes += int64(len(s.Keys))
+		for _, k := range s.Keys {
+			ids = append(ids, s.Index.Lookup(k)...)
+		}
+	} else {
+		ctx.Stats.IndexProbes++
+		ids = s.Index.Range(s.Lo, s.Hi)
+	}
+	rows := make([]value.Row, len(ids))
+	for i, id := range ids {
+		rows[i] = s.Table.Row(id)
+	}
+	ctx.Stats.RowsScanned += int64(len(rows))
+	ctx.Stats.BytesScanned += int64(len(rows)) * s.Table.Meta.AvgRowBytes
+	return rows, nil
+}
+
+// RowIndexOrderScan returns rows in index-key order, stopping after
+// LimitHint rows pass the optional predicate — the access path behind TP's
+// index-ordered Top-N plans.
+type RowIndexOrderScan struct {
+	Table     *rowstore.Table
+	Index     *rowstore.Index
+	Binding   string
+	Desc      bool
+	LimitHint int // <=0 means no early stop
+	Pred      Evaluator
+	out       Schema
+}
+
+// NewRowIndexOrderScan constructs an index-order scan.
+func NewRowIndexOrderScan(t *rowstore.Table, ix *rowstore.Index, binding string, desc bool, limitHint int, pred Evaluator) *RowIndexOrderScan {
+	return &RowIndexOrderScan{Table: t, Index: ix, Binding: binding, Desc: desc,
+		LimitHint: limitHint, Pred: pred, out: TableSchema(t.Meta, binding)}
+}
+
+func (s *RowIndexOrderScan) Schema() Schema { return s.out }
+
+func (s *RowIndexOrderScan) Run(ctx *Context) ([]value.Row, error) {
+	var ids []int32
+	if s.Desc {
+		ids = s.Index.Descending()
+	} else {
+		ids = s.Index.Ascending()
+	}
+	var out []value.Row
+	for _, id := range ids {
+		row := s.Table.Row(id)
+		ctx.Stats.RowsScanned++
+		ctx.Stats.BytesScanned += s.Table.Meta.AvgRowBytes
+		if s.Pred != nil {
+			ok, err := Truthy(s.Pred, row)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		out = append(out, row)
+		if s.LimitHint > 0 && len(out) >= s.LimitHint {
+			break
+		}
+	}
+	return out, nil
+}
+
+// ColTableScan is a columnar scan reading only the referenced columns,
+// with optional predicate and zone-map pruning.
+type ColTableScan struct {
+	Table   *colstore.Table
+	Binding string
+	Cols    []int // table column positions to read (projection pushdown)
+	Pred    Evaluator
+	Pruner  *colstore.RangePruner // positions refer to Cols order below
+	out     Schema
+}
+
+// NewColTableScan constructs a columnar scan over the given column subset.
+// pred is compiled against the emitted (subset) schema.
+func NewColTableScan(t *colstore.Table, binding string, cols []int, pred Evaluator, pruner *colstore.RangePruner) *ColTableScan {
+	out := make(Schema, len(cols))
+	full := TableSchema(t.Meta, binding)
+	for i, c := range cols {
+		out[i] = full[c]
+	}
+	return &ColTableScan{Table: t, Binding: binding, Cols: cols, Pred: pred, Pruner: pruner, out: out}
+}
+
+func (s *ColTableScan) Schema() Schema { return s.out }
+
+func (s *ColTableScan) Run(ctx *Context) ([]value.Row, error) {
+	row := make(value.Row, len(s.Cols))
+	var evalErr error
+	pred := func(id int) bool {
+		for j, c := range s.Cols {
+			row[j] = s.Table.Column(c).Value(id)
+		}
+		if s.Pred == nil {
+			return true
+		}
+		ok, err := Truthy(s.Pred, row)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		return ok
+	}
+	ids, st := s.Table.Scan(s.Cols, s.Pruner, pred)
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	ctx.Stats.RowsScanned += int64(st.RowsVisited)
+	ctx.Stats.ChunksSkipped += int64(st.ChunksSkipped)
+	// modeled bytes: column subset width only — the columnar advantage
+	perCol := s.Table.Meta.AvgRowBytes / int64(len(s.Table.Meta.Columns))
+	if perCol < 1 {
+		perCol = 1
+	}
+	ctx.Stats.BytesScanned += int64(st.RowsVisited) * perCol * int64(len(s.Cols))
+	return s.Table.Materialize(ids, s.Cols), nil
+}
+
+// ---------------------------------------------------------------- filter / project
+
+// FilterOp applies a predicate to its child's output.
+type FilterOp struct {
+	Child Operator
+	Pred  Evaluator
+}
+
+func (f *FilterOp) Schema() Schema { return f.Child.Schema() }
+
+func (f *FilterOp) Run(ctx *Context) ([]value.Row, error) {
+	in, err := f.Child.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := in[:0:0]
+	for _, row := range in {
+		ok, err := Truthy(f.Pred, row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// ProjectOp evaluates expressions into a new schema.
+type ProjectOp struct {
+	Child Operator
+	Evals []Evaluator
+	Out   Schema
+}
+
+func (p *ProjectOp) Schema() Schema { return p.Out }
+
+func (p *ProjectOp) Run(ctx *Context) ([]value.Row, error) {
+	in, err := p.Child.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]value.Row, len(in))
+	for i, row := range in {
+		nr := make(value.Row, len(p.Evals))
+		for j, ev := range p.Evals {
+			v, err := ev(row)
+			if err != nil {
+				return nil, err
+			}
+			nr[j] = v
+		}
+		out[i] = nr
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- joins
+
+// NestedLoopJoin joins outer × inner with an arbitrary predicate over the
+// concatenated schema. The inner input is materialized once and rescanned
+// per outer row (comparisons are counted — this is what makes indexless TP
+// joins slow at scale).
+type NestedLoopJoin struct {
+	Outer, Inner Operator
+	Pred         Evaluator // may be nil (cross join)
+	out          Schema
+}
+
+// NewNestedLoopJoin constructs the join; pred must be compiled against
+// outer.Schema().Concat(inner.Schema()).
+func NewNestedLoopJoin(outer, inner Operator, pred Evaluator) *NestedLoopJoin {
+	return &NestedLoopJoin{Outer: outer, Inner: inner, Pred: pred,
+		out: outer.Schema().Concat(inner.Schema())}
+}
+
+func (j *NestedLoopJoin) Schema() Schema { return j.out }
+
+func (j *NestedLoopJoin) Run(ctx *Context) ([]value.Row, error) {
+	outerRows, err := j.Outer.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	innerRows, err := j.Inner.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var out []value.Row
+	combined := make(value.Row, len(j.out))
+	for _, o := range outerRows {
+		for _, in := range innerRows {
+			ctx.Stats.JoinComparisons++
+			copy(combined, o)
+			copy(combined[len(o):], in)
+			ok := true
+			if j.Pred != nil {
+				ok, err = Truthy(j.Pred, combined)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if ok {
+				out = append(out, combined.Clone())
+			}
+		}
+	}
+	return out, nil
+}
+
+// IndexNLJoin is a nested-loop join whose inner side is an index probe:
+// for each outer row, look up matching inner rows by key. This is TP's
+// preferred join when an index exists on the inner join column.
+type IndexNLJoin struct {
+	Outer       Operator
+	OuterKeyCol int
+	InnerTable  *rowstore.Table
+	InnerIndex  *rowstore.Index
+	InnerBind   string
+	Residual    Evaluator // over concat schema; may be nil
+	out         Schema
+}
+
+// NewIndexNLJoin constructs an index nested-loop join.
+func NewIndexNLJoin(outer Operator, outerKeyCol int, it *rowstore.Table, ix *rowstore.Index, innerBind string, residual Evaluator) *IndexNLJoin {
+	return &IndexNLJoin{
+		Outer: outer, OuterKeyCol: outerKeyCol, InnerTable: it, InnerIndex: ix,
+		InnerBind: innerBind, Residual: residual,
+		out: outer.Schema().Concat(TableSchema(it.Meta, innerBind)),
+	}
+}
+
+func (j *IndexNLJoin) Schema() Schema { return j.out }
+
+func (j *IndexNLJoin) Run(ctx *Context) ([]value.Row, error) {
+	outerRows, err := j.Outer.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var out []value.Row
+	combined := make(value.Row, len(j.out))
+	for _, o := range outerRows {
+		ctx.Stats.IndexProbes++
+		ids := j.InnerIndex.Lookup(o[j.OuterKeyCol])
+		for _, id := range ids {
+			in := j.InnerTable.Row(id)
+			ctx.Stats.RowsScanned++
+			ctx.Stats.BytesScanned += j.InnerTable.Meta.AvgRowBytes
+			copy(combined, o)
+			copy(combined[len(o):], in)
+			ok := true
+			if j.Residual != nil {
+				ok, err = Truthy(j.Residual, combined)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if ok {
+				out = append(out, combined.Clone())
+			}
+		}
+	}
+	return out, nil
+}
+
+// HashJoin builds a hash table on the Build child and probes it with the
+// Probe child. Output schema is probe ++ build (probe side listed first,
+// matching the AP optimizer's plan rendering).
+type HashJoin struct {
+	Probe, Build         Operator
+	ProbeKeys, BuildKeys []int
+	Residual             Evaluator // over concat(probe, build); may be nil
+	out                  Schema
+}
+
+// NewHashJoin constructs a hash join.
+func NewHashJoin(probe, build Operator, probeKeys, buildKeys []int, residual Evaluator) *HashJoin {
+	return &HashJoin{Probe: probe, Build: build, ProbeKeys: probeKeys, BuildKeys: buildKeys,
+		Residual: residual, out: probe.Schema().Concat(build.Schema())}
+}
+
+func (j *HashJoin) Schema() Schema { return j.out }
+
+func (j *HashJoin) Run(ctx *Context) ([]value.Row, error) {
+	buildRows, err := j.Build.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ht := make(map[string][]value.Row, len(buildRows))
+	for _, r := range buildRows {
+		ctx.Stats.HashBuildRows++
+		k := r.Key(j.BuildKeys)
+		ht[k] = append(ht[k], r)
+	}
+	probeRows, err := j.Probe.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var out []value.Row
+	combined := make(value.Row, len(j.out))
+	for _, p := range probeRows {
+		ctx.Stats.HashProbeRows++
+		for _, b := range ht[p.Key(j.ProbeKeys)] {
+			copy(combined, p)
+			copy(combined[len(p):], b)
+			ok := true
+			if j.Residual != nil {
+				ok, err = Truthy(j.Residual, combined)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if ok {
+				out = append(out, combined.Clone())
+			}
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- aggregation
+
+// AggSpec describes one aggregate in the output.
+type AggSpec struct {
+	Func sqlparser.AggFunc
+	Arg  Evaluator // nil for COUNT(*)
+}
+
+// HashAggregate groups its input by the group expressions and computes the
+// aggregates. With no group expressions it produces a single global row.
+// Both engines use this operator; their optimizers label it differently
+// ('Group aggregate' vs 'Aggregate') and cost it differently.
+type HashAggregate struct {
+	Child  Operator
+	Groups []Evaluator
+	Aggs   []AggSpec
+	Out    Schema // group columns followed by aggregate columns
+}
+
+func (a *HashAggregate) Schema() Schema { return a.Out }
+
+type aggState struct {
+	group  value.Row
+	counts []int64
+	sums   []float64
+	mins   []value.Value
+	maxs   []value.Value
+	seen   []bool
+}
+
+func (a *HashAggregate) Run(ctx *Context) ([]value.Row, error) {
+	in, err := a.Child.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	groups := make(map[string]*aggState)
+	var order []string
+	for _, row := range in {
+		g := make(value.Row, len(a.Groups))
+		for i, ev := range a.Groups {
+			v, err := ev(row)
+			if err != nil {
+				return nil, err
+			}
+			g[i] = v
+		}
+		key := g.Key(intRange(len(g)))
+		st, ok := groups[key]
+		if !ok {
+			st = &aggState{
+				group:  g,
+				counts: make([]int64, len(a.Aggs)),
+				sums:   make([]float64, len(a.Aggs)),
+				mins:   make([]value.Value, len(a.Aggs)),
+				maxs:   make([]value.Value, len(a.Aggs)),
+				seen:   make([]bool, len(a.Aggs)),
+			}
+			groups[key] = st
+			order = append(order, key)
+			ctx.Stats.GroupsCreated++
+		}
+		for i, spec := range a.Aggs {
+			if spec.Arg == nil { // COUNT(*)
+				st.counts[i]++
+				continue
+			}
+			v, err := spec.Arg(row)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				continue
+			}
+			st.counts[i]++
+			if f, ok := v.AsFloat(); ok {
+				st.sums[i] += f
+			}
+			if !st.seen[i] {
+				st.mins[i], st.maxs[i] = v, v
+				st.seen[i] = true
+			} else {
+				if v.Compare(st.mins[i]) < 0 {
+					st.mins[i] = v
+				}
+				if v.Compare(st.maxs[i]) > 0 {
+					st.maxs[i] = v
+				}
+			}
+		}
+	}
+	// global aggregate over empty input still yields one row
+	if len(a.Groups) == 0 && len(order) == 0 {
+		st := &aggState{
+			counts: make([]int64, len(a.Aggs)),
+			sums:   make([]float64, len(a.Aggs)),
+			mins:   make([]value.Value, len(a.Aggs)),
+			maxs:   make([]value.Value, len(a.Aggs)),
+			seen:   make([]bool, len(a.Aggs)),
+		}
+		groups[""] = st
+		order = append(order, "")
+	}
+	out := make([]value.Row, 0, len(order))
+	for _, key := range order {
+		st := groups[key]
+		row := make(value.Row, 0, len(a.Out))
+		row = append(row, st.group...)
+		for i, spec := range a.Aggs {
+			switch spec.Func {
+			case sqlparser.AggCount:
+				row = append(row, value.NewInt(st.counts[i]))
+			case sqlparser.AggSum:
+				if st.counts[i] == 0 {
+					row = append(row, value.Null)
+				} else {
+					row = append(row, value.NewFloat(st.sums[i]))
+				}
+			case sqlparser.AggAvg:
+				if st.counts[i] == 0 {
+					row = append(row, value.Null)
+				} else {
+					row = append(row, value.NewFloat(st.sums[i]/float64(st.counts[i])))
+				}
+			case sqlparser.AggMin:
+				if !st.seen[i] {
+					row = append(row, value.Null)
+				} else {
+					row = append(row, st.mins[i])
+				}
+			case sqlparser.AggMax:
+				if !st.seen[i] {
+					row = append(row, value.Null)
+				} else {
+					row = append(row, st.maxs[i])
+				}
+			default:
+				return nil, fmt.Errorf("exec: unsupported aggregate %v", spec.Func)
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func intRange(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- ordering
+
+// SortKey is one ORDER BY term.
+type SortKey struct {
+	Eval Evaluator
+	Desc bool
+}
+
+func compareByKeys(keys []SortKey, a, b value.Row) (int, error) {
+	for _, k := range keys {
+		av, err := k.Eval(a)
+		if err != nil {
+			return 0, err
+		}
+		bv, err := k.Eval(b)
+		if err != nil {
+			return 0, err
+		}
+		c := av.Compare(bv)
+		if k.Desc {
+			c = -c
+		}
+		if c != 0 {
+			return c, nil
+		}
+	}
+	return 0, nil
+}
+
+// SortOp fully sorts its input.
+type SortOp struct {
+	Child Operator
+	Keys  []SortKey
+}
+
+func (s *SortOp) Schema() Schema { return s.Child.Schema() }
+
+func (s *SortOp) Run(ctx *Context) ([]value.Row, error) {
+	in, err := s.Child.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ctx.Stats.RowsSorted += int64(len(in))
+	var sortErr error
+	sort.SliceStable(in, func(i, j int) bool {
+		c, err := compareByKeys(s.Keys, in[i], in[j])
+		if err != nil && sortErr == nil {
+			sortErr = err
+		}
+		return c < 0
+	})
+	if sortErr != nil {
+		return nil, sortErr
+	}
+	return in, nil
+}
+
+// TopNOp keeps the first N+Offset rows in key order using a bounded
+// selection (cheaper than a full sort), then applies the offset.
+type TopNOp struct {
+	Child  Operator
+	Keys   []SortKey
+	N      int64
+	Offset int64
+}
+
+func (t *TopNOp) Schema() Schema { return t.Child.Schema() }
+
+func (t *TopNOp) Run(ctx *Context) ([]value.Row, error) {
+	in, err := t.Child.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ctx.Stats.RowsTopN += int64(len(in))
+	keep := t.N + t.Offset
+	if keep < 0 {
+		keep = 0
+	}
+	// bounded insertion into a sorted prefix of size keep
+	var top []value.Row
+	var insErr error
+	for _, row := range in {
+		pos := sort.Search(len(top), func(i int) bool {
+			c, err := compareByKeys(t.Keys, row, top[i])
+			if err != nil && insErr == nil {
+				insErr = err
+			}
+			return c < 0
+		})
+		if int64(len(top)) < keep {
+			top = append(top, nil)
+			copy(top[pos+1:], top[pos:])
+			top[pos] = row
+		} else if pos < len(top) {
+			copy(top[pos+1:], top[pos:len(top)-1])
+			top[pos] = row
+		}
+	}
+	if insErr != nil {
+		return nil, insErr
+	}
+	if t.Offset >= int64(len(top)) {
+		return nil, nil
+	}
+	return top[t.Offset:], nil
+}
+
+// LimitOp applies LIMIT/OFFSET without ordering.
+type LimitOp struct {
+	Child  Operator
+	N      int64
+	Offset int64
+}
+
+func (l *LimitOp) Schema() Schema { return l.Child.Schema() }
+
+func (l *LimitOp) Run(ctx *Context) ([]value.Row, error) {
+	in, err := l.Child.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if l.Offset >= int64(len(in)) {
+		return nil, nil
+	}
+	in = in[l.Offset:]
+	if l.N >= 0 && l.N < int64(len(in)) {
+		in = in[:l.N]
+	}
+	return in, nil
+}

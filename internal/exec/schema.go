@@ -1,0 +1,104 @@
+// Package exec implements physical query execution shared by both HTAP
+// engines: schema binding, a compiled expression evaluator, and
+// materializing physical operators (scans, filters, nested-loop and hash
+// joins, aggregation, sort, Top-N, limit). Operators record work counters
+// in a Context; the latency model converts those counters into modeled
+// wall-clock times at the paper's deployment scale.
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"htapxplain/internal/catalog"
+	"htapxplain/internal/sqlparser"
+)
+
+// Col describes one column of an intermediate result: the binding (table
+// alias) it came from, its name, and its logical type.
+type Col struct {
+	Binding string
+	Name    string
+	Type    catalog.ColType
+}
+
+// Schema is the ordered column list of an operator's output.
+type Schema []Col
+
+// Resolve maps a column reference to its position. Unqualified names must
+// be unambiguous.
+func (s Schema) Resolve(ref *sqlparser.ColumnRef) (int, error) {
+	found := -1
+	for i, c := range s {
+		if !strings.EqualFold(c.Name, ref.Column) {
+			continue
+		}
+		if ref.Table != "" && !strings.EqualFold(c.Binding, ref.Table) {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("exec: ambiguous column %q", ref)
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("exec: unknown column %q", ref)
+	}
+	return found, nil
+}
+
+// Concat returns s followed by o.
+func (s Schema) Concat(o Schema) Schema {
+	out := make(Schema, 0, len(s)+len(o))
+	out = append(out, s...)
+	out = append(out, o...)
+	return out
+}
+
+// TableSchema builds the schema of a full table scan under a binding.
+func TableSchema(meta *catalog.Table, binding string) Schema {
+	out := make(Schema, len(meta.Columns))
+	for i, c := range meta.Columns {
+		out[i] = Col{Binding: binding, Name: strings.ToLower(c.Name), Type: c.Type}
+	}
+	return out
+}
+
+// Stats accumulates engine work counters during execution. The latency
+// model translates them into modeled wall time.
+type Stats struct {
+	RowsScanned     int64 // heap/column rows visited by scans
+	BytesScanned    int64 // modeled bytes read from storage
+	IndexProbes     int64 // point lookups through an index
+	JoinComparisons int64 // nested-loop inner-row visits
+	HashBuildRows   int64
+	HashProbeRows   int64
+	RowsSorted      int64
+	RowsTopN        int64 // rows pushed through bounded Top-N selection
+	GroupsCreated   int64
+	OutputRows      int64
+	ChunksSkipped   int64 // zone-map chunk skips (AP only)
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.RowsScanned += o.RowsScanned
+	s.BytesScanned += o.BytesScanned
+	s.IndexProbes += o.IndexProbes
+	s.JoinComparisons += o.JoinComparisons
+	s.HashBuildRows += o.HashBuildRows
+	s.HashProbeRows += o.HashProbeRows
+	s.RowsSorted += o.RowsSorted
+	s.RowsTopN += o.RowsTopN
+	s.GroupsCreated += o.GroupsCreated
+	s.OutputRows += o.OutputRows
+	s.ChunksSkipped += o.ChunksSkipped
+}
+
+// Context carries per-query execution state: the work counters.
+type Context struct {
+	Stats Stats
+}
+
+// NewContext returns a fresh execution context.
+func NewContext() *Context { return &Context{} }

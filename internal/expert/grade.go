@@ -1,0 +1,143 @@
+package expert
+
+import (
+	"strings"
+
+	"htapxplain/internal/plan"
+)
+
+// Verdict is the grader's assessment category, matching the paper's rubric
+// (§VI-B: "accurate and informative" / "less precise" / None).
+type Verdict int
+
+const (
+	// VerdictAccurate — correct winner, mentions the dominant factor, no
+	// false claims.
+	VerdictAccurate Verdict = iota
+	// VerdictLessPrecise — not wrong enough to mislead, but misses the
+	// dominant factor or contains a false claim.
+	VerdictLessPrecise
+	// VerdictNone — the system declined to answer (returned None).
+	VerdictNone
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictAccurate:
+		return "accurate"
+	case VerdictLessPrecise:
+		return "less-precise"
+	default:
+		return "none"
+	}
+}
+
+// Grade is a full grading result with diagnostics.
+type Grade struct {
+	Verdict Verdict
+	// MentionsPrimary reports whether the dominant factor's marker
+	// phrases appear.
+	MentionsPrimary bool
+	// CorrectWinner reports whether the text names the right engine as
+	// faster.
+	CorrectWinner bool
+	// FalseClaims lists detected incorrect assertions.
+	FalseClaims []string
+	// SecondaryHits counts how many secondary factors are mentioned
+	// (completeness signal).
+	SecondaryHits int
+}
+
+// GradeExplanation grades a generated explanation against ground truth.
+func GradeExplanation(text string, truth Truth) Grade {
+	trimmed := strings.TrimSpace(text)
+	if trimmed == "" || strings.EqualFold(trimmed, "none") || strings.EqualFold(trimmed, "none.") {
+		return Grade{Verdict: VerdictNone}
+	}
+	lower := strings.ToLower(text)
+	g := Grade{
+		MentionsPrimary: mentionsFactor(lower, truth.Primary),
+		CorrectWinner:   claimsWinner(lower, truth.Winner),
+	}
+	for _, f := range truth.Secondary {
+		if mentionsFactor(lower, f) {
+			g.SecondaryHits++
+		}
+	}
+	g.FalseClaims = detectFalseClaims(lower, truth)
+	switch {
+	case g.CorrectWinner && g.MentionsPrimary && len(g.FalseClaims) == 0:
+		g.Verdict = VerdictAccurate
+	default:
+		g.Verdict = VerdictLessPrecise
+	}
+	return g
+}
+
+// mentionsFactor reports whether any marker phrase of f appears in the
+// lower-cased text.
+func mentionsFactor(lower string, f Factor) bool {
+	for _, phrase := range markerPhrases[f] {
+		if strings.Contains(lower, phrase) {
+			return true
+		}
+	}
+	return false
+}
+
+// claimsWinner reports whether the text asserts the given engine is
+// faster. The canonical generation templates always lead with
+// "<engine> is faster"; we also accept "<loser> is slower".
+func claimsWinner(lower string, w plan.Engine) bool {
+	win, lose := "ap", "tp"
+	if w == plan.TP {
+		win, lose = "tp", "ap"
+	}
+	if strings.Contains(lower, win+" is faster") || strings.Contains(lower, win+" performs better") ||
+		strings.Contains(lower, win+" engine is faster") || strings.Contains(lower, win+"'s plan is faster") {
+		return true
+	}
+	return strings.Contains(lower, lose+" is slower") || strings.Contains(lower, lose+" engine is slower")
+}
+
+// costComparisonPhrases flag the forbidden cross-engine cost-estimate
+// comparison (§V: "you are not allowed to compare the cost estimates").
+var costComparisonPhrases = []string{
+	"lower cost estimate", "cheaper cost", "cost estimate is lower",
+	"comparing the costs", "based on the plan costs", "lower total cost",
+	"higher total cost", "cost of the tp plan", "cost of the ap plan",
+}
+
+// falseIndexPhrases assert index benefit.
+var falseIndexPhrases = []string{
+	"benefit from the index", "benefits from the index", "thanks to the index",
+	"uses the index on", "exploits the index", "index speeds up",
+}
+
+// detectFalseClaims finds assertions contradicted by ground truth.
+func detectFalseClaims(lower string, truth Truth) []string {
+	var out []string
+	for _, p := range costComparisonPhrases {
+		if strings.Contains(lower, p) {
+			out = append(out, "compares non-comparable cost estimates: "+p)
+			break
+		}
+	}
+	if truth.NoIndexUsable {
+		for _, p := range falseIndexPhrases {
+			if strings.Contains(lower, p) {
+				out = append(out, "claims index benefit where no index is usable: "+p)
+				break
+			}
+		}
+	}
+	// claiming the wrong engine is faster is the gravest error
+	wrong := "tp is faster"
+	if truth.Winner == plan.TP {
+		wrong = "ap is faster"
+	}
+	if strings.Contains(lower, wrong) {
+		out = append(out, "asserts the wrong winner")
+	}
+	return out
+}

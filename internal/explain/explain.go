@@ -1,0 +1,145 @@
+// Package explain implements the paper's primary contribution: the
+// retrieval-augmented explanation pipeline for HTAP query performance.
+// For a query, the pipeline (1) obtains the TP/AP plan pair from the HTAP
+// system, (2) encodes it with the smart router into the 16-dim plan-pair
+// embedding, (3) retrieves the top-K most similar historical entries from
+// the knowledge base, (4) assembles the three-part engineered prompt with
+// the retrieved knowledge, (5) steers the pre-trained LLM to generate a
+// natural-language explanation (or None when the knowledge is
+// insufficient), and (6) accepts expert corrections back into the
+// knowledge base (§III-B).
+package explain
+
+import (
+	"fmt"
+	"time"
+
+	"htapxplain/internal/expert"
+	"htapxplain/internal/htap"
+	"htapxplain/internal/knowledge"
+	"htapxplain/internal/llm"
+	"htapxplain/internal/prompt"
+	"htapxplain/internal/treecnn"
+)
+
+// Options configure the explainer.
+type Options struct {
+	// K is the number of retrieved similar plan pairs (paper default 2).
+	K int
+	// UseRAG toggles retrieval; false reproduces the RAG-free ablation
+	// used for the fair DBG-PT comparison (§VI-D).
+	UseRAG bool
+	// UserContext is the optional third prompt part.
+	UserContext string
+	// IncludeGuardrail controls the cost-comparison prohibition.
+	IncludeGuardrail bool
+}
+
+// DefaultOptions returns the paper's experimental configuration.
+func DefaultOptions() Options {
+	return Options{K: 2, UseRAG: true, IncludeGuardrail: true}
+}
+
+// Explainer is the assembled pipeline.
+type Explainer struct {
+	Sys    *htap.System
+	Router *treecnn.Router
+	KB     *knowledge.Base
+	Model  llm.Model
+	Opts   Options
+}
+
+// New wires the pipeline.
+func New(sys *htap.System, router *treecnn.Router, kb *knowledge.Base, model llm.Model, opts Options) *Explainer {
+	if opts.K <= 0 {
+		opts.K = 2
+	}
+	return &Explainer{Sys: sys, Router: router, KB: kb, Model: model, Opts: opts}
+}
+
+// Explanation is the full output of one pipeline run, including the
+// latency decomposition the paper reports (§VI-B).
+type Explanation struct {
+	SQL       string
+	Result    *htap.Result
+	Encoding  []float64
+	Retrieved []knowledge.Hit
+	Prompt    string
+	Response  llm.Response
+	// EncodeTime is the smart-router embedding time (paper: < 1 ms).
+	EncodeTime time.Duration
+	// SearchTime is the KB search time (paper: < 0.1 ms at 20 entries).
+	SearchTime time.Duration
+}
+
+// Text returns the generated explanation text.
+func (e *Explanation) Text() string { return e.Response.Text }
+
+// TotalModeledLatency is the end-to-end response time with the modeled
+// LLM think/generation components.
+func (e *Explanation) TotalModeledLatency() time.Duration {
+	return e.EncodeTime + e.SearchTime + e.Response.ThinkTime + e.Response.GenTime
+}
+
+// ExplainSQL runs the query on both engines and explains the performance
+// difference.
+func (e *Explainer) ExplainSQL(sql string) (*Explanation, error) {
+	res, err := e.Sys.Run(sql)
+	if err != nil {
+		return nil, fmt.Errorf("explain: running query: %w", err)
+	}
+	return e.ExplainResult(res)
+}
+
+// ExplainResult explains an already-executed query.
+func (e *Explainer) ExplainResult(res *htap.Result) (*Explanation, error) {
+	out := &Explanation{SQL: res.SQL, Result: res}
+
+	t0 := time.Now()
+	out.Encoding = e.Router.EmbedPair(&res.Pair)
+	out.EncodeTime = time.Since(t0)
+
+	if e.Opts.UseRAG {
+		t1 := time.Now()
+		hits, err := e.KB.TopK(out.Encoding, e.Opts.K)
+		if err != nil {
+			return nil, fmt.Errorf("explain: retrieval: %w", err)
+		}
+		out.SearchTime = time.Since(t1)
+		out.Retrieved = hits
+	}
+
+	b := prompt.NewBuilder(e.Sys.Cat.SchemaSummary())
+	b.IncludeGuardrail = e.Opts.IncludeGuardrail
+	b.IncludeRAG = e.Opts.UseRAG
+	b.UserContext = e.Opts.UserContext
+	out.Prompt = b.Build(out.Retrieved, prompt.Question{
+		SQL:        res.SQL,
+		TPPlanJSON: res.Pair.TP.ExplainJSON(),
+		APPlanJSON: res.Pair.AP.ExplainJSON(),
+		Winner:     res.Winner,
+		Speedup:    res.Speedup(),
+	})
+
+	resp, err := e.Model.Generate(out.Prompt)
+	if err != nil {
+		return nil, fmt.Errorf("explain: generation: %w", err)
+	}
+	out.Response = resp
+	return out, nil
+}
+
+// Feedback records an expert correction for a wrong or imprecise
+// explanation: the corrected text is stored in the knowledge base under
+// the query's encoding so future similar queries retrieve it (§III-B:
+// "experts will correct it and add the revised version to the knowledge
+// base").
+func (e *Explainer) Feedback(ex *Explanation, corrected string, truth expert.Truth) error {
+	_, err := e.KB.Correct(ex.Encoding, ex.SQL,
+		ex.Result.Pair.TP.ExplainJSON(), ex.Result.Pair.AP.ExplainJSON(),
+		ex.Result.Winner, ex.Result.Speedup(), corrected, truth.AllFactors())
+	if err != nil {
+		return fmt.Errorf("explain: feedback: %w", err)
+	}
+	return nil
+}

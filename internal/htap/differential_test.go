@@ -1,0 +1,75 @@
+package htap
+
+import (
+	"testing"
+
+	"htapxplain/internal/workload"
+)
+
+// TestDifferentialEngineAgreement is the substrate's strongest invariant:
+// the two independently-implemented engines (row store + nested-loop
+// optimizer vs column store + hash-join optimizer) must return identical
+// result multisets for every query the workload generator can produce.
+// This is classic differential testing — any divergence is a correctness
+// bug in one engine.
+func TestDifferentialEngineAgreement(t *testing.T) {
+	s := newSystem(t)
+	gen := workload.NewTestGenerator(4242)
+	for _, q := range gen.Batch(72) {
+		res, err := s.Run(q.SQL)
+		if err != nil {
+			t.Errorf("[%s] Run(%q): %v", q.Template, q.SQL, err)
+			continue
+		}
+		if !res.ResultsAgree {
+			t.Errorf("[%s] engines disagree (%d vs %d rows) on:\n%s",
+				q.Template, len(res.TPRows), len(res.APRows), q.SQL)
+		}
+	}
+}
+
+// TestRoutingLabelsStable: the modeled winner for a fixed query must be
+// identical across system constructions (the router's training labels
+// depend on it).
+func TestRoutingLabelsStable(t *testing.T) {
+	s1 := newSystem(t)
+	s2 := newSystem(t)
+	gen := workload.NewGenerator(77)
+	for _, q := range gen.Batch(20) {
+		r1, err := s1.Run(q.SQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := s2.Run(q.SQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Winner != r2.Winner || r1.TPTime != r2.TPTime || r1.APTime != r2.APTime {
+			t.Errorf("non-deterministic result for %q: %v/%v vs %v/%v",
+				q.SQL, r1.Winner, r1.TPTime, r2.Winner, r2.TPTime)
+		}
+	}
+}
+
+// TestBothEnginesWinSomewhere guards the workload's class balance: if one
+// engine won everything, the router's task (and the paper's premise)
+// would be vacuous.
+func TestBothEnginesWinSomewhere(t *testing.T) {
+	s := newSystem(t)
+	gen := workload.NewGenerator(5)
+	tpWins, apWins := 0, 0
+	for _, q := range gen.Batch(40) {
+		res, err := s.Run(q.SQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Winner.String() == "TP" {
+			tpWins++
+		} else {
+			apWins++
+		}
+	}
+	if tpWins < 5 || apWins < 5 {
+		t.Errorf("workload is degenerate: TP wins %d, AP wins %d of 40", tpWins, apWins)
+	}
+}

@@ -1,0 +1,221 @@
+package htap
+
+import (
+	"testing"
+
+	"htapxplain/internal/value"
+)
+
+// These tests exercise the planners' shared post-join finishing logic
+// (aggregation + ORDER BY + LIMIT/OFFSET + projection) through full
+// dual-engine execution, asserting cross-engine agreement and SQL
+// semantics on the physical data.
+
+func TestGroupByOrderByAggregate(t *testing.T) {
+	s := newSystem(t)
+	res, err := s.Run(`SELECT c_mktsegment, COUNT(*) FROM customer GROUP BY c_mktsegment ORDER BY COUNT(*) DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ResultsAgree {
+		t.Fatalf("engines disagree: TP=%v AP=%v", res.TPRows, res.APRows)
+	}
+	if len(res.TPRows) == 0 {
+		t.Fatal("no groups returned")
+	}
+	// descending count order
+	for i := 1; i < len(res.TPRows); i++ {
+		if res.TPRows[i-1][1].I < res.TPRows[i][1].I {
+			t.Fatalf("ORDER BY COUNT(*) DESC violated: %v", res.TPRows)
+		}
+	}
+	// counts sum to the table cardinality
+	var sum int64
+	for _, r := range res.TPRows {
+		sum += r[1].I
+	}
+	if sum != int64(len(s.Data.Rows("customer"))) {
+		t.Errorf("group counts sum to %d, want %d", sum, len(s.Data.Rows("customer")))
+	}
+}
+
+func TestGroupByOrderByGroupKeyLimit(t *testing.T) {
+	s := newSystem(t)
+	res, err := s.Run(`SELECT o_orderstatus, SUM(o_totalprice) FROM orders GROUP BY o_orderstatus ORDER BY o_orderstatus LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TPRows) != 2 {
+		t.Fatalf("LIMIT 2 returned %d groups", len(res.TPRows))
+	}
+	if res.TPRows[0][0].S >= res.TPRows[1][0].S {
+		t.Errorf("group-key order violated: %v", res.TPRows)
+	}
+	if !res.ResultsAgree {
+		t.Errorf("engines disagree")
+	}
+}
+
+func TestSelectExpressionProjection(t *testing.T) {
+	s := newSystem(t)
+	res, err := s.Run(`SELECT o_orderkey, o_totalprice * 2 AS double_price FROM orders WHERE o_orderkey = 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TPRows) != 1 {
+		t.Fatalf("rows = %d", len(res.TPRows))
+	}
+	base, err := s.Run(`SELECT o_totalprice FROM orders WHERE o_orderkey = 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF, _ := base.TPRows[0][0].AsFloat()
+	gotF, _ := res.TPRows[0][1].AsFloat()
+	if gotF != wantF*2 {
+		t.Errorf("double_price = %v, want %v", gotF, wantF*2)
+	}
+}
+
+func TestAggregateOnlyNoGroupBy(t *testing.T) {
+	s := newSystem(t)
+	res, err := s.Run(`SELECT MIN(o_totalprice), MAX(o_totalprice), AVG(o_totalprice) FROM orders`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TPRows) != 1 || len(res.TPRows[0]) != 3 {
+		t.Fatalf("shape: %v", res.TPRows)
+	}
+	mn, _ := res.TPRows[0][0].AsFloat()
+	mx, _ := res.TPRows[0][1].AsFloat()
+	avg, _ := res.TPRows[0][2].AsFloat()
+	if !(mn <= avg && avg <= mx) {
+		t.Errorf("min/avg/max ordering violated: %v <= %v <= %v", mn, avg, mx)
+	}
+	if !res.ResultsAgree {
+		t.Error("engines disagree")
+	}
+}
+
+func TestOrderByMultipleKeys(t *testing.T) {
+	s := newSystem(t)
+	res, err := s.Run(`SELECT c_nationkey, c_acctbal FROM customer ORDER BY c_nationkey, c_acctbal DESC LIMIT 30`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.TPRows); i++ {
+		prev, cur := res.TPRows[i-1], res.TPRows[i]
+		if prev[0].I > cur[0].I {
+			t.Fatalf("primary key order violated at %d", i)
+		}
+		if prev[0].I == cur[0].I {
+			pf, _ := prev[1].AsFloat()
+			cf, _ := cur[1].AsFloat()
+			if pf < cf {
+				t.Fatalf("secondary DESC order violated at %d", i)
+			}
+		}
+	}
+}
+
+func TestOffsetBeyondResultIsEmpty(t *testing.T) {
+	s := newSystem(t)
+	res, err := s.Run(`SELECT n_name FROM nation ORDER BY n_name LIMIT 5 OFFSET 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TPRows) != 0 || len(res.APRows) != 0 {
+		t.Errorf("offset past end should be empty: TP=%d AP=%d", len(res.TPRows), len(res.APRows))
+	}
+}
+
+func TestWhereWithOrAcrossSegments(t *testing.T) {
+	s := newSystem(t)
+	res, err := s.Run(`SELECT COUNT(*) FROM customer WHERE c_mktsegment = 'machinery' OR c_mktsegment = 'building'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Run(`SELECT COUNT(*) FROM customer WHERE c_mktsegment = 'machinery'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Run(`SELECT COUNT(*) FROM customer WHERE c_mktsegment = 'building'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TPRows[0][0].I != a.TPRows[0][0].I+b.TPRows[0][0].I {
+		t.Errorf("OR count %v != %v + %v", res.TPRows[0][0], a.TPRows[0][0], b.TPRows[0][0])
+	}
+}
+
+func TestJoinWithGroupByAndHaving(t *testing.T) {
+	// HAVING is unsupported; assert graceful error rather than silence
+	s := newSystem(t)
+	_, err := s.Run(`SELECT n_name FROM nation GROUP BY n_name HAVING COUNT(*) > 1`)
+	if err == nil {
+		t.Error("HAVING should be rejected with a parse error")
+	}
+}
+
+func TestStarSelect(t *testing.T) {
+	s := newSystem(t)
+	res, err := s.Run(`SELECT * FROM region`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TPRows) != 5 || len(res.TPRows[0]) != 3 {
+		t.Fatalf("SELECT * shape: %d x %d", len(res.TPRows), len(res.TPRows[0]))
+	}
+	if !res.ResultsAgree {
+		t.Error("engines disagree on SELECT *")
+	}
+}
+
+func TestLikePredicate(t *testing.T) {
+	s := newSystem(t)
+	res, err := s.Run(`SELECT COUNT(*) FROM orders WHERE o_comment LIKE '%pending%'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ResultsAgree {
+		t.Error("engines disagree on LIKE")
+	}
+	var manual int64
+	for _, r := range s.Data.Rows("orders") {
+		if containsSub(r[8].S, "pending") {
+			manual++
+		}
+	}
+	if res.TPRows[0][0].I != manual {
+		t.Errorf("LIKE count = %v, manual = %d", res.TPRows[0][0], manual)
+	}
+}
+
+func containsSub(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBetweenOnDates(t *testing.T) {
+	s := newSystem(t)
+	res, err := s.Run(`SELECT COUNT(*) FROM lineitem WHERE l_shipdate BETWEEN 100 AND 400`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ResultsAgree {
+		t.Error("engines disagree on BETWEEN")
+	}
+	var manual int64
+	for _, r := range s.Data.Rows("lineitem") {
+		if r[10].I >= 100 && r[10].I <= 400 {
+			manual++
+		}
+	}
+	if res.TPRows[0][0].I != manual {
+		t.Errorf("BETWEEN count = %v, manual = %d", res.TPRows[0][0], manual)
+	}
+	_ = value.Null
+}

@@ -1,0 +1,231 @@
+// Package htap assembles the full HTAP system ("ByteHTAP" in the paper):
+// shared catalog and data, a row store + TP optimizer and a column store +
+// AP optimizer, execution of every query on both engines, and the modeled
+// execution result (which engine is faster and by how much) that the
+// explanation framework consumes.
+package htap
+
+import (
+	"fmt"
+	"time"
+
+	"htapxplain/internal/catalog"
+	"htapxplain/internal/colstore"
+	"htapxplain/internal/exec"
+	"htapxplain/internal/latency"
+	"htapxplain/internal/optimizer"
+	"htapxplain/internal/plan"
+	"htapxplain/internal/rowstore"
+	"htapxplain/internal/sqlparser"
+	"htapxplain/internal/tpch"
+	"htapxplain/internal/value"
+)
+
+// Example1SQL is the paper's demonstrative query (§VI-A, Example 1): a
+// 3-table join with a function-wrapped phone predicate. In the paper's
+// deployment TP takes 5.80 s and AP 310 ms.
+const Example1SQL = `SELECT COUNT(*) FROM customer, nation, orders
+WHERE SUBSTRING(c_phone, 1, 2) IN ('20', '40', '22', '30', '39', '42', '21')
+AND c_mktsegment = 'machinery'
+AND n_name = 'egypt' AND o_orderstatus = 'p'
+AND o_custkey = c_custkey
+AND n_nationkey = c_nationkey`
+
+// Config controls system construction.
+type Config struct {
+	// ModeledSF is the TPC-H scale factor the statistics and latency
+	// model reflect (the paper's deployment is SF 100 ≈ 100 GB).
+	ModeledSF float64
+	// Data controls physical data generation.
+	Data tpch.Config
+}
+
+// DefaultConfig mirrors the paper's environment (100 GB modeled) with the
+// default scaled-down physical dataset.
+func DefaultConfig() Config {
+	return Config{ModeledSF: 100, Data: tpch.DefaultConfig()}
+}
+
+// System is the assembled HTAP database.
+type System struct {
+	Cat     *catalog.Catalog
+	Data    *tpch.Dataset
+	Row     *rowstore.Store
+	Col     *colstore.Store
+	Planner *optimizer.Planner
+}
+
+// New builds the catalog, generates data, loads both storage engines and
+// wires the planners.
+func New(cfg Config) (*System, error) {
+	if cfg.ModeledSF <= 0 {
+		return nil, fmt.Errorf("htap: ModeledSF must be positive, got %g", cfg.ModeledSF)
+	}
+	cat := catalog.TPCH(cfg.ModeledSF)
+	data, err := tpch.Generate(cat, cfg.Data)
+	if err != nil {
+		return nil, fmt.Errorf("htap: generating data: %w", err)
+	}
+	row, err := rowstore.NewStore(cat, data.Tables)
+	if err != nil {
+		return nil, fmt.Errorf("htap: loading row store: %w", err)
+	}
+	col, err := colstore.NewStore(cat, data.Tables)
+	if err != nil {
+		return nil, fmt.Errorf("htap: loading column store: %w", err)
+	}
+	return &System{
+		Cat: cat, Data: data, Row: row, Col: col,
+		Planner: optimizer.NewPlanner(cat, row, col),
+	}, nil
+}
+
+// AddIndex creates a secondary index in both the catalog (so optimizers
+// see it) and the row store (so TP can use it) — the paper's "additional
+// user context: an index has been created on c_phone" scenario.
+func (s *System) AddIndex(table, column, name string) error {
+	if err := s.Cat.AddIndex(table, column, name); err != nil {
+		return err
+	}
+	return s.Row.BuildIndex(table, column)
+}
+
+// DropIndex removes a secondary index from catalog and row store.
+func (s *System) DropIndex(table, column string) error {
+	if err := s.Cat.DropIndex(table, column); err != nil {
+		return err
+	}
+	return s.Row.DropIndex(table, column)
+}
+
+// Result is the outcome of running one query on both engines.
+type Result struct {
+	SQL  string
+	Pair plan.Pair
+	// Modeled wall times at the paper's deployment scale.
+	TPTime, APTime time.Duration
+	Winner         plan.Engine
+	// Physical execution outputs (scaled-down data).
+	TPRows, APRows   []value.Row
+	TPStats, APStats exec.Stats
+	// ResultsAgree reports whether both engines returned row sets of the
+	// same cardinality and multiset content (a correctness cross-check of
+	// the two independent engine implementations).
+	ResultsAgree bool
+}
+
+// Speedup returns how many times faster the winner is.
+func (r *Result) Speedup() float64 {
+	slow, fast := r.TPTime, r.APTime
+	if r.Winner == plan.TP {
+		slow, fast = r.APTime, r.TPTime
+	}
+	if fast <= 0 {
+		return 1
+	}
+	return float64(slow) / float64(fast)
+}
+
+// Explain plans the query on both engines without executing it.
+func (s *System) Explain(sql string) (*plan.Pair, error) {
+	tpPlan, apPlan, err := s.planBoth(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &plan.Pair{SQL: sql, TP: tpPlan.Explain, AP: apPlan.Explain}, nil
+}
+
+func (s *System) planBoth(sql string) (tpPlan, apPlan *optimizer.PhysPlan, err error) {
+	// each engine binds its own fresh AST (binding mutates the tree)
+	selTP, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	selAP, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	tpPlan, err = s.Planner.PlanTP(selTP)
+	if err != nil {
+		return nil, nil, fmt.Errorf("htap: TP planning: %w", err)
+	}
+	apPlan, err = s.Planner.PlanAP(selAP)
+	if err != nil {
+		return nil, nil, fmt.Errorf("htap: AP planning: %w", err)
+	}
+	return tpPlan, apPlan, nil
+}
+
+// Run plans and executes the query on both engines and determines the
+// winner by modeled latency.
+func (s *System) Run(sql string) (*Result, error) {
+	tpPlan, apPlan, err := s.planBoth(sql)
+	if err != nil {
+		return nil, err
+	}
+	tpCtx, apCtx := exec.NewContext(), exec.NewContext()
+	tpRows, err := tpPlan.Root.Run(tpCtx)
+	if err != nil {
+		return nil, fmt.Errorf("htap: TP execution: %w", err)
+	}
+	apRows, err := apPlan.Root.Run(apCtx)
+	if err != nil {
+		return nil, fmt.Errorf("htap: AP execution: %w", err)
+	}
+	res := &Result{
+		SQL:     sql,
+		Pair:    plan.Pair{SQL: sql, TP: tpPlan.Explain, AP: apPlan.Explain},
+		TPTime:  latency.Estimate(tpPlan.Explain),
+		APTime:  latency.Estimate(apPlan.Explain),
+		TPRows:  tpRows,
+		APRows:  apRows,
+		TPStats: tpCtx.Stats,
+		APStats: apCtx.Stats,
+	}
+	if res.TPTime <= res.APTime {
+		res.Winner = plan.TP
+	} else {
+		res.Winner = plan.AP
+	}
+	res.ResultsAgree = sameCardinality(tpRows, apRows)
+	return res, nil
+}
+
+// sameCardinality cross-checks the two engines' outputs. Ordered queries
+// must match positionally on the order keys' effect (we compare full rows
+// as multisets, which both satisfies unordered semantics and catches
+// gross divergence).
+func sameCardinality(a, b []value.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	counts := make(map[string]int, len(a))
+	for _, r := range a {
+		counts[rowKey(r)]++
+	}
+	for _, r := range b {
+		counts[rowKey(r)]--
+	}
+	for _, c := range counts {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// rowKey renders a row for multiset comparison, rounding floats so that
+// the two engines' different accumulation orders do not yield spurious
+// mismatches in aggregate sums.
+func rowKey(r value.Row) string {
+	var b []byte
+	for _, v := range r {
+		if v.K == value.KindFloat {
+			b = append(b, fmt.Sprintf("f%.4f|", v.F)...)
+			continue
+		}
+		b = append(b, v.Key()...)
+		b = append(b, '|')
+	}
+	return string(b)
+}

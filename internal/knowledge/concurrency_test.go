@@ -1,0 +1,65 @@
+package knowledge
+
+import (
+	"sync"
+	"testing"
+
+	"htapxplain/internal/plan"
+)
+
+// TestConcurrentAddAndSearch exercises the knowledge base's thread-safety
+// claim under the race detector: writers add entries and expire old ones
+// while readers search and enumerate concurrently.
+func TestConcurrentAddAndSearch(t *testing.T) {
+	b := New(4)
+	// seed a few so searches are never empty
+	for i := 0; i < 8; i++ {
+		if _, err := b.Add(entry([]float64{float64(i), 0, 0, 0}, "seed", plan.AP)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := b.Add(entry([]float64{float64(w), float64(i), 0, 0}, "w", plan.TP)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := b.TopK([]float64{float64(r), float64(i), 0, 0}, 3); err != nil {
+					errCh <- err
+					return
+				}
+				_ = b.Len()
+				_ = b.Entries()
+				_ = b.FactorCoverage()
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			b.ExpireOlderThan(int64(i))
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Errorf("concurrent op failed: %v", err)
+	}
+	if b.Len() == 0 {
+		t.Error("base should not be empty after the run")
+	}
+}

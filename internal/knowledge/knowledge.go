@@ -1,0 +1,227 @@
+// Package knowledge implements the RAG knowledge base (§IV): a vector
+// store keyed by 16-dim plan-pair encodings whose values are
+// <plan details, execution result, expert explanation> tuples. It
+// supports expert-correction write-back (wrong LLM outputs corrected and
+// stored for future retrieval), staleness expiry, and gob persistence —
+// including the interface the paper describes for accepting new queries
+// with expert explanations.
+package knowledge
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"htapxplain/internal/expert"
+	"htapxplain/internal/plan"
+	"htapxplain/internal/vectordb"
+)
+
+// Entry is one knowledge-base record.
+type Entry struct {
+	ID       int
+	SQL      string
+	Encoding []float64 // 16-dim plan-pair encoding from the smart router
+	// TPPlanJSON / APPlanJSON are the stored plan details (paper: "plan
+	// details includes the actual execution plans for both engines").
+	TPPlanJSON string
+	APPlanJSON string
+	// Winner is the execution result: which engine ran faster.
+	Winner plan.Engine
+	// Speedup is how many times faster the winner was.
+	Speedup float64
+	// Explanation is the expert-curated explanation text.
+	Explanation string
+	// Factors are the ground-truth factors behind the explanation,
+	// kept so curation tooling can reason about KB coverage.
+	Factors []expert.Factor
+	// Seq is a logical insertion timestamp for staleness expiry.
+	Seq int64
+	// Corrected marks entries written back by expert correction.
+	Corrected bool
+}
+
+// Base is the knowledge base. Safe for concurrent use.
+type Base struct {
+	mu      sync.RWMutex
+	store   *vectordb.Store
+	entries map[int]*Entry
+	seq     int64
+	useHNSW bool
+}
+
+// New creates an empty knowledge base for encodings of the given
+// dimension.
+func New(dim int) *Base {
+	return &Base{
+		store:   vectordb.New(dim, vectordb.Cosine),
+		entries: make(map[int]*Entry),
+	}
+}
+
+// Len returns the number of live entries.
+func (b *Base) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.entries)
+}
+
+// Add inserts an entry and returns its assigned ID.
+func (b *Base) Add(e Entry) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	id, err := b.store.Add(e.Encoding)
+	if err != nil {
+		return 0, fmt.Errorf("knowledge: %w", err)
+	}
+	b.seq++
+	e.ID = id
+	e.Seq = b.seq
+	b.entries[id] = &e
+	return id, nil
+}
+
+// Get returns the entry by ID.
+func (b *Base) Get(id int) (*Entry, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	e, ok := b.entries[id]
+	return e, ok
+}
+
+// Hit pairs an entry with its retrieval distance.
+type Hit struct {
+	Entry    *Entry
+	Distance float64
+}
+
+// TopK retrieves the k most similar entries to the query encoding. When
+// the HNSW index is enabled (EnableHNSW), the approximate index is used;
+// otherwise search is exact — matching the paper's setup where the KB is
+// small and search is near-instant.
+func (b *Base) TopK(encoding []float64, k int) ([]Hit, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var hits []vectordb.Hit
+	var err error
+	if b.useHNSW {
+		hits, err = b.store.SearchHNSW(encoding, k)
+	} else {
+		hits, err = b.store.Search(encoding, k)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("knowledge: %w", err)
+	}
+	out := make([]Hit, 0, len(hits))
+	for _, h := range hits {
+		if e, ok := b.entries[h.ID]; ok {
+			out = append(out, Hit{Entry: e, Distance: h.Distance})
+		}
+	}
+	return out, nil
+}
+
+// EnableHNSW builds the HNSW index for approximate search (used by the
+// KB-scaling experiment).
+func (b *Base) EnableHNSW(m, efConstruction int, seed int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.store.BuildHNSW(m, efConstruction, seed)
+	b.useHNSW = true
+}
+
+// Correct implements the expert feedback loop (§III-B): when a generated
+// explanation is judged wrong, the expert's corrected explanation is
+// stored as a new entry keyed by the same encoding, superseding retrieval
+// results for similar future queries.
+func (b *Base) Correct(encoding []float64, sql, tpPlan, apPlan string,
+	winner plan.Engine, speedup float64, corrected string, factors []expert.Factor) (int, error) {
+	return b.Add(Entry{
+		SQL: sql, Encoding: encoding,
+		TPPlanJSON: tpPlan, APPlanJSON: apPlan,
+		Winner: winner, Speedup: speedup,
+		Explanation: corrected, Factors: factors,
+		Corrected: true,
+	})
+}
+
+// ExpireOlderThan tombstones entries with Seq <= maxSeq, the
+// "expiring stale queries" mechanism the paper lists as future work.
+// It returns the number of expired entries.
+func (b *Base) ExpireOlderThan(maxSeq int64) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for id, e := range b.entries {
+		if e.Seq <= maxSeq {
+			if err := b.store.Delete(id); err == nil {
+				delete(b.entries, id)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Entries returns all live entries ordered by ID (deterministic).
+func (b *Base) Entries() []*Entry {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	ids := make([]int, 0, len(b.entries))
+	for id := range b.entries {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]*Entry, len(ids))
+	for i, id := range ids {
+		out[i] = b.entries[id]
+	}
+	return out
+}
+
+// FactorCoverage reports how many live entries assert each factor —
+// curation tooling uses it to keep the small KB representative.
+func (b *Base) FactorCoverage() map[expert.Factor]int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := map[expert.Factor]int{}
+	for _, e := range b.entries {
+		for _, f := range e.Factors {
+			out[f]++
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------- persistence
+
+type snapshot struct {
+	Dim     int
+	Entries []Entry
+}
+
+// Save serializes the knowledge base.
+func (b *Base) Save(w io.Writer) error {
+	s := snapshot{Dim: b.store.Dim()}
+	for _, e := range b.Entries() {
+		s.Entries = append(s.Entries, *e)
+	}
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// Load deserializes a knowledge base previously written by Save.
+func Load(r io.Reader) (*Base, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("knowledge: decoding: %w", err)
+	}
+	b := New(s.Dim)
+	for _, e := range s.Entries {
+		if _, err := b.Add(e); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}

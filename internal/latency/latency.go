@@ -1,0 +1,153 @@
+// Package latency models query wall-clock time at the paper's deployment
+// scale (100 GB TPC-H on a six-machine ByteHTAP cluster). The physical
+// dataset in this process is thousands of times smaller than the paper's,
+// so measured in-process runtimes cannot reproduce the paper's latencies
+// (e.g. Example 1: TP 5.80 s vs AP 310 ms). Instead, the model walks the
+// optimizer's explain tree — whose cardinality estimates are computed at
+// the modeled scale — and charges calibrated per-row operator times:
+// single-threaded row-at-a-time execution for TP, vectorized
+// columnar execution with cluster parallelism for AP. The calibration
+// constants were chosen so the paper's Example 1 reproduces at the right
+// magnitudes; all other queries inherit the same constants, so win/lose
+// patterns and crossovers are emergent, not per-query tuned.
+package latency
+
+import (
+	"time"
+
+	"htapxplain/internal/plan"
+)
+
+// TP per-row operator times (single node, row-at-a-time).
+const (
+	tpStartup = 500 * time.Microsecond
+	tpScanRow = 350 * time.Nanosecond  // sequential heap row
+	tpFetch   = 5000 * time.Nanosecond // random row fetch through an index
+	tpProbe   = 10 * time.Microsecond  // index descent
+	tpFilter  = 120 * time.Nanosecond
+	tpCmp     = 60 * time.Nanosecond // nested-loop pair comparison
+	tpAggRow  = 150 * time.Nanosecond
+	tpSortRow = 400 * time.Nanosecond // per row per log-factor
+	tpOutRow  = 200 * time.Nanosecond
+)
+
+// AP per-row operator times (vectorized columnar, cluster-parallel).
+const (
+	apStartup   = 30 * time.Millisecond // distributed query launch
+	apScanRow   = 30 * time.Nanosecond  // per row per referenced-column fraction, pre-parallelism
+	apFilterRow = 15 * time.Nanosecond
+	apBuildRow  = 260 * time.Nanosecond
+	apProbeRow  = 25 * time.Nanosecond
+	apAggRow    = 110 * time.Nanosecond
+	apSortRow   = 220 * time.Nanosecond
+	apOutRow    = 40 * time.Nanosecond
+	apParallel  = 24 // effective cluster DOP (6 nodes × 8 vCPU, ~50% efficiency)
+)
+
+// Estimate returns the modeled wall time of the plan rooted at n.
+func Estimate(n *plan.Node) time.Duration {
+	if n == nil {
+		return 0
+	}
+	switch n.Engine {
+	case plan.TP:
+		return tpStartup + time.Duration(tpWalk(n))
+	default:
+		return apStartup + time.Duration(apWalk(n)/apParallel)
+	}
+}
+
+// tpWalk returns nanoseconds of modeled TP work for the subtree.
+func tpWalk(n *plan.Node) float64 {
+	var t float64
+	for _, c := range n.Children {
+		t += tpWalk(c)
+	}
+	switch n.Op {
+	case plan.OpTableScan:
+		t += n.Rows * float64(tpScanRow)
+	case plan.OpIndexScan:
+		t += float64(tpProbe) + n.Rows*float64(tpFetch)
+	case plan.OpIndexLookup:
+		// charged by the parent nested-loop join
+	case plan.OpFilter:
+		t += childRows(n) * float64(tpFilter)
+	case plan.OpNestedLoopJoin:
+		outer, inner := n.Children[0], n.Children[1]
+		if inner.Op == plan.OpIndexLookup {
+			// index NLJ: one probe per outer row, fetch matches
+			t += outer.Rows * (float64(tpProbe) + inner.Rows*float64(tpFetch))
+		} else {
+			t += outer.Rows * inner.Rows * float64(tpCmp)
+		}
+	case plan.OpGroupAggregate, plan.OpHashAggregate:
+		t += childRows(n) * float64(tpAggRow)
+	case plan.OpSort:
+		r := childRows(n)
+		t += r * float64(tpSortRow) * log2(r)
+	case plan.OpTopN:
+		if n.UsesIndex {
+			// index-order scan already charged; negligible extra
+			t += n.Rows * float64(tpFilter)
+		} else {
+			t += childRows(n) * float64(tpSortRow)
+		}
+	case plan.OpLimit, plan.OpProject:
+		t += n.Rows * float64(tpOutRow)
+	}
+	return t
+}
+
+// apWalk returns nanoseconds of modeled AP work (pre-parallelism).
+func apWalk(n *plan.Node) float64 {
+	var t float64
+	for _, c := range n.Children {
+		t += apWalk(c)
+	}
+	switch n.Op {
+	case plan.OpTableScan:
+		t += n.Rows * float64(apScanRow)
+	case plan.OpFilter:
+		t += childRows(n) * float64(apFilterRow)
+	case plan.OpHashBuild:
+		t += childRows(n) * float64(apBuildRow)
+	case plan.OpHashJoin:
+		// probe side rows (first child); build charged by OpHashBuild
+		t += n.Children[0].Rows*float64(apProbeRow) + n.Rows*float64(apOutRow)
+	case plan.OpNestedLoopJoin: // AP does not plan these, but stay total
+		t += n.Children[0].Rows * n.Children[1].Rows * float64(tpCmp)
+	case plan.OpGroupAggregate, plan.OpHashAggregate:
+		t += childRows(n) * float64(apAggRow)
+	case plan.OpSort:
+		r := childRows(n)
+		t += r * float64(apSortRow) * log2(r)
+	case plan.OpTopN:
+		t += childRows(n) * float64(apSortRow)
+	case plan.OpLimit, plan.OpProject:
+		t += n.Rows * float64(apOutRow)
+	}
+	return t
+}
+
+func childRows(n *plan.Node) float64 {
+	if len(n.Children) == 0 {
+		return n.Rows
+	}
+	var r float64
+	for _, c := range n.Children {
+		r += c.Rows
+	}
+	return r
+}
+
+func log2(x float64) float64 {
+	if x < 2 {
+		return 1
+	}
+	l := 0.0
+	for x >= 2 {
+		x /= 2
+		l++
+	}
+	return l
+}

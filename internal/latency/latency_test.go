@@ -1,0 +1,116 @@
+package latency
+
+import (
+	"testing"
+	"time"
+
+	"htapxplain/internal/plan"
+)
+
+func scan(engine plan.Engine, rows float64) *plan.Node {
+	return &plan.Node{Op: plan.OpTableScan, Engine: engine, Rows: rows, Relation: "t"}
+}
+
+func TestNilPlanIsZero(t *testing.T) {
+	if Estimate(nil) != 0 {
+		t.Error("nil plan should cost nothing")
+	}
+}
+
+func TestStartupDominatesTinyQueries(t *testing.T) {
+	tpTiny := Estimate(scan(plan.TP, 1))
+	apTiny := Estimate(scan(plan.AP, 1))
+	if tpTiny >= apTiny {
+		t.Errorf("TP (%v) must beat AP (%v) on tiny queries — AP pays distributed startup", tpTiny, apTiny)
+	}
+	if apTiny < 20*time.Millisecond {
+		t.Errorf("AP startup should be tens of ms, got %v", apTiny)
+	}
+}
+
+func TestAPWinsBigScans(t *testing.T) {
+	const rows = 150e6
+	tp := Estimate(scan(plan.TP, rows))
+	ap := Estimate(scan(plan.AP, rows))
+	if ap >= tp {
+		t.Errorf("AP (%v) must beat TP (%v) on a 150M-row scan", ap, tp)
+	}
+}
+
+func TestMonotonicInRows(t *testing.T) {
+	for _, eng := range []plan.Engine{plan.TP, plan.AP} {
+		prev := time.Duration(0)
+		for _, rows := range []float64{1e3, 1e5, 1e7} {
+			d := Estimate(scan(eng, rows))
+			if d <= prev {
+				t.Errorf("%v latency not monotonic: %v after %v", eng, d, prev)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestIndexNLJCheaperThanPlainNLJ(t *testing.T) {
+	outer := scan(plan.TP, 1000)
+	lookup := &plan.Node{Op: plan.OpIndexLookup, Engine: plan.TP, Rows: 10,
+		Relation: "inner", Index: "pk", UsesIndex: true}
+	idxJoin := &plan.Node{Op: plan.OpNestedLoopJoin, Engine: plan.TP, Rows: 10000,
+		UsesIndex: true, Children: []*plan.Node{outer, lookup}}
+
+	innerScan := scan(plan.TP, 1e6)
+	plainJoin := &plan.Node{Op: plan.OpNestedLoopJoin, Engine: plan.TP, Rows: 10000,
+		Children: []*plan.Node{scan(plan.TP, 1000), innerScan}}
+
+	if Estimate(idxJoin) >= Estimate(plainJoin) {
+		t.Errorf("index NLJ (%v) should beat scan NLJ (%v)", Estimate(idxJoin), Estimate(plainJoin))
+	}
+}
+
+func TestIndexTopNCheaperThanSort(t *testing.T) {
+	idxScan := &plan.Node{Op: plan.OpIndexScan, Engine: plan.TP, Rows: 10,
+		Relation: "t", Index: "pk", UsesIndex: true}
+	idxTopN := &plan.Node{Op: plan.OpTopN, Engine: plan.TP, Rows: 10,
+		UsesIndex: true, Children: []*plan.Node{idxScan}}
+
+	fullScan := scan(plan.TP, 1e6)
+	sortTopN := &plan.Node{Op: plan.OpTopN, Engine: plan.TP, Rows: 10,
+		Children: []*plan.Node{fullScan}}
+
+	if Estimate(idxTopN) >= Estimate(sortTopN) {
+		t.Errorf("index-order Top-N (%v) should beat scan+TopN (%v)",
+			Estimate(idxTopN), Estimate(sortTopN))
+	}
+}
+
+func TestHashJoinChargesBuildAndProbe(t *testing.T) {
+	probe := scan(plan.AP, 1e6)
+	build := &plan.Node{Op: plan.OpHashBuild, Engine: plan.AP, Rows: 1e5,
+		Children: []*plan.Node{scan(plan.AP, 1e5)}}
+	join := &plan.Node{Op: plan.OpHashJoin, Engine: plan.AP, Rows: 1e5,
+		Children: []*plan.Node{probe, build}}
+	noJoin := Estimate(scan(plan.AP, 1e6))
+	withJoin := Estimate(join)
+	if withJoin <= noJoin {
+		t.Errorf("join (%v) must cost more than its probe scan alone (%v)", withJoin, noJoin)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	n := &plan.Node{Op: plan.OpHashAggregate, Engine: plan.AP, Rows: 10,
+		Children: []*plan.Node{scan(plan.AP, 5e6)}}
+	if Estimate(n) != Estimate(n) {
+		t.Error("latency model must be deterministic")
+	}
+}
+
+func TestSortScalesSuperlinearly(t *testing.T) {
+	mkSort := func(rows float64) *plan.Node {
+		return &plan.Node{Op: plan.OpSort, Engine: plan.TP, Rows: rows,
+			Children: []*plan.Node{scan(plan.TP, rows)}}
+	}
+	small := Estimate(mkSort(1e4)) - Estimate(scan(plan.TP, 1e4))
+	big := Estimate(mkSort(1e6)) - Estimate(scan(plan.TP, 1e6))
+	if float64(big) < 100*float64(small) {
+		t.Errorf("sort should scale ~n log n: 1e4→%v, 1e6→%v", small, big)
+	}
+}

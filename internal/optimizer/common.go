@@ -1,0 +1,487 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"htapxplain/internal/catalog"
+	"htapxplain/internal/colstore"
+	"htapxplain/internal/exec"
+	"htapxplain/internal/plan"
+	"htapxplain/internal/rowstore"
+	"htapxplain/internal/sqlparser"
+	"htapxplain/internal/value"
+)
+
+// PhysPlan couples an executable operator tree with its EXPLAIN tree.
+type PhysPlan struct {
+	Engine  plan.Engine
+	Root    exec.Operator
+	Explain *plan.Node
+}
+
+// Planner plans queries for both engines over shared storage.
+type Planner struct {
+	Cat *catalog.Catalog
+	Row *rowstore.Store
+	Col *colstore.Store
+}
+
+// NewPlanner constructs a planner.
+func NewPlanner(cat *catalog.Catalog, row *rowstore.Store, col *colstore.Store) *Planner {
+	return &Planner{Cat: cat, Row: row, Col: col}
+}
+
+// engineShape parameterizes the engine-specific parts of the shared
+// post-join planning (aggregation, ordering, limit, projection).
+type engineShape struct {
+	engine   plan.Engine
+	aggOp    plan.Op
+	costAgg  func(inRows float64) float64
+	costSort func(inRows float64) float64
+	costTopN func(inRows float64, k int64) float64
+}
+
+// built tracks an operator subtree with its explain node and modeled-scale
+// cardinality estimate.
+type built struct {
+	op   exec.Operator
+	node *plan.Node
+	rows float64
+}
+
+// finish applies aggregation / ordering / limit / projection on top of the
+// join tree, shared by both planners.
+func finish(a *analysis, shape engineShape, b built) (*PhysPlan, error) {
+	sel := a.sel
+	var err error
+	if sel.HasAggregate() || len(sel.GroupBy) > 0 {
+		b, err = buildAggregate(a, shape, b)
+		if err != nil {
+			return nil, err
+		}
+		if len(sel.OrderBy) > 0 {
+			b, err = buildOrdering(a, shape, b, true)
+			if err != nil {
+				return nil, err
+			}
+		} else if sel.Limit >= 0 {
+			b = buildLimit(sel, shape, b)
+		}
+		b, err = projectAggOutput(a, b)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if len(sel.OrderBy) > 0 {
+			b, err = buildOrdering(a, shape, b, false)
+			if err != nil {
+				return nil, err
+			}
+		} else if sel.Limit >= 0 {
+			b = buildLimit(sel, shape, b)
+		}
+		b, err = projectPlain(a, b)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &PhysPlan{Engine: shape.engine, Root: b.op, Explain: b.node}, nil
+}
+
+// buildAggregate plans GROUP BY + aggregates. Output schema: group columns
+// (in GROUP BY order) followed by aggregate columns (in select-list order).
+func buildAggregate(a *analysis, shape engineShape, child built) (built, error) {
+	inSchema := child.op.Schema()
+	var groups []exec.Evaluator
+	var outSchema exec.Schema
+	groupNames := make([]string, len(a.sel.GroupBy))
+	for i, g := range a.sel.GroupBy {
+		ev, err := exec.Compile(g, inSchema)
+		if err != nil {
+			return built{}, err
+		}
+		groups = append(groups, ev)
+		name := strings.ToLower(g.String())
+		typ := catalog.TypeString
+		if ref, ok := g.(*sqlparser.ColumnRef); ok {
+			name = ref.Column
+			if idx, err := inSchema.Resolve(ref); err == nil {
+				typ = inSchema[idx].Type
+			}
+			outSchema = append(outSchema, exec.Col{Binding: ref.Table, Name: name, Type: typ})
+		} else {
+			outSchema = append(outSchema, exec.Col{Name: name, Type: typ})
+		}
+		groupNames[i] = name
+	}
+	var aggs []exec.AggSpec
+	for _, it := range a.sel.Items {
+		ax, ok := it.Expr.(*sqlparser.AggExpr)
+		if !ok {
+			continue
+		}
+		var arg exec.Evaluator
+		if ax.Arg != nil {
+			ev, err := exec.Compile(ax.Arg, inSchema)
+			if err != nil {
+				return built{}, err
+			}
+			arg = ev
+		}
+		aggs = append(aggs, exec.AggSpec{Func: ax.Func, Arg: arg})
+		name := it.Alias
+		if name == "" {
+			name = strings.ToLower(ax.String())
+		}
+		typ := catalog.TypeFloat
+		if ax.Func == sqlparser.AggCount {
+			typ = catalog.TypeInt
+		}
+		outSchema = append(outSchema, exec.Col{Name: name, Type: typ})
+	}
+	op := &exec.HashAggregate{Child: child.op, Groups: groups, Aggs: aggs, Out: outSchema}
+	outRows := 1.0
+	if len(groups) > 0 {
+		outRows = math.Min(child.rows, math.Max(1, child.rows/10))
+	}
+	node := &plan.Node{
+		Op: shape.aggOp, Engine: shape.engine,
+		Cost: child.node.Cost + shape.costAgg(child.rows),
+		Rows: outRows, Children: []*plan.Node{child.node},
+	}
+	return built{op: op, node: node, rows: outRows}, nil
+}
+
+// orderKeys compiles ORDER BY terms against the current schema. In
+// aggregated context, AggExpr terms resolve to matching output columns.
+func orderKeys(a *analysis, s exec.Schema, agged bool) ([]exec.SortKey, error) {
+	var keys []exec.SortKey
+	for _, o := range a.sel.OrderBy {
+		var ev exec.Evaluator
+		if agged {
+			if ax, ok := o.Expr.(*sqlparser.AggExpr); ok {
+				name := strings.ToLower(ax.String())
+				idx := -1
+				for i, c := range s {
+					if c.Name == name {
+						idx = i
+						break
+					}
+				}
+				if idx < 0 {
+					return nil, fmt.Errorf("optimizer: ORDER BY aggregate %s not in select list", ax)
+				}
+				j := idx
+				ev = func(row value.Row) (value.Value, error) { return row[j], nil }
+				keys = append(keys, exec.SortKey{Eval: ev, Desc: o.Desc})
+				continue
+			}
+			if ref, ok := o.Expr.(*sqlparser.ColumnRef); ok {
+				// resolve by bare name or alias against aggregate output
+				idx := -1
+				for i, c := range s {
+					if strings.EqualFold(c.Name, ref.Column) {
+						idx = i
+						break
+					}
+				}
+				if idx >= 0 {
+					j := idx
+					keys = append(keys, exec.SortKey{
+						Eval: func(row value.Row) (value.Value, error) { return row[j], nil },
+						Desc: o.Desc,
+					})
+					continue
+				}
+			}
+		}
+		cev, err := exec.Compile(o.Expr, s)
+		if err != nil {
+			return nil, err
+		}
+		ev = cev
+		keys = append(keys, exec.SortKey{Eval: ev, Desc: o.Desc})
+	}
+	return keys, nil
+}
+
+// buildOrdering plans ORDER BY (+ LIMIT as Top-N when present).
+func buildOrdering(a *analysis, shape engineShape, child built, agged bool) (built, error) {
+	keys, err := orderKeys(a, child.op.Schema(), agged)
+	if err != nil {
+		return built{}, err
+	}
+	sel := a.sel
+	if sel.Limit >= 0 {
+		op := &exec.TopNOp{Child: child.op, Keys: keys, N: sel.Limit, Offset: sel.Offset}
+		outRows := math.Min(child.rows, float64(sel.Limit))
+		node := &plan.Node{
+			Op: plan.OpTopN, Engine: shape.engine,
+			Cost:      child.node.Cost + shape.costTopN(child.rows, sel.Limit+sel.Offset),
+			Rows:      outRows,
+			Condition: fmt.Sprintf("limit %d offset %d", sel.Limit, sel.Offset),
+			Children:  []*plan.Node{child.node},
+		}
+		return built{op: op, node: node, rows: outRows}, nil
+	}
+	op := &exec.SortOp{Child: child.op, Keys: keys}
+	node := &plan.Node{
+		Op: plan.OpSort, Engine: shape.engine,
+		Cost: child.node.Cost + shape.costSort(child.rows),
+		Rows: child.rows, Children: []*plan.Node{child.node},
+	}
+	return built{op: op, node: node, rows: child.rows}, nil
+}
+
+// buildLimit plans LIMIT/OFFSET without ordering.
+func buildLimit(sel *sqlparser.Select, shape engineShape, child built) built {
+	op := &exec.LimitOp{Child: child.op, N: sel.Limit, Offset: sel.Offset}
+	outRows := math.Min(child.rows, float64(sel.Limit))
+	node := &plan.Node{
+		Op: plan.OpLimit, Engine: shape.engine,
+		Cost:      child.node.Cost,
+		Rows:      outRows,
+		Condition: fmt.Sprintf("limit %d offset %d", sel.Limit, sel.Offset),
+		Children:  []*plan.Node{child.node},
+	}
+	return built{op: op, node: node, rows: outRows}
+}
+
+// projectAggOutput reorders the aggregate output into select-list order.
+func projectAggOutput(a *analysis, child built) (built, error) {
+	s := child.op.Schema()
+	var evals []exec.Evaluator
+	var out exec.Schema
+	for _, it := range a.sel.Items {
+		var name string
+		if ax, ok := it.Expr.(*sqlparser.AggExpr); ok {
+			name = it.Alias
+			if name == "" {
+				name = strings.ToLower(ax.String())
+			}
+		} else if ref, ok := it.Expr.(*sqlparser.ColumnRef); ok {
+			name = ref.Column
+		} else {
+			name = strings.ToLower(it.Expr.String())
+		}
+		idx := -1
+		for i, c := range s {
+			if strings.EqualFold(c.Name, name) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return built{}, fmt.Errorf("optimizer: select item %q is neither aggregated nor grouped", it)
+		}
+		j := idx
+		evals = append(evals, func(row value.Row) (value.Value, error) { return row[j], nil })
+		out = append(out, exec.Col{Name: name, Type: s[j].Type, Binding: s[j].Binding})
+	}
+	// identity projection: skip the operator if order already matches
+	if len(evals) == len(s) {
+		same := true
+		for i := range out {
+			if out[i].Name != s[i].Name {
+				same = false
+				break
+			}
+		}
+		if same {
+			return child, nil
+		}
+	}
+	op := &exec.ProjectOp{Child: child.op, Evals: evals, Out: out}
+	return built{op: op, node: child.node, rows: child.rows}, nil
+}
+
+// projectPlain plans the select list of a non-aggregated query.
+func projectPlain(a *analysis, child built) (built, error) {
+	if len(a.sel.Items) == 1 && a.sel.Items[0].Star {
+		return child, nil
+	}
+	s := child.op.Schema()
+	var evals []exec.Evaluator
+	var out exec.Schema
+	for _, it := range a.sel.Items {
+		if it.Star {
+			for i, c := range s {
+				j := i
+				evals = append(evals, func(row value.Row) (value.Value, error) { return row[j], nil })
+				out = append(out, c)
+			}
+			continue
+		}
+		ev, err := exec.Compile(it.Expr, s)
+		if err != nil {
+			return built{}, err
+		}
+		evals = append(evals, ev)
+		name := it.Alias
+		binding := ""
+		typ := catalog.TypeString
+		if ref, ok := it.Expr.(*sqlparser.ColumnRef); ok {
+			if name == "" {
+				name = ref.Column
+			}
+			binding = ref.Table
+			if idx, err := s.Resolve(ref); err == nil {
+				typ = s[idx].Type
+			}
+		} else if name == "" {
+			name = strings.ToLower(it.Expr.String())
+		}
+		out = append(out, exec.Col{Binding: binding, Name: name, Type: typ})
+	}
+	op := &exec.ProjectOp{Child: child.op, Evals: evals, Out: out}
+	return built{op: op, node: child.node, rows: child.rows}, nil
+}
+
+// condString renders a conjunction for EXPLAIN display.
+func condString(preds []sqlparser.Expr) string {
+	parts := make([]string, len(preds))
+	for i, p := range preds {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// neededColumns returns the table column positions of binding b referenced
+// anywhere in the query (projection pushdown for the column store).
+// Star selects force all columns.
+func neededColumns(a *analysis, t boundTable) []int {
+	all := false
+	for _, it := range a.sel.Items {
+		if it.Star {
+			all = true
+		}
+	}
+	if all {
+		out := make([]int, len(t.meta.Columns))
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	set := map[int]bool{}
+	addRefs := func(e sqlparser.Expr) {
+		for _, ref := range sqlparser.ColumnsIn(e) {
+			if ref.Table != t.binding {
+				continue
+			}
+			if i := t.meta.ColumnIndex(ref.Column); i >= 0 {
+				set[i] = true
+			}
+		}
+	}
+	for _, it := range a.sel.Items {
+		addRefs(it.Expr)
+	}
+	addRefs(a.sel.Where)
+	for _, g := range a.sel.GroupBy {
+		addRefs(g)
+	}
+	for _, o := range a.sel.OrderBy {
+		addRefs(o.Expr)
+	}
+	if len(set) == 0 {
+		set[0] = true // COUNT(*)-only queries still need one column to scan
+	}
+	out := make([]int, 0, len(set))
+	for i := 0; i < len(t.meta.Columns); i++ {
+		if set[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// zonePruner derives a zone-map pruner from the binding's sargable
+// predicate when its column is among the scanned columns. Works without
+// any index — zone maps are a column-store feature.
+func zonePruner(a *analysis, t boundTable, cols []int) *colstore.RangePruner {
+	s := extractSargable2(a, t)
+	if s == nil {
+		return nil
+	}
+	colPos := t.meta.ColumnIndex(s.column)
+	if colPos < 0 {
+		return nil
+	}
+	toValue := func(e sqlparser.Expr) (value.Value, bool) {
+		switch l := e.(type) {
+		case *sqlparser.IntLit:
+			return value.NewInt(l.V), true
+		case *sqlparser.FloatLit:
+			return value.NewFloat(l.V), true
+		case *sqlparser.StringLit:
+			return value.NewString(l.V), true
+		default:
+			return value.Value{}, false
+		}
+	}
+	pr := &colstore.RangePruner{Col: colPos}
+	switch {
+	case len(s.keys) == 1:
+		v, ok := toValue(s.keys[0])
+		if !ok {
+			return nil
+		}
+		pr.Lo, pr.Hi = &v, &v
+	case s.lo != nil || s.hi != nil:
+		if s.lo != nil {
+			v, ok := toValue(s.lo)
+			if !ok {
+				return nil
+			}
+			pr.Lo = &v
+		}
+		if s.hi != nil {
+			v, ok := toValue(s.hi)
+			if !ok {
+				return nil
+			}
+			pr.Hi = &v
+		}
+	default:
+		return nil
+	}
+	return pr
+}
+
+// extractSargable2 is extractSargable without the index requirement
+// (zone-map pruning applies to unindexed columns too).
+func extractSargable2(a *analysis, t boundTable) *sargable {
+	var best *sargable
+	consider := func(s *sargable) {
+		if best == nil || s.sel < best.sel {
+			best = s
+		}
+	}
+	for _, p := range a.tablePreds[t.binding] {
+		switch x := p.(type) {
+		case *sqlparser.BinaryExpr:
+			ref, lok := x.Left.(*sqlparser.ColumnRef)
+			if !lok || !isLiteral(x.Right) {
+				continue
+			}
+			switch x.Op {
+			case sqlparser.OpEq:
+				consider(&sargable{column: ref.Column, keys: []sqlparser.Expr{x.Right}, sel: selectivity(a, p), pred: p})
+			case sqlparser.OpGt, sqlparser.OpGe:
+				consider(&sargable{column: ref.Column, lo: x.Right, sel: selectivity(a, p), pred: p})
+			case sqlparser.OpLt, sqlparser.OpLe:
+				consider(&sargable{column: ref.Column, hi: x.Right, sel: selectivity(a, p), pred: p})
+			}
+		case *sqlparser.BetweenExpr:
+			ref, ok := x.Expr.(*sqlparser.ColumnRef)
+			if !ok || !isLiteral(x.Lo) || !isLiteral(x.Hi) {
+				continue
+			}
+			consider(&sargable{column: ref.Column, lo: x.Lo, hi: x.Hi, sel: selectivity(a, p), pred: p})
+		}
+	}
+	return best
+}

@@ -1,0 +1,310 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"htapxplain/internal/catalog"
+	"htapxplain/internal/colstore"
+	"htapxplain/internal/exec"
+	"htapxplain/internal/plan"
+	"htapxplain/internal/rowstore"
+	"htapxplain/internal/sqlparser"
+	"htapxplain/internal/tpch"
+)
+
+// testPlanner builds a planner over a small physical TPC-H dataset.
+func testPlanner(t testing.TB) *Planner {
+	t.Helper()
+	cat := catalog.TPCH(100)
+	cfg := tpch.DefaultConfig()
+	cfg.PhysScale = 0.001
+	data, err := tpch.Generate(cat, cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	row, err := rowstore.NewStore(cat, data.Tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := colstore.NewStore(cat, data.Tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewPlanner(cat, row, col)
+}
+
+func parse(t testing.TB, sql string) *sqlparser.Select {
+	t.Helper()
+	sel, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return sel
+}
+
+func TestTPPlanNeverUsesHashJoin(t *testing.T) {
+	p := testPlanner(t)
+	queries := []string{
+		"SELECT COUNT(*) FROM customer, orders WHERE o_custkey = c_custkey",
+		"SELECT COUNT(*) FROM customer, nation, orders WHERE c_nationkey = n_nationkey AND o_custkey = c_custkey",
+	}
+	for _, sql := range queries {
+		pp, err := p.PlanTP(parse(t, sql))
+		if err != nil {
+			t.Fatalf("PlanTP(%q): %v", sql, err)
+		}
+		s := plan.Summarize(pp.Explain)
+		if s.HashJoins != 0 {
+			t.Errorf("TP plan for %q contains hash joins:\n%s", sql, pp.Explain)
+		}
+		if s.Joins() == 0 {
+			t.Errorf("TP plan for %q has no joins:\n%s", sql, pp.Explain)
+		}
+	}
+}
+
+func TestAPPlanNeverUsesNestedLoop(t *testing.T) {
+	p := testPlanner(t)
+	pp, err := p.PlanAP(parse(t, "SELECT COUNT(*) FROM customer, nation, orders WHERE c_nationkey = n_nationkey AND o_custkey = c_custkey"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.Summarize(pp.Explain)
+	if s.NestedLoopJoins != 0 {
+		t.Errorf("AP plan uses nested loops:\n%s", pp.Explain)
+	}
+	if s.HashJoins != 2 {
+		t.Errorf("AP plan should have 2 hash joins, got %d:\n%s", s.HashJoins, pp.Explain)
+	}
+}
+
+func TestSubstringPredicateIsNotSargable(t *testing.T) {
+	p := testPlanner(t)
+	// even with an index on c_phone, the SUBSTRING wrap must prevent use
+	if err := p.Cat.AddIndex("customer", "c_phone", "idx_phone"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Row.BuildIndex("customer", "c_phone"); err != nil {
+		t.Fatal(err)
+	}
+	pp, err := p.PlanTP(parse(t, "SELECT COUNT(*) FROM customer WHERE SUBSTRING(c_phone, 1, 2) IN ('20')"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.Summarize(pp.Explain)
+	if s.IndexScans != 0 {
+		t.Errorf("SUBSTRING predicate must not use an index:\n%s", pp.Explain)
+	}
+	// while a bare equality on the same column can
+	pp2, err := p.PlanTP(parse(t, "SELECT COUNT(*) FROM customer WHERE c_phone = '20-100-100-1000'"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 := plan.Summarize(pp2.Explain); s2.IndexScans != 1 {
+		t.Errorf("bare equality should use the index:\n%s", pp2.Explain)
+	}
+}
+
+func TestTPPointLookupUsesPrimaryIndex(t *testing.T) {
+	p := testPlanner(t)
+	pp, err := p.PlanTP(parse(t, "SELECT o_totalprice FROM orders WHERE o_orderkey = 5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.Summarize(pp.Explain)
+	if s.IndexScans != 1 || s.TableScans != 0 {
+		t.Errorf("point lookup plan:\n%s", pp.Explain)
+	}
+}
+
+func TestTPIndexOrderTopN(t *testing.T) {
+	p := testPlanner(t)
+	pp, err := p.PlanTP(parse(t, "SELECT c_custkey FROM customer ORDER BY c_custkey LIMIT 5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.Summarize(pp.Explain)
+	if !s.UsesIndex || s.TopNs != 1 || s.Sorts != 0 {
+		t.Errorf("index-order Top-N plan:\n%s", pp.Explain)
+	}
+	// ... but ordering by an unindexed column must sort
+	pp2, err := p.PlanTP(parse(t, "SELECT c_custkey FROM customer ORDER BY c_acctbal LIMIT 5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 := plan.Summarize(pp2.Explain); s2.UsesIndex && s2.TopNs > 0 {
+		t.Errorf("unindexed order should not be index-served:\n%s", pp2.Explain)
+	}
+}
+
+func TestCostUnitsNonComparable(t *testing.T) {
+	p := testPlanner(t)
+	sel1 := parse(t, "SELECT COUNT(*) FROM customer, orders WHERE o_custkey = c_custkey")
+	sel2 := parse(t, "SELECT COUNT(*) FROM customer, orders WHERE o_custkey = c_custkey")
+	tpPlan, err := p.PlanTP(sel1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apPlan, err := p.PlanAP(sel2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// units differ by orders of magnitude (the gap widens further on
+	// filtered queries — the htap Example 1 test asserts >100×)
+	if apPlan.Explain.Cost < 10*tpPlan.Explain.Cost {
+		t.Errorf("AP cost %.0f vs TP cost %.0f — units should differ wildly",
+			apPlan.Explain.Cost, tpPlan.Explain.Cost)
+	}
+}
+
+func TestBinderErrors(t *testing.T) {
+	p := testPlanner(t)
+	bad := []string{
+		"SELECT x FROM nosuchtable",
+		"SELECT nosuchcol FROM customer",
+		"SELECT c_custkey FROM customer, orders WHERE c_comment = o_comment AND nope = 1",
+		"SELECT o_orderkey FROM orders, orders WHERE o_orderkey = 1",          // duplicate binding
+		"SELECT c_custkey, o_custkey FROM customer c, orders o WHERE x.y = 1", // unknown qualifier
+	}
+	for _, sql := range bad {
+		sel, err := sqlparser.Parse(sql)
+		if err != nil {
+			continue
+		}
+		if _, err := p.PlanTP(sel); err == nil {
+			t.Errorf("PlanTP(%q) should fail", sql)
+		}
+	}
+}
+
+func TestAmbiguousColumnRejected(t *testing.T) {
+	p := testPlanner(t)
+	// c_comment/o_comment both named "o_comment"? use a genuinely shared
+	// name: both orders and lineitem have no shared name, but customer and
+	// supplier share none either. nation/region share "comment"? columns
+	// are n_comment/r_comment. Construct ambiguity via aliases of the
+	// same table instead — rejected as duplicate binding, so craft two
+	// tables that both expose the referenced column name.
+	sel := parse(t, "SELECT c_custkey FROM customer c1, customer c2 WHERE c_custkey = 1")
+	if _, err := p.PlanTP(sel); err == nil {
+		t.Error("ambiguous unqualified column across two bindings should fail")
+	}
+}
+
+func TestFactsExtraction(t *testing.T) {
+	p := testPlanner(t)
+	f, err := Facts(p.Cat, `SELECT COUNT(*) FROM customer, nation, orders
+		WHERE SUBSTRING(c_phone, 1, 2) IN ('20', '21') AND c_mktsegment = 'machinery'
+		AND n_name = 'egypt' AND o_orderstatus = 'p'
+		AND o_custkey = c_custkey AND n_nationkey = c_nationkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumJoins != 2 || !f.HasAggregate || f.HasGroupBy || f.HasOrderBy {
+		t.Errorf("facts shape: %+v", f)
+	}
+	var cust *TableFacts
+	for i := range f.Tables {
+		if f.Tables[i].Table == "customer" {
+			cust = &f.Tables[i]
+		}
+	}
+	if cust == nil {
+		t.Fatal("customer facts missing")
+	}
+	if !cust.HasPredicate || cust.SargableIndexColumn != "" {
+		t.Errorf("customer predicates should be non-sargable: %+v", cust)
+	}
+	if cust.FilterSel >= 0.5 {
+		t.Errorf("customer selectivity %.3f should be < 0.5", cust.FilterSel)
+	}
+}
+
+func TestFactsFunctionWrappedIndexedColumn(t *testing.T) {
+	p := testPlanner(t)
+	if err := p.Cat.AddIndex("customer", "c_phone", "idx_phone"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Facts(p.Cat, "SELECT COUNT(*) FROM customer WHERE SUBSTRING(c_phone, 1, 2) IN ('20')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Tables[0].FuncWrappedIndexedColumn != "c_phone" {
+		t.Errorf("func-wrapped indexed column not detected: %+v", f.Tables[0])
+	}
+}
+
+func TestFactsOrderByIndexed(t *testing.T) {
+	p := testPlanner(t)
+	f, err := Facts(p.Cat, "SELECT o_orderkey FROM orders ORDER BY o_orderkey LIMIT 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.OrderByIndexedColumn != "o_orderkey" || f.Limit != 10 {
+		t.Errorf("facts: %+v", f)
+	}
+	f2, err := Facts(p.Cat, "SELECT o_orderkey FROM orders ORDER BY o_totalprice LIMIT 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.OrderByIndexedColumn != "" {
+		t.Errorf("o_totalprice is not indexed: %+v", f2)
+	}
+}
+
+func TestSelectivityBounds(t *testing.T) {
+	p := testPlanner(t)
+	sqls := []string{
+		"SELECT COUNT(*) FROM customer WHERE c_mktsegment = 'machinery'",
+		"SELECT COUNT(*) FROM customer WHERE c_acctbal > 100",
+		"SELECT COUNT(*) FROM customer WHERE c_acctbal BETWEEN 1 AND 2",
+		"SELECT COUNT(*) FROM customer WHERE c_name LIKE 'cust%'",
+		"SELECT COUNT(*) FROM customer WHERE NOT c_mktsegment = 'machinery'",
+		"SELECT COUNT(*) FROM customer WHERE c_mktsegment = 'a' OR c_mktsegment = 'b'",
+	}
+	for _, sql := range sqls {
+		f, err := Facts(p.Cat, sql)
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		sel := f.Tables[0].FilterSel
+		if sel <= 0 || sel > 1 {
+			t.Errorf("%q selectivity %v out of (0,1]", sql, sel)
+		}
+	}
+}
+
+func TestPlansExecuteAfterBuild(t *testing.T) {
+	// integration sanity: every planned query also runs
+	p := testPlanner(t)
+	sqls := []string{
+		"SELECT COUNT(*) FROM nation",
+		"SELECT n_name, COUNT(*) FROM nation, customer WHERE n_nationkey = c_nationkey GROUP BY n_name ORDER BY n_name LIMIT 3",
+		"SELECT c_name FROM customer WHERE c_custkey = 1",
+		"SELECT COUNT(*) FROM customer WHERE c_mktsegment = 'building' OR c_mktsegment = 'machinery'",
+	}
+	for _, sql := range sqls {
+		for _, planFn := range []func(*sqlparser.Select) (*PhysPlan, error){p.PlanTP, p.PlanAP} {
+			pp, err := planFn(parse(t, sql))
+			if err != nil {
+				t.Fatalf("plan %q: %v", sql, err)
+			}
+			if _, err := pp.Root.Run(exec.NewContext()); err != nil {
+				t.Fatalf("run %q: %v", sql, err)
+			}
+		}
+	}
+}
+
+func TestExplainConditionStringsPresent(t *testing.T) {
+	p := testPlanner(t)
+	pp, err := p.PlanTP(parse(t, "SELECT COUNT(*) FROM customer WHERE c_mktsegment = 'machinery'"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := pp.Explain.ExplainJSON()
+	if !strings.Contains(js, "machinery") {
+		t.Errorf("filter condition missing from explain: %s", js)
+	}
+}

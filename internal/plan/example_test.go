@@ -1,0 +1,30 @@
+package plan_test
+
+import (
+	"fmt"
+
+	"htapxplain/internal/plan"
+)
+
+func ExampleNode_ExplainJSON() {
+	scan := &plan.Node{Op: plan.OpTableScan, Engine: plan.AP, Cost: 0.5,
+		Rows: 150000000, Relation: "orders"}
+	filter := &plan.Node{Op: plan.OpFilter, Engine: plan.AP, Cost: 13500000,
+		Rows: 13500000, Children: []*plan.Node{scan}}
+	fmt.Println(filter.ExplainJSON())
+	// Output:
+	// {"Node Type":"Filter","Total Cost":13500000,"Plan Rows":13500000,"Plans":[{"Node Type":"Table Scan","Total Cost":0.5,"Plan Rows":150000000,"Relation Name":"orders"}]}
+}
+
+func ExampleSummarize() {
+	nlj := &plan.Node{Op: plan.OpNestedLoopJoin, Engine: plan.TP, Rows: 100,
+		Children: []*plan.Node{
+			{Op: plan.OpTableScan, Engine: plan.TP, Rows: 25, Relation: "nation"},
+			{Op: plan.OpIndexLookup, Engine: plan.TP, Rows: 10, Relation: "customer",
+				Index: "fk_customer_nation", UsesIndex: true},
+		}}
+	s := plan.Summarize(nlj)
+	fmt.Printf("joins=%d indexed=%v relations=%v\n", s.Joins(), s.UsesIndex, s.Relations)
+	// Output:
+	// joins=1 indexed=true relations=[nation customer]
+}

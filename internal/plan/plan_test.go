@@ -1,0 +1,152 @@
+package plan
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// examplePlan builds a small TP-style tree: agg → nlj → (filter→scan, lookup).
+func examplePlan() *Node {
+	scan := &Node{Op: OpTableScan, Engine: TP, Cost: 2.75, Rows: 25, Relation: "nation"}
+	filter := &Node{Op: OpFilter, Engine: TP, Cost: 3.0, Rows: 2,
+		Condition: "n_name = 'egypt'", Children: []*Node{scan}}
+	lookup := &Node{Op: OpIndexLookup, Engine: TP, Cost: 0.4, Rows: 10,
+		Relation: "orders", Index: "fk_orders_customer", UsesIndex: true}
+	join := &Node{Op: OpNestedLoopJoin, Engine: TP, Cost: 100, Rows: 20,
+		Children: []*Node{filter, lookup}}
+	return &Node{Op: OpGroupAggregate, Engine: TP, Cost: 120, Rows: 1,
+		Children: []*Node{join}}
+}
+
+func TestOpStringsMatchPaperVocabulary(t *testing.T) {
+	// Table II uses these exact display names
+	want := map[Op]string{
+		OpTableScan:      "Table Scan",
+		OpFilter:         "Filter",
+		OpNestedLoopJoin: "Nested loop inner join",
+		OpHashJoin:       "Inner hash join",
+		OpHashBuild:      "Hash",
+		OpGroupAggregate: "Group aggregate",
+		OpHashAggregate:  "Aggregate",
+	}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), s)
+		}
+	}
+}
+
+func TestExplainJSONSchemaMatchesPaper(t *testing.T) {
+	js := examplePlan().ExplainJSON()
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(js), &decoded); err != nil {
+		t.Fatalf("ExplainJSON not valid JSON: %v", err)
+	}
+	// the paper's field names
+	for _, field := range []string{"Node Type", "Total Cost", "Plan Rows", "Plans"} {
+		if _, ok := decoded[field]; !ok {
+			t.Errorf("ExplainJSON missing field %q", field)
+		}
+	}
+	if decoded["Node Type"] != "Group aggregate" {
+		t.Errorf("root Node Type = %v", decoded["Node Type"])
+	}
+	if !strings.Contains(js, `"Relation Name":"nation"`) {
+		t.Errorf("relation name not rendered: %s", js)
+	}
+}
+
+func TestExplainIndentJSONParses(t *testing.T) {
+	js := examplePlan().ExplainIndentJSON()
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(js), &decoded); err != nil {
+		t.Fatalf("indent JSON invalid: %v", err)
+	}
+	if !strings.Contains(js, "\n") {
+		t.Error("indented output should be multi-line")
+	}
+}
+
+func TestCountAndDepth(t *testing.T) {
+	p := examplePlan()
+	if got := p.Count(); got != 5 {
+		t.Errorf("Count = %d, want 5", got)
+	}
+	if got := p.Depth(); got != 4 {
+		t.Errorf("Depth = %d, want 4", got)
+	}
+	var nilNode *Node
+	if nilNode.Count() != 0 || nilNode.Depth() != 0 {
+		t.Error("nil node should count/depth to 0")
+	}
+}
+
+func TestVisitPreOrder(t *testing.T) {
+	var ops []Op
+	examplePlan().Visit(func(n *Node) { ops = append(ops, n.Op) })
+	want := []Op{OpGroupAggregate, OpNestedLoopJoin, OpFilter, OpTableScan, OpIndexLookup}
+	if len(ops) != len(want) {
+		t.Fatalf("visited %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("visit order %v, want %v", ops, want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(examplePlan())
+	if s.NestedLoopJoins != 1 || s.HashJoins != 0 {
+		t.Errorf("joins: %+v", s)
+	}
+	if s.TableScans != 1 || s.IndexLookups != 1 || s.Filters != 1 {
+		t.Errorf("scans/filters: %+v", s)
+	}
+	if s.GroupAggregates != 1 {
+		t.Errorf("aggregates: %+v", s)
+	}
+	if !s.UsesIndex {
+		t.Error("UsesIndex should propagate from the lookup node")
+	}
+	if s.Joins() != 1 {
+		t.Errorf("Joins() = %d", s.Joins())
+	}
+	if len(s.Relations) != 2 {
+		t.Errorf("relations: %v", s.Relations)
+	}
+	if s.RootCost != 120 {
+		t.Errorf("root cost = %v", s.RootCost)
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	if TP.String() != "TP" || AP.String() != "AP" {
+		t.Error("engine names wrong")
+	}
+}
+
+func TestNodeStringRendering(t *testing.T) {
+	s := examplePlan().String()
+	for _, want := range []string{"Group aggregate", "nation", "fk_orders_customer", "cost="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	// indentation encodes depth
+	if !strings.Contains(s, "\n  Nested loop") {
+		t.Errorf("child not indented:\n%s", s)
+	}
+}
+
+func TestScannedRowsCountsLeavesOnce(t *testing.T) {
+	// two scan nodes over the same relation must not double-count
+	scan1 := &Node{Op: OpTableScan, Engine: AP, Rows: 100, Relation: "t"}
+	scan2 := &Node{Op: OpTableScan, Engine: AP, Rows: 100, Relation: "t"}
+	join := &Node{Op: OpHashJoin, Engine: AP, Rows: 10, Children: []*Node{scan1, scan2}}
+	s := Summarize(join)
+	if s.ScannedRows != 100 {
+		t.Errorf("ScannedRows = %v, want 100 (relation counted once)", s.ScannedRows)
+	}
+}

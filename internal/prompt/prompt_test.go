@@ -1,0 +1,118 @@
+package prompt
+
+import (
+	"strings"
+	"testing"
+
+	"htapxplain/internal/expert"
+	"htapxplain/internal/knowledge"
+	"htapxplain/internal/plan"
+)
+
+func testQuestion() Question {
+	return Question{
+		SQL:        "SELECT COUNT(*) FROM t",
+		TPPlanJSON: `{"Node Type":"Table Scan"}`,
+		APPlanJSON: `{"Node Type":"Aggregate"}`,
+		Winner:     plan.AP,
+		Speedup:    12.3,
+	}
+}
+
+func testHits() []knowledge.Hit {
+	return []knowledge.Hit{
+		{Entry: &knowledge.Entry{
+			SQL: "SELECT 1", TPPlanJSON: "{tp}", APPlanJSON: "{ap}",
+			Winner: plan.AP, Speedup: 4.2, Explanation: "hash join beats nested loop",
+			Factors: []expert.Factor{expert.FactorHashJoinAdvantage},
+		}, Distance: 0.01},
+		{Entry: &knowledge.Entry{
+			SQL: "SELECT 2", Winner: plan.TP, Speedup: 2.0, Explanation: "index order",
+		}, Distance: 0.2},
+	}
+}
+
+func TestBuildContainsAllSections(t *testing.T) {
+	b := NewBuilder("schema here")
+	b.UserContext = "an index has been created on c_phone"
+	text := b.Build(testHits(), testQuestion())
+	for _, marker := range []string{MarkerBackground, MarkerTask, MarkerUserCtx, MarkerQuestion} {
+		if !strings.Contains(text, marker) {
+			t.Errorf("prompt missing section %q", marker)
+		}
+	}
+	if strings.Count(text, MarkerKnowledge) != 2 {
+		t.Errorf("expected 2 knowledge sections:\n%s", text)
+	}
+}
+
+func TestGuardrailToggle(t *testing.T) {
+	b := NewBuilder("s")
+	withGuard := b.Build(nil, testQuestion())
+	if !strings.Contains(withGuard, "not allowed to compare") {
+		t.Error("guardrail sentence missing by default")
+	}
+	b.IncludeGuardrail = false
+	withoutGuard := b.Build(nil, testQuestion())
+	if strings.Contains(withoutGuard, "not allowed to compare") {
+		t.Error("guardrail should be absent when disabled")
+	}
+}
+
+func TestKnowledgeFieldsRendered(t *testing.T) {
+	text := NewBuilder("s").Build(testHits(), testQuestion())
+	for _, want := range []string{
+		"query: SELECT 1", "tp_plan: {tp}", "ap_plan: {ap}",
+		"result: AP faster (4.2x)", "explanation: hash join beats nested loop",
+		"similarity_distance: 0.0100",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prompt missing %q", want)
+		}
+	}
+}
+
+func TestQuestionFieldsRendered(t *testing.T) {
+	text := NewBuilder("s").Build(nil, testQuestion())
+	for _, want := range []string{
+		"query: SELECT COUNT(*) FROM t",
+		`tp_plan: {"Node Type":"Table Scan"}`,
+		"result: AP faster (12.3x)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prompt missing %q", want)
+		}
+	}
+}
+
+func TestUserContextOmittedWhenEmpty(t *testing.T) {
+	text := NewBuilder("s").Build(nil, testQuestion())
+	if strings.Contains(text, MarkerUserCtx) {
+		t.Error("empty user context should omit the section")
+	}
+}
+
+func TestSchemaIncluded(t *testing.T) {
+	text := NewBuilder("customer(15000000 rows): c_custkey").Build(nil, testQuestion())
+	if !strings.Contains(text, "c_custkey") {
+		t.Error("schema summary missing from background")
+	}
+}
+
+func TestRAGFreePromptStillHasTaskAndQuestion(t *testing.T) {
+	// the §VI-D fair-comparison variant: no knowledge sections
+	text := NewBuilder("s").Build(nil, testQuestion())
+	if strings.Contains(text, MarkerKnowledge) {
+		t.Error("RAG-free prompt should have no knowledge sections")
+	}
+	if !strings.Contains(text, MarkerTask) || !strings.Contains(text, MarkerQuestion) {
+		t.Error("task/question sections must remain")
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	b := NewBuilder("s")
+	if b.Build(testHits(), testQuestion()) != b.Build(testHits(), testQuestion()) {
+		t.Error("prompt rendering must be deterministic")
+	}
+}

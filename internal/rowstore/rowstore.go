@@ -1,0 +1,194 @@
+// Package rowstore implements the TP engine's row-oriented storage: heap
+// tables of complete rows plus ordered secondary structures (sorted-key
+// indexes with binary search, the in-memory equivalent of B+trees) that
+// support point lookups and range scans. The TP optimizer prefers plans
+// that exploit these indexes; when no index applies it is forced into full
+// scans and nested-loop joins — the situation the paper's Example 1 hinges
+// on.
+package rowstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"htapxplain/internal/catalog"
+	"htapxplain/internal/value"
+)
+
+// Table is one row-oriented table: the heap plus its indexes.
+type Table struct {
+	Meta *catalog.Table
+	rows []value.Row
+	// indexes maps lower-cased column name → ordered index.
+	indexes map[string]*Index
+}
+
+// Index is an ordered single-column index: keys sorted ascending, each with
+// the heap positions of matching rows.
+type Index struct {
+	Column string
+	Col    int // column position in the table
+	keys   []value.Value
+	rowIDs [][]int32
+}
+
+// Len returns the number of distinct keys.
+func (ix *Index) Len() int { return len(ix.keys) }
+
+// Store is the row engine's storage manager.
+type Store struct {
+	tables map[string]*Table
+}
+
+// NewStore builds a row store over the given physical data, creating every
+// index the catalog declares.
+func NewStore(cat *catalog.Catalog, data map[string][]value.Row) (*Store, error) {
+	s := &Store{tables: make(map[string]*Table, len(data))}
+	for _, meta := range cat.Tables() {
+		rows, ok := data[strings.ToLower(meta.Name)]
+		if !ok {
+			return nil, fmt.Errorf("rowstore: no data for table %q", meta.Name)
+		}
+		t := &Table{Meta: meta, rows: rows, indexes: make(map[string]*Index)}
+		for _, ixMeta := range meta.Indexes {
+			ix, err := buildIndex(meta, rows, ixMeta.Column)
+			if err != nil {
+				return nil, err
+			}
+			t.indexes[strings.ToLower(ixMeta.Column)] = ix
+		}
+		s.tables[strings.ToLower(meta.Name)] = t
+	}
+	return s, nil
+}
+
+// Table returns the named table.
+func (s *Store) Table(name string) (*Table, bool) {
+	t, ok := s.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// BuildIndex creates (or replaces) an index on the column at runtime —
+// used when the paper's "additional user context" adds an index.
+func (s *Store) BuildIndex(table, column string) error {
+	t, ok := s.Table(table)
+	if !ok {
+		return fmt.Errorf("rowstore: no such table %q", table)
+	}
+	ix, err := buildIndex(t.Meta, t.rows, column)
+	if err != nil {
+		return err
+	}
+	t.indexes[strings.ToLower(column)] = ix
+	return nil
+}
+
+// DropIndex removes a runtime index.
+func (s *Store) DropIndex(table, column string) error {
+	t, ok := s.Table(table)
+	if !ok {
+		return fmt.Errorf("rowstore: no such table %q", table)
+	}
+	key := strings.ToLower(column)
+	if _, ok := t.indexes[key]; !ok {
+		return fmt.Errorf("rowstore: no index on %s.%s", table, column)
+	}
+	delete(t.indexes, key)
+	return nil
+}
+
+func buildIndex(meta *catalog.Table, rows []value.Row, column string) (*Index, error) {
+	col := meta.ColumnIndex(column)
+	if col < 0 {
+		return nil, fmt.Errorf("rowstore: no column %q in %q", column, meta.Name)
+	}
+	type kv struct {
+		key value.Value
+		id  int32
+	}
+	pairs := make([]kv, len(rows))
+	for i, r := range rows {
+		pairs[i] = kv{key: r[col], id: int32(i)}
+	}
+	sort.SliceStable(pairs, func(a, b int) bool {
+		return pairs[a].key.Compare(pairs[b].key) < 0
+	})
+	ix := &Index{Column: strings.ToLower(column), Col: col}
+	for _, p := range pairs {
+		n := len(ix.keys)
+		if n > 0 && ix.keys[n-1].Compare(p.key) == 0 {
+			ix.rowIDs[n-1] = append(ix.rowIDs[n-1], p.id)
+		} else {
+			ix.keys = append(ix.keys, p.key)
+			ix.rowIDs = append(ix.rowIDs, []int32{p.id})
+		}
+	}
+	return ix, nil
+}
+
+// NumRows returns the physical row count.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Row returns the heap row at position id.
+func (t *Table) Row(id int32) value.Row { return t.rows[id] }
+
+// Scan returns all rows (a full table scan). The returned slice aliases
+// storage; callers must not mutate rows.
+func (t *Table) Scan() []value.Row { return t.rows }
+
+// IndexOn returns the index on the column, if one exists.
+func (t *Table) IndexOn(column string) (*Index, bool) {
+	ix, ok := t.indexes[strings.ToLower(column)]
+	return ix, ok
+}
+
+// Lookup returns the heap positions of rows whose indexed column equals
+// key.
+func (ix *Index) Lookup(key value.Value) []int32 {
+	i := sort.Search(len(ix.keys), func(i int) bool {
+		return ix.keys[i].Compare(key) >= 0
+	})
+	if i < len(ix.keys) && ix.keys[i].Compare(key) == 0 {
+		return ix.rowIDs[i]
+	}
+	return nil
+}
+
+// Range returns heap positions of rows with lo <= key <= hi. Nil bounds
+// are open. The scan visits keys in ascending order.
+func (ix *Index) Range(lo, hi *value.Value) []int32 {
+	start := 0
+	if lo != nil {
+		start = sort.Search(len(ix.keys), func(i int) bool {
+			return ix.keys[i].Compare(*lo) >= 0
+		})
+	}
+	var out []int32
+	for i := start; i < len(ix.keys); i++ {
+		if hi != nil && ix.keys[i].Compare(*hi) > 0 {
+			break
+		}
+		out = append(out, ix.rowIDs[i]...)
+	}
+	return out
+}
+
+// Ascending returns row ids in index-key order — the access path behind
+// index-ordered Top-N plans (ORDER BY indexed_col LIMIT n).
+func (ix *Index) Ascending() []int32 {
+	var out []int32
+	for _, ids := range ix.rowIDs {
+		out = append(out, ids...)
+	}
+	return out
+}
+
+// Descending returns row ids in reverse key order.
+func (ix *Index) Descending() []int32 {
+	var out []int32
+	for i := len(ix.rowIDs) - 1; i >= 0; i-- {
+		out = append(out, ix.rowIDs[i]...)
+	}
+	return out
+}

@@ -1,0 +1,400 @@
+// Package sqlparser implements a lexer, AST, and recursive-descent parser
+// for the SQL subset the paper's workloads use: single-block SELECT queries
+// with inner joins (comma-style or JOIN ... ON), conjunctive/disjunctive
+// predicates, IN lists, BETWEEN, LIKE, SUBSTRING and arithmetic, aggregate
+// functions, GROUP BY, ORDER BY, LIMIT and OFFSET.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is any SQL expression node.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// ColumnRef references a column, optionally qualified by table name.
+type ColumnRef struct {
+	Table  string // may be empty
+	Column string
+}
+
+func (c *ColumnRef) exprNode() {}
+func (c *ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// IntLit is an integer literal.
+type IntLit struct{ V int64 }
+
+func (l *IntLit) exprNode()      {}
+func (l *IntLit) String() string { return fmt.Sprintf("%d", l.V) }
+
+// FloatLit is a floating-point literal.
+type FloatLit struct{ V float64 }
+
+func (l *FloatLit) exprNode()      {}
+func (l *FloatLit) String() string { return fmt.Sprintf("%g", l.V) }
+
+// StringLit is a single-quoted string literal.
+type StringLit struct{ V string }
+
+func (l *StringLit) exprNode()      {}
+func (l *StringLit) String() string { return "'" + l.V + "'" }
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+const (
+	OpEq BinOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+)
+
+func (op BinOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	default:
+		return "?"
+	}
+}
+
+// IsComparison reports whether op is a comparison operator.
+func (op BinOp) IsComparison() bool { return op >= OpEq && op <= OpGe }
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Op          BinOp
+	Left, Right Expr
+}
+
+func (b *BinaryExpr) exprNode() {}
+func (b *BinaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.Left, b.Op, b.Right)
+}
+
+// NotExpr negates a boolean expression.
+type NotExpr struct{ Inner Expr }
+
+func (n *NotExpr) exprNode()      {}
+func (n *NotExpr) String() string { return "NOT " + n.Inner.String() }
+
+// InExpr is `expr [NOT] IN (list...)`.
+type InExpr struct {
+	Expr Expr
+	List []Expr
+	Not  bool
+}
+
+func (e *InExpr) exprNode() {}
+func (e *InExpr) String() string {
+	items := make([]string, len(e.List))
+	for i, it := range e.List {
+		items[i] = it.String()
+	}
+	not := ""
+	if e.Not {
+		not = " NOT"
+	}
+	return fmt.Sprintf("%s%s IN (%s)", e.Expr, not, strings.Join(items, ", "))
+}
+
+// BetweenExpr is `expr BETWEEN lo AND hi`.
+type BetweenExpr struct {
+	Expr, Lo, Hi Expr
+}
+
+func (e *BetweenExpr) exprNode() {}
+func (e *BetweenExpr) String() string {
+	return fmt.Sprintf("%s BETWEEN %s AND %s", e.Expr, e.Lo, e.Hi)
+}
+
+// LikeExpr is `expr LIKE 'pattern'` (% and _ wildcards).
+type LikeExpr struct {
+	Expr    Expr
+	Pattern string
+}
+
+func (e *LikeExpr) exprNode()      {}
+func (e *LikeExpr) String() string { return fmt.Sprintf("%s LIKE '%s'", e.Expr, e.Pattern) }
+
+// FuncExpr is a scalar function call, e.g. SUBSTRING(c_phone, 1, 2).
+type FuncExpr struct {
+	Name string // upper-cased
+	Args []Expr
+}
+
+func (e *FuncExpr) exprNode() {}
+func (e *FuncExpr) String() string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", e.Name, strings.Join(args, ", "))
+}
+
+// AggFunc enumerates aggregate functions.
+type AggFunc int
+
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+func (a AggFunc) String() string {
+	switch a {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return "?"
+	}
+}
+
+// AggExpr is an aggregate call in the select list. Arg == nil means
+// COUNT(*).
+type AggExpr struct {
+	Func AggFunc
+	Arg  Expr // nil for COUNT(*)
+}
+
+func (e *AggExpr) exprNode() {}
+func (e *AggExpr) String() string {
+	if e.Arg == nil {
+		return e.Func.String() + "(*)"
+	}
+	return fmt.Sprintf("%s(%s)", e.Func, e.Arg)
+}
+
+// SelectItem is one projected item with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool // SELECT *
+}
+
+func (s SelectItem) String() string {
+	if s.Star {
+		return "*"
+	}
+	out := s.Expr.String()
+	if s.Alias != "" {
+		out += " AS " + s.Alias
+	}
+	return out
+}
+
+// TableRef names one table in the FROM list (optional alias).
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+func (t TableRef) String() string {
+	if t.Alias != "" {
+		return t.Name + " " + t.Alias
+	}
+	return t.Name
+}
+
+// Binding returns the name the table is referred to by in expressions.
+func (t TableRef) Binding() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// OrderItem is one ORDER BY term.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+func (o OrderItem) String() string {
+	s := o.Expr.String()
+	if o.Desc {
+		s += " DESC"
+	}
+	return s
+}
+
+// Select is a parsed single-block SELECT statement.
+type Select struct {
+	Items   []SelectItem
+	From    []TableRef
+	Where   Expr // nil if absent; JOIN ... ON conditions are folded in
+	GroupBy []Expr
+	OrderBy []OrderItem
+	Limit   int64 // -1 if absent
+	Offset  int64 // 0 if absent
+}
+
+// HasAggregate reports whether any select item is an aggregate.
+func (s *Select) HasAggregate() bool {
+	for _, it := range s.Items {
+		if _, ok := it.Expr.(*AggExpr); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// String reconstructs SQL text (normalized) for logging and prompts.
+func (s *Select) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.String())
+	}
+	b.WriteString(" FROM ")
+	for i, t := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.String())
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+		if s.Offset > 0 {
+			fmt.Fprintf(&b, " OFFSET %d", s.Offset)
+		}
+	}
+	return b.String()
+}
+
+// Conjuncts splits an expression on top-level ANDs.
+func Conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*BinaryExpr); ok && b.Op == OpAnd {
+		return append(Conjuncts(b.Left), Conjuncts(b.Right)...)
+	}
+	return []Expr{e}
+}
+
+// AndAll joins expressions with AND (nil for empty input).
+func AndAll(exprs []Expr) Expr {
+	var out Expr
+	for _, e := range exprs {
+		if out == nil {
+			out = e
+		} else {
+			out = &BinaryExpr{Op: OpAnd, Left: out, Right: e}
+		}
+	}
+	return out
+}
+
+// ColumnsIn collects every column reference in an expression tree.
+func ColumnsIn(e Expr) []*ColumnRef {
+	var out []*ColumnRef
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case nil:
+		case *ColumnRef:
+			out = append(out, x)
+		case *BinaryExpr:
+			walk(x.Left)
+			walk(x.Right)
+		case *NotExpr:
+			walk(x.Inner)
+		case *InExpr:
+			walk(x.Expr)
+			for _, it := range x.List {
+				walk(it)
+			}
+		case *BetweenExpr:
+			walk(x.Expr)
+			walk(x.Lo)
+			walk(x.Hi)
+		case *LikeExpr:
+			walk(x.Expr)
+		case *FuncExpr:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *AggExpr:
+			if x.Arg != nil {
+				walk(x.Arg)
+			}
+		}
+	}
+	walk(e)
+	return out
+}

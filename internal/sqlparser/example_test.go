@@ -1,0 +1,31 @@
+package sqlparser_test
+
+import (
+	"fmt"
+
+	"htapxplain/internal/sqlparser"
+)
+
+func ExampleParse() {
+	sel, err := sqlparser.Parse(`SELECT c_name, COUNT(*) FROM customer, orders
+		WHERE o_custkey = c_custkey AND c_mktsegment = 'machinery'
+		GROUP BY c_name ORDER BY COUNT(*) DESC LIMIT 3`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(sel)
+	// Output:
+	// SELECT c_name, COUNT(*) FROM customer, orders WHERE ((o_custkey = c_custkey) AND (c_mktsegment = 'machinery')) GROUP BY c_name ORDER BY COUNT(*) DESC LIMIT 3
+}
+
+func ExampleConjuncts() {
+	sel, _ := sqlparser.Parse("SELECT a FROM t WHERE x = 1 AND y = 2 AND z = 3")
+	for _, c := range sqlparser.Conjuncts(sel.Where) {
+		fmt.Println(c)
+	}
+	// Output:
+	// (x = 1)
+	// (y = 2)
+	// (z = 3)
+}

@@ -1,0 +1,131 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind int
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkKeyword
+	tkInt
+	tkFloat
+	tkString
+	tkSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; idents lower-cased; symbols literal
+	pos  int    // byte offset in input
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "OFFSET": true, "AND": true, "OR": true,
+	"NOT": true, "IN": true, "BETWEEN": true, "LIKE": true, "AS": true,
+	"ASC": true, "DESC": true, "JOIN": true, "INNER": true, "ON": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"DISTINCT": true,
+}
+
+// lex tokenizes the input. It returns a descriptive error with byte offset
+// on any unrecognized character or unterminated string.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= n {
+					return nil, fmt.Errorf("sql: unterminated string literal at offset %d", i)
+				}
+				if input[j] == '\'' {
+					// '' escapes a quote
+					if j+1 < n && input[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			toks = append(toks, token{kind: tkString, text: sb.String(), pos: i})
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			isFloat := false
+			for j < n && (input[j] >= '0' && input[j] <= '9') {
+				j++
+			}
+			if j < n && input[j] == '.' && j+1 < n && input[j+1] >= '0' && input[j+1] <= '9' {
+				isFloat = true
+				j++
+				for j < n && input[j] >= '0' && input[j] <= '9' {
+					j++
+				}
+			}
+			kind := tkInt
+			if isFloat {
+				kind = tkFloat
+			}
+			toks = append(toks, token{kind: kind, text: input[i:j], pos: i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(input[j])) {
+				j++
+			}
+			word := input[i:j]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{kind: tkKeyword, text: up, pos: i})
+			} else {
+				toks = append(toks, token{kind: tkIdent, text: strings.ToLower(word), pos: i})
+			}
+			i = j
+		default:
+			// multi-char operators first
+			if i+1 < n {
+				two := input[i : i+2]
+				switch two {
+				case "<=", ">=", "<>", "!=":
+					toks = append(toks, token{kind: tkSymbol, text: two, pos: i})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case ',', '(', ')', '=', '<', '>', '+', '-', '*', '/', '.', ';':
+				toks = append(toks, token{kind: tkSymbol, text: string(c), pos: i})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tkEOF, pos: n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

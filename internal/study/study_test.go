@@ -1,0 +1,102 @@
+package study
+
+import (
+	"testing"
+
+	"htapxplain/internal/htap"
+)
+
+// exampleMaterials builds study materials from the paper's Example 1.
+func exampleMaterials(t *testing.T) Materials {
+	t.Helper()
+	sys, err := htap.New(htap.DefaultConfig())
+	if err != nil {
+		t.Fatalf("htap.New: %v", err)
+	}
+	res, err := sys.Run(htap.Example1SQL)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// a representative accurate LLM explanation length (paper Table III)
+	expl := "AP is faster due to its use of hash joins and hash aggregates, which are highly " +
+		"efficient for handling large datasets, especially in a columnar storage format. " +
+		"In contrast, TP's use of nested loop joins and group aggregates, combined with " +
+		"table scans that don't benefit from index optimizations, leads to slower performance."
+	return MaterialsFromPair(&res.Pair, expl, true)
+}
+
+func TestStudyReproducesPaperShape(t *testing.T) {
+	m := exampleMaterials(t)
+	out := Run(DefaultConfig(), m)
+	t.Logf("A: %.1f min, %.0f%% correct", out.GroupAMeanMinutes, 100*out.GroupACorrectRate)
+	t.Logf("B: %.1f min, %.0f%% initial, %.0f%% after LLM", out.GroupBMeanMinutes,
+		100*out.GroupBInitialCorrectRate, 100*out.GroupBCorrectAfterLLM)
+	t.Logf("difficulty: plans %.1f, LLM %.1f", out.DifficultyPlans, out.DifficultyLLM)
+
+	// paper: 3.5 min with LLM vs 8.2 min without
+	if out.GroupAMeanMinutes < 2 || out.GroupAMeanMinutes > 5.5 {
+		t.Errorf("group A time %.1f min outside the paper's ~3.5 min band", out.GroupAMeanMinutes)
+	}
+	if out.GroupBMeanMinutes < 6 || out.GroupBMeanMinutes > 11 {
+		t.Errorf("group B time %.1f min outside the paper's ~8.2 min band", out.GroupBMeanMinutes)
+	}
+	if out.GroupBMeanMinutes <= out.GroupAMeanMinutes {
+		t.Error("group B (plans only) must take longer than group A (with LLM)")
+	}
+	// paper: 100% correct with LLM; 60% without; all corrected after LLM
+	if out.GroupACorrectRate != 1.0 {
+		t.Errorf("group A correct rate %.2f, want 1.0", out.GroupACorrectRate)
+	}
+	if out.GroupBInitialCorrectRate < 0.4 || out.GroupBInitialCorrectRate > 0.8 {
+		t.Errorf("group B initial correct rate %.2f outside the paper's ~60%% band", out.GroupBInitialCorrectRate)
+	}
+	if out.GroupBCorrectAfterLLM != 1.0 {
+		t.Errorf("group B post-LLM correct rate %.2f, want 1.0", out.GroupBCorrectAfterLLM)
+	}
+	// paper: difficulty 8.5 for plans vs 3 for the LLM text
+	if out.DifficultyPlans < 7.5 || out.DifficultyPlans > 9.5 {
+		t.Errorf("plan difficulty %.1f outside the paper's ~8.5 band", out.DifficultyPlans)
+	}
+	if out.DifficultyLLM < 2 || out.DifficultyLLM > 4 {
+		t.Errorf("LLM difficulty %.1f outside the paper's ~3 band", out.DifficultyLLM)
+	}
+}
+
+func TestInaccurateExplanationDoesNotRepair(t *testing.T) {
+	m := exampleMaterials(t)
+	m.ExplanationAccurate = false
+	out := Run(DefaultConfig(), m)
+	if out.GroupBCorrectAfterLLM >= 1.0 {
+		t.Error("an inaccurate explanation should not correct every wrong reading")
+	}
+	if out.GroupACorrectRate >= 1.0 {
+		t.Error("group A should not be universally correct with an inaccurate explanation")
+	}
+}
+
+func TestStudyDeterminism(t *testing.T) {
+	m := exampleMaterials(t)
+	a := Run(DefaultConfig(), m)
+	b := Run(DefaultConfig(), m)
+	if a != b {
+		t.Errorf("study is not deterministic: %+v vs %+v", a, b)
+	}
+	other := Run(Config{Participants: 24, Seed: 99}, m)
+	if other == a {
+		t.Error("different seeds should produce different populations")
+	}
+}
+
+func TestComplexityDrivesTime(t *testing.T) {
+	m := exampleMaterials(t)
+	small := m
+	small.PlanNodes = 4
+	small.PlanJSONChars = 400
+	big := m
+	big.PlanNodes = 40
+	outSmall := Run(DefaultConfig(), small)
+	outBig := Run(DefaultConfig(), big)
+	if outBig.GroupBMeanMinutes <= outSmall.GroupBMeanMinutes {
+		t.Error("more plan nodes should mean longer analysis time")
+	}
+}

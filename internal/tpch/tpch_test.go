@@ -1,0 +1,212 @@
+package tpch
+
+import (
+	"strings"
+	"testing"
+
+	"htapxplain/internal/catalog"
+	"htapxplain/internal/value"
+)
+
+func genDefault(t *testing.T) *Dataset {
+	t.Helper()
+	cat := catalog.TPCH(100)
+	d, err := Generate(cat, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return d
+}
+
+func TestGenerateAllTables(t *testing.T) {
+	d := genDefault(t)
+	for _, name := range []string{"region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem"} {
+		rows := d.Rows(name)
+		if len(rows) == 0 {
+			t.Errorf("table %q is empty", name)
+		}
+		meta, _ := d.Cat.Table(name)
+		for i, r := range rows {
+			if len(r) != len(meta.Columns) {
+				t.Fatalf("%s row %d has %d columns, want %d", name, i, len(r), len(meta.Columns))
+			}
+		}
+	}
+}
+
+func TestFixedDimensionTables(t *testing.T) {
+	d := genDefault(t)
+	if n := len(d.Rows("nation")); n != 25 {
+		t.Errorf("nation rows = %d, want 25", n)
+	}
+	if n := len(d.Rows("region")); n != 5 {
+		t.Errorf("region rows = %d, want 5", n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cat1, cat2 := catalog.TPCH(100), catalog.TPCH(100)
+	a, err := Generate(cat1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cat2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range a.Tables {
+		ra, rb := a.Rows(name), b.Rows(name)
+		if len(ra) != len(rb) {
+			t.Fatalf("%s cardinality differs: %d vs %d", name, len(ra), len(rb))
+		}
+		for i := range ra {
+			for j := range ra[i] {
+				if ra[i][j] != rb[i][j] {
+					t.Fatalf("%s[%d][%d] differs: %v vs %v", name, i, j, ra[i][j], rb[i][j])
+				}
+			}
+		}
+	}
+	// a different seed must differ somewhere
+	cfg := DefaultConfig()
+	cfg.Seed = 43
+	c, err := Generate(catalog.TPCH(100), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	ra, rc := a.Rows("customer"), c.Rows("customer")
+	for i := range ra {
+		if ra[i][4] != rc[i][4] { // c_phone
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical customer phones")
+	}
+}
+
+func TestForeignKeyIntegrity(t *testing.T) {
+	d := genDefault(t)
+	nCust := int64(len(d.Rows("customer")))
+	for _, o := range d.Rows("orders") {
+		ck := o[1].I // o_custkey
+		if ck < 1 || ck > nCust {
+			t.Fatalf("o_custkey %d out of range [1,%d]", ck, nCust)
+		}
+	}
+	nOrders := int64(len(d.Rows("orders")))
+	for _, l := range d.Rows("lineitem") {
+		ok := l[0].I // l_orderkey
+		if ok < 1 || ok > nOrders {
+			t.Fatalf("l_orderkey %d out of range", ok)
+		}
+	}
+	for _, c := range d.Rows("customer") {
+		nk := c[3].I // c_nationkey
+		if nk < 0 || nk > 24 {
+			t.Fatalf("c_nationkey %d out of range", nk)
+		}
+	}
+}
+
+func TestPhoneCountryCodeConvention(t *testing.T) {
+	// SUBSTRING(c_phone,1,2) must equal nationkey+10 — the property the
+	// paper's Example 1 predicate depends on.
+	d := genDefault(t)
+	for _, c := range d.Rows("customer") {
+		nk := c[3].I
+		phone := c[4].S
+		wantPrefix := []byte{byte('0' + (nk+10)/10), byte('0' + (nk+10)%10)}
+		if phone[0] != wantPrefix[0] || phone[1] != wantPrefix[1] {
+			t.Fatalf("phone %q does not start with country code %d", phone, nk+10)
+		}
+	}
+}
+
+func TestValueDomains(t *testing.T) {
+	d := genDefault(t)
+	segs := map[string]bool{}
+	for _, s := range MktSegments {
+		segs[s] = true
+	}
+	for _, c := range d.Rows("customer") {
+		if !segs[c[6].S] {
+			t.Fatalf("unknown market segment %q", c[6].S)
+		}
+	}
+	statuses := map[string]bool{"o": true, "f": true, "p": true}
+	for _, o := range d.Rows("orders") {
+		if !statuses[o[2].S] {
+			t.Fatalf("unknown order status %q", o[2].S)
+		}
+	}
+	// the paper's Example 1 filters n_name='egypt' — it must exist
+	found := false
+	for _, n := range d.Rows("nation") {
+		if n[1].S == "egypt" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("nation 'egypt' missing")
+	}
+}
+
+func TestOrderTotalsArePositive(t *testing.T) {
+	d := genDefault(t)
+	for _, o := range d.Rows("orders") {
+		if f, ok := o[3].AsFloat(); !ok || f <= 0 {
+			t.Fatalf("o_totalprice %v not positive", o[3])
+		}
+	}
+}
+
+func TestLineitemsPerOrderBounded(t *testing.T) {
+	d := genDefault(t)
+	counts := map[int64]int{}
+	for _, l := range d.Rows("lineitem") {
+		counts[l[0].I]++
+	}
+	for ok, n := range counts {
+		if n < 1 || n > 7 {
+			t.Fatalf("order %d has %d lineitems, want 1..7", ok, n)
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	cat := catalog.TPCH(1)
+	if _, err := Generate(cat, Config{PhysScale: 0, Seed: 1}); err == nil {
+		t.Error("zero PhysScale should error")
+	}
+	if _, err := Generate(catalog.New(1), DefaultConfig()); err == nil {
+		t.Error("catalog without TPC-H tables should error")
+	}
+}
+
+func TestPrimaryKeysDense(t *testing.T) {
+	d := genDefault(t)
+	for i, c := range d.Rows("customer") {
+		if c[0].I != int64(i+1) {
+			t.Fatalf("c_custkey at position %d is %d", i, c[0].I)
+		}
+	}
+	for i, o := range d.Rows("orders") {
+		if o[0].I != int64(i+1) {
+			t.Fatalf("o_orderkey at position %d is %d", i, o[0].I)
+		}
+	}
+}
+
+func TestNationNamesLowerCase(t *testing.T) {
+	d := genDefault(t)
+	for _, n := range d.Rows("nation") {
+		name := n[1].S
+		if name != strings.ToLower(name) {
+			t.Errorf("nation name %q should be lower case (paper queries use 'egypt')", name)
+		}
+	}
+	_ = value.Null
+}

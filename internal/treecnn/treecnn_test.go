@@ -1,0 +1,194 @@
+package treecnn
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"htapxplain/internal/htap"
+	"htapxplain/internal/plan"
+	"htapxplain/internal/workload"
+)
+
+func buildSamples(t testing.TB, n int) []Sample {
+	t.Helper()
+	sys, err := htap.New(htap.DefaultConfig())
+	if err != nil {
+		t.Fatalf("htap.New: %v", err)
+	}
+	gen := workload.NewGenerator(7)
+	var out []Sample
+	for _, q := range gen.Batch(n) {
+		res, err := sys.Run(q.SQL)
+		if err != nil {
+			t.Fatalf("Run(%q): %v", q.SQL, err)
+		}
+		out = append(out, Sample{Pair: &res.Pair, Label: res.Winner})
+	}
+	return out
+}
+
+func TestRouterLearnsToRoute(t *testing.T) {
+	samples := buildSamples(t, 120)
+	// both classes must be represented, or the task is trivial
+	var tpCount, apCount int
+	for _, s := range samples {
+		if s.Label == plan.TP {
+			tpCount++
+		} else {
+			apCount++
+		}
+	}
+	if tpCount == 0 || apCount == 0 {
+		t.Fatalf("degenerate workload: TP=%d AP=%d", tpCount, apCount)
+	}
+	train, test := samples[:90], samples[90:]
+	r := New(1)
+	rep := r.Train(train, 60, 2)
+	if rep.TrainAcc < 0.9 {
+		t.Errorf("train accuracy %.2f, want >= 0.9 (loss %.3f)", rep.TrainAcc, rep.FinalLoss)
+	}
+	correct := 0
+	for _, s := range test {
+		if got, _ := r.Predict(s.Pair); got == s.Label {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(test))
+	if acc < 0.8 {
+		t.Errorf("test accuracy %.2f, want >= 0.8 (paper: router has high accuracy)", acc)
+	}
+}
+
+func TestEmbeddingProperties(t *testing.T) {
+	samples := buildSamples(t, 20)
+	r := New(1)
+	r.Train(samples, 30, 2)
+	for _, s := range samples {
+		e := r.EmbedPair(s.Pair)
+		if len(e) != PairDim {
+			t.Fatalf("pair embedding dim = %d, want %d", len(e), PairDim)
+		}
+		for _, v := range e {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("embedding contains non-finite value: %v", e)
+			}
+			if v < -1 || v > 1 {
+				t.Fatalf("tanh embedding out of range: %v", v)
+			}
+		}
+	}
+	// determinism: same pair, same embedding
+	a := r.EmbedPair(samples[0].Pair)
+	b := r.EmbedPair(samples[0].Pair)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("embedding is not deterministic")
+		}
+	}
+}
+
+func TestModelSizeUnder1MB(t *testing.T) {
+	r := New(1)
+	if r.ModelBytes() >= 1<<20 {
+		t.Errorf("model is %d bytes, paper requires < 1 MB", r.ModelBytes())
+	}
+	if r.NumParams() == 0 {
+		t.Error("model has no parameters")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	samples := buildSamples(t, 20)
+	r := New(1)
+	r.Train(samples, 10, 2)
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	r2 := New(99) // different init
+	if err := r2.Load(&buf); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, s := range samples {
+		e1, e2 := r.EmbedPair(s.Pair), r2.EmbedPair(s.Pair)
+		for i := range e1 {
+			if e1[i] != e2[i] {
+				t.Fatal("loaded model produces different embeddings")
+			}
+		}
+		p1, _ := r.Predict(s.Pair)
+		p2, _ := r2.Predict(s.Pair)
+		if p1 != p2 {
+			t.Fatal("loaded model predicts differently")
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	r := New(1)
+	if err := r.Load(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Error("Load should fail on garbage input")
+	}
+}
+
+func TestGradientCheck(t *testing.T) {
+	// numeric gradient check of the classifier head on a tiny sample
+	samples := buildSamples(t, 2)
+	r := New(3)
+	s := samples[0]
+
+	loss := func() float64 {
+		tp := r.forwardPlan(s.Pair.TP)
+		ap := r.forwardPlan(s.Pair.AP)
+		pair := append(append([]float64{}, tp.emb...), ap.emb...)
+		z := r.wc.MulVec(pair)
+		for i := range z {
+			z[i] += r.bc[i]
+		}
+		y := 0
+		if s.Label == plan.AP {
+			y = 1
+		}
+		probs := softmaxCopy(z)
+		return -math.Log(math.Max(probs[y], 1e-12))
+	}
+
+	r.backward(s)
+	analytic := make([]float64, len(r.gwc.Data))
+	copy(analytic, r.gwc.Data)
+	r.gwc.Zero() // keep optimizer state clean
+
+	const eps = 1e-5
+	for _, idx := range []int{0, 3, 7, 15, 20, 31} {
+		orig := r.wc.Data[idx]
+		r.wc.Data[idx] = orig + eps
+		lp := loss()
+		r.wc.Data[idx] = orig - eps
+		lm := loss()
+		r.wc.Data[idx] = orig
+		numeric := (lp - lm) / (2 * eps)
+		if diff := math.Abs(numeric - analytic[idx]); diff > 1e-4*(1+math.Abs(numeric)) {
+			t.Errorf("gradient mismatch at wc[%d]: analytic %g, numeric %g", idx, analytic[idx], numeric)
+		}
+	}
+}
+
+func softmaxCopy(z []float64) []float64 {
+	max := z[0]
+	for _, v := range z[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	out := make([]float64, len(z))
+	for i, v := range z {
+		out[i] = math.Exp(v - max)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}

@@ -1,0 +1,415 @@
+// Package vectordb implements the RAG knowledge base's vector store: a
+// key-value store whose keys are plan-pair embeddings. Search supports
+// exact (linear) k-nearest-neighbour and an HNSW index (Malkov &
+// Yashunin, cited by the paper for KB scaling). Distances are cosine or
+// Euclidean. Entries carry opaque payload IDs; the knowledge package maps
+// them to full entries.
+package vectordb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Metric selects the distance function.
+type Metric int
+
+const (
+	// Cosine distance: 1 - cosine similarity.
+	Cosine Metric = iota
+	// L2 is squared Euclidean distance.
+	L2
+)
+
+func (m Metric) String() string {
+	if m == Cosine {
+		return "cosine"
+	}
+	return "l2"
+}
+
+// Distance computes the metric between two vectors.
+func (m Metric) Distance(a, b []float64) float64 {
+	switch m {
+	case Cosine:
+		var dot, na, nb float64
+		for i := range a {
+			dot += a[i] * b[i]
+			na += a[i] * a[i]
+			nb += b[i] * b[i]
+		}
+		if na == 0 || nb == 0 {
+			return 1
+		}
+		return 1 - dot/math.Sqrt(na*nb)
+	default:
+		var s float64
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return s
+	}
+}
+
+// Hit is one search result.
+type Hit struct {
+	ID       int
+	Distance float64
+}
+
+// Store is the vector store. It is safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	dim    int
+	metric Metric
+	vecs   [][]float64
+	ids    []int
+	dead   map[int]bool // tombstoned IDs (expired knowledge)
+	nextID int
+
+	hnsw *hnswIndex // nil until BuildHNSW
+}
+
+// New creates a store for vectors of the given dimension.
+func New(dim int, metric Metric) *Store {
+	return &Store{dim: dim, metric: metric, dead: map[int]bool{}}
+}
+
+// Dim returns the vector dimension.
+func (s *Store) Dim() int { return s.dim }
+
+// Len returns the number of live vectors.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.ids) - len(s.dead)
+}
+
+// Add inserts a vector and returns its ID.
+func (s *Store) Add(vec []float64) (int, error) {
+	if len(vec) != s.dim {
+		return 0, fmt.Errorf("vectordb: dimension mismatch: got %d, want %d", len(vec), s.dim)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextID
+	s.nextID++
+	cp := make([]float64, len(vec))
+	copy(cp, vec)
+	s.vecs = append(s.vecs, cp)
+	s.ids = append(s.ids, id)
+	if s.hnsw != nil {
+		s.hnsw.insert(len(s.vecs) - 1)
+	}
+	return id, nil
+}
+
+// Delete tombstones an ID (used for knowledge expiry).
+func (s *Store) Delete(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || id >= s.nextID || s.dead[id] {
+		return fmt.Errorf("vectordb: no such id %d", id)
+	}
+	s.dead[id] = true
+	return nil
+}
+
+// Search returns the k nearest live vectors to q (exact linear scan).
+func (s *Store) Search(q []float64, k int) ([]Hit, error) {
+	if len(q) != s.dim {
+		return nil, fmt.Errorf("vectordb: dimension mismatch: got %d, want %d", len(q), s.dim)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	hits := make([]Hit, 0, len(s.vecs))
+	for i, v := range s.vecs {
+		id := s.ids[i]
+		if s.dead[id] {
+			continue
+		}
+		hits = append(hits, Hit{ID: id, Distance: s.metric.Distance(q, v)})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Distance != hits[j].Distance {
+			return hits[i].Distance < hits[j].Distance
+		}
+		return hits[i].ID < hits[j].ID
+	})
+	if k < len(hits) {
+		hits = hits[:k]
+	}
+	return hits, nil
+}
+
+// SearchHNSW returns approximate k nearest neighbours through the HNSW
+// index (BuildHNSW must have been called).
+func (s *Store) SearchHNSW(q []float64, k int) ([]Hit, error) {
+	if len(q) != s.dim {
+		return nil, fmt.Errorf("vectordb: dimension mismatch: got %d, want %d", len(q), s.dim)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.hnsw == nil {
+		return nil, fmt.Errorf("vectordb: HNSW index not built")
+	}
+	idxHits := s.hnsw.search(q, k)
+	out := make([]Hit, 0, len(idxHits))
+	for _, h := range idxHits {
+		id := s.ids[h.idx]
+		if s.dead[id] {
+			continue
+		}
+		out = append(out, Hit{ID: id, Distance: h.dist})
+	}
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// BuildHNSW constructs the HNSW graph over current contents; subsequent
+// Adds are inserted incrementally.
+func (s *Store) BuildHNSW(m, efConstruction int, seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hnsw = newHNSW(s, m, efConstruction, seed)
+	for i := range s.vecs {
+		s.hnsw.insert(i)
+	}
+}
+
+// ---------------------------------------------------------------- HNSW
+
+type idxHit struct {
+	idx  int
+	dist float64
+}
+
+// hnswIndex is a hierarchical navigable small-world graph over the
+// store's vector slice (indices, not IDs).
+type hnswIndex struct {
+	s        *Store
+	m        int // max neighbours per layer
+	efCons   int
+	levelMul float64
+	rng      *rand.Rand
+	// neighbors[level][idx] → neighbor indices
+	neighbors []map[int][]int
+	entry     int
+	maxLevel  int
+	size      int
+}
+
+func newHNSW(s *Store, m, efConstruction int, seed int64) *hnswIndex {
+	if m < 2 {
+		m = 8
+	}
+	if efConstruction < m {
+		efConstruction = 4 * m
+	}
+	return &hnswIndex{
+		s: s, m: m, efCons: efConstruction,
+		levelMul: 1.0 / math.Log(float64(m)),
+		rng:      rand.New(rand.NewSource(seed)),
+		entry:    -1,
+	}
+}
+
+func (h *hnswIndex) dist(q []float64, idx int) float64 {
+	return h.s.metric.Distance(q, h.s.vecs[idx])
+}
+
+func (h *hnswIndex) randomLevel() int {
+	return int(-math.Log(math.Max(h.rng.Float64(), 1e-12)) * h.levelMul)
+}
+
+func (h *hnswIndex) insert(idx int) {
+	level := h.randomLevel()
+	for len(h.neighbors) <= level {
+		h.neighbors = append(h.neighbors, map[int][]int{})
+	}
+	if h.entry < 0 {
+		h.entry = idx
+		h.maxLevel = level
+		for l := 0; l <= level; l++ {
+			h.neighbors[l][idx] = nil
+		}
+		h.size++
+		return
+	}
+	q := h.s.vecs[idx]
+	cur := h.entry
+	// greedy descent on upper layers
+	for l := h.maxLevel; l > level; l-- {
+		cur = h.greedy(q, cur, l)
+	}
+	// connect on layers min(level, maxLevel) .. 0
+	top := level
+	if top > h.maxLevel {
+		top = h.maxLevel
+	}
+	for l := top; l >= 0; l-- {
+		cands := h.searchLayer(q, cur, h.efCons, l)
+		sel := h.selectNearest(cands, h.m)
+		h.neighbors[l][idx] = append([]int{}, sel...)
+		for _, nb := range sel {
+			h.neighbors[l][nb] = append(h.neighbors[l][nb], idx)
+			if len(h.neighbors[l][nb]) > h.m*3 {
+				h.neighbors[l][nb] = h.prune(h.s.vecs[nb], h.neighbors[l][nb], h.m*2)
+			}
+		}
+		if len(cands) > 0 {
+			cur = cands[0].idx
+		}
+	}
+	if level > h.maxLevel {
+		h.maxLevel = level
+		h.entry = idx
+	}
+	h.size++
+}
+
+func (h *hnswIndex) greedy(q []float64, start, level int) int {
+	cur := start
+	curD := h.dist(q, cur)
+	for {
+		improved := false
+		for _, nb := range h.neighbors[level][cur] {
+			if d := h.dist(q, nb); d < curD {
+				cur, curD = nb, d
+				improved = true
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// searchLayer is best-first search with a bounded candidate set.
+func (h *hnswIndex) searchLayer(q []float64, entry, ef, level int) []idxHit {
+	visited := map[int]bool{entry: true}
+	entryHit := idxHit{idx: entry, dist: h.dist(q, entry)}
+	candidates := []idxHit{entryHit}
+	results := []idxHit{entryHit}
+	for len(candidates) > 0 {
+		// pop nearest candidate
+		best := 0
+		for i := 1; i < len(candidates); i++ {
+			if candidates[i].dist < candidates[best].dist {
+				best = i
+			}
+		}
+		c := candidates[best]
+		candidates = append(candidates[:best], candidates[best+1:]...)
+		// farthest current result
+		worst := 0
+		for i := 1; i < len(results); i++ {
+			if results[i].dist > results[worst].dist {
+				worst = i
+			}
+		}
+		if len(results) >= ef && c.dist > results[worst].dist {
+			break
+		}
+		for _, nb := range h.neighbors[level][c.idx] {
+			if visited[nb] {
+				continue
+			}
+			visited[nb] = true
+			d := h.dist(q, nb)
+			if len(results) < ef {
+				results = append(results, idxHit{nb, d})
+				candidates = append(candidates, idxHit{nb, d})
+			} else {
+				worst = 0
+				for i := 1; i < len(results); i++ {
+					if results[i].dist > results[worst].dist {
+						worst = i
+					}
+				}
+				if d < results[worst].dist {
+					results[worst] = idxHit{nb, d}
+					candidates = append(candidates, idxHit{nb, d})
+				}
+			}
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].dist < results[j].dist })
+	return results
+}
+
+func (h *hnswIndex) selectNearest(cands []idxHit, m int) []int {
+	out := make([]int, 0, m)
+	for _, c := range cands {
+		out = append(out, c.idx)
+		if len(out) == m {
+			break
+		}
+	}
+	return out
+}
+
+// mergeHits unions two hit lists, dedups by index, and keeps the best ef.
+func mergeHits(a, b []idxHit, ef int) []idxHit {
+	seen := map[int]bool{}
+	out := make([]idxHit, 0, len(a)+len(b))
+	for _, h := range append(a, b...) {
+		if seen[h.idx] {
+			continue
+		}
+		seen[h.idx] = true
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].dist < out[j].dist })
+	if len(out) > ef {
+		out = out[:ef]
+	}
+	return out
+}
+
+func (h *hnswIndex) prune(vec []float64, nbs []int, m int) []int {
+	hits := make([]idxHit, len(nbs))
+	for i, nb := range nbs {
+		hits[i] = idxHit{nb, h.s.metric.Distance(vec, h.s.vecs[nb])}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].dist < hits[j].dist })
+	if len(hits) > m {
+		hits = hits[:m]
+	}
+	out := make([]int, len(hits))
+	for i, ht := range hits {
+		out[i] = ht.idx
+	}
+	return out
+}
+
+func (h *hnswIndex) search(q []float64, k int) []idxHit {
+	if h.entry < 0 {
+		return nil
+	}
+	cur := h.entry
+	for l := h.maxLevel; l > 0; l-- {
+		cur = h.greedy(q, cur, l)
+	}
+	ef := k * 10
+	if ef < 40 {
+		ef = 40
+	}
+	res := h.searchLayer(q, cur, ef, 0)
+	// second deterministic seed guards against descending into the wrong
+	// cluster on multi-modal data
+	if h.size > 1 && cur != 0 {
+		alt := h.searchLayer(q, 0, ef, 0)
+		res = mergeHits(res, alt, ef)
+	}
+	if k < len(res) {
+		res = res[:k]
+	}
+	return res
+}

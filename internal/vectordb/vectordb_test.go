@@ -1,0 +1,257 @@
+package vectordb
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func randVec(rng *rand.Rand, dim int) []float64 {
+	v := make([]float64, dim)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestAddAndExactSearch(t *testing.T) {
+	s := New(2, L2)
+	ids := make([]int, 3)
+	for i, v := range [][]float64{{0, 0}, {1, 0}, {5, 5}} {
+		id, err := s.Add(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	hits, err := s.Search([]float64{0.9, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 || hits[0].ID != ids[1] || hits[1].ID != ids[0] {
+		t.Errorf("hits = %+v", hits)
+	}
+	if s.Len() != 3 || s.Dim() != 2 {
+		t.Errorf("Len/Dim = %d/%d", s.Len(), s.Dim())
+	}
+}
+
+func TestDimensionMismatchErrors(t *testing.T) {
+	s := New(3, Cosine)
+	if _, err := s.Add([]float64{1, 2}); err == nil {
+		t.Error("Add with wrong dim should fail")
+	}
+	if _, err := s.Search([]float64{1}, 1); err == nil {
+		t.Error("Search with wrong dim should fail")
+	}
+	if _, err := s.SearchHNSW([]float64{1}, 1); err == nil {
+		t.Error("SearchHNSW with wrong dim should fail")
+	}
+}
+
+func TestSearchHNSWRequiresBuild(t *testing.T) {
+	s := New(2, L2)
+	if _, err := s.Add([]float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SearchHNSW([]float64{1, 1}, 1); err == nil {
+		t.Error("SearchHNSW before BuildHNSW should fail")
+	}
+}
+
+func TestDeleteTombstones(t *testing.T) {
+	s := New(1, L2)
+	id0, _ := s.Add([]float64{0})
+	id1, _ := s.Add([]float64{1})
+	if err := s.Delete(id0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(id0); err == nil {
+		t.Error("double delete should fail")
+	}
+	if err := s.Delete(999); err == nil {
+		t.Error("deleting unknown id should fail")
+	}
+	hits, _ := s.Search([]float64{0}, 5)
+	if len(hits) != 1 || hits[0].ID != id1 {
+		t.Errorf("deleted vector still returned: %+v", hits)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len after delete = %d", s.Len())
+	}
+}
+
+// TestExactSearchIsTrueKNNProperty: the store's exact search must agree
+// with a brute-force recomputation.
+func TestExactSearchIsTrueKNNProperty(t *testing.T) {
+	prop := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(8)
+		n := 1 + rng.Intn(60)
+		s := New(dim, L2)
+		vecs := make([][]float64, n)
+		for i := range vecs {
+			vecs[i] = randVec(rng, dim)
+			if _, err := s.Add(vecs[i]); err != nil {
+				return false
+			}
+		}
+		q := randVec(rng, dim)
+		k := 1 + int(kRaw)%10
+		hits, err := s.Search(q, k)
+		if err != nil {
+			return false
+		}
+		type pair struct {
+			id int
+			d  float64
+		}
+		want := make([]pair, n)
+		for i, v := range vecs {
+			want[i] = pair{i, L2.Distance(q, v)}
+		}
+		sort.Slice(want, func(a, b int) bool {
+			if want[a].d != want[b].d {
+				return want[a].d < want[b].d
+			}
+			return want[a].id < want[b].id
+		})
+		if k > n {
+			k = n
+		}
+		if len(hits) != k {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			if hits[i].ID != want[i].id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHNSWRecallOnClusteredData(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const dim, n = 8, 600
+	s := New(dim, Cosine)
+	centers := make([][]float64, 6)
+	for i := range centers {
+		centers[i] = randVec(rng, dim)
+	}
+	for i := 0; i < n; i++ {
+		c := centers[i%len(centers)]
+		v := make([]float64, dim)
+		for d := range v {
+			v[d] = c[d] + 0.05*rng.NormFloat64()
+		}
+		if _, err := s.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.BuildHNSW(12, 64, 3)
+	found, total := 0, 0
+	for q := 0; q < 40; q++ {
+		query := randVec(rng, dim)
+		exact, err := s.Search(query, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := s.SearchHNSW(query, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := map[int]bool{}
+		for _, h := range exact {
+			truth[h.ID] = true
+		}
+		for _, h := range approx {
+			total++
+			if truth[h.ID] {
+				found++
+			}
+		}
+	}
+	recall := float64(found) / float64(total)
+	if recall < 0.85 {
+		t.Errorf("HNSW recall@3 = %.2f, want >= 0.85", recall)
+	}
+}
+
+func TestHNSWIncrementalInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := New(4, L2)
+	for i := 0; i < 50; i++ {
+		if _, err := s.Add(randVec(rng, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.BuildHNSW(8, 32, 1)
+	// vectors added after the build must be findable
+	target := []float64{100, 100, 100, 100}
+	id, err := s.Add(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := s.SearchHNSW(target, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 || hits[0].ID != id {
+		t.Errorf("incrementally inserted vector not found: %+v", hits)
+	}
+}
+
+func TestMetricProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, m := range []Metric{Cosine, L2} {
+		for trial := 0; trial < 50; trial++ {
+			a, b := randVec(rng, 5), randVec(rng, 5)
+			dab, dba := m.Distance(a, b), m.Distance(b, a)
+			if math.Abs(dab-dba) > 1e-12 {
+				t.Fatalf("%v not symmetric: %v vs %v", m, dab, dba)
+			}
+			if dab < 0 {
+				t.Fatalf("%v negative distance %v", m, dab)
+			}
+			if self := m.Distance(a, a); self > 1e-9 {
+				t.Fatalf("%v self-distance %v", m, self)
+			}
+		}
+	}
+	if Cosine.String() != "cosine" || L2.String() != "l2" {
+		t.Error("metric names wrong")
+	}
+}
+
+func TestCosineZeroVector(t *testing.T) {
+	d := Cosine.Distance([]float64{0, 0}, []float64{1, 0})
+	if d != 1 {
+		t.Errorf("cosine distance with zero vector = %v, want 1", d)
+	}
+}
+
+func TestSearchDeterministicTieBreak(t *testing.T) {
+	s := New(1, L2)
+	for i := 0; i < 5; i++ {
+		if _, err := s.Add([]float64{1}); err != nil { // all identical
+			t.Fatal(err)
+		}
+	}
+	h1, _ := s.Search([]float64{1}, 3)
+	h2, _ := s.Search([]float64{1}, 3)
+	for i := range h1 {
+		if h1[i].ID != h2[i].ID {
+			t.Fatal("tie-break not deterministic")
+		}
+	}
+	// ties resolve by ascending ID
+	if h1[0].ID != 0 || h1[1].ID != 1 {
+		t.Errorf("tie order: %+v", h1)
+	}
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"testing"
+
+	"htapxplain/internal/sqlparser"
+)
+
+func TestBatchDeterministic(t *testing.T) {
+	a := NewGenerator(7).Batch(40)
+	b := NewGenerator(7).Batch(40)
+	for i := range a {
+		if a[i].SQL != b[i].SQL {
+			t.Fatalf("query %d differs across identical seeds", i)
+		}
+	}
+	c := NewGenerator(8).Batch(40)
+	same := true
+	for i := range a {
+		if a[i].SQL != c[i].SQL {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should give different workloads")
+	}
+}
+
+func TestAllTemplatesParse(t *testing.T) {
+	for _, q := range NewTestGenerator(3).Batch(len(templateNames)*2 + len(rareTemplateNames)) {
+		if _, err := sqlparser.Parse(q.SQL); err != nil {
+			t.Errorf("template %s generates unparseable SQL: %v\n%s", q.Template, err, q.SQL)
+		}
+	}
+}
+
+func TestTemplatesCycleRoundRobin(t *testing.T) {
+	g := NewGenerator(1)
+	qs := g.Batch(len(templateNames) * 2)
+	for i, q := range qs {
+		want := templateNames[i%len(templateNames)]
+		if q.Template != want {
+			t.Fatalf("query %d template = %s, want %s", i, q.Template, want)
+		}
+		if q.ID != i {
+			t.Fatalf("query %d ID = %d", i, q.ID)
+		}
+	}
+}
+
+func TestFamiliesTagged(t *testing.T) {
+	for _, q := range NewGenerator(1).Batch(len(templateNames)) {
+		switch q.Family {
+		case FamilyJoin, FamilyTopN:
+		default:
+			t.Errorf("template %s has unknown family %q", q.Template, q.Family)
+		}
+	}
+}
+
+func TestCoreGeneratorExcludesRareTemplates(t *testing.T) {
+	for _, q := range NewGenerator(1).Batch(3 * len(templateNames)) {
+		for _, rare := range rareTemplateNames {
+			if q.Template == rare {
+				t.Fatalf("core generator emitted rare template %s", rare)
+			}
+		}
+	}
+}
+
+func TestTestGeneratorIncludesRareTemplates(t *testing.T) {
+	seen := map[string]bool{}
+	for _, q := range NewTestGenerator(1).Batch(2*len(templateNames) + len(rareTemplateNames)) {
+		seen[q.Template] = true
+	}
+	for _, rare := range rareTemplateNames {
+		if !seen[rare] {
+			t.Errorf("test generator never emitted %s", rare)
+		}
+	}
+}
+
+func TestPhoneCodesDistinctAndQuoted(t *testing.T) {
+	g := NewGenerator(2)
+	for i := 0; i < 30; i++ {
+		q := g.generate("join3_phone_inlist")
+		if _, err := sqlparser.Parse(q.SQL); err != nil {
+			t.Fatalf("phone in-list query unparseable: %v", err)
+		}
+	}
+}
