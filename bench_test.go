@@ -15,6 +15,7 @@ import (
 	"htapxplain/internal/eval"
 	"htapxplain/internal/expert"
 	"htapxplain/internal/explain"
+	"htapxplain/internal/gateway"
 	"htapxplain/internal/htap"
 	"htapxplain/internal/llm"
 	"htapxplain/internal/sqlparser"
@@ -319,6 +320,69 @@ func BenchmarkAblation_Guardrail(b *testing.B) {
 			b.ReportMetric(rate, "cost-cmp-%")
 		})
 	}
+}
+
+// BenchmarkGateway_WarmCache measures serving the seeded point-join
+// workload through the query gateway with a warmed plan cache: every
+// query is a full hit (fingerprint + cached-plan execution only).
+func BenchmarkGateway_WarmCache(b *testing.B) {
+	env := benchEnv(b)
+	g := gateway.New(env.Sys, gateway.Config{Workers: 1, CacheCapacity: 256})
+	defer g.Stop()
+	pool := gatewayPointJoinPool(12)
+	for _, q := range pool {
+		if resp := g.Serve(q.SQL); resp.Err != nil {
+			b.Fatalf("warming %q: %v", q.SQL, resp.Err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if resp := g.Serve(pool[i%len(pool)].SQL); resp.Err != nil {
+			b.Fatal(resp.Err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkGateway_PlanPerQuery is the same workload with the plan cache
+// disabled — the baseline the ≥5x warm-cache speedup is measured against
+// (see internal/gateway's TestWarmCacheSpeedup for the enforced ratio).
+func BenchmarkGateway_PlanPerQuery(b *testing.B) {
+	env := benchEnv(b)
+	g := gateway.New(env.Sys, gateway.Config{Workers: 1, CacheCapacity: 0})
+	defer g.Stop()
+	pool := gatewayPointJoinPool(12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if resp := g.Serve(pool[i%len(pool)].SQL); resp.Err != nil {
+			b.Fatal(resp.Err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkGateway_ClosedLoop measures end-to-end closed-loop serving
+// (8 clients through queue + worker pool) with the learned router.
+func BenchmarkGateway_ClosedLoop(b *testing.B) {
+	env := benchEnv(b)
+	g := gateway.New(env.Sys, gateway.Config{
+		Workers: 4, QueueDepth: 64, CacheCapacity: 256,
+		Policy: gateway.LearnedPolicy{Router: env.Router},
+	})
+	defer g.Stop()
+	b.ResetTimer()
+	rep := gateway.RunLoad(g, gateway.LoadConfig{Clients: 8, Queries: b.N, Distinct: 24, Seed: 42})
+	b.ReportMetric(rep.Throughput, "queries/s")
+	b.ReportMetric(100*rep.Gateway.CacheHitRate, "cache-hit-%")
+	b.ReportMetric(100*rep.Gateway.RouteAccuracy, "route-acc-%")
+}
+
+// gatewayPointJoinPool generates the plan-dominated point-join slice of
+// the seeded workload (customer ⋈ their orders by random customer key) —
+// the same pool internal/gateway's TestWarmCacheSpeedup enforces the
+// warm/cold ratio on.
+func gatewayPointJoinPool(n int) []workload.Query {
+	return workload.NewGenerator(42).BatchOf("join2_point_orders", n)
 }
 
 // BenchmarkSubstrate_ParseAndPlan measures the parser + both optimizers

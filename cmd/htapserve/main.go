@@ -1,0 +1,129 @@
+// Command htapserve runs the concurrent query-serving gateway over the
+// HTAP system as an HTTP service: SQL in, routed dual-engine execution
+// out, with a sharded plan cache, bounded worker pool, admission control
+// and live metrics.
+//
+// Usage:
+//
+//	htapserve                              # serve on :8080 with cost routing
+//	htapserve -addr :9090 -policy learned  # train the tree-CNN router first
+//	htapserve -policy rule -workers 16 -queue 256
+//	htapserve -load -clients 16 -queries 2000 -distinct 50
+//
+// Endpoints:
+//
+//	POST /query    {"sql": "SELECT ..."}   → result rows + routing info
+//	GET  /metrics                          → serving counters and latencies
+//	GET  /healthz                          → liveness
+//
+// With -load the binary skips HTTP entirely and drives its own gateway
+// with the closed-loop generator, printing the load report — a one-shot
+// benchmark of the serving stack.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"htapxplain/internal/gateway"
+	"htapxplain/internal/htap"
+	"htapxplain/internal/treecnn"
+	"htapxplain/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 0, "admission queue depth (0 = 8x workers)")
+		cacheCap = flag.Int("cache-capacity", 1024, "plan cache capacity in templates (0 disables)")
+		shards   = flag.Int("cache-shards", 8, "plan cache shard count")
+		policy   = flag.String("policy", "cost", "routing policy: rule, cost or learned")
+		trainN   = flag.Int("train-queries", 160, "learned policy: training workload size")
+		epochs   = flag.Int("train-epochs", 60, "learned policy: training epochs")
+		load     = flag.Bool("load", false, "run the closed-loop load generator instead of serving HTTP")
+		clients  = flag.Int("clients", 8, "load mode: concurrent closed-loop clients")
+		queries  = flag.Int("queries", 1000, "load mode: total queries to issue")
+		distinct = flag.Int("distinct", 50, "load mode: distinct query pool size")
+		testMix  = flag.Bool("test-mix", false, "load mode: include rare out-of-KB query shapes")
+		seed     = flag.Int64("seed", 7, "workload / training seed")
+	)
+	flag.Parse()
+
+	fmt.Println("building HTAP system (catalog, data, both engines) ...")
+	sys, err := htap.New(htap.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+	pol, err := buildPolicy(sys, *policy, *trainN, *epochs, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	g := gateway.New(sys, gateway.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheCapacity: *cacheCap,
+		CacheShards:   *shards,
+		Policy:        pol,
+	})
+	defer g.Stop()
+
+	if *load {
+		fmt.Printf("closed-loop load: %d clients, %d queries over %d distinct templates\n",
+			*clients, *queries, *distinct)
+		rep := gateway.RunLoad(g, gateway.LoadConfig{
+			Clients:  *clients,
+			Queries:  *queries,
+			Distinct: *distinct,
+			Seed:     *seed,
+			TestMix:  *testMix,
+		})
+		fmt.Println(rep)
+		return
+	}
+
+	fmt.Printf("htapserve: %s routing, listening on %s\n", pol.Name(), *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           gateway.NewServeMux(g),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		fatal(err)
+	}
+}
+
+// buildPolicy resolves the -policy flag; "learned" labels a seeded
+// workload with the modeled winner and trains the tree-CNN router first.
+func buildPolicy(sys *htap.System, name string, trainN, epochs int, seed int64) (gateway.RoutingPolicy, error) {
+	switch name {
+	case "rule":
+		return gateway.RulePolicy{}, nil
+	case "cost":
+		return gateway.CostPolicy{}, nil
+	case "learned":
+		fmt.Printf("labeling %d queries and training the smart router ...\n", trainN)
+		var samples []treecnn.Sample
+		for _, q := range workload.NewGenerator(seed).Batch(trainN) {
+			res, err := sys.Run(q.SQL)
+			if err != nil {
+				return nil, fmt.Errorf("labeling %q: %w", q.SQL, err)
+			}
+			samples = append(samples, treecnn.Sample{Pair: &res.Pair, Label: res.Winner})
+		}
+		r := treecnn.New(seed)
+		rep := r.Train(samples, epochs, seed+1)
+		fmt.Printf("router trained: %.0f%% train accuracy (%d params)\n", 100*rep.TrainAcc, r.NumParams())
+		return gateway.LearnedPolicy{Router: r}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q (want rule, cost or learned)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "htapserve:", err)
+	os.Exit(1)
+}

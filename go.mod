@@ -1,0 +1,3 @@
+module htapxplain
+
+go 1.21

@@ -63,8 +63,13 @@ func (s *RowIndexScan) Run(ctx *Context) ([]value.Row, error) {
 	var ids []int32
 	if s.Keys != nil {
 		ctx.Stats.IndexProbes += int64(len(s.Keys))
-		for _, k := range s.Keys {
-			ids = append(ids, s.Index.Lookup(k)...)
+		if len(s.Keys) == 1 {
+			// point lookup: iterate the index's posting list in place
+			ids = s.Index.Lookup(s.Keys[0])
+		} else {
+			for _, k := range s.Keys {
+				ids = append(ids, s.Index.Lookup(k)...)
+			}
 		}
 	} else {
 		ctx.Stats.IndexProbes++
@@ -332,14 +337,20 @@ func (j *IndexNLJoin) Run(ctx *Context) ([]value.Row, error) {
 			in := j.InnerTable.Row(id)
 			ctx.Stats.RowsScanned++
 			ctx.Stats.BytesScanned += j.InnerTable.Meta.AvgRowBytes
+			if j.Residual == nil {
+				// no residual to pre-check: build the output row in place,
+				// skipping the scratch-row copy + clone
+				nr := make(value.Row, len(j.out))
+				copy(nr, o)
+				copy(nr[len(o):], in)
+				out = append(out, nr)
+				continue
+			}
 			copy(combined, o)
 			copy(combined[len(o):], in)
-			ok := true
-			if j.Residual != nil {
-				ok, err = Truthy(j.Residual, combined)
-				if err != nil {
-					return nil, err
-				}
+			ok, err := Truthy(j.Residual, combined)
+			if err != nil {
+				return nil, err
 			}
 			if ok {
 				out = append(out, combined.Clone())
@@ -387,14 +398,20 @@ func (j *HashJoin) Run(ctx *Context) ([]value.Row, error) {
 	for _, p := range probeRows {
 		ctx.Stats.HashProbeRows++
 		for _, b := range ht[p.Key(j.ProbeKeys)] {
+			if j.Residual == nil {
+				// no residual to pre-check: build the output row in place,
+				// skipping the scratch-row copy + clone
+				nr := make(value.Row, len(j.out))
+				copy(nr, p)
+				copy(nr[len(p):], b)
+				out = append(out, nr)
+				continue
+			}
 			copy(combined, p)
 			copy(combined[len(p):], b)
-			ok := true
-			if j.Residual != nil {
-				ok, err = Truthy(j.Residual, combined)
-				if err != nil {
-					return nil, err
-				}
+			ok, err := Truthy(j.Residual, combined)
+			if err != nil {
+				return nil, err
 			}
 			if ok {
 				out = append(out, combined.Clone())
@@ -599,9 +616,14 @@ func (s *SortOp) Run(ctx *Context) ([]value.Row, error) {
 		return nil, err
 	}
 	ctx.Stats.RowsSorted += int64(len(in))
+	// Sort a copy: scans may return storage-aliased slices, and sorting
+	// those in place would permanently reorder the table heap under every
+	// positional index (and race when plans run concurrently).
+	out := make([]value.Row, len(in))
+	copy(out, in)
 	var sortErr error
-	sort.SliceStable(in, func(i, j int) bool {
-		c, err := compareByKeys(s.Keys, in[i], in[j])
+	sort.SliceStable(out, func(i, j int) bool {
+		c, err := compareByKeys(s.Keys, out[i], out[j])
 		if err != nil && sortErr == nil {
 			sortErr = err
 		}
@@ -610,7 +632,7 @@ func (s *SortOp) Run(ctx *Context) ([]value.Row, error) {
 	if sortErr != nil {
 		return nil, sortErr
 	}
-	return in, nil
+	return out, nil
 }
 
 // TopNOp keeps the first N+Offset rows in key order using a bounded

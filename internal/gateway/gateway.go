@@ -1,0 +1,408 @@
+// Package gateway is the concurrent query-serving front end of the HTAP
+// system: the piece that turns the repo's single-query pipeline into a
+// service. Incoming SQL is fingerprinted (literals stripped), looked up in
+// a sharded LRU plan cache holding both engines' physical plans, routed to
+// one engine by a pluggable policy (rule-based, cost-model, or the
+// tree-CNN smart router), and executed on a bounded worker pool with
+// admission control: when the queue is full new queries are shed
+// immediately rather than queued without bound. Per-query metrics (latency
+// histogram, cache hit rate, route accuracy against the modeled winner)
+// are exported for the HTTP endpoint in cmd/htapserve.
+//
+// Cache entries are keyed on the fingerprint and follow the classic
+// parent/child-cursor scheme: the template entry carries the routing
+// decision, and retains a bounded set of bound plans per literal vector.
+//
+//   - full hit — fingerprint matches and the literal vector is retained:
+//     the bound plan is re-executed with no parsing or planning at all
+//     (operators hold no cross-run state, so a plan tree can run many
+//     times, concurrently);
+//   - template hit — fingerprint matches but the literals are new: the
+//     cached routing decision is reused (plan shape, and hence the faster
+//     engine, is a property of the template) and only the chosen engine is
+//     re-planned with the new literals, which are then retained — half the
+//     planning work, no routing work, and a full hit next time;
+//   - miss — both engines are planned, the policy routes, and the template
+//     entry is cached for the next query of the same shape.
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"htapxplain/internal/exec"
+	"htapxplain/internal/htap"
+	"htapxplain/internal/latency"
+	"htapxplain/internal/optimizer"
+	"htapxplain/internal/plan"
+	"htapxplain/internal/sqlparser"
+	"htapxplain/internal/value"
+)
+
+// ErrOverloaded is returned by Submit when admission control sheds the
+// query because the queue is at capacity.
+var ErrOverloaded = errors.New("gateway: overloaded, query shed")
+
+// ErrStopped is returned by Submit once the gateway has been stopped.
+var ErrStopped = errors.New("gateway: stopped")
+
+// Config controls gateway construction.
+type Config struct {
+	// Workers is the execution pool size (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue; a Submit that finds the
+	// queue full is shed with ErrOverloaded (default: 8× workers).
+	QueueDepth int
+	// CacheCapacity is the total plan-cache entry budget across shards;
+	// 0 disables caching — every query is planned from scratch.
+	CacheCapacity int
+	// CacheShards is the shard count, rounded up to a power of two
+	// (default: 8).
+	CacheShards int
+	// Policy picks the engine per query (default: CostPolicy).
+	Policy RoutingPolicy
+
+	// testServeStart, when set, is invoked at the top of every Serve
+	// call. It exists so package tests can park a worker mid-serve and
+	// exercise admission control deterministically on single-CPU runners.
+	testServeStart func()
+}
+
+// DefaultConfig returns a config sized for the local machine.
+func DefaultConfig() Config {
+	w := runtime.GOMAXPROCS(0)
+	return Config{
+		Workers:       w,
+		QueueDepth:    8 * w,
+		CacheCapacity: 1024,
+		CacheShards:   8,
+		Policy:        CostPolicy{},
+	}
+}
+
+// CacheOutcome classifies how the plan cache served one query.
+type CacheOutcome int
+
+const (
+	// CacheMiss means both engines were planned and the entry was cached.
+	CacheMiss CacheOutcome = iota
+	// CacheTemplateHit means the routing decision was reused and only the
+	// routed engine was re-planned with the query's literals.
+	CacheTemplateHit
+	// CacheHit means the cached plan was re-executed without any parsing
+	// or planning beyond the fingerprint itself.
+	CacheHit
+)
+
+func (o CacheOutcome) String() string {
+	switch o {
+	case CacheHit:
+		return "hit"
+	case CacheTemplateHit:
+		return "template-hit"
+	default:
+		return "miss"
+	}
+}
+
+// Response is the outcome of serving one query.
+type Response struct {
+	SQL    string
+	Engine plan.Engine
+	Rows   []value.Row
+	Stats  exec.Stats
+	Cache  CacheOutcome
+	// TPTime/APTime are the modeled latencies at deployment scale. On a
+	// template hit only the routed engine was planned, so the other is 0.
+	TPTime, APTime time.Duration
+	// ServeTime is the wall time spent serving (fingerprint → rows),
+	// excluding queue wait.
+	ServeTime time.Duration
+	// QueueWait is the time the query sat in the admission queue.
+	QueueWait time.Duration
+	Err       error
+}
+
+type request struct {
+	sql      string
+	enqueued time.Time
+	resp     chan *Response
+}
+
+// Gateway serves queries against one htap.System.
+type Gateway struct {
+	sys     *htap.System
+	cfg     Config
+	cache   *PlanCache
+	metrics Metrics
+	queue   chan *request
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// New builds a gateway and starts its worker pool. Callers must Stop it.
+func New(sys *htap.System, cfg Config) *Gateway {
+	def := DefaultConfig()
+	if cfg.Workers <= 0 {
+		cfg.Workers = def.Workers
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 8 * cfg.Workers
+	}
+	if cfg.CacheShards <= 0 {
+		cfg.CacheShards = def.CacheShards
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = def.Policy
+	}
+	g := &Gateway{
+		sys:   sys,
+		cfg:   cfg,
+		cache: NewPlanCache(cfg.CacheShards, cfg.CacheCapacity),
+		queue: make(chan *request, cfg.QueueDepth),
+		stop:  make(chan struct{}),
+	}
+	g.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go g.worker()
+	}
+	return g
+}
+
+// Stop shuts the worker pool down and waits for in-flight queries to
+// finish. Queued-but-unstarted queries are abandoned; their Submit calls
+// return ErrStopped.
+func (g *Gateway) Stop() {
+	close(g.stop)
+	g.wg.Wait()
+}
+
+// Submit enqueues the query and blocks until it is served. It returns
+// ErrOverloaded immediately when admission control sheds the query, and
+// ErrStopped if the gateway shuts down first. Errors from serving the
+// query itself (parse, plan, execution) are reported in Response.Err.
+func (g *Gateway) Submit(sql string) (*Response, error) {
+	r := &request{sql: sql, enqueued: time.Now(), resp: make(chan *Response, 1)}
+	select {
+	case <-g.stop:
+		return nil, ErrStopped
+	case g.queue <- r:
+	default:
+		g.metrics.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+	select {
+	case resp := <-r.resp:
+		return resp, nil
+	case <-g.stop:
+		return nil, ErrStopped
+	}
+}
+
+// Metrics returns a point-in-time snapshot of the serving counters.
+func (g *Gateway) Metrics() Snapshot { return g.metrics.Snapshot() }
+
+// CacheLen returns the number of cached plan templates.
+func (g *Gateway) CacheLen() int { return g.cache.Len() }
+
+// Policy returns the active routing policy.
+func (g *Gateway) Policy() RoutingPolicy { return g.cfg.Policy }
+
+func (g *Gateway) worker() {
+	defer g.wg.Done()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case r := <-g.queue:
+			resp := g.Serve(r.sql)
+			resp.QueueWait = time.Since(r.enqueued) - resp.ServeTime
+			r.resp <- resp
+		}
+	}
+}
+
+// Serve runs the full serving pipeline synchronously, bypassing the queue
+// and admission control. It is safe to call concurrently and is what the
+// workers run per query; benchmarks call it directly to measure the
+// pipeline without queue overhead.
+func (g *Gateway) Serve(sql string) *Response {
+	g.metrics.inFlight.Add(1)
+	defer g.metrics.inFlight.Add(-1)
+	if g.cfg.testServeStart != nil {
+		g.cfg.testServeStart()
+	}
+	start := time.Now()
+	resp := g.process(sql)
+	resp.ServeTime = time.Since(start)
+	g.metrics.total.Add(1)
+	if resp.Err != nil {
+		g.metrics.errs.Add(1)
+	} else {
+		g.metrics.observeLatency(resp.ServeTime)
+	}
+	return resp
+}
+
+func (g *Gateway) process(sql string) *Response {
+	resp := &Response{SQL: sql}
+	fp, params, err := sqlparser.Fingerprint(sql)
+	if err != nil {
+		resp.Err = fmt.Errorf("gateway: fingerprint: %w", err)
+		return resp
+	}
+	paramKey := sqlparser.ParamKey(params)
+
+	entry, found := g.cache.Get(fp)
+	switch {
+	case found:
+		if bp, ok := entry.Bind(paramKey); ok {
+			resp.Cache = CacheHit
+			g.metrics.hits.Add(1)
+			resp.TPTime, resp.APTime = bp.TPTime, bp.APTime
+			g.recordRoute(entry.Route, bp.TPTime, bp.APTime)
+			g.execute(resp, pickPlan(bp, entry.Route), entry.Route)
+			return resp
+		}
+		resp.Cache = CacheTemplateHit
+		g.metrics.tmplHit.Add(1)
+		phys, err := g.planOne(sql, entry.Route)
+		if err != nil {
+			resp.Err = err
+			return resp
+		}
+		bp := &BoundPlan{ParamKey: paramKey}
+		if entry.Route == plan.TP {
+			bp.TP, bp.TPTime = phys, latency.Estimate(phys.Explain)
+		} else {
+			bp.AP, bp.APTime = phys, latency.Estimate(phys.Explain)
+		}
+		entry.AddBind(bp)
+		resp.TPTime, resp.APTime = bp.TPTime, bp.APTime
+		g.recordRoute(entry.Route, 0, 0)
+		g.execute(resp, phys, entry.Route)
+	default:
+		resp.Cache = CacheMiss
+		g.metrics.misses.Add(1)
+		entry, bp, err := g.planBoth(sql, fp, paramKey)
+		if err != nil {
+			resp.Err = err
+			return resp
+		}
+		entry.Route = g.cfg.Policy.Route(RouteInput{
+			Stmt:   entry.stmt,
+			Pair:   &entry.Pair,
+			TPTime: entry.TPTime,
+			APTime: entry.APTime,
+		})
+		g.cache.Put(entry)
+		resp.TPTime, resp.APTime = bp.TPTime, bp.APTime
+		g.recordRoute(entry.Route, bp.TPTime, bp.APTime)
+		g.execute(resp, pickPlan(bp, entry.Route), entry.Route)
+	}
+	return resp
+}
+
+// recordRoute updates routing metrics. Ground truth (the modeled winner)
+// is only known when both engines were planned; half-planned bindings
+// (template hits and their retained plans) count toward routed totals
+// only.
+func (g *Gateway) recordRoute(route plan.Engine, tpTime, apTime time.Duration) {
+	if route == plan.TP {
+		g.metrics.routedTP.Add(1)
+	} else {
+		g.metrics.routedAP.Add(1)
+	}
+	if tpTime == 0 || apTime == 0 {
+		return
+	}
+	g.metrics.routeKnown.Add(1)
+	winner := plan.AP
+	if tpTime <= apTime {
+		winner = plan.TP
+	}
+	if route == winner {
+		g.metrics.routeCorrect.Add(1)
+	}
+}
+
+func (g *Gateway) execute(resp *Response, phys *optimizer.PhysPlan, eng plan.Engine) {
+	resp.Engine = eng
+	ctx := exec.NewContext()
+	rows, err := phys.Root.Run(ctx)
+	if err != nil {
+		resp.Err = fmt.Errorf("gateway: %v execution: %w", eng, err)
+		return
+	}
+	resp.Rows = rows
+	resp.Stats = ctx.Stats
+}
+
+// planOne parses the query and plans only the given engine — the
+// template-hit path.
+func (g *Gateway) planOne(sql string, eng plan.Engine) (*optimizer.PhysPlan, error) {
+	sel, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: parse: %w", err)
+	}
+	if eng == plan.TP {
+		phys, err := g.sys.Planner.PlanTP(sel)
+		if err != nil {
+			return nil, fmt.Errorf("gateway: TP planning: %w", err)
+		}
+		return phys, nil
+	}
+	phys, err := g.sys.Planner.PlanAP(sel)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: AP planning: %w", err)
+	}
+	return phys, nil
+}
+
+// planBoth parses and plans the query on both engines — the miss path.
+// Each engine binds its own fresh AST, since binding mutates the tree.
+// The returned entry already retains the first bound plans.
+func (g *Gateway) planBoth(sql, fp, paramKey string) (*CachedPlan, *BoundPlan, error) {
+	selTP, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gateway: parse: %w", err)
+	}
+	selAP, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gateway: parse: %w", err)
+	}
+	tpPlan, err := g.sys.Planner.PlanTP(selTP)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gateway: TP planning: %w", err)
+	}
+	apPlan, err := g.sys.Planner.PlanAP(selAP)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gateway: AP planning: %w", err)
+	}
+	bp := &BoundPlan{
+		ParamKey: paramKey,
+		TP:       tpPlan,
+		AP:       apPlan,
+		TPTime:   latency.Estimate(tpPlan.Explain),
+		APTime:   latency.Estimate(apPlan.Explain),
+	}
+	entry := &CachedPlan{
+		Fingerprint: fp,
+		Pair:        plan.Pair{SQL: sql, TP: tpPlan.Explain, AP: apPlan.Explain},
+		TPTime:      bp.TPTime,
+		APTime:      bp.APTime,
+		stmt:        selTP,
+	}
+	entry.AddBind(bp)
+	return entry, bp, nil
+}
+
+func pickPlan(bp *BoundPlan, eng plan.Engine) *optimizer.PhysPlan {
+	if eng == plan.TP {
+		return bp.TP
+	}
+	return bp.AP
+}

@@ -1,0 +1,117 @@
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"htapxplain/internal/workload"
+)
+
+// LoadConfig drives the closed-loop load generator: Clients goroutines
+// each submit the next query as soon as the previous one completes, so
+// offered load tracks service capacity (the inference-serving harness
+// pattern). Queries cycle over a pool of Distinct generated statements —
+// a small pool models a parameterized production workload with high
+// template reuse and exercises the plan cache; Distinct == Queries makes
+// every query cold.
+type LoadConfig struct {
+	// Clients is the number of concurrent closed-loop submitters
+	// (default 8).
+	Clients int
+	// Queries is the total number of submissions across all clients
+	// (default 256).
+	Queries int
+	// Distinct is the generated query-pool size the clients cycle over
+	// (default: Queries, i.e. no reuse).
+	Distinct int
+	// Seed drives the workload generator.
+	Seed int64
+	// TestMix includes the rare out-of-KB query shapes
+	// (workload.NewTestGenerator) in the pool.
+	TestMix bool
+}
+
+// LoadReport summarizes one load-generation run.
+type LoadReport struct {
+	Issued     int64
+	Completed  int64
+	Shed       int64
+	Failed     int64
+	Elapsed    time.Duration
+	Throughput float64 // completed queries per second
+	Gateway    Snapshot
+}
+
+// String renders the report for logs and CLI output.
+func (r LoadReport) String() string {
+	return fmt.Sprintf("issued=%d completed=%d shed=%d failed=%d in %v (%.0f qps)\n  %v",
+		r.Issued, r.Completed, r.Shed, r.Failed, r.Elapsed.Round(time.Millisecond),
+		r.Throughput, r.Gateway)
+}
+
+// RunLoad drives the gateway with the configured closed loop and returns
+// aggregate results. Shed queries count as issued but are not retried —
+// under overload a closed-loop client moves on to its next query, which
+// keeps the run finite while still measuring the shed rate.
+func RunLoad(g *Gateway, cfg LoadConfig) LoadReport {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.Queries <= 0 {
+		cfg.Queries = 256
+	}
+	if cfg.Distinct <= 0 || cfg.Distinct > cfg.Queries {
+		cfg.Distinct = cfg.Queries
+	}
+	var gen *workload.Generator
+	if cfg.TestMix {
+		gen = workload.NewTestGenerator(cfg.Seed)
+	} else {
+		gen = workload.NewGenerator(cfg.Seed)
+	}
+	pool := gen.Batch(cfg.Distinct)
+
+	var next, completed, shed, failed atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(cfg.Clients)
+	for c := 0; c < cfg.Clients; c++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(cfg.Queries) {
+					return
+				}
+				resp, err := g.Submit(pool[i%int64(len(pool))].SQL)
+				switch {
+				case errors.Is(err, ErrOverloaded):
+					shed.Add(1)
+				case err != nil:
+					failed.Add(1)
+				case resp.Err != nil:
+					failed.Add(1)
+				default:
+					completed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	rep := LoadReport{
+		Issued:    int64(cfg.Queries),
+		Completed: completed.Load(),
+		Shed:      shed.Load(),
+		Failed:    failed.Load(),
+		Elapsed:   elapsed,
+		Gateway:   g.Metrics(),
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Completed) / elapsed.Seconds()
+	}
+	return rep
+}

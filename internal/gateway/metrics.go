@@ -1,0 +1,131 @@
+package gateway
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets. Bucket i
+// counts serve times in [2^i, 2^(i+1)) microseconds; the last bucket is an
+// overflow (≥ ~8.6 s).
+const histBuckets = 24
+
+// Metrics is the gateway's lock-free counter set. All fields are updated
+// with atomics from every worker; Snapshot reads them without stopping the
+// world, so a snapshot is consistent only per-counter (fine for
+// monitoring).
+type Metrics struct {
+	total    atomic.Int64 // queries admitted
+	shed     atomic.Int64 // queries rejected by admission control
+	errs     atomic.Int64 // queries that failed (parse/plan/exec)
+	inFlight atomic.Int64 // queries currently being served by workers
+	hits     atomic.Int64 // full plan-cache hits (plans re-executed)
+	tmplHit  atomic.Int64 // template hits (route reused, one engine re-planned)
+	misses   atomic.Int64 // cold queries (planned both engines)
+
+	routedTP     atomic.Int64
+	routedAP     atomic.Int64
+	routeKnown   atomic.Int64 // routes with modeled ground truth available
+	routeCorrect atomic.Int64 // ... that matched the modeled winner
+
+	latSum     atomic.Int64 // total serve nanoseconds
+	latBuckets [histBuckets]atomic.Int64
+}
+
+func (m *Metrics) observeLatency(d time.Duration) {
+	m.latSum.Add(int64(d))
+	us := d.Microseconds()
+	b := 0
+	for us > 1 && b < histBuckets-1 {
+		us >>= 1
+		b++
+	}
+	m.latBuckets[b].Add(1)
+}
+
+// Snapshot is a point-in-time copy of the gateway metrics with derived
+// rates, suitable for JSON encoding on a /metrics endpoint.
+type Snapshot struct {
+	Total    int64 `json:"total"`
+	Shed     int64 `json:"shed"`
+	Errors   int64 `json:"errors"`
+	InFlight int64 `json:"in_flight"`
+
+	CacheHits         int64   `json:"cache_hits"`
+	CacheTemplateHits int64   `json:"cache_template_hits"`
+	CacheMisses       int64   `json:"cache_misses"`
+	CacheHitRate      float64 `json:"cache_hit_rate"`
+
+	RoutedTP      int64   `json:"routed_tp"`
+	RoutedAP      int64   `json:"routed_ap"`
+	RouteAccuracy float64 `json:"route_accuracy"`
+
+	MeanLatency time.Duration `json:"mean_latency_ns"`
+	P50         time.Duration `json:"p50_ns"`
+	P95         time.Duration `json:"p95_ns"`
+	P99         time.Duration `json:"p99_ns"`
+}
+
+// Snapshot derives the exported view from the live counters.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Total:             m.total.Load(),
+		Shed:              m.shed.Load(),
+		Errors:            m.errs.Load(),
+		InFlight:          m.inFlight.Load(),
+		CacheHits:         m.hits.Load(),
+		CacheTemplateHits: m.tmplHit.Load(),
+		CacheMisses:       m.misses.Load(),
+		RoutedTP:          m.routedTP.Load(),
+		RoutedAP:          m.routedAP.Load(),
+	}
+	if lookups := s.CacheHits + s.CacheTemplateHits + s.CacheMisses; lookups > 0 {
+		s.CacheHitRate = float64(s.CacheHits+s.CacheTemplateHits) / float64(lookups)
+	}
+	if known := m.routeKnown.Load(); known > 0 {
+		s.RouteAccuracy = float64(m.routeCorrect.Load()) / float64(known)
+	}
+	var counts [histBuckets]int64
+	var n int64
+	for i := range counts {
+		counts[i] = m.latBuckets[i].Load()
+		n += counts[i]
+	}
+	if n > 0 {
+		s.MeanLatency = time.Duration(m.latSum.Load() / n)
+		s.P50 = quantile(counts[:], n, 0.50)
+		s.P95 = quantile(counts[:], n, 0.95)
+		s.P99 = quantile(counts[:], n, 0.99)
+	}
+	return s
+}
+
+// quantile returns the upper bound of the histogram bucket containing the
+// q-th sample — a standard bucketed-quantile estimate.
+func quantile(counts []int64, n int64, q float64) time.Duration {
+	target := int64(q * float64(n))
+	if target >= n {
+		target = n - 1
+	}
+	var seen int64
+	for i, c := range counts {
+		seen += c
+		if seen > target {
+			return time.Duration(int64(1)<<uint(i+1)) * time.Microsecond
+		}
+	}
+	return time.Duration(int64(1)<<histBuckets) * time.Microsecond
+}
+
+// String renders the snapshot as a compact one-line summary for logs.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "served=%d shed=%d errs=%d", s.Total, s.Shed, s.Errors)
+	fmt.Fprintf(&b, " cache=%.0f%% (%d/%d/%d hit/tmpl/miss)",
+		100*s.CacheHitRate, s.CacheHits, s.CacheTemplateHits, s.CacheMisses)
+	fmt.Fprintf(&b, " routes=TP:%d,AP:%d acc=%.0f%%", s.RoutedTP, s.RoutedAP, 100*s.RouteAccuracy)
+	fmt.Fprintf(&b, " lat mean=%v p50=%v p95=%v p99=%v", s.MeanLatency, s.P50, s.P95, s.P99)
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package gateway
+
+import (
+	"time"
+
+	"htapxplain/internal/plan"
+	"htapxplain/internal/sqlparser"
+	"htapxplain/internal/treecnn"
+)
+
+// RouteInput is everything a routing policy may consult for one query:
+// the parsed statement, both engines' explain trees, and the latency
+// model's estimates for each. All fields are always populated — the
+// gateway plans both engines before routing (the plans are cached, so on
+// the warm path this costs nothing).
+type RouteInput struct {
+	Stmt   *sqlparser.Select
+	Pair   *plan.Pair
+	TPTime time.Duration
+	APTime time.Duration
+}
+
+// RoutingPolicy picks the engine a query executes on. Implementations must
+// be safe for concurrent use by multiple gateway workers.
+type RoutingPolicy interface {
+	Name() string
+	Route(in RouteInput) plan.Engine
+}
+
+// ---------------------------------------------------------------- cost
+
+// CostPolicy routes by the latency model: whichever engine the model says
+// is faster wins. Against modeled ground truth this policy is exact by
+// construction; it is the reference the rule-based and learned policies
+// are measured against.
+type CostPolicy struct{}
+
+// Name implements RoutingPolicy.
+func (CostPolicy) Name() string { return "cost" }
+
+// Route implements RoutingPolicy.
+func (CostPolicy) Route(in RouteInput) plan.Engine {
+	if in.TPTime <= in.APTime {
+		return plan.TP
+	}
+	return plan.AP
+}
+
+// ---------------------------------------------------------------- rule
+
+// RulePolicy is the static-heuristic baseline every HTAP deployment starts
+// from: syntactic features of the statement decide the engine, with no
+// plan or cost information. It intentionally mirrors the paper's framing —
+// aggregates and wide joins look analytical, point lookups and index-order
+// Top-N look transactional — and is wrong exactly where those heuristics
+// are wrong (e.g. a tiny dimension join that AP's startup cost dominates).
+type RulePolicy struct{}
+
+// Name implements RoutingPolicy.
+func (RulePolicy) Name() string { return "rule" }
+
+// Route implements RoutingPolicy.
+func (RulePolicy) Route(in RouteInput) plan.Engine {
+	s := in.Stmt
+	if len(s.From) >= 3 {
+		return plan.AP
+	}
+	if s.HasAggregate() || len(s.GroupBy) > 0 {
+		return plan.AP
+	}
+	// Remaining shapes: point/range selects and ORDER BY ... LIMIT paging,
+	// which the row store serves through its indexes.
+	return plan.TP
+}
+
+// ---------------------------------------------------------------- learned
+
+// LearnedPolicy wraps the tree-CNN smart router: the trained classifier
+// over plan-pair embeddings predicts the faster engine. Router inference
+// is read-only over the model weights, so concurrent Route calls are safe.
+type LearnedPolicy struct {
+	Router *treecnn.Router
+}
+
+// Name implements RoutingPolicy.
+func (LearnedPolicy) Name() string { return "learned" }
+
+// Route implements RoutingPolicy.
+func (p LearnedPolicy) Route(in RouteInput) plan.Engine {
+	eng, _ := p.Router.Predict(in.Pair)
+	return eng
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package gateway
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing-sensitive tests skip their throughput assertions under it.
+const raceEnabled = false

@@ -1,0 +1,116 @@
+package gateway
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"htapxplain/internal/value"
+)
+
+// QueryRequest is the JSON body of POST /query.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+}
+
+// QueryResponse is the JSON reply of POST /query.
+type QueryResponse struct {
+	SQL       string     `json:"sql"`
+	Engine    string     `json:"engine"`
+	Cache     string     `json:"cache"`
+	RowCount  int        `json:"row_count"`
+	Rows      [][]string `json:"rows,omitempty"`
+	TPMillis  float64    `json:"modeled_tp_ms,omitempty"`
+	APMillis  float64    `json:"modeled_ap_ms,omitempty"`
+	ServeUS   int64      `json:"serve_us"`
+	QueueUS   int64      `json:"queue_us"`
+	Error     string     `json:"error,omitempty"`
+	Truncated bool       `json:"truncated,omitempty"`
+}
+
+// maxRowsInReply bounds the rows echoed over HTTP; the full count is
+// always reported in row_count.
+const maxRowsInReply = 100
+
+// NewServeMux returns the gateway's HTTP surface:
+//
+//	POST /query   {"sql": "..."} → QueryResponse
+//	GET  /metrics               → Snapshot
+//	GET  /healthz               → 200 ok
+func NewServeMux(g *Gateway) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req QueryRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.SQL == "" {
+			http.Error(w, `body must be {"sql": "..."}`, http.StatusBadRequest)
+			return
+		}
+		resp, err := g.Submit(req.SQL)
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		case errors.Is(err, ErrStopped):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, toQueryResponse(resp))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, g.Metrics())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func toQueryResponse(resp *Response) QueryResponse {
+	out := QueryResponse{
+		SQL:      resp.SQL,
+		Engine:   resp.Engine.String(),
+		Cache:    resp.Cache.String(),
+		RowCount: len(resp.Rows),
+		TPMillis: float64(resp.TPTime) / float64(time.Millisecond),
+		APMillis: float64(resp.APTime) / float64(time.Millisecond),
+		ServeUS:  resp.ServeTime.Microseconds(),
+		QueueUS:  resp.QueueWait.Microseconds(),
+	}
+	if resp.Err != nil {
+		out.Error = resp.Err.Error()
+		return out
+	}
+	n := len(resp.Rows)
+	if n > maxRowsInReply {
+		n, out.Truncated = maxRowsInReply, true
+	}
+	out.Rows = make([][]string, n)
+	for i := 0; i < n; i++ {
+		out.Rows[i] = renderRow(resp.Rows[i])
+	}
+	return out
+}
+
+func renderRow(r value.Row) []string {
+	out := make([]string, len(r))
+	for i, v := range r {
+		out[i] = v.String()
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,191 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Fingerprint normalizes a query down to its parameterized template: every
+// literal is replaced by '?', IN-lists collapse to a single placeholder,
+// whitespace is canonicalized and words are lower-cased. Queries that
+// differ only in literal values share a fingerprint, which is what a plan
+// cache keys on (pg_stat_statements-style query normalization).
+//
+// This is the admission fast path of the serving gateway: it runs on every
+// query before any cache lookup, so it is a single pass over the input
+// bytes with one output buffer and no token materialization — several
+// times cheaper than even one parse, let alone planning.
+//
+// The second return value is the stripped literals in source order (string
+// literals still quoted), so callers can distinguish "same template, same
+// parameters" (a cached plan is exactly reusable) from "same template,
+// different parameters" (the plan shape is reusable but the plan is not).
+func Fingerprint(sql string) (fp string, params []string, err error) {
+	var b strings.Builder
+	b.Grow(len(sql))
+	i, n := 0, len(sql)
+	lastWasIn := false // previous word was IN: a literal list may follow
+	needSep := false   // emit a separator before the next word/number
+	sep := func() {
+		if needSep {
+			b.WriteByte(' ')
+		}
+		needSep = true
+	}
+	for i < n {
+		c := sql[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j, err := scanString(sql, i)
+			if err != nil {
+				return "", nil, err
+			}
+			params = append(params, sql[i:j])
+			sep()
+			b.WriteByte('?')
+			lastWasIn = false
+			i = j
+		case c >= '0' && c <= '9':
+			j := scanNumber(sql, i)
+			params = append(params, sql[i:j])
+			sep()
+			b.WriteByte('?')
+			lastWasIn = false
+			i = j
+		case isIdentStart(rune(c)):
+			j := i + 1
+			for j < n && isIdentPart(rune(sql[j])) {
+				j++
+			}
+			sep()
+			lower(&b, sql[i:j])
+			lastWasIn = j-i == 2 && (sql[i] == 'i' || sql[i] == 'I') && (sql[i+1] == 'n' || sql[i+1] == 'N')
+			i = j
+		case c == '(' && lastWasIn:
+			// IN ('20','40','22') and IN ('30') share a template:
+			// collapse a literal-only list to one placeholder.
+			if end, ok := scanLiteralList(sql, i, &params); ok {
+				b.WriteString("(?)")
+				needSep = true
+				i = end
+			} else {
+				b.WriteByte('(')
+				needSep = false
+				i++
+			}
+			lastWasIn = false
+		default:
+			// Punctuation separates words on its own; literal glue like
+			// "a,b" and "a , b" must normalize identically.
+			b.WriteByte(c)
+			needSep = false
+			lastWasIn = false
+			i++
+		}
+	}
+	return b.String(), params, nil
+}
+
+// scanString returns the index just past a quoted string starting at
+// sql[i] == '\” (” escapes a quote), or an error if unterminated.
+func scanString(sql string, i int) (int, error) {
+	j := i + 1
+	n := len(sql)
+	for j < n {
+		if sql[j] == '\'' {
+			if j+1 < n && sql[j+1] == '\'' {
+				j += 2
+				continue
+			}
+			return j + 1, nil
+		}
+		j++
+	}
+	return 0, fmt.Errorf("sql: unterminated string literal at offset %d", i)
+}
+
+// scanNumber returns the index just past an integer or decimal literal.
+func scanNumber(sql string, i int) int {
+	n := len(sql)
+	j := i
+	for j < n && sql[j] >= '0' && sql[j] <= '9' {
+		j++
+	}
+	if j < n && sql[j] == '.' && j+1 < n && sql[j+1] >= '0' && sql[j+1] <= '9' {
+		j++
+		for j < n && sql[j] >= '0' && sql[j] <= '9' {
+			j++
+		}
+	}
+	return j
+}
+
+// scanLiteralList tries to consume a parenthesized, comma-separated,
+// non-empty list of literals starting at sql[i] == '('. On success it
+// appends an arity marker ("#<n>", a spelling no SQL literal can take)
+// followed by each literal to params, and returns the index just past
+// ')'. The marker keeps the flat ParamKey unambiguous across adjacent
+// collapsed lists: without it, IN (1,2) … IN (3) and IN (1) … IN (2,3)
+// would share both fingerprint and parameter vector, and the plan
+// cache would serve one query the other's bound plan.
+func scanLiteralList(sql string, i int, params *[]string) (int, bool) {
+	j := i + 1
+	n := len(sql)
+	var found []string
+	wantItem := true
+	for j < n {
+		c := sql[j]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			j++
+		case c == ')':
+			if wantItem || len(found) == 0 {
+				return 0, false
+			}
+			*params = append(*params, "#"+strconv.Itoa(len(found)))
+			*params = append(*params, found...)
+			return j + 1, true
+		case c == ',':
+			if wantItem {
+				return 0, false
+			}
+			wantItem = true
+			j++
+		case wantItem && c == '\'':
+			end, err := scanString(sql, j)
+			if err != nil {
+				return 0, false
+			}
+			found = append(found, sql[j:end])
+			wantItem = false
+			j = end
+		case wantItem && c >= '0' && c <= '9':
+			end := scanNumber(sql, j)
+			found = append(found, sql[j:end])
+			wantItem = false
+			j = end
+		default:
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// lower writes s lower-cased (ASCII) without allocating.
+func lower(b *strings.Builder, s string) {
+	for k := 0; k < len(s); k++ {
+		c := s[k]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		b.WriteByte(c)
+	}
+}
+
+// ParamKey joins stripped literals into a single comparable cache key.
+func ParamKey(params []string) string {
+	return strings.Join(params, "\x00")
+}

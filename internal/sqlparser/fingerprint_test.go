@@ -1,0 +1,117 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFingerprintStripsLiterals(t *testing.T) {
+	fp, params, err := Fingerprint(`SELECT o_orderkey FROM orders WHERE o_totalprice > 1500.5 AND o_orderstatus = 'p' LIMIT 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.ContainsAny(fp, "0123456789'") {
+		t.Errorf("fingerprint retains literal text: %q", fp)
+	}
+	want := []string{"1500.5", "'p'", "10"}
+	if len(params) != len(want) {
+		t.Fatalf("params = %v, want %v", params, want)
+	}
+	for i := range want {
+		if params[i] != want[i] {
+			t.Errorf("params[%d] = %q, want %q", i, params[i], want[i])
+		}
+	}
+}
+
+func TestFingerprintSameTemplateSharesKey(t *testing.T) {
+	a, pa, err := Fingerprint(`SELECT COUNT(*) FROM customer, orders WHERE o_custkey = c_custkey AND c_mktsegment = 'building'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, pb, err := Fingerprint("select count(*)  from customer,orders\nwhere o_custkey=c_custkey and c_mktsegment='machinery'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same template yields different fingerprints:\n%q\n%q", a, b)
+	}
+	if ParamKey(pa) == ParamKey(pb) {
+		t.Errorf("different literals share a param key: %q", ParamKey(pa))
+	}
+}
+
+func TestFingerprintCollapsesInList(t *testing.T) {
+	a, pa, err := Fingerprint(`SELECT COUNT(*) FROM customer WHERE SUBSTRING(c_phone, 1, 2) IN ('20', '40', '22')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Fingerprint(`SELECT COUNT(*) FROM customer WHERE SUBSTRING(c_phone, 1, 2) IN ('30')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("IN-lists of different arity yield different fingerprints:\n%q\n%q", a, b)
+	}
+	// SUBSTRING args, then the list arity marker, then the elements.
+	want := []string{"1", "2", "#3", "'20'", "'40'", "'22'"}
+	if len(pa) != len(want) {
+		t.Fatalf("params = %v, want %v", pa, want)
+	}
+	for i := range want {
+		if pa[i] != want[i] {
+			t.Errorf("params[%d] = %q, want %q", i, pa[i], want[i])
+		}
+	}
+}
+
+func TestFingerprintAdjacentInListsDoNotCollide(t *testing.T) {
+	// Same total literal multiset split differently across two IN-lists:
+	// fingerprints match (shared template) but the parameter vectors must
+	// not — a collision here would make the plan cache serve one query
+	// the other's bound plan.
+	a, pa, err := Fingerprint(`SELECT COUNT(*) FROM orders WHERE o_orderkey IN (1, 2) AND o_custkey IN (3)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, pb, err := Fingerprint(`SELECT COUNT(*) FROM orders WHERE o_orderkey IN (1) AND o_custkey IN (2, 3)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("templates should match:\n%q\n%q", a, b)
+	}
+	if ParamKey(pa) == ParamKey(pb) {
+		t.Errorf("param keys collide across different list splits: %q", ParamKey(pa))
+	}
+}
+
+func TestFingerprintDistinguishesTemplates(t *testing.T) {
+	a, _, err := Fingerprint(`SELECT c_custkey FROM customer ORDER BY c_acctbal DESC LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Fingerprint(`SELECT c_custkey FROM customer ORDER BY c_acctbal LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Errorf("ASC and DESC templates collide: %q", a)
+	}
+}
+
+func TestFingerprintColumnInListNotCollapsed(t *testing.T) {
+	fp, _, err := Fingerprint(`SELECT COUNT(*) FROM orders WHERE o_orderkey IN (1, o_custkey)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fp, "o_custkey") {
+		t.Errorf("expression IN-list lost its column ref: %q", fp)
+	}
+}
+
+func TestFingerprintLexError(t *testing.T) {
+	if _, _, err := Fingerprint(`SELECT 'unterminated`); err == nil {
+		t.Fatal("want lex error, got nil")
+	}
+}

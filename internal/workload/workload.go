@@ -98,6 +98,22 @@ func (g *Generator) Batch(n int) []Query {
 	return out
 }
 
+// BatchOf generates n queries from a single named template, parameters
+// still randomized per query — a workload slice for targeted benchmarks
+// (e.g. the plan-dominated point-join template the serving gateway's
+// plan-cache benchmarks use). It panics on an unknown template name,
+// like all generation.
+func (g *Generator) BatchOf(tmpl string, n int) []Query {
+	out := make([]Query, n)
+	for i := range out {
+		q := g.generate(tmpl)
+		q.ID = g.id
+		g.id++
+		out[i] = q
+	}
+	return out
+}
+
 func (g *Generator) generate(tmpl string) Query {
 	r := g.rng
 	switch tmpl {

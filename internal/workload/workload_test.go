@@ -90,3 +90,26 @@ func TestPhoneCodesDistinctAndQuoted(t *testing.T) {
 		}
 	}
 }
+
+func TestBatchOfSingleTemplate(t *testing.T) {
+	qs := NewGenerator(42).BatchOf("join2_point_orders", 8)
+	if len(qs) != 8 {
+		t.Fatalf("got %d queries, want 8", len(qs))
+	}
+	sqls := map[string]bool{}
+	for i, q := range qs {
+		if q.Template != "join2_point_orders" {
+			t.Errorf("query %d template = %q", i, q.Template)
+		}
+		if q.ID != i {
+			t.Errorf("query %d has ID %d", i, q.ID)
+		}
+		if _, err := sqlparser.Parse(q.SQL); err != nil {
+			t.Fatalf("unparseable: %v", err)
+		}
+		sqls[q.SQL] = true
+	}
+	if len(sqls) < 2 {
+		t.Error("parameters were not randomized across the batch")
+	}
+}
