@@ -12,7 +12,9 @@ import (
 	"sync"
 	"testing"
 
+	"htapxplain/internal/colstore"
 	"htapxplain/internal/eval"
+	"htapxplain/internal/exec"
 	"htapxplain/internal/expert"
 	"htapxplain/internal/explain"
 	"htapxplain/internal/gateway"
@@ -21,6 +23,7 @@ import (
 	"htapxplain/internal/sqlparser"
 	"htapxplain/internal/study"
 	"htapxplain/internal/treecnn"
+	"htapxplain/internal/value"
 	"htapxplain/internal/vectordb"
 	"htapxplain/internal/workload"
 )
@@ -383,6 +386,178 @@ func BenchmarkGateway_ClosedLoop(b *testing.B) {
 // warm/cold ratio on.
 func gatewayPointJoinPool(n int) []workload.Query {
 	return workload.NewGenerator(42).BatchOf("join2_point_orders", n)
+}
+
+// ---------------------------------------------------------- vectorized exec
+
+// selectiveScanParts builds a selective columnar scan over lineitem
+// (l_quantity = 1, ~2% of rows) — the shape where batch execution with
+// selection vectors beats materialization hardest, because the legacy path
+// allocated a boxed row per match and re-read every column in Materialize.
+func selectiveScanParts(b *testing.B) (*colstore.Table, []int, exec.Evaluator) {
+	b.Helper()
+	env := benchEnv(b)
+	ct, ok := env.Sys.Col.Table("lineitem")
+	if !ok {
+		b.Fatal("no lineitem column table")
+	}
+	cols := []int{4, 5} // l_quantity, l_extendedprice
+	full := exec.TableSchema(ct.Meta, "lineitem")
+	subset := exec.Schema{full[4], full[5]}
+	pred, err := exec.Compile(&sqlparser.BinaryExpr{
+		Op:   sqlparser.OpEq,
+		Left: &sqlparser.ColumnRef{Table: "lineitem", Column: "l_quantity"}, Right: &sqlparser.IntLit{V: 1},
+	}, subset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ct, cols, pred
+}
+
+// legacySelectiveScan reproduces the pre-vectorization ColTableScan.Run:
+// a scratch row filled per visited id, matching ids collected, then
+// Materialize re-reading every column to box one row per match.
+func legacySelectiveScan(ct *colstore.Table, cols []int, pred exec.Evaluator) ([]value.Row, error) {
+	row := make(value.Row, len(cols))
+	var evalErr error
+	ids, _ := ct.Scan(cols, nil, func(id int) bool {
+		for j, c := range cols {
+			row[j] = ct.Column(c).Value(id)
+		}
+		ok, err := exec.Truthy(pred, row)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		return ok
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return ct.Materialize(ids, cols), nil
+}
+
+// batchSelectiveScan streams the same scan through the vectorized engine
+// without materializing: chunk-aliased vectors + selection vector only.
+func batchSelectiveScan(ct *colstore.Table, cols []int, pred exec.Evaluator) (int, error) {
+	op := exec.NewColTableScan(ct, "lineitem", cols, pred, nil).Clone()
+	ctx := exec.NewContext()
+	if err := op.Open(ctx); err != nil {
+		return 0, err
+	}
+	matched := 0
+	for {
+		batch, err := op.Next(ctx)
+		if err != nil {
+			return 0, err
+		}
+		if batch == nil {
+			break
+		}
+		matched += batch.NumActive()
+	}
+	return matched, op.Close()
+}
+
+// BenchmarkVectorized_SelectiveAPScan is the tentpole's before/after pair:
+// sub-benchmark "legacy-materialize" is the removed engine's double
+// materialization, "batch-stream" the shipped batch pipeline. The ≥5x
+// allocation reduction is enforced by TestVectorizedAllocReduction.
+func BenchmarkVectorized_SelectiveAPScan(b *testing.B) {
+	ct, cols, pred := selectiveScanParts(b)
+	b.Run("legacy-materialize", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows, err := legacySelectiveScan(ct, cols, pred)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rows) == 0 {
+				b.Fatal("no matches")
+			}
+		}
+	})
+	b.Run("batch-stream", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n, err := batchSelectiveScan(ct, cols, pred)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n == 0 {
+				b.Fatal("no matches")
+			}
+		}
+	})
+}
+
+// TestVectorizedAllocReduction enforces the tentpole's headline number: the
+// batch pipeline must allocate ≥5x less than legacy materialization on the
+// selective AP scan.
+func TestVectorizedAllocReduction(t *testing.T) {
+	env, err := eval.NewEnv(eval.DefaultEnvConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, ok := env.Sys.Col.Table("lineitem")
+	if !ok {
+		t.Fatal("no lineitem column table")
+	}
+	cols := []int{4, 5}
+	full := exec.TableSchema(ct.Meta, "lineitem")
+	pred, err := exec.Compile(&sqlparser.BinaryExpr{
+		Op:   sqlparser.OpEq,
+		Left: &sqlparser.ColumnRef{Table: "lineitem", Column: "l_quantity"}, Right: &sqlparser.IntLit{V: 1},
+	}, exec.Schema{full[4], full[5]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := testing.AllocsPerRun(20, func() {
+		if _, err := legacySelectiveScan(ct, cols, pred); err != nil {
+			t.Fatal(err)
+		}
+	})
+	batch := testing.AllocsPerRun(20, func() {
+		if _, err := batchSelectiveScan(ct, cols, pred); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if batch <= 0 {
+		batch = 1
+	}
+	ratio := legacy / batch
+	t.Logf("allocs/op: legacy-materialize %.0f, batch-stream %.0f → %.1fx reduction", legacy, batch, ratio)
+	if ratio < 5 {
+		t.Errorf("allocation reduction %.1fx, want ≥ 5x (legacy %.0f vs batch %.0f)", ratio, legacy, batch)
+	}
+}
+
+// BenchmarkVectorized_LargeHashJoin measures a full AP hash-join +
+// aggregate pipeline (lineitem ⋈ orders) through the batch engine — the
+// "large join" wall-clock case from the tentpole.
+func BenchmarkVectorized_LargeHashJoin(b *testing.B) {
+	env := benchEnv(b)
+	sql := `SELECT COUNT(*), SUM(l_extendedprice) FROM lineitem, orders ` +
+		`WHERE l_orderkey = o_orderkey AND o_totalprice > 50000`
+	sel, err := sqlparser.Parse(sql)
+	if err != nil {
+		b.Fatal(err)
+	}
+	phys, err := env.Sys.Planner.PlanAP(sel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := phys.Execute(exec.NewContext())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 1 {
+			b.Fatalf("expected 1 aggregate row, got %d", len(rows))
+		}
+	}
 }
 
 // BenchmarkSubstrate_ParseAndPlan measures the parser + both optimizers

@@ -31,6 +31,11 @@ func (c *Column) Len() int { return len(c.vals) }
 // Value returns the value at row id.
 func (c *Column) Value(id int) value.Value { return c.vals[id] }
 
+// Slice returns the stored value vector for rows [lo, hi) — the raw chunk
+// data the vectorized scan aliases directly into execution batches. The
+// slice is capacity-clamped and must not be modified by callers.
+func (c *Column) Slice(lo, hi int) []value.Value { return c.vals[lo:hi:hi] }
+
 // NumChunks returns the number of zone-mapped chunks.
 func (c *Column) NumChunks() int { return len(c.zmin) }
 

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"htapxplain/internal/colstore"
 	"htapxplain/internal/rowstore"
@@ -10,20 +11,36 @@ import (
 	"htapxplain/internal/value"
 )
 
-// Operator is a materializing physical operator: Run produces the full
-// result set and records work counters into the context.
-type Operator interface {
-	Schema() Schema
-	Run(ctx *Context) ([]value.Row, error)
-}
+// Every physical operator implements the vectorized BatchOperator
+// interface.
+var (
+	_ BatchOperator = (*RowTableScan)(nil)
+	_ BatchOperator = (*RowIndexScan)(nil)
+	_ BatchOperator = (*RowIndexOrderScan)(nil)
+	_ BatchOperator = (*ColTableScan)(nil)
+	_ BatchOperator = (*FilterOp)(nil)
+	_ BatchOperator = (*ProjectOp)(nil)
+	_ BatchOperator = (*NestedLoopJoin)(nil)
+	_ BatchOperator = (*IndexNLJoin)(nil)
+	_ BatchOperator = (*HashJoin)(nil)
+	_ BatchOperator = (*HashAggregate)(nil)
+	_ BatchOperator = (*SortOp)(nil)
+	_ BatchOperator = (*TopNOp)(nil)
+	_ BatchOperator = (*LimitOp)(nil)
+)
 
 // ---------------------------------------------------------------- scans
 
-// RowTableScan is a full heap scan of a row-store table.
+// RowTableScan is a full heap scan of a row-store table, adapted into
+// batches at the leaf (the row store has no native vectors).
 type RowTableScan struct {
 	Table   *rowstore.Table
 	Binding string
 	out     Schema
+
+	rows []value.Row
+	pos  int
+	rw   rowWindow
 }
 
 // NewRowTableScan constructs a full-table scan.
@@ -33,11 +50,37 @@ func NewRowTableScan(t *rowstore.Table, binding string) *RowTableScan {
 
 func (s *RowTableScan) Schema() Schema { return s.out }
 
-func (s *RowTableScan) Run(ctx *Context) ([]value.Row, error) {
-	rows := s.Table.Scan()
-	ctx.Stats.RowsScanned += int64(len(rows))
-	ctx.Stats.BytesScanned += int64(len(rows)) * s.Table.Meta.AvgRowBytes
-	return rows, nil
+func (s *RowTableScan) Clone() BatchOperator {
+	return &RowTableScan{Table: s.Table, Binding: s.Binding, out: s.out}
+}
+
+func (s *RowTableScan) Open(ctx *Context) error {
+	s.rows = s.Table.Scan()
+	s.pos = 0
+	s.rw.init(len(s.out))
+	return nil
+}
+
+func (s *RowTableScan) Next(ctx *Context) (*Batch, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	end := s.pos + BatchSize
+	if end > len(s.rows) {
+		end = len(s.rows)
+	}
+	b := s.rw.fill(s.rows[s.pos:end])
+	n := int64(end - s.pos)
+	s.pos = end
+	ctx.Stats.RowsScanned += n
+	ctx.Stats.BytesScanned += n * s.Table.Meta.AvgRowBytes
+	ctx.Stats.BatchesProduced++
+	return b, nil
+}
+
+func (s *RowTableScan) Close() error {
+	s.rows = nil
+	return nil
 }
 
 // RowIndexScan fetches rows through an ordered index: either a set of
@@ -49,6 +92,11 @@ type RowIndexScan struct {
 	Keys    []value.Value // point lookups; nil → use range
 	Lo, Hi  *value.Value
 	out     Schema
+
+	ids     []int32
+	pos     int
+	rowsBuf []value.Row
+	rw      rowWindow
 }
 
 // NewRowIndexScan constructs an index access path.
@@ -59,29 +107,50 @@ func NewRowIndexScan(t *rowstore.Table, ix *rowstore.Index, binding string, keys
 
 func (s *RowIndexScan) Schema() Schema { return s.out }
 
-func (s *RowIndexScan) Run(ctx *Context) ([]value.Row, error) {
-	var ids []int32
+func (s *RowIndexScan) Clone() BatchOperator {
+	return &RowIndexScan{Table: s.Table, Index: s.Index, Binding: s.Binding,
+		Keys: s.Keys, Lo: s.Lo, Hi: s.Hi, out: s.out}
+}
+
+func (s *RowIndexScan) Open(ctx *Context) error {
+	s.ids = s.ids[:0]
+	s.pos = 0
 	if s.Keys != nil {
 		ctx.Stats.IndexProbes += int64(len(s.Keys))
-		if len(s.Keys) == 1 {
-			// point lookup: iterate the index's posting list in place
-			ids = s.Index.Lookup(s.Keys[0])
-		} else {
-			for _, k := range s.Keys {
-				ids = append(ids, s.Index.Lookup(k)...)
-			}
+		for _, k := range s.Keys {
+			s.ids = append(s.ids, s.Index.Lookup(k)...)
 		}
 	} else {
 		ctx.Stats.IndexProbes++
-		ids = s.Index.Range(s.Lo, s.Hi)
+		s.ids = append(s.ids, s.Index.Range(s.Lo, s.Hi)...)
 	}
-	rows := make([]value.Row, len(ids))
-	for i, id := range ids {
-		rows[i] = s.Table.Row(id)
+	s.rw.init(len(s.out))
+	return nil
+}
+
+func (s *RowIndexScan) Next(ctx *Context) (*Batch, error) {
+	if s.pos >= len(s.ids) {
+		return nil, nil
 	}
-	ctx.Stats.RowsScanned += int64(len(rows))
-	ctx.Stats.BytesScanned += int64(len(rows)) * s.Table.Meta.AvgRowBytes
-	return rows, nil
+	end := s.pos + BatchSize
+	if end > len(s.ids) {
+		end = len(s.ids)
+	}
+	s.rowsBuf = s.rowsBuf[:0]
+	for _, id := range s.ids[s.pos:end] {
+		s.rowsBuf = append(s.rowsBuf, s.Table.Row(id))
+	}
+	n := int64(end - s.pos)
+	s.pos = end
+	ctx.Stats.RowsScanned += n
+	ctx.Stats.BytesScanned += n * s.Table.Meta.AvgRowBytes
+	ctx.Stats.BatchesProduced++
+	return s.rw.fill(s.rowsBuf), nil
+}
+
+func (s *RowIndexScan) Close() error {
+	s.rowsBuf = nil
+	return nil
 }
 
 // RowIndexOrderScan returns rows in index-key order, stopping after
@@ -95,6 +164,12 @@ type RowIndexOrderScan struct {
 	LimitHint int // <=0 means no early stop
 	Pred      Evaluator
 	out       Schema
+
+	ids     []int32
+	pos     int
+	matched int
+	rowsBuf []value.Row
+	rw      rowWindow
 }
 
 // NewRowIndexOrderScan constructs an index-order scan.
@@ -105,16 +180,30 @@ func NewRowIndexOrderScan(t *rowstore.Table, ix *rowstore.Index, binding string,
 
 func (s *RowIndexOrderScan) Schema() Schema { return s.out }
 
-func (s *RowIndexOrderScan) Run(ctx *Context) ([]value.Row, error) {
-	var ids []int32
+func (s *RowIndexOrderScan) Clone() BatchOperator {
+	return &RowIndexOrderScan{Table: s.Table, Index: s.Index, Binding: s.Binding,
+		Desc: s.Desc, LimitHint: s.LimitHint, Pred: s.Pred, out: s.out}
+}
+
+func (s *RowIndexOrderScan) Open(ctx *Context) error {
 	if s.Desc {
-		ids = s.Index.Descending()
+		s.ids = s.Index.Descending()
 	} else {
-		ids = s.Index.Ascending()
+		s.ids = s.Index.Ascending()
 	}
-	var out []value.Row
-	for _, id := range ids {
-		row := s.Table.Row(id)
+	s.pos, s.matched = 0, 0
+	s.rw.init(len(s.out))
+	return nil
+}
+
+func (s *RowIndexOrderScan) Next(ctx *Context) (*Batch, error) {
+	if s.LimitHint > 0 && s.matched >= s.LimitHint {
+		return nil, nil
+	}
+	s.rowsBuf = s.rowsBuf[:0]
+	for s.pos < len(s.ids) && len(s.rowsBuf) < BatchSize {
+		row := s.Table.Row(s.ids[s.pos])
+		s.pos++
 		ctx.Stats.RowsScanned++
 		ctx.Stats.BytesScanned += s.Table.Meta.AvgRowBytes
 		if s.Pred != nil {
@@ -126,23 +215,41 @@ func (s *RowIndexOrderScan) Run(ctx *Context) ([]value.Row, error) {
 				continue
 			}
 		}
-		out = append(out, row)
-		if s.LimitHint > 0 && len(out) >= s.LimitHint {
+		s.rowsBuf = append(s.rowsBuf, row)
+		s.matched++
+		if s.LimitHint > 0 && s.matched >= s.LimitHint {
 			break
 		}
 	}
-	return out, nil
+	if len(s.rowsBuf) == 0 {
+		return nil, nil
+	}
+	ctx.Stats.BatchesProduced++
+	return s.rw.fill(s.rowsBuf), nil
 }
 
-// ColTableScan is a columnar scan reading only the referenced columns,
-// with optional predicate and zone-map pruning.
+func (s *RowIndexOrderScan) Close() error {
+	s.ids, s.rowsBuf = nil, nil
+	return nil
+}
+
+// ColTableScan is a columnar scan reading only the referenced columns, with
+// optional predicate and zone-map pruning. It is the engine's native batch
+// source: each non-pruned chunk becomes one batch whose vectors alias the
+// stored chunk directly — zero per-row materialization; the predicate only
+// narrows the selection vector.
 type ColTableScan struct {
 	Table   *colstore.Table
 	Binding string
 	Cols    []int // table column positions to read (projection pushdown)
 	Pred    Evaluator
-	Pruner  *colstore.RangePruner // positions refer to Cols order below
+	Pruner  *colstore.RangePruner
 	out     Schema
+
+	chunk   int
+	batch   Batch
+	selBuf  []int32
+	scratch value.Row
 }
 
 // NewColTableScan constructs a columnar scan over the given column subset.
@@ -158,105 +265,206 @@ func NewColTableScan(t *colstore.Table, binding string, cols []int, pred Evaluat
 
 func (s *ColTableScan) Schema() Schema { return s.out }
 
-func (s *ColTableScan) Run(ctx *Context) ([]value.Row, error) {
-	row := make(value.Row, len(s.Cols))
-	var evalErr error
-	pred := func(id int) bool {
-		for j, c := range s.Cols {
-			row[j] = s.Table.Column(c).Value(id)
-		}
-		if s.Pred == nil {
-			return true
-		}
-		ok, err := Truthy(s.Pred, row)
-		if err != nil {
-			evalErr = err
-			return false
-		}
-		return ok
+func (s *ColTableScan) Clone() BatchOperator {
+	return &ColTableScan{Table: s.Table, Binding: s.Binding, Cols: s.Cols,
+		Pred: s.Pred, Pruner: s.Pruner, out: s.out}
+}
+
+func (s *ColTableScan) Open(ctx *Context) error {
+	s.chunk = 0
+	if s.batch.Cols == nil {
+		s.batch.Cols = make([][]value.Value, len(s.Cols))
+		s.scratch = make(value.Row, len(s.Cols))
 	}
-	ids, st := s.Table.Scan(s.Cols, s.Pruner, pred)
-	if evalErr != nil {
-		return nil, evalErr
-	}
-	ctx.Stats.RowsScanned += int64(st.RowsVisited)
-	ctx.Stats.ChunksSkipped += int64(st.ChunksSkipped)
+	return nil
+}
+
+func (s *ColTableScan) Next(ctx *Context) (*Batch, error) {
+	n := s.Table.NumRows()
 	// modeled bytes: column subset width only — the columnar advantage
 	perCol := s.Table.Meta.AvgRowBytes / int64(len(s.Table.Meta.Columns))
 	if perCol < 1 {
 		perCol = 1
 	}
-	ctx.Stats.BytesScanned += int64(st.RowsVisited) * perCol * int64(len(s.Cols))
-	return s.Table.Materialize(ids, s.Cols), nil
+	for {
+		start := s.chunk * colstore.ChunkSize
+		if start >= n {
+			return nil, nil
+		}
+		end := start + colstore.ChunkSize
+		if end > n {
+			end = n
+		}
+		k := s.chunk
+		s.chunk++
+		if s.Pruner != nil {
+			mn, mx := s.Table.Column(s.Pruner.Col).ChunkRange(k)
+			if (s.Pruner.Lo != nil && mx.Compare(*s.Pruner.Lo) < 0) ||
+				(s.Pruner.Hi != nil && mn.Compare(*s.Pruner.Hi) > 0) {
+				ctx.Stats.ChunksSkipped++
+				continue
+			}
+		}
+		rows := end - start
+		ctx.Stats.RowsScanned += int64(rows)
+		ctx.Stats.BytesScanned += int64(rows) * perCol * int64(len(s.Cols))
+		for j, c := range s.Cols {
+			s.batch.Cols[j] = s.Table.Column(c).Slice(start, end)
+		}
+		s.batch.Len = rows
+		s.batch.Sel = nil
+		if s.Pred != nil {
+			sel := s.selBuf[:0]
+			for i := 0; i < rows; i++ {
+				s.batch.FillRow(i, s.scratch)
+				ok, err := Truthy(s.Pred, s.scratch)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					sel = append(sel, int32(i))
+				}
+			}
+			s.selBuf = sel
+			if len(sel) == 0 {
+				continue
+			}
+			s.batch.Sel = sel
+		}
+		ctx.Stats.BatchesProduced++
+		return &s.batch, nil
+	}
+}
+
+func (s *ColTableScan) Close() error {
+	for j := range s.batch.Cols {
+		s.batch.Cols[j] = nil // drop storage aliases
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------- filter / project
 
-// FilterOp applies a predicate to its child's output.
+// FilterOp applies a predicate to its child's output by narrowing the
+// selection vector in place — no values are copied.
 type FilterOp struct {
 	Child Operator
 	Pred  Evaluator
+
+	scratch value.Row
+	selBuf  []int32
 }
 
 func (f *FilterOp) Schema() Schema { return f.Child.Schema() }
 
-func (f *FilterOp) Run(ctx *Context) ([]value.Row, error) {
-	in, err := f.Child.Run(ctx)
-	if err != nil {
-		return nil, err
-	}
-	out := in[:0:0]
-	for _, row := range in {
-		ok, err := Truthy(f.Pred, row)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			out = append(out, row)
-		}
-	}
-	return out, nil
+func (f *FilterOp) Clone() BatchOperator {
+	return &FilterOp{Child: f.Child.Clone(), Pred: f.Pred}
 }
 
-// ProjectOp evaluates expressions into a new schema.
+func (f *FilterOp) Open(ctx *Context) error {
+	if f.scratch == nil {
+		f.scratch = make(value.Row, len(f.Schema()))
+	}
+	return f.Child.Open(ctx)
+}
+
+func (f *FilterOp) Next(ctx *Context) (*Batch, error) {
+	for {
+		b, err := f.Child.Next(ctx)
+		if err != nil || b == nil {
+			return nil, err
+		}
+		sel := f.selBuf[:0]
+		n := b.NumActive()
+		for i := 0; i < n; i++ {
+			p := b.PosAt(i)
+			for j := range b.Cols {
+				f.scratch[j] = b.Cols[j][p]
+			}
+			ok, err := Truthy(f.Pred, f.scratch)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				sel = append(sel, int32(p))
+			}
+		}
+		f.selBuf = sel
+		if len(sel) == 0 {
+			continue
+		}
+		b.Sel = sel
+		ctx.Stats.BatchesProduced++
+		return b, nil
+	}
+}
+
+func (f *FilterOp) Close() error { return f.Child.Close() }
+
+// ProjectOp evaluates expressions into a new schema, producing dense output
+// vectors (one value per active input row).
 type ProjectOp struct {
 	Child Operator
 	Evals []Evaluator
 	Out   Schema
+
+	scratch value.Row
+	out     outBuffer
+	rowBuf  value.Row
 }
 
 func (p *ProjectOp) Schema() Schema { return p.Out }
 
-func (p *ProjectOp) Run(ctx *Context) ([]value.Row, error) {
-	in, err := p.Child.Run(ctx)
-	if err != nil {
+func (p *ProjectOp) Clone() BatchOperator {
+	return &ProjectOp{Child: p.Child.Clone(), Evals: p.Evals, Out: p.Out}
+}
+
+func (p *ProjectOp) Open(ctx *Context) error {
+	if p.scratch == nil {
+		p.scratch = make(value.Row, len(p.Child.Schema()))
+		p.rowBuf = make(value.Row, len(p.Evals))
+	}
+	p.out.init(len(p.Evals))
+	return p.Child.Open(ctx)
+}
+
+func (p *ProjectOp) Next(ctx *Context) (*Batch, error) {
+	b, err := p.Child.Next(ctx)
+	if err != nil || b == nil {
 		return nil, err
 	}
-	out := make([]value.Row, len(in))
-	for i, row := range in {
-		nr := make(value.Row, len(p.Evals))
+	p.out.reset()
+	n := b.NumActive()
+	for i := 0; i < n; i++ {
+		b.FillRow(i, p.scratch)
 		for j, ev := range p.Evals {
-			v, err := ev(row)
+			v, err := ev(p.scratch)
 			if err != nil {
 				return nil, err
 			}
-			nr[j] = v
+			p.rowBuf[j] = v
 		}
-		out[i] = nr
+		p.out.appendRow(p.rowBuf)
 	}
-	return out, nil
+	return p.out.take(ctx), nil
 }
+
+func (p *ProjectOp) Close() error { return p.Child.Close() }
 
 // ---------------------------------------------------------------- joins
 
 // NestedLoopJoin joins outer × inner with an arbitrary predicate over the
-// concatenated schema. The inner input is materialized once and rescanned
-// per outer row (comparisons are counted — this is what makes indexless TP
-// joins slow at scale).
+// concatenated schema. The inner input is materialized once at Open and
+// rescanned per outer row (comparisons are counted — this is what makes
+// indexless TP joins slow at scale); the outer side streams batch-at-a-time.
 type NestedLoopJoin struct {
 	Outer, Inner Operator
 	Pred         Evaluator // may be nil (cross join)
 	out          Schema
+
+	innerRows []value.Row
+	combined  value.Row
+	outBuf    outBuffer
 }
 
 // NewNestedLoopJoin constructs the join; pred must be compiled against
@@ -268,40 +476,69 @@ func NewNestedLoopJoin(outer, inner Operator, pred Evaluator) *NestedLoopJoin {
 
 func (j *NestedLoopJoin) Schema() Schema { return j.out }
 
-func (j *NestedLoopJoin) Run(ctx *Context) ([]value.Row, error) {
-	outerRows, err := j.Outer.Run(ctx)
+func (j *NestedLoopJoin) Clone() BatchOperator {
+	return &NestedLoopJoin{Outer: j.Outer.Clone(), Inner: j.Inner.Clone(),
+		Pred: j.Pred, out: j.out}
+}
+
+func (j *NestedLoopJoin) Open(ctx *Context) error {
+	// the tree is private by the time it executes (Drain/Runner clone it),
+	// so the inner child can be drained in place, keeping its buffers
+	rows, err := drainOp(j.Inner, ctx)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	innerRows, err := j.Inner.Run(ctx)
-	if err != nil {
-		return nil, err
+	j.innerRows = rows
+	if j.combined == nil {
+		j.combined = make(value.Row, len(j.out))
 	}
-	var out []value.Row
-	combined := make(value.Row, len(j.out))
-	for _, o := range outerRows {
-		for _, in := range innerRows {
-			ctx.Stats.JoinComparisons++
-			copy(combined, o)
-			copy(combined[len(o):], in)
-			ok := true
-			if j.Pred != nil {
-				ok, err = Truthy(j.Pred, combined)
-				if err != nil {
-					return nil, err
+	j.outBuf.init(len(j.out))
+	return j.Outer.Open(ctx)
+}
+
+func (j *NestedLoopJoin) Next(ctx *Context) (*Batch, error) {
+	outerWidth := len(j.Outer.Schema())
+	for {
+		ob, err := j.Outer.Next(ctx)
+		if err != nil || ob == nil {
+			return nil, err
+		}
+		j.outBuf.reset()
+		n := ob.NumActive()
+		for i := 0; i < n; i++ {
+			p := ob.PosAt(i)
+			for c := 0; c < outerWidth; c++ {
+				j.combined[c] = ob.Cols[c][p]
+			}
+			for _, in := range j.innerRows {
+				ctx.Stats.JoinComparisons++
+				copy(j.combined[outerWidth:], in)
+				ok := true
+				if j.Pred != nil {
+					ok, err = Truthy(j.Pred, j.combined)
+					if err != nil {
+						return nil, err
+					}
+				}
+				if ok {
+					j.outBuf.appendRow(j.combined)
 				}
 			}
-			if ok {
-				out = append(out, combined.Clone())
-			}
+		}
+		if j.outBuf.len() > 0 {
+			return j.outBuf.take(ctx), nil
 		}
 	}
-	return out, nil
+}
+
+func (j *NestedLoopJoin) Close() error {
+	j.innerRows = nil
+	return j.Outer.Close()
 }
 
 // IndexNLJoin is a nested-loop join whose inner side is an index probe:
-// for each outer row, look up matching inner rows by key. This is TP's
-// preferred join when an index exists on the inner join column.
+// each outer batch is probed row-by-row through the inner index. This is
+// TP's preferred join when an index exists on the inner join column.
 type IndexNLJoin struct {
 	Outer       Operator
 	OuterKeyCol int
@@ -310,6 +547,9 @@ type IndexNLJoin struct {
 	InnerBind   string
 	Residual    Evaluator // over concat schema; may be nil
 	out         Schema
+
+	combined value.Row
+	outBuf   outBuffer
 }
 
 // NewIndexNLJoin constructs an index nested-loop join.
@@ -323,51 +563,86 @@ func NewIndexNLJoin(outer Operator, outerKeyCol int, it *rowstore.Table, ix *row
 
 func (j *IndexNLJoin) Schema() Schema { return j.out }
 
-func (j *IndexNLJoin) Run(ctx *Context) ([]value.Row, error) {
-	outerRows, err := j.Outer.Run(ctx)
-	if err != nil {
-		return nil, err
-	}
-	var out []value.Row
-	combined := make(value.Row, len(j.out))
-	for _, o := range outerRows {
-		ctx.Stats.IndexProbes++
-		ids := j.InnerIndex.Lookup(o[j.OuterKeyCol])
-		for _, id := range ids {
-			in := j.InnerTable.Row(id)
-			ctx.Stats.RowsScanned++
-			ctx.Stats.BytesScanned += j.InnerTable.Meta.AvgRowBytes
-			if j.Residual == nil {
-				// no residual to pre-check: build the output row in place,
-				// skipping the scratch-row copy + clone
-				nr := make(value.Row, len(j.out))
-				copy(nr, o)
-				copy(nr[len(o):], in)
-				out = append(out, nr)
-				continue
-			}
-			copy(combined, o)
-			copy(combined[len(o):], in)
-			ok, err := Truthy(j.Residual, combined)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				out = append(out, combined.Clone())
-			}
-		}
-	}
-	return out, nil
+func (j *IndexNLJoin) Clone() BatchOperator {
+	return &IndexNLJoin{Outer: j.Outer.Clone(), OuterKeyCol: j.OuterKeyCol,
+		InnerTable: j.InnerTable, InnerIndex: j.InnerIndex, InnerBind: j.InnerBind,
+		Residual: j.Residual, out: j.out}
 }
 
-// HashJoin builds a hash table on the Build child and probes it with the
-// Probe child. Output schema is probe ++ build (probe side listed first,
-// matching the AP optimizer's plan rendering).
+func (j *IndexNLJoin) Open(ctx *Context) error {
+	if j.combined == nil {
+		j.combined = make(value.Row, len(j.out))
+	}
+	j.outBuf.init(len(j.out))
+	return j.Outer.Open(ctx)
+}
+
+func (j *IndexNLJoin) Next(ctx *Context) (*Batch, error) {
+	outerWidth := len(j.Outer.Schema())
+	for {
+		ob, err := j.Outer.Next(ctx)
+		if err != nil || ob == nil {
+			return nil, err
+		}
+		j.outBuf.reset()
+		n := ob.NumActive()
+		for i := 0; i < n; i++ {
+			p := ob.PosAt(i)
+			ctx.Stats.IndexProbes++
+			ids := j.InnerIndex.Lookup(ob.Cols[j.OuterKeyCol][p])
+			if len(ids) == 0 {
+				continue
+			}
+			if j.Residual == nil {
+				// no residual to pre-check: write outer and inner values
+				// straight into the output vectors, skipping the scratch row
+				for _, id := range ids {
+					in := j.InnerTable.Row(id)
+					ctx.Stats.RowsScanned++
+					ctx.Stats.BytesScanned += j.InnerTable.Meta.AvgRowBytes
+					j.outBuf.appendSplit(ob, p, outerWidth, in)
+				}
+				continue
+			}
+			for c := 0; c < outerWidth; c++ {
+				j.combined[c] = ob.Cols[c][p]
+			}
+			for _, id := range ids {
+				in := j.InnerTable.Row(id)
+				ctx.Stats.RowsScanned++
+				ctx.Stats.BytesScanned += j.InnerTable.Meta.AvgRowBytes
+				copy(j.combined[outerWidth:], in)
+				ok, err := Truthy(j.Residual, j.combined)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+				j.outBuf.appendRow(j.combined)
+			}
+		}
+		if j.outBuf.len() > 0 {
+			return j.outBuf.take(ctx), nil
+		}
+	}
+}
+
+func (j *IndexNLJoin) Close() error { return j.Outer.Close() }
+
+// HashJoin builds a hash table on the Build child at Open and probes it a
+// batch at a time with the Probe child. Output schema is probe ++ build
+// (probe side listed first, matching the AP optimizer's plan rendering).
 type HashJoin struct {
 	Probe, Build         Operator
 	ProbeKeys, BuildKeys []int
 	Residual             Evaluator // over concat(probe, build); may be nil
 	out                  Schema
+
+	ht       map[string][]value.Row
+	combined value.Row
+	keyBuf   strings.Builder
+	outBuf   outBuffer
 }
 
 // NewHashJoin constructs a hash join.
@@ -378,47 +653,77 @@ func NewHashJoin(probe, build Operator, probeKeys, buildKeys []int, residual Eva
 
 func (j *HashJoin) Schema() Schema { return j.out }
 
-func (j *HashJoin) Run(ctx *Context) ([]value.Row, error) {
-	buildRows, err := j.Build.Run(ctx)
+func (j *HashJoin) Clone() BatchOperator {
+	return &HashJoin{Probe: j.Probe.Clone(), Build: j.Build.Clone(),
+		ProbeKeys: j.ProbeKeys, BuildKeys: j.BuildKeys, Residual: j.Residual, out: j.out}
+}
+
+func (j *HashJoin) Open(ctx *Context) error {
+	buildRows, err := drainOp(j.Build, ctx)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	ht := make(map[string][]value.Row, len(buildRows))
+	j.ht = make(map[string][]value.Row, len(buildRows))
 	for _, r := range buildRows {
 		ctx.Stats.HashBuildRows++
 		k := r.Key(j.BuildKeys)
-		ht[k] = append(ht[k], r)
+		j.ht[k] = append(j.ht[k], r)
 	}
-	probeRows, err := j.Probe.Run(ctx)
-	if err != nil {
-		return nil, err
+	if j.combined == nil {
+		j.combined = make(value.Row, len(j.out))
 	}
-	var out []value.Row
-	combined := make(value.Row, len(j.out))
-	for _, p := range probeRows {
-		ctx.Stats.HashProbeRows++
-		for _, b := range ht[p.Key(j.ProbeKeys)] {
-			if j.Residual == nil {
-				// no residual to pre-check: build the output row in place,
-				// skipping the scratch-row copy + clone
-				nr := make(value.Row, len(j.out))
-				copy(nr, p)
-				copy(nr[len(p):], b)
-				out = append(out, nr)
+	j.outBuf.init(len(j.out))
+	return j.Probe.Open(ctx)
+}
+
+func (j *HashJoin) Next(ctx *Context) (*Batch, error) {
+	probeWidth := len(j.Probe.Schema())
+	for {
+		pb, err := j.Probe.Next(ctx)
+		if err != nil || pb == nil {
+			return nil, err
+		}
+		j.outBuf.reset()
+		n := pb.NumActive()
+		for i := 0; i < n; i++ {
+			p := pb.PosAt(i)
+			ctx.Stats.HashProbeRows++
+			matches := j.ht[pb.keyAt(p, j.ProbeKeys, &j.keyBuf)]
+			if len(matches) == 0 {
 				continue
 			}
-			copy(combined, p)
-			copy(combined[len(p):], b)
-			ok, err := Truthy(j.Residual, combined)
-			if err != nil {
-				return nil, err
+			if j.Residual == nil {
+				// no residual to pre-check: write probe and build values
+				// straight into the output vectors, skipping the scratch row
+				for _, b := range matches {
+					j.outBuf.appendSplit(pb, p, probeWidth, b)
+				}
+				continue
 			}
-			if ok {
-				out = append(out, combined.Clone())
+			for c := 0; c < probeWidth; c++ {
+				j.combined[c] = pb.Cols[c][p]
+			}
+			for _, b := range matches {
+				copy(j.combined[probeWidth:], b)
+				ok, err := Truthy(j.Residual, j.combined)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+				j.outBuf.appendRow(j.combined)
 			}
 		}
+		if j.outBuf.len() > 0 {
+			return j.outBuf.take(ctx), nil
+		}
 	}
-	return out, nil
+}
+
+func (j *HashJoin) Close() error {
+	j.ht = nil
+	return j.Probe.Close()
 }
 
 // ---------------------------------------------------------------- aggregation
@@ -430,17 +735,24 @@ type AggSpec struct {
 }
 
 // HashAggregate groups its input by the group expressions and computes the
-// aggregates. With no group expressions it produces a single global row.
-// Both engines use this operator; their optimizers label it differently
-// ('Group aggregate' vs 'Aggregate') and cost it differently.
+// aggregates, consuming the child stream batch-at-a-time without
+// materializing it. With no group expressions it produces a single global
+// row. Both engines use this operator; their optimizers label it
+// differently ('Group aggregate' vs 'Aggregate') and cost it differently.
 type HashAggregate struct {
 	Child  Operator
 	Groups []Evaluator
 	Aggs   []AggSpec
 	Out    Schema // group columns followed by aggregate columns
+
+	emit rowEmitter
 }
 
 func (a *HashAggregate) Schema() Schema { return a.Out }
+
+func (a *HashAggregate) Clone() BatchOperator {
+	return &HashAggregate{Child: a.Child.Clone(), Groups: a.Groups, Aggs: a.Aggs, Out: a.Out}
+}
 
 type aggState struct {
 	group  value.Row
@@ -451,76 +763,95 @@ type aggState struct {
 	seen   []bool
 }
 
-func (a *HashAggregate) Run(ctx *Context) ([]value.Row, error) {
-	in, err := a.Child.Run(ctx)
-	if err != nil {
-		return nil, err
+func (a *HashAggregate) newState(group value.Row) *aggState {
+	return &aggState{
+		group:  group,
+		counts: make([]int64, len(a.Aggs)),
+		sums:   make([]float64, len(a.Aggs)),
+		mins:   make([]value.Value, len(a.Aggs)),
+		maxs:   make([]value.Value, len(a.Aggs)),
+		seen:   make([]bool, len(a.Aggs)),
+	}
+}
+
+// accumulate folds one input row into its group's state.
+func (a *HashAggregate) accumulate(st *aggState, row value.Row) error {
+	for i, spec := range a.Aggs {
+		if spec.Arg == nil { // COUNT(*)
+			st.counts[i]++
+			continue
+		}
+		v, err := spec.Arg(row)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() {
+			continue
+		}
+		st.counts[i]++
+		if f, ok := v.AsFloat(); ok {
+			st.sums[i] += f
+		}
+		if !st.seen[i] {
+			st.mins[i], st.maxs[i] = v, v
+			st.seen[i] = true
+		} else {
+			if v.Compare(st.mins[i]) < 0 {
+				st.mins[i] = v
+			}
+			if v.Compare(st.maxs[i]) > 0 {
+				st.maxs[i] = v
+			}
+		}
+	}
+	return nil
+}
+
+func (a *HashAggregate) Open(ctx *Context) error {
+	if err := a.Child.Open(ctx); err != nil {
+		return err
 	}
 	groups := make(map[string]*aggState)
 	var order []string
-	for _, row := range in {
-		g := make(value.Row, len(a.Groups))
-		for i, ev := range a.Groups {
-			v, err := ev(row)
-			if err != nil {
-				return nil, err
-			}
-			g[i] = v
+	scratch := make(value.Row, len(a.Child.Schema()))
+	for {
+		b, err := a.Child.Next(ctx)
+		if err != nil {
+			_ = a.Child.Close()
+			return err
 		}
-		key := g.Key(intRange(len(g)))
-		st, ok := groups[key]
-		if !ok {
-			st = &aggState{
-				group:  g,
-				counts: make([]int64, len(a.Aggs)),
-				sums:   make([]float64, len(a.Aggs)),
-				mins:   make([]value.Value, len(a.Aggs)),
-				maxs:   make([]value.Value, len(a.Aggs)),
-				seen:   make([]bool, len(a.Aggs)),
-			}
-			groups[key] = st
-			order = append(order, key)
-			ctx.Stats.GroupsCreated++
+		if b == nil {
+			break
 		}
-		for i, spec := range a.Aggs {
-			if spec.Arg == nil { // COUNT(*)
-				st.counts[i]++
-				continue
-			}
-			v, err := spec.Arg(row)
-			if err != nil {
-				return nil, err
-			}
-			if v.IsNull() {
-				continue
-			}
-			st.counts[i]++
-			if f, ok := v.AsFloat(); ok {
-				st.sums[i] += f
-			}
-			if !st.seen[i] {
-				st.mins[i], st.maxs[i] = v, v
-				st.seen[i] = true
-			} else {
-				if v.Compare(st.mins[i]) < 0 {
-					st.mins[i] = v
+		n := b.NumActive()
+		for i := 0; i < n; i++ {
+			b.FillRow(i, scratch)
+			g := make(value.Row, len(a.Groups))
+			for gi, ev := range a.Groups {
+				v, err := ev(scratch)
+				if err != nil {
+					_ = a.Child.Close()
+					return err
 				}
-				if v.Compare(st.maxs[i]) > 0 {
-					st.maxs[i] = v
-				}
+				g[gi] = v
+			}
+			key := g.Key(intRange(len(g)))
+			st, ok := groups[key]
+			if !ok {
+				st = a.newState(g)
+				groups[key] = st
+				order = append(order, key)
+				ctx.Stats.GroupsCreated++
+			}
+			if err := a.accumulate(st, scratch); err != nil {
+				_ = a.Child.Close()
+				return err
 			}
 		}
 	}
 	// global aggregate over empty input still yields one row
 	if len(a.Groups) == 0 && len(order) == 0 {
-		st := &aggState{
-			counts: make([]int64, len(a.Aggs)),
-			sums:   make([]float64, len(a.Aggs)),
-			mins:   make([]value.Value, len(a.Aggs)),
-			maxs:   make([]value.Value, len(a.Aggs)),
-			seen:   make([]bool, len(a.Aggs)),
-		}
-		groups[""] = st
+		groups[""] = a.newState(nil)
 		order = append(order, "")
 	}
 	out := make([]value.Row, 0, len(order))
@@ -557,12 +888,23 @@ func (a *HashAggregate) Run(ctx *Context) ([]value.Row, error) {
 					row = append(row, st.maxs[i])
 				}
 			default:
-				return nil, fmt.Errorf("exec: unsupported aggregate %v", spec.Func)
+				_ = a.Child.Close()
+				return fmt.Errorf("exec: unsupported aggregate %v", spec.Func)
 			}
 		}
 		out = append(out, row)
 	}
-	return out, nil
+	a.emit.reset(out, len(a.Out))
+	return nil
+}
+
+func (a *HashAggregate) Next(ctx *Context) (*Batch, error) {
+	return a.emit.next(ctx), nil
+}
+
+func (a *HashAggregate) Close() error {
+	a.emit.reset(nil, len(a.Out))
+	return a.Child.Close()
 }
 
 func intRange(n int) []int {
@@ -602,109 +944,198 @@ func compareByKeys(keys []SortKey, a, b value.Row) (int, error) {
 	return 0, nil
 }
 
-// SortOp fully sorts its input.
+// SortOp fully sorts its input, which it drains at Open. Drained rows are
+// freshly materialized (never storage-aliased), so the sort is safe to run
+// in place.
 type SortOp struct {
 	Child Operator
 	Keys  []SortKey
+
+	emit rowEmitter
 }
 
 func (s *SortOp) Schema() Schema { return s.Child.Schema() }
 
-func (s *SortOp) Run(ctx *Context) ([]value.Row, error) {
-	in, err := s.Child.Run(ctx)
+func (s *SortOp) Clone() BatchOperator {
+	return &SortOp{Child: s.Child.Clone(), Keys: s.Keys}
+}
+
+func (s *SortOp) Open(ctx *Context) error {
+	rows, err := drainOp(s.Child, ctx)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	ctx.Stats.RowsSorted += int64(len(in))
-	// Sort a copy: scans may return storage-aliased slices, and sorting
-	// those in place would permanently reorder the table heap under every
-	// positional index (and race when plans run concurrently).
-	out := make([]value.Row, len(in))
-	copy(out, in)
+	ctx.Stats.RowsSorted += int64(len(rows))
 	var sortErr error
-	sort.SliceStable(out, func(i, j int) bool {
-		c, err := compareByKeys(s.Keys, out[i], out[j])
+	sort.SliceStable(rows, func(i, j int) bool {
+		c, err := compareByKeys(s.Keys, rows[i], rows[j])
 		if err != nil && sortErr == nil {
 			sortErr = err
 		}
 		return c < 0
 	})
 	if sortErr != nil {
-		return nil, sortErr
+		return sortErr
 	}
-	return out, nil
+	s.emit.reset(rows, len(s.Schema()))
+	return nil
+}
+
+func (s *SortOp) Next(ctx *Context) (*Batch, error) {
+	return s.emit.next(ctx), nil
+}
+
+func (s *SortOp) Close() error {
+	s.emit.reset(nil, len(s.Schema()))
+	return nil
 }
 
 // TopNOp keeps the first N+Offset rows in key order using a bounded
-// selection (cheaper than a full sort), then applies the offset.
+// selection (cheaper than a full sort) over the child's batch stream, then
+// applies the offset.
 type TopNOp struct {
 	Child  Operator
 	Keys   []SortKey
 	N      int64
 	Offset int64
+
+	emit rowEmitter
 }
 
 func (t *TopNOp) Schema() Schema { return t.Child.Schema() }
 
-func (t *TopNOp) Run(ctx *Context) ([]value.Row, error) {
-	in, err := t.Child.Run(ctx)
-	if err != nil {
-		return nil, err
+func (t *TopNOp) Clone() BatchOperator {
+	return &TopNOp{Child: t.Child.Clone(), Keys: t.Keys, N: t.N, Offset: t.Offset}
+}
+
+func (t *TopNOp) Open(ctx *Context) error {
+	if err := t.Child.Open(ctx); err != nil {
+		return err
 	}
-	ctx.Stats.RowsTopN += int64(len(in))
 	keep := t.N + t.Offset
 	if keep < 0 {
 		keep = 0
 	}
+	scratch := make(value.Row, len(t.Child.Schema()))
 	// bounded insertion into a sorted prefix of size keep
 	var top []value.Row
 	var insErr error
-	for _, row := range in {
-		pos := sort.Search(len(top), func(i int) bool {
-			c, err := compareByKeys(t.Keys, row, top[i])
-			if err != nil && insErr == nil {
-				insErr = err
+	for {
+		b, err := t.Child.Next(ctx)
+		if err != nil {
+			_ = t.Child.Close()
+			return err
+		}
+		if b == nil {
+			break
+		}
+		n := b.NumActive()
+		ctx.Stats.RowsTopN += int64(n)
+		for i := 0; i < n; i++ {
+			row := b.FillRow(i, scratch)
+			pos := sort.Search(len(top), func(k int) bool {
+				c, err := compareByKeys(t.Keys, row, top[k])
+				if err != nil && insErr == nil {
+					insErr = err
+				}
+				return c < 0
+			})
+			switch {
+			case int64(len(top)) < keep:
+				top = append(top, nil)
+				copy(top[pos+1:], top[pos:])
+				top[pos] = row.Clone()
+			case pos < len(top):
+				copy(top[pos+1:], top[pos:len(top)-1])
+				top[pos] = row.Clone()
 			}
-			return c < 0
-		})
-		if int64(len(top)) < keep {
-			top = append(top, nil)
-			copy(top[pos+1:], top[pos:])
-			top[pos] = row
-		} else if pos < len(top) {
-			copy(top[pos+1:], top[pos:len(top)-1])
-			top[pos] = row
+		}
+		if insErr != nil {
+			_ = t.Child.Close()
+			return insErr
 		}
 	}
-	if insErr != nil {
-		return nil, insErr
-	}
 	if t.Offset >= int64(len(top)) {
-		return nil, nil
+		top = nil
+	} else {
+		top = top[t.Offset:]
 	}
-	return top[t.Offset:], nil
+	t.emit.reset(top, len(t.Schema()))
+	return nil
 }
 
-// LimitOp applies LIMIT/OFFSET without ordering.
+func (t *TopNOp) Next(ctx *Context) (*Batch, error) {
+	return t.emit.next(ctx), nil
+}
+
+func (t *TopNOp) Close() error {
+	t.emit.reset(nil, len(t.Schema()))
+	return t.Child.Close()
+}
+
+// LimitOp applies LIMIT/OFFSET without ordering by trimming selection
+// vectors; it stops pulling from its child as soon as the limit is
+// satisfied (early termination the materializing engine could not do).
 type LimitOp struct {
 	Child  Operator
 	N      int64
 	Offset int64
+
+	skipped int64
+	emitted int64
+	selBuf  []int32
 }
 
 func (l *LimitOp) Schema() Schema { return l.Child.Schema() }
 
-func (l *LimitOp) Run(ctx *Context) ([]value.Row, error) {
-	in, err := l.Child.Run(ctx)
-	if err != nil {
-		return nil, err
-	}
-	if l.Offset >= int64(len(in)) {
+func (l *LimitOp) Clone() BatchOperator {
+	return &LimitOp{Child: l.Child.Clone(), N: l.N, Offset: l.Offset}
+}
+
+func (l *LimitOp) Open(ctx *Context) error {
+	l.skipped, l.emitted = 0, 0
+	return l.Child.Open(ctx)
+}
+
+func (l *LimitOp) Next(ctx *Context) (*Batch, error) {
+	if l.N >= 0 && l.emitted >= l.N {
 		return nil, nil
 	}
-	in = in[l.Offset:]
-	if l.N >= 0 && l.N < int64(len(in)) {
-		in = in[:l.N]
+	for {
+		b, err := l.Child.Next(ctx)
+		if err != nil || b == nil {
+			return nil, err
+		}
+		n := b.NumActive()
+		skip := 0
+		if l.skipped < l.Offset {
+			skip = int(l.Offset - l.skipped)
+			if skip > n {
+				skip = n
+			}
+			l.skipped += int64(skip)
+		}
+		if skip >= n {
+			continue
+		}
+		take := n - skip
+		if l.N >= 0 && int64(take) > l.N-l.emitted {
+			take = int(l.N - l.emitted)
+		}
+		l.emitted += int64(take)
+		if skip == 0 && take == n {
+			ctx.Stats.BatchesProduced++
+			return b, nil
+		}
+		sel := l.selBuf[:0]
+		for i := skip; i < skip+take; i++ {
+			sel = append(sel, int32(b.PosAt(i)))
+		}
+		l.selBuf = sel
+		b.Sel = sel
+		ctx.Stats.BatchesProduced++
+		return b, nil
 	}
-	return in, nil
 }
+
+func (l *LimitOp) Close() error { return l.Child.Close() }

@@ -11,14 +11,21 @@ import (
 	"htapxplain/internal/value"
 )
 
-// memOp is an in-memory test operator.
+// memOp is an in-memory test operator emitting its rows as batches.
 type memOp struct {
 	schema Schema
 	rows   []value.Row
+	em     rowEmitter
 }
 
-func (m *memOp) Schema() Schema                    { return m.schema }
-func (m *memOp) Run(*Context) ([]value.Row, error) { return m.rows, nil }
+func (m *memOp) Schema() Schema       { return m.schema }
+func (m *memOp) Clone() BatchOperator { return &memOp{schema: m.schema, rows: m.rows} }
+func (m *memOp) Open(*Context) error {
+	m.em.reset(m.rows, len(m.schema))
+	return nil
+}
+func (m *memOp) Next(ctx *Context) (*Batch, error) { return m.em.next(ctx), nil }
+func (m *memOp) Close() error                      { return nil }
 
 func intCol(binding, name string) Col {
 	return Col{Binding: binding, Name: name, Type: catalog.TypeInt}
@@ -45,7 +52,7 @@ func TestFilterOp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := (&FilterOp{Child: child, Pred: ev}).Run(NewContext())
+	out, err := Drain(&FilterOp{Child: child, Pred: ev}, NewContext())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +69,7 @@ func TestProjectOp(t *testing.T) {
 		Left: &sqlparser.ColumnRef{Column: "a"}, Right: &sqlparser.ColumnRef{Column: "b"},
 	}, child.schema)
 	p := &ProjectOp{Child: child, Evals: []Evaluator{ev}, Out: Schema{intCol("", "sum")}}
-	out, err := p.Run(NewContext())
+	out, err := Drain(p, NewContext())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,12 +108,12 @@ func TestHashJoinEqualsNestedLoopProperty(t *testing.T) {
 		pred := joinEquiPred(t, concat)
 
 		nlj := NewNestedLoopJoin(left, right, pred)
-		nljOut, err := nlj.Run(NewContext())
+		nljOut, err := Drain(nlj, NewContext())
 		if err != nil {
 			return false
 		}
 		hj := NewHashJoin(left, right, []int{0}, []int{0}, nil)
-		hjOut, err := hj.Run(NewContext())
+		hjOut, err := Drain(hj, NewContext())
 		if err != nil {
 			return false
 		}
@@ -156,7 +163,7 @@ func TestHashJoinResidualPredicate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := NewHashJoin(left, right, []int{0}, []int{0}, residual).Run(NewContext())
+	out, err := Drain(NewHashJoin(left, right, []int{0}, []int{0}, residual), NewContext())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,15 +190,15 @@ func TestTopNEqualsSortLimitProperty(t *testing.T) {
 		keys := []SortKey{{Eval: keyEval, Desc: seed%2 == 0}}
 		n, off := int64(nRaw%12), int64(offRaw%8)
 
-		topOut, err := (&TopNOp{Child: child(), Keys: keys, N: n, Offset: off}).Run(NewContext())
+		topOut, err := Drain(&TopNOp{Child: child(), Keys: keys, N: n, Offset: off}, NewContext())
 		if err != nil {
 			return false
 		}
-		sorted, err := (&SortOp{Child: child(), Keys: keys}).Run(NewContext())
+		sorted, err := Drain(&SortOp{Child: child(), Keys: keys}, NewContext())
 		if err != nil {
 			return false
 		}
-		limited, err := (&LimitOp{Child: &memOp{schema: child().Schema(), rows: sorted}, N: n, Offset: off}).Run(NewContext())
+		limited, err := Drain(&LimitOp{Child: &memOp{schema: child().Schema(), rows: sorted}, N: n, Offset: off}, NewContext())
 		if err != nil {
 			return false
 		}
@@ -215,7 +222,7 @@ func TestSortStability(t *testing.T) {
 	child := &memOp{schema: Schema{intCol("t", "a"), intCol("t", "id")},
 		rows: rowsOf([]int64{1, 0}, []int64{1, 1}, []int64{0, 2}, []int64{1, 3})}
 	keyEval, _ := Compile(&sqlparser.ColumnRef{Column: "a"}, child.schema)
-	out, err := (&SortOp{Child: child, Keys: []SortKey{{Eval: keyEval}}}).Run(NewContext())
+	out, err := Drain(&SortOp{Child: child, Keys: []SortKey{{Eval: keyEval}}}, NewContext())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,19 +236,19 @@ func TestLimitOffsetEdges(t *testing.T) {
 	mk := func() *memOp {
 		return &memOp{schema: Schema{intCol("t", "a")}, rows: rowsOf([]int64{1}, []int64{2}, []int64{3})}
 	}
-	out, _ := (&LimitOp{Child: mk(), N: 2, Offset: 0}).Run(NewContext())
+	out, _ := Drain(&LimitOp{Child: mk(), N: 2, Offset: 0}, NewContext())
 	if len(out) != 2 {
 		t.Errorf("limit 2 = %d rows", len(out))
 	}
-	out, _ = (&LimitOp{Child: mk(), N: 10, Offset: 2}).Run(NewContext())
+	out, _ = Drain(&LimitOp{Child: mk(), N: 10, Offset: 2}, NewContext())
 	if len(out) != 1 {
 		t.Errorf("offset 2 = %d rows", len(out))
 	}
-	out, _ = (&LimitOp{Child: mk(), N: 1, Offset: 99}).Run(NewContext())
+	out, _ = Drain(&LimitOp{Child: mk(), N: 1, Offset: 99}, NewContext())
 	if len(out) != 0 {
 		t.Errorf("offset past end = %d rows", len(out))
 	}
-	out, _ = (&LimitOp{Child: mk(), N: -1, Offset: 1}).Run(NewContext())
+	out, _ = Drain(&LimitOp{Child: mk(), N: -1, Offset: 1}, NewContext())
 	if len(out) != 2 {
 		t.Errorf("offset without limit = %d rows", len(out))
 	}
@@ -271,7 +278,7 @@ func TestAggregatesMatchManualComputationProperty(t *testing.T) {
 			},
 			Out: Schema{intCol("t", "g"), intCol("", "count"), intCol("", "sum"), intCol("", "min"), intCol("", "max")},
 		}
-		out, err := agg.Run(NewContext())
+		out, err := Drain(agg, NewContext())
 		if err != nil {
 			return false
 		}
@@ -329,7 +336,7 @@ func TestGlobalAggregateOverEmptyInput(t *testing.T) {
 		},
 		Out: Schema{intCol("", "c"), intCol("", "s"), intCol("", "a"), intCol("", "m")},
 	}
-	out, err := agg.Run(NewContext())
+	out, err := Drain(agg, NewContext())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,7 +365,7 @@ func TestAggregateIgnoresNullArguments(t *testing.T) {
 		},
 		Out: Schema{intCol("", "c"), intCol("", "a")},
 	}
-	out, err := agg.Run(NewContext())
+	out, err := Drain(agg, NewContext())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -384,7 +391,7 @@ func TestNestedLoopJoinCountsComparisons(t *testing.T) {
 	left := &memOp{schema: Schema{intCol("l", "k")}, rows: rowsOf([]int64{1}, []int64{2}, []int64{3})}
 	right := &memOp{schema: Schema{intCol("r", "k")}, rows: rowsOf([]int64{1}, []int64{2})}
 	ctx := NewContext()
-	if _, err := NewNestedLoopJoin(left, right, nil).Run(ctx); err != nil {
+	if _, err := Drain(NewNestedLoopJoin(left, right, nil), ctx); err != nil {
 		t.Fatal(err)
 	}
 	if ctx.Stats.JoinComparisons != 6 {
@@ -396,7 +403,7 @@ func TestTopNKeepsLargestWhenDesc(t *testing.T) {
 	child := &memOp{schema: Schema{intCol("t", "a")},
 		rows: rowsOf([]int64{5}, []int64{1}, []int64{9}, []int64{3})}
 	keyEval, _ := Compile(&sqlparser.ColumnRef{Column: "a"}, child.schema)
-	out, err := (&TopNOp{Child: child, Keys: []SortKey{{Eval: keyEval, Desc: true}}, N: 2}).Run(NewContext())
+	out, err := Drain(&TopNOp{Child: child, Keys: []SortKey{{Eval: keyEval, Desc: true}}, N: 2}, NewContext())
 	if err != nil {
 		t.Fatal(err)
 	}

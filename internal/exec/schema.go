@@ -1,9 +1,11 @@
 // Package exec implements physical query execution shared by both HTAP
-// engines: schema binding, a compiled expression evaluator, and
-// materializing physical operators (scans, filters, nested-loop and hash
-// joins, aggregation, sort, Top-N, limit). Operators record work counters
-// in a Context; the latency model converts those counters into modeled
-// wall-clock times at the paper's deployment scale.
+// engines: schema binding, a compiled expression evaluator, and pull-based
+// vectorized physical operators (scans, filters, nested-loop and hash
+// joins, aggregation, sort, Top-N, limit) exchanging column-vector batches
+// with selection vectors. Operators record work counters in a Context; the
+// latency model converts those counters into modeled wall-clock times at
+// the paper's deployment scale. The legacy materializing contract survives
+// as Drain.
 package exec
 
 import (
@@ -37,12 +39,12 @@ func (s Schema) Resolve(ref *sqlparser.ColumnRef) (int, error) {
 			continue
 		}
 		if found >= 0 {
-			return 0, fmt.Errorf("exec: ambiguous column %q", ref)
+			return 0, fmt.Errorf("exec: ambiguous column %s", ref)
 		}
 		found = i
 	}
 	if found < 0 {
-		return 0, fmt.Errorf("exec: unknown column %q", ref)
+		return 0, fmt.Errorf("exec: unknown column %s", ref)
 	}
 	return found, nil
 }
@@ -78,6 +80,7 @@ type Stats struct {
 	GroupsCreated   int64
 	OutputRows      int64
 	ChunksSkipped   int64 // zone-map chunk skips (AP only)
+	BatchesProduced int64 // batches emitted by operators in the vectorized pipeline
 }
 
 // Add accumulates o into s.
@@ -93,6 +96,7 @@ func (s *Stats) Add(o Stats) {
 	s.GroupsCreated += o.GroupsCreated
 	s.OutputRows += o.OutputRows
 	s.ChunksSkipped += o.ChunksSkipped
+	s.BatchesProduced += o.BatchesProduced
 }
 
 // Context carries per-query execution state: the work counters.

@@ -1,0 +1,52 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"htapxplain/internal/sqlparser"
+)
+
+// Resolve's error messages must render the column reference readably (a
+// *ColumnRef under %q used to print as fmt noise like `%!q(...)`).
+func TestResolveAmbiguousColumnMessage(t *testing.T) {
+	s := Schema{intCol("t1", "a"), intCol("t2", "a")}
+	_, err := s.Resolve(&sqlparser.ColumnRef{Column: "a"})
+	if err == nil {
+		t.Fatal("expected ambiguity error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "ambiguous column a") {
+		t.Errorf("unreadable ambiguity message: %q", msg)
+	}
+	if strings.Contains(msg, "%!") {
+		t.Errorf("fmt verb noise in message: %q", msg)
+	}
+}
+
+func TestResolveUnknownColumnMessage(t *testing.T) {
+	s := Schema{intCol("t1", "a")}
+	_, err := s.Resolve(&sqlparser.ColumnRef{Table: "t9", Column: "zz"})
+	if err == nil {
+		t.Fatal("expected unknown-column error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "unknown column t9.zz") {
+		t.Errorf("unreadable unknown-column message: %q", msg)
+	}
+	if strings.Contains(msg, "%!") {
+		t.Errorf("fmt verb noise in message: %q", msg)
+	}
+}
+
+// Qualified references must disambiguate same-named columns.
+func TestResolveQualifiedDisambiguates(t *testing.T) {
+	s := Schema{intCol("t1", "a"), intCol("t2", "a")}
+	idx, err := s.Resolve(&sqlparser.ColumnRef{Table: "t2", Column: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Errorf("resolved to %d, want 1", idx)
+	}
+}

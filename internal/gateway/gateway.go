@@ -15,8 +15,8 @@
 //
 //   - full hit — fingerprint matches and the literal vector is retained:
 //     the bound plan is re-executed with no parsing or planning at all
-//     (operators hold no cross-run state, so a plan tree can run many
-//     times, concurrently);
+//     (execution clones the vectorized operator tree per run, so a cached
+//     plan can run many times, concurrently);
 //   - template hit — fingerprint matches but the literals are new: the
 //     cached routing decision is reused (plan shape, and hence the faster
 //     engine, is a property of the template) and only the chosen engine is
@@ -332,13 +332,17 @@ func (g *Gateway) recordRoute(route plan.Engine, tpTime, apTime time.Duration) {
 func (g *Gateway) execute(resp *Response, phys *optimizer.PhysPlan, eng plan.Engine) {
 	resp.Engine = eng
 	ctx := exec.NewContext()
-	rows, err := phys.Root.Run(ctx)
+	// Execute draws a private operator-tree clone from the plan's runner
+	// pool, so a cached plan can run on many workers concurrently through
+	// the batch pipeline while reusing execution buffers across queries.
+	rows, err := phys.Execute(ctx)
 	if err != nil {
 		resp.Err = fmt.Errorf("gateway: %v execution: %w", eng, err)
 		return
 	}
 	resp.Rows = rows
 	resp.Stats = ctx.Stats
+	g.metrics.observeExec(eng, &ctx.Stats)
 }
 
 // planOne parses the query and plans only the given engine — the

@@ -5,6 +5,9 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"htapxplain/internal/exec"
+	"htapxplain/internal/plan"
 )
 
 // histBuckets is the number of power-of-two latency buckets. Bucket i
@@ -30,8 +33,46 @@ type Metrics struct {
 	routeKnown   atomic.Int64 // routes with modeled ground truth available
 	routeCorrect atomic.Int64 // ... that matched the modeled winner
 
+	execTP execCounters // physical work done by queries routed to TP
+	execAP execCounters // ... and to AP
+
 	latSum     atomic.Int64 // total serve nanoseconds
 	latBuckets [histBuckets]atomic.Int64
+}
+
+// execCounters aggregates the batch pipeline's work counters per route.
+type execCounters struct {
+	rowsScanned     atomic.Int64
+	chunksSkipped   atomic.Int64
+	batchesProduced atomic.Int64
+}
+
+// observeExec folds one query's execution stats into the counters of the
+// route it executed on.
+func (m *Metrics) observeExec(eng plan.Engine, st *exec.Stats) {
+	ec := &m.execTP
+	if eng == plan.AP {
+		ec = &m.execAP
+	}
+	ec.rowsScanned.Add(st.RowsScanned)
+	ec.chunksSkipped.Add(st.ChunksSkipped)
+	ec.batchesProduced.Add(st.BatchesProduced)
+}
+
+// ExecSnapshot is the exported per-route view of the execution work
+// counters.
+type ExecSnapshot struct {
+	RowsScanned     int64 `json:"rows_scanned"`
+	ChunksSkipped   int64 `json:"chunks_skipped"`
+	BatchesProduced int64 `json:"batches_produced"`
+}
+
+func (ec *execCounters) snapshot() ExecSnapshot {
+	return ExecSnapshot{
+		RowsScanned:     ec.rowsScanned.Load(),
+		ChunksSkipped:   ec.chunksSkipped.Load(),
+		BatchesProduced: ec.batchesProduced.Load(),
+	}
 }
 
 func (m *Metrics) observeLatency(d time.Duration) {
@@ -62,6 +103,9 @@ type Snapshot struct {
 	RoutedAP      int64   `json:"routed_ap"`
 	RouteAccuracy float64 `json:"route_accuracy"`
 
+	ExecTP ExecSnapshot `json:"exec_tp"`
+	ExecAP ExecSnapshot `json:"exec_ap"`
+
 	MeanLatency time.Duration `json:"mean_latency_ns"`
 	P50         time.Duration `json:"p50_ns"`
 	P95         time.Duration `json:"p95_ns"`
@@ -80,6 +124,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		CacheMisses:       m.misses.Load(),
 		RoutedTP:          m.routedTP.Load(),
 		RoutedAP:          m.routedAP.Load(),
+		ExecTP:            m.execTP.snapshot(),
+		ExecAP:            m.execAP.snapshot(),
 	}
 	if lookups := s.CacheHits + s.CacheTemplateHits + s.CacheMisses; lookups > 0 {
 		s.CacheHitRate = float64(s.CacheHits+s.CacheTemplateHits) / float64(lookups)
@@ -126,6 +172,9 @@ func (s Snapshot) String() string {
 	fmt.Fprintf(&b, " cache=%.0f%% (%d/%d/%d hit/tmpl/miss)",
 		100*s.CacheHitRate, s.CacheHits, s.CacheTemplateHits, s.CacheMisses)
 	fmt.Fprintf(&b, " routes=TP:%d,AP:%d acc=%.0f%%", s.RoutedTP, s.RoutedAP, 100*s.RouteAccuracy)
+	fmt.Fprintf(&b, " exec=TP(rows:%d,batches:%d),AP(rows:%d,skipped:%d,batches:%d)",
+		s.ExecTP.RowsScanned, s.ExecTP.BatchesProduced,
+		s.ExecAP.RowsScanned, s.ExecAP.ChunksSkipped, s.ExecAP.BatchesProduced)
 	fmt.Fprintf(&b, " lat mean=%v p50=%v p95=%v p99=%v", s.MeanLatency, s.P50, s.P95, s.P99)
 	return b.String()
 }

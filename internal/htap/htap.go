@@ -164,11 +164,11 @@ func (s *System) Run(sql string) (*Result, error) {
 		return nil, err
 	}
 	tpCtx, apCtx := exec.NewContext(), exec.NewContext()
-	tpRows, err := tpPlan.Root.Run(tpCtx)
+	tpRows, err := tpPlan.Execute(tpCtx)
 	if err != nil {
 		return nil, fmt.Errorf("htap: TP execution: %w", err)
 	}
-	apRows, err := apPlan.Root.Run(apCtx)
+	apRows, err := apPlan.Execute(apCtx)
 	if err != nil {
 		return nil, fmt.Errorf("htap: AP execution: %w", err)
 	}

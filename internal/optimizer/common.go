@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"htapxplain/internal/catalog"
 	"htapxplain/internal/colstore"
@@ -19,6 +20,18 @@ type PhysPlan struct {
 	Engine  plan.Engine
 	Root    exec.Operator
 	Explain *plan.Node
+
+	runnerOnce sync.Once
+	runner     *exec.Runner
+}
+
+// Execute runs the plan through the vectorized batch pipeline and
+// materializes the result rows. Repeated executions (e.g. of a cached
+// plan) share a pool of cloned operator trees, so they are concurrency-
+// safe and reuse execution buffers.
+func (p *PhysPlan) Execute(ctx *exec.Context) ([]value.Row, error) {
+	p.runnerOnce.Do(func() { p.runner = exec.NewRunner(p.Root) })
+	return p.runner.Drain(ctx)
 }
 
 // Planner plans queries for both engines over shared storage.

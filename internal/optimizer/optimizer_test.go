@@ -290,7 +290,7 @@ func TestPlansExecuteAfterBuild(t *testing.T) {
 			if err != nil {
 				t.Fatalf("plan %q: %v", sql, err)
 			}
-			if _, err := pp.Root.Run(exec.NewContext()); err != nil {
+			if _, err := exec.Drain(pp.Root, exec.NewContext()); err != nil {
 				t.Fatalf("run %q: %v", sql, err)
 			}
 		}
