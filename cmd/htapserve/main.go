@@ -9,11 +9,14 @@
 //	htapserve -addr :9090 -policy learned  # train the tree-CNN router first
 //	htapserve -policy rule -workers 16 -queue 256
 //	htapserve -load -clients 16 -queries 2000 -distinct 50
+//	htapserve -load -write-frac 0.2          # mixed read/write HTAP load
 //
 // Endpoints:
 //
 //	POST /query    {"sql": "SELECT ..."}   → result rows + routing info
-//	GET  /metrics                          → serving counters and latencies
+//	POST /query    {"sql": "INSERT ..."}   → rows_affected + commit LSN
+//	GET  /metrics                          → serving counters, latencies and
+//	                                         the TP→AP freshness gauge
 //	GET  /healthz                          → liveness
 //
 // With -load the binary skips HTTP entirely and drives its own gateway
@@ -36,20 +39,21 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "HTTP listen address")
-		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		queue    = flag.Int("queue", 0, "admission queue depth (0 = 8x workers)")
-		cacheCap = flag.Int("cache-capacity", 1024, "plan cache capacity in templates (0 disables)")
-		shards   = flag.Int("cache-shards", 8, "plan cache shard count")
-		policy   = flag.String("policy", "cost", "routing policy: rule, cost or learned")
-		trainN   = flag.Int("train-queries", 160, "learned policy: training workload size")
-		epochs   = flag.Int("train-epochs", 60, "learned policy: training epochs")
-		load     = flag.Bool("load", false, "run the closed-loop load generator instead of serving HTTP")
-		clients  = flag.Int("clients", 8, "load mode: concurrent closed-loop clients")
-		queries  = flag.Int("queries", 1000, "load mode: total queries to issue")
-		distinct = flag.Int("distinct", 50, "load mode: distinct query pool size")
-		testMix  = flag.Bool("test-mix", false, "load mode: include rare out-of-KB query shapes")
-		seed     = flag.Int64("seed", 7, "workload / training seed")
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 0, "admission queue depth (0 = 8x workers)")
+		cacheCap  = flag.Int("cache-capacity", 1024, "plan cache capacity in templates (0 disables)")
+		shards    = flag.Int("cache-shards", 8, "plan cache shard count")
+		policy    = flag.String("policy", "cost", "routing policy: rule, cost or learned")
+		trainN    = flag.Int("train-queries", 160, "learned policy: training workload size")
+		epochs    = flag.Int("train-epochs", 60, "learned policy: training epochs")
+		load      = flag.Bool("load", false, "run the closed-loop load generator instead of serving HTTP")
+		clients   = flag.Int("clients", 8, "load mode: concurrent closed-loop clients")
+		queries   = flag.Int("queries", 1000, "load mode: total queries to issue")
+		distinct  = flag.Int("distinct", 50, "load mode: distinct query pool size")
+		testMix   = flag.Bool("test-mix", false, "load mode: include rare out-of-KB query shapes")
+		writeFrac = flag.Float64("write-frac", 0, "load mode: fraction of submissions that are DML (0..1)")
+		seed      = flag.Int64("seed", 7, "workload / training seed")
 	)
 	flag.Parse()
 
@@ -58,6 +62,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	defer sys.Close()
 	pol, err := buildPolicy(sys, *policy, *trainN, *epochs, *seed)
 	if err != nil {
 		fatal(err)
@@ -72,16 +77,24 @@ func main() {
 	defer g.Stop()
 
 	if *load {
-		fmt.Printf("closed-loop load: %d clients, %d queries over %d distinct templates\n",
-			*clients, *queries, *distinct)
+		fmt.Printf("closed-loop load: %d clients, %d queries over %d distinct templates (write fraction %.2f)\n",
+			*clients, *queries, *distinct, *writeFrac)
 		rep := gateway.RunLoad(g, gateway.LoadConfig{
-			Clients:  *clients,
-			Queries:  *queries,
-			Distinct: *distinct,
-			Seed:     *seed,
-			TestMix:  *testMix,
+			Clients:       *clients,
+			Queries:       *queries,
+			Distinct:      *distinct,
+			Seed:          *seed,
+			TestMix:       *testMix,
+			WriteFraction: *writeFrac,
 		})
 		fmt.Println(rep)
+		if *writeFrac > 0 {
+			if err := sys.WaitFresh(5 * time.Second); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("replication: watermark %d = commit LSN %d (fully fresh), merges so far: %+v\n",
+				sys.Watermark(), sys.CommitLSN(), sys.Col.MergeStats())
+		}
 		return
 	}
 

@@ -3,11 +3,20 @@
 // maps. Scans read only the referenced columns and can skip chunks whose
 // zone map proves no row matches — the storage-format advantage the AP
 // engine's explanations cite.
+//
+// The column store is the replication secondary of the TP write path: it
+// consumes the row store's mutation log in LSN order (Store.Apply) into a
+// per-table in-memory delta layer, and a background merger compacts deltas
+// into fresh immutable base chunks (see delta.go and merger.go). Readers
+// never lock per value: Table.View pins an immutable snapshot (base column
+// vectors + copy-on-write delete set + delta rows) that stays valid across
+// concurrent replication and merges.
 package colstore
 
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"htapxplain/internal/catalog"
 	"htapxplain/internal/value"
@@ -17,6 +26,8 @@ import (
 const ChunkSize = 1024
 
 // Column is one stored column: the full vector plus per-chunk zone maps.
+// A Column is immutable once published; merges build fresh Columns and
+// swap them in, so execution batches may alias the vectors indefinitely.
 type Column struct {
 	Name string
 	vals []value.Value
@@ -42,21 +53,40 @@ func (c *Column) NumChunks() int { return len(c.zmin) }
 // ChunkRange returns the [min,max] zone map of chunk k.
 func (c *Column) ChunkRange(k int) (value.Value, value.Value) { return c.zmin[k], c.zmax[k] }
 
-// Table is one column-oriented table.
+// Table is one column-oriented table: immutable base chunks plus the
+// replication delta. All field access goes through mu; the values the
+// fields point at are immutable, so snapshots taken under RLock stay valid
+// after release.
 type Table struct {
-	Meta    *catalog.Table
+	Meta *catalog.Table
+
+	mu      sync.RWMutex
 	columns []*Column
-	numRows int
+	numRows int // base rows (before delta)
+	// baseRID maps base position → row id assigned by the primary; nil
+	// means the identity mapping of the initial bulk load (pos == RID).
+	// ridPos is its inverse (nil while the identity mapping holds).
+	baseRID []int64
+	ridPos  map[int64]int32
+	// baseDead is the copy-on-write set of deleted base positions; nil
+	// when no base row is deleted. Never mutated once published — deletes
+	// replace it with an extended copy, so views may alias it freely.
+	baseDead map[int32]bool
+	delta    tableDelta
 }
 
-// Store is the column engine's storage manager.
+// Store is the column engine's storage manager and replication secondary.
 type Store struct {
 	tables map[string]*Table
+	repl   replState
+	merger mergerState
 }
 
-// NewStore builds a column store over the given physical data.
+// NewStore builds a column store over the given physical data. Base
+// positions are aligned with the row store's heap (RID i ↔ position i).
 func NewStore(cat *catalog.Catalog, data map[string][]value.Row) (*Store, error) {
 	s := &Store{tables: make(map[string]*Table, len(data))}
+	s.repl.init()
 	for _, meta := range cat.Tables() {
 		rows, ok := data[strings.ToLower(meta.Name)]
 		if !ok {
@@ -107,19 +137,79 @@ func (s *Store) Table(name string) (*Table, bool) {
 	return t, ok
 }
 
-// NumRows returns the physical row count.
-func (t *Table) NumRows() int { return t.numRows }
+// NumRows returns the base (merged) physical row count, excluding the
+// un-merged delta. Use View for the logical table contents.
+func (t *Table) NumRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.numRows
+}
 
-// Column returns the column at position i.
-func (t *Table) Column(i int) *Column { return t.columns[i] }
+// NumLive returns the logical live row count: base minus deletes plus the
+// live delta.
+func (t *Table) NumLive() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.numRows - len(t.baseDead) + t.delta.numLive()
+}
 
-// ColumnByName returns the named column, or nil.
+// Column returns the base column at position i.
+func (t *Table) Column(i int) *Column {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.columns[i]
+}
+
+// ColumnByName returns the named base column, or nil.
 func (t *Table) ColumnByName(name string) *Column {
 	i := t.Meta.ColumnIndex(name)
 	if i < 0 {
 		return nil
 	}
-	return t.columns[i]
+	return t.Column(i)
+}
+
+// View is an immutable snapshot of a table's logical contents: the base
+// column vectors, the set of base positions deleted since the last merge,
+// and the replicated delta rows not yet compacted. Taking a view is
+// allocation-free until delta rows are tombstoned (then the live delta is
+// copied out); everything it references is copy-on-write or append-only,
+// so it stays consistent while replication and merges continue. Scans
+// read base chunks (skipping BaseDead positions) and then the delta rows
+// — together the table as of the replication watermark at snapshot time.
+type View struct {
+	Cols    []*Column
+	NumRows int // base rows
+	// BaseDead is the deleted base-position set (nil when none).
+	BaseDead map[int32]bool
+	// Delta holds the live replicated rows not yet merged, in replay
+	// order. Rows are full table width and must not be mutated.
+	Delta []value.Row
+}
+
+// View pins a consistent snapshot of the table.
+func (t *Table) View() View {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return View{
+		Cols:     t.columns,
+		NumRows:  t.numRows,
+		BaseDead: t.baseDead,
+		Delta:    t.delta.liveRows(),
+	}
+}
+
+// NumLive returns the view's logical row count.
+func (v *View) NumLive() int { return v.NumRows - len(v.BaseDead) + len(v.Delta) }
+
+// ValueAt reads column col of logical row id, where ids < NumRows address
+// base positions and ids >= NumRows address delta rows — the id space Scan
+// reports.
+func (v *View) ValueAt(id, col int) value.Value {
+	if id < v.NumRows {
+		return v.Cols[col].Value(id)
+	}
+	return v.Delta[id-v.NumRows][col]
 }
 
 // ScanStats reports the work a columnar scan performed, feeding the latency
@@ -139,16 +229,18 @@ type RangePruner struct {
 }
 
 // Scan evaluates pred over the table, reading only cols, and returns the
-// matching row ids. pred receives the row id and a getter for any column
-// position. If pruner is non-nil, chunks whose zone map falls entirely
-// outside [Lo,Hi] are skipped without visiting rows.
-func (t *Table) Scan(cols []int, pruner *RangePruner, pred func(id int) bool) ([]int, ScanStats) {
+// matching row ids in the view's id space (base positions, then delta ids
+// starting at NumRows). pred receives the row id; resolve values with
+// View.ValueAt on the same view. If pruner is non-nil, base chunks whose
+// zone map falls entirely outside [Lo,Hi] are skipped without visiting
+// rows; delta rows have no zone maps and are always visited.
+func (v *View) Scan(cols []int, pruner *RangePruner, pred func(id int) bool) ([]int, ScanStats) {
 	stats := ScanStats{ColumnsRead: len(cols)}
 	var match []int
-	n := t.numRows
+	n := v.NumRows
 	var zc *Column
 	if pruner != nil {
-		zc = t.columns[pruner.Col]
+		zc = v.Cols[pruner.Col]
 	}
 	for start := 0; start < n; start += ChunkSize {
 		end := start + ChunkSize
@@ -169,23 +261,57 @@ func (t *Table) Scan(cols []int, pruner *RangePruner, pred func(id int) bool) ([
 			}
 		}
 		for id := start; id < end; id++ {
+			if v.BaseDead[int32(id)] {
+				continue
+			}
 			stats.RowsVisited++
 			if pred == nil || pred(id) {
 				match = append(match, id)
 			}
 		}
 	}
+	for i := range v.Delta {
+		stats.RowsVisited++
+		id := n + i
+		if pred == nil || pred(id) {
+			match = append(match, id)
+		}
+	}
 	return match, stats
 }
 
+// Scan evaluates pred over a fresh view of the table. See View.Scan.
+//
+// Legacy-pair caveat: Table.Scan and Table.Materialize each pin their own
+// view, and scan ids are only meaningful within the view that produced
+// them — a replication apply or merge between the two calls remaps the id
+// space. Callers racing the write path must take one explicit View and
+// use View.Scan + View.Materialize (as exec.ColTableScan does); the
+// Table-level pair is retained for quiesced/read-only use (benchmarks,
+// tests). pred implementations that read values through Column.Value only
+// see base rows correctly — use View.ValueAt when deltas may exist.
+func (t *Table) Scan(cols []int, pruner *RangePruner, pred func(id int) bool) ([]int, ScanStats) {
+	v := t.View()
+	return v.Scan(cols, pruner, pred)
+}
+
 // Materialize assembles value rows for the given ids over the given column
-// positions (late materialization).
+// positions (late materialization) against a fresh view. The ids must
+// come from a Scan with no replication or merge in between — see the
+// legacy-pair caveat on Table.Scan; concurrent callers use View.
+// Materialize with the view that produced the ids.
 func (t *Table) Materialize(ids []int, cols []int) []value.Row {
+	v := t.View()
+	return v.Materialize(ids, cols)
+}
+
+// Materialize assembles value rows for the given view-space ids.
+func (v *View) Materialize(ids []int, cols []int) []value.Row {
 	out := make([]value.Row, len(ids))
 	for i, id := range ids {
 		r := make(value.Row, len(cols))
 		for j, c := range cols {
-			r[j] = t.columns[c].vals[id]
+			r[j] = v.ValueAt(id, c)
 		}
 		out[i] = r
 	}

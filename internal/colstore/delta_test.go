@@ -1,0 +1,194 @@
+package colstore
+
+import (
+	"testing"
+	"time"
+
+	"htapxplain/internal/repl"
+	"htapxplain/internal/value"
+)
+
+func deltaStore(t *testing.T, n int) (*Store, *Table) {
+	t.Helper()
+	s, err := NewStore(tinyCatalog(int64(n)), map[string][]value.Row{
+		"t": genRows(n),
+	})
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	tb, _ := s.Table("t")
+	return s, tb
+}
+
+func genRows(n int) []value.Row {
+	rows := make([]value.Row, n)
+	for i := range rows {
+		rows[i] = value.Row{
+			value.NewInt(int64(i)),
+			value.NewString("s"),
+			value.NewFloat(float64(i)),
+		}
+	}
+	return rows
+}
+
+func insMut(lsn uint64, rid int64, key int64) *repl.Mutation {
+	return &repl.Mutation{LSN: lsn, Table: "t", Inserts: []repl.RowVersion{
+		{RID: rid, Row: value.Row{value.NewInt(key), value.NewString("d"), value.NewFloat(float64(key))}},
+	}}
+}
+
+func TestApplyInsertVisibleInView(t *testing.T) {
+	s, tb := deltaStore(t, 10)
+	if err := s.Apply(insMut(1, 10, 100)); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if s.Watermark() != 1 {
+		t.Errorf("watermark = %d, want 1", s.Watermark())
+	}
+	v := tb.View()
+	if v.NumLive() != 11 || len(v.Delta) != 1 {
+		t.Fatalf("view live=%d delta=%d, want 11/1", v.NumLive(), len(v.Delta))
+	}
+	if got := v.ValueAt(10, 0); got.I != 100 {
+		t.Errorf("delta row key = %v, want 100", got)
+	}
+	ids, _ := v.Scan([]int{0}, nil, nil)
+	if len(ids) != 11 {
+		t.Errorf("scan saw %d rows, want 11", len(ids))
+	}
+}
+
+func TestApplyDeleteBaseAndDelta(t *testing.T) {
+	s, tb := deltaStore(t, 10)
+	if err := s.Apply(insMut(1, 10, 100)); err != nil {
+		t.Fatal(err)
+	}
+	// delete base row 3 and the delta row in one mutation
+	if err := s.Apply(&repl.Mutation{LSN: 2, Table: "t", Deletes: []int64{3, 10}}); err != nil {
+		t.Fatalf("Apply deletes: %v", err)
+	}
+	v := tb.View()
+	if v.NumLive() != 9 {
+		t.Errorf("live = %d, want 9", v.NumLive())
+	}
+	ids, _ := v.Scan([]int{0}, nil, nil)
+	for _, id := range ids {
+		if id == 3 {
+			t.Error("deleted base row still scanned")
+		}
+	}
+	if len(ids) != 9 {
+		t.Errorf("scan saw %d rows, want 9", len(ids))
+	}
+	// deleting an unknown RID is a replication error
+	if err := s.Apply(&repl.Mutation{LSN: 3, Table: "t", Deletes: []int64{999}}); err == nil {
+		t.Error("delete of unknown RID succeeded")
+	}
+}
+
+func TestUpdateMutationReplaysAtomically(t *testing.T) {
+	s, tb := deltaStore(t, 4)
+	// UPDATE of base row 2: delete RID 2, insert new version RID 4
+	if err := s.Apply(&repl.Mutation{LSN: 1, Table: "t",
+		Deletes: []int64{2},
+		Inserts: []repl.RowVersion{{RID: 4, Row: value.Row{
+			value.NewInt(22), value.NewString("u"), value.NewFloat(2.5)}}},
+	}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	v := tb.View()
+	if v.NumLive() != 4 {
+		t.Fatalf("live = %d, want 4 (update is size-neutral)", v.NumLive())
+	}
+}
+
+func TestMergeCompactsAndPreservesOrder(t *testing.T) {
+	s, tb := deltaStore(t, 6)
+	if err := s.Apply(insMut(1, 6, 60)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(&repl.Mutation{LSN: 2, Table: "t", Deletes: []int64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(insMut(3, 7, 70)); err != nil {
+		t.Fatal(err)
+	}
+	oldView := tb.View()
+	oldCol := oldView.Cols[0]
+
+	st := s.MergeAll()
+	if st.Merges != 1 || st.RowsMerged != 7 {
+		t.Errorf("merge stats = %+v, want 1 merge of 7 rows", st)
+	}
+	if got := s.PendingDelta(); got != 0 {
+		t.Errorf("pending after merge = %d, want 0", got)
+	}
+
+	v := tb.View()
+	if v.NumRows != 7 || len(v.Delta) != 0 || v.BaseDead != nil {
+		t.Fatalf("post-merge view: base=%d delta=%d dead=%v", v.NumRows, len(v.Delta), v.BaseDead)
+	}
+	// survivors keep replay order: base 0,2,3,4,5 then delta 60,70
+	want := []int64{0, 2, 3, 4, 5, 60, 70}
+	for i, w := range want {
+		if got := v.Cols[0].Value(i).I; got != w {
+			t.Fatalf("post-merge key[%d] = %d, want %d (full: %v)", i, got, w, want)
+		}
+	}
+	// zone maps rebuilt over the new base
+	if mn, mx := v.Cols[0].ChunkRange(0); mn.I != 0 || mx.I != 70 {
+		t.Errorf("zone map = [%v,%v], want [0,70]", mn, mx)
+	}
+	// the pre-merge view still reads the old immutable vectors
+	if oldCol.Value(1).I != 1 {
+		t.Error("merge mutated the old column vector in place")
+	}
+	if len(oldView.Delta) != 2 {
+		t.Error("merge truncated a pinned view's delta")
+	}
+}
+
+func TestMergeThenDeleteByRID(t *testing.T) {
+	s, tb := deltaStore(t, 4)
+	if err := s.Apply(insMut(1, 4, 40)); err != nil {
+		t.Fatal(err)
+	}
+	s.MergeAll()
+	// post-merge, delete a bulk row and the previously merged delta row by RID
+	if err := s.Apply(&repl.Mutation{LSN: 2, Table: "t", Deletes: []int64{0, 4}}); err != nil {
+		t.Fatalf("post-merge delete: %v", err)
+	}
+	v := tb.View()
+	if v.NumLive() != 3 {
+		t.Errorf("live = %d, want 3", v.NumLive())
+	}
+	s.MergeAll()
+	v = tb.View()
+	keys := make([]int64, 0, v.NumRows)
+	for i := 0; i < v.NumRows; i++ {
+		keys = append(keys, v.Cols[0].Value(i).I)
+	}
+	if len(keys) != 3 || keys[0] != 1 || keys[1] != 2 || keys[2] != 3 {
+		t.Errorf("post-merge keys = %v, want [1 2 3]", keys)
+	}
+}
+
+func TestBackgroundMergerCompacts(t *testing.T) {
+	s, tb := deltaStore(t, 4)
+	s.StartMerger(time.Millisecond, 2)
+	defer s.StopMerger()
+	for i := 0; i < 8; i++ {
+		if err := s.Apply(insMut(uint64(i+1), int64(4+i), int64(100+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.PendingDelta() == 0 && tb.NumRows() == 12 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("background merger did not compact: pending=%d base=%d", s.PendingDelta(), tb.NumRows())
+}

@@ -1,0 +1,197 @@
+package colstore
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"htapxplain/internal/value"
+)
+
+// DefaultMergeThreshold is the pending-delta size (rows + tombstones,
+// across tables) that wakes the background merger between ticks.
+const DefaultMergeThreshold = 256
+
+// DefaultMergeInterval is the background merger's tick period: the upper
+// bound on how long a small delta lingers before compaction.
+const DefaultMergeInterval = 50 * time.Millisecond
+
+// mergerState is the background compaction bookkeeping.
+type mergerState struct {
+	mu        sync.Mutex
+	running   bool
+	stop      chan struct{}
+	done      chan struct{}
+	threshold int
+
+	merges     atomic.Int64 // tables compacted
+	rowsMerged atomic.Int64 // rows written into fresh base chunks
+}
+
+func (s *Store) mergeThreshold() int {
+	s.merger.mu.Lock()
+	defer s.merger.mu.Unlock()
+	if s.merger.threshold > 0 {
+		return s.merger.threshold
+	}
+	return DefaultMergeThreshold
+}
+
+// MergeStats is a snapshot of the background merger's work counters.
+type MergeStats struct {
+	Merges     int64 `json:"merges"`
+	RowsMerged int64 `json:"rows_merged"`
+}
+
+// MergeStats returns the compaction counters.
+func (s *Store) MergeStats() MergeStats {
+	return MergeStats{
+		Merges:     s.merger.merges.Load(),
+		RowsMerged: s.merger.rowsMerged.Load(),
+	}
+}
+
+// StartMerger launches the background merger goroutine: it compacts every
+// table's delta into fresh base chunks each interval, and immediately when
+// the pending delta reaches threshold (<=0 uses the defaults). Callers
+// must StopMerger before discarding the store.
+func (s *Store) StartMerger(interval time.Duration, threshold int) {
+	s.merger.mu.Lock()
+	defer s.merger.mu.Unlock()
+	if s.merger.running {
+		return
+	}
+	if interval <= 0 {
+		interval = DefaultMergeInterval
+	}
+	s.merger.threshold = threshold
+	s.merger.running = true
+	s.merger.stop = make(chan struct{})
+	s.merger.done = make(chan struct{})
+	go s.mergeLoop(interval, s.merger.stop, s.merger.done)
+}
+
+// StopMerger stops the background merger and waits for it to exit. The
+// final pending delta (if any) is left for explicit MergeAll calls.
+func (s *Store) StopMerger() {
+	s.merger.mu.Lock()
+	if !s.merger.running {
+		s.merger.mu.Unlock()
+		return
+	}
+	stop, done := s.merger.stop, s.merger.done
+	s.merger.running = false
+	s.merger.mu.Unlock()
+	close(stop)
+	<-done
+}
+
+func (s *Store) mergeLoop(interval time.Duration, stop, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		case <-s.repl.notify:
+		}
+		s.MergeAll()
+	}
+}
+
+// MergeAll synchronously compacts every table with a pending delta,
+// in deterministic (sorted-name) order. Safe to call concurrently with
+// replication and reads; tests call it directly for deterministic merge
+// points.
+func (s *Store) MergeAll() MergeStats {
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out MergeStats
+	for _, n := range names {
+		ops, rows := s.tables[n].merge()
+		if ops == 0 && rows == 0 {
+			continue
+		}
+		s.repl.pending.Add(-int64(ops))
+		s.merger.merges.Add(1)
+		s.merger.rowsMerged.Add(int64(rows))
+		out.Merges++
+		out.RowsMerged += int64(rows)
+	}
+	return out
+}
+
+// merge compacts the table's delta into fresh immutable base chunks:
+// surviving base values and delta rows are copied into brand-new column
+// vectors with rebuilt zone maps, and the published columns pointer is
+// swapped. Old column vectors are never touched, so concurrent views (and
+// any execution batches aliasing their chunks) stay valid — the batch-
+// aliasing contract the immutability suite guards.
+//
+// It returns the number of delta operations compacted and the new base
+// row count (0, 0 when there was nothing to do).
+func (t *Table) merge() (ops, newN int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.baseDead) == 0 && len(t.delta.rows) == 0 {
+		return 0, 0
+	}
+	// pending accounting: every delta slot (live or tombstoned) and every
+	// base tombstone was counted once when applied
+	ops = len(t.baseDead) + len(t.delta.rows)
+	newN = t.numRows - len(t.baseDead) + t.delta.numLive()
+
+	newCols := make([]*Column, len(t.columns))
+	for ci, old := range t.columns {
+		vals := make([]value.Value, 0, newN)
+		for pos := 0; pos < t.numRows; pos++ {
+			if t.baseDead[int32(pos)] {
+				continue
+			}
+			vals = append(vals, old.vals[pos])
+		}
+		for di, row := range t.delta.rows {
+			if !t.delta.dead[di] {
+				vals = append(vals, row[ci])
+			}
+		}
+		nc := &Column{Name: old.Name, vals: vals}
+		nc.buildZoneMaps()
+		newCols[ci] = nc
+	}
+
+	newRID := make([]int64, 0, newN)
+	for pos := 0; pos < t.numRows; pos++ {
+		if t.baseDead[int32(pos)] {
+			continue
+		}
+		if t.baseRID != nil {
+			newRID = append(newRID, t.baseRID[pos])
+		} else {
+			newRID = append(newRID, int64(pos))
+		}
+	}
+	for di, rid := range t.delta.rids {
+		if !t.delta.dead[di] {
+			newRID = append(newRID, rid)
+		}
+	}
+	ridPos := make(map[int64]int32, len(newRID))
+	for i, rid := range newRID {
+		ridPos[rid] = int32(i)
+	}
+
+	t.columns = newCols
+	t.numRows = newN
+	t.baseRID = newRID
+	t.ridPos = ridPos
+	t.baseDead = nil
+	t.delta = tableDelta{}
+	return ops, newN
+}

@@ -94,6 +94,7 @@ type RowIndexScan struct {
 	out     Schema
 
 	ids     []int32
+	heap    []value.Row
 	pos     int
 	rowsBuf []value.Row
 	rw      rowWindow
@@ -124,6 +125,9 @@ func (s *RowIndexScan) Open(ctx *Context) error {
 		ctx.Stats.IndexProbes++
 		s.ids = append(s.ids, s.Index.Range(s.Lo, s.Hi)...)
 	}
+	// snapshot the heap after collecting ids: every id collected above is
+	// below the snapshot's length, and heap slots are immutable once written
+	s.heap = s.Table.Heap()
 	s.rw.init(len(s.out))
 	return nil
 }
@@ -138,7 +142,7 @@ func (s *RowIndexScan) Next(ctx *Context) (*Batch, error) {
 	}
 	s.rowsBuf = s.rowsBuf[:0]
 	for _, id := range s.ids[s.pos:end] {
-		s.rowsBuf = append(s.rowsBuf, s.Table.Row(id))
+		s.rowsBuf = append(s.rowsBuf, s.heap[id])
 	}
 	n := int64(end - s.pos)
 	s.pos = end
@@ -149,7 +153,7 @@ func (s *RowIndexScan) Next(ctx *Context) (*Batch, error) {
 }
 
 func (s *RowIndexScan) Close() error {
-	s.rowsBuf = nil
+	s.rowsBuf, s.heap = nil, nil
 	return nil
 }
 
@@ -166,6 +170,7 @@ type RowIndexOrderScan struct {
 	out       Schema
 
 	ids     []int32
+	heap    []value.Row
 	pos     int
 	matched int
 	rowsBuf []value.Row
@@ -191,6 +196,7 @@ func (s *RowIndexOrderScan) Open(ctx *Context) error {
 	} else {
 		s.ids = s.Index.Ascending()
 	}
+	s.heap = s.Table.Heap()
 	s.pos, s.matched = 0, 0
 	s.rw.init(len(s.out))
 	return nil
@@ -202,7 +208,7 @@ func (s *RowIndexOrderScan) Next(ctx *Context) (*Batch, error) {
 	}
 	s.rowsBuf = s.rowsBuf[:0]
 	for s.pos < len(s.ids) && len(s.rowsBuf) < BatchSize {
-		row := s.Table.Row(s.ids[s.pos])
+		row := s.heap[s.ids[s.pos]]
 		s.pos++
 		ctx.Stats.RowsScanned++
 		ctx.Stats.BytesScanned += s.Table.Meta.AvgRowBytes
@@ -229,7 +235,7 @@ func (s *RowIndexOrderScan) Next(ctx *Context) (*Batch, error) {
 }
 
 func (s *RowIndexOrderScan) Close() error {
-	s.ids, s.rowsBuf = nil, nil
+	s.ids, s.rowsBuf, s.heap = nil, nil, nil
 	return nil
 }
 
@@ -237,7 +243,11 @@ func (s *RowIndexOrderScan) Close() error {
 // optional predicate and zone-map pruning. It is the engine's native batch
 // source: each non-pruned chunk becomes one batch whose vectors alias the
 // stored chunk directly — zero per-row materialization; the predicate only
-// narrows the selection vector.
+// narrows the selection vector. Open pins a replication view of the table,
+// so the scan unions the immutable base chunks (filtering rows deleted
+// since the last merge through the selection vector) with the replicated
+// delta rows, which are batched through a private projection slab — AP
+// reads are fresh up to the column store's replication watermark.
 type ColTableScan struct {
 	Table   *colstore.Table
 	Binding string
@@ -246,10 +256,13 @@ type ColTableScan struct {
 	Pruner  *colstore.RangePruner
 	out     Schema
 
-	chunk   int
-	batch   Batch
-	selBuf  []int32
-	scratch value.Row
+	view      colstore.View
+	chunk     int
+	deltaPos  int
+	batch     Batch
+	selBuf    []int32
+	scratch   value.Row
+	deltaSlab []value.Value
 }
 
 // NewColTableScan constructs a columnar scan over the given column subset.
@@ -271,7 +284,9 @@ func (s *ColTableScan) Clone() BatchOperator {
 }
 
 func (s *ColTableScan) Open(ctx *Context) error {
+	s.view = s.Table.View()
 	s.chunk = 0
+	s.deltaPos = 0
 	if s.batch.Cols == nil {
 		s.batch.Cols = make([][]value.Value, len(s.Cols))
 		s.scratch = make(value.Row, len(s.Cols))
@@ -280,7 +295,7 @@ func (s *ColTableScan) Open(ctx *Context) error {
 }
 
 func (s *ColTableScan) Next(ctx *Context) (*Batch, error) {
-	n := s.Table.NumRows()
+	n := s.view.NumRows
 	// modeled bytes: column subset width only — the columnar advantage
 	perCol := s.Table.Meta.AvgRowBytes / int64(len(s.Table.Meta.Columns))
 	if perCol < 1 {
@@ -289,7 +304,7 @@ func (s *ColTableScan) Next(ctx *Context) (*Batch, error) {
 	for {
 		start := s.chunk * colstore.ChunkSize
 		if start >= n {
-			return nil, nil
+			break
 		}
 		end := start + colstore.ChunkSize
 		if end > n {
@@ -298,7 +313,7 @@ func (s *ColTableScan) Next(ctx *Context) (*Batch, error) {
 		k := s.chunk
 		s.chunk++
 		if s.Pruner != nil {
-			mn, mx := s.Table.Column(s.Pruner.Col).ChunkRange(k)
+			mn, mx := s.view.Cols[s.Pruner.Col].ChunkRange(k)
 			if (s.Pruner.Lo != nil && mx.Compare(*s.Pruner.Lo) < 0) ||
 				(s.Pruner.Hi != nil && mn.Compare(*s.Pruner.Hi) > 0) {
 				ctx.Stats.ChunksSkipped++
@@ -309,13 +324,71 @@ func (s *ColTableScan) Next(ctx *Context) (*Batch, error) {
 		ctx.Stats.RowsScanned += int64(rows)
 		ctx.Stats.BytesScanned += int64(rows) * perCol * int64(len(s.Cols))
 		for j, c := range s.Cols {
-			s.batch.Cols[j] = s.Table.Column(c).Slice(start, end)
+			s.batch.Cols[j] = s.view.Cols[c].Slice(start, end)
 		}
 		s.batch.Len = rows
 		s.batch.Sel = nil
-		if s.Pred != nil {
+		if s.Pred != nil || s.view.BaseDead != nil {
 			sel := s.selBuf[:0]
 			for i := 0; i < rows; i++ {
+				if s.view.BaseDead[int32(start+i)] {
+					continue
+				}
+				if s.Pred != nil {
+					s.batch.FillRow(i, s.scratch)
+					ok, err := Truthy(s.Pred, s.scratch)
+					if err != nil {
+						return nil, err
+					}
+					if !ok {
+						continue
+					}
+				}
+				sel = append(sel, int32(i))
+			}
+			s.selBuf = sel
+			if len(sel) == 0 {
+				continue
+			}
+			s.batch.Sel = sel
+		}
+		ctx.Stats.BatchesProduced++
+		return &s.batch, nil
+	}
+	return s.nextDelta(ctx, perCol)
+}
+
+// nextDelta emits the replicated-but-unmerged delta rows after the base
+// chunks are exhausted: each batch projects the needed columns into a
+// reusable slab (delta rows are full table width, batches carry only the
+// scanned subset).
+func (s *ColTableScan) nextDelta(ctx *Context, perCol int64) (*Batch, error) {
+	width := len(s.Cols)
+	for s.deltaPos < len(s.view.Delta) {
+		end := s.deltaPos + BatchSize
+		if end > len(s.view.Delta) {
+			end = len(s.view.Delta)
+		}
+		rows := s.view.Delta[s.deltaPos:end]
+		s.deltaPos = end
+		nr := len(rows)
+		if cap(s.deltaSlab) < nr*width {
+			s.deltaSlab = make([]value.Value, nr*width)
+		}
+		for j, c := range s.Cols {
+			col := s.deltaSlab[j*nr : j*nr+nr : j*nr+nr]
+			for i, r := range rows {
+				col[i] = r[c]
+			}
+			s.batch.Cols[j] = col
+		}
+		s.batch.Len = nr
+		s.batch.Sel = nil
+		ctx.Stats.RowsScanned += int64(nr)
+		ctx.Stats.BytesScanned += int64(nr) * perCol * int64(width)
+		if s.Pred != nil {
+			sel := s.selBuf[:0]
+			for i := 0; i < nr; i++ {
 				s.batch.FillRow(i, s.scratch)
 				ok, err := Truthy(s.Pred, s.scratch)
 				if err != nil {
@@ -334,12 +407,14 @@ func (s *ColTableScan) Next(ctx *Context) (*Batch, error) {
 		ctx.Stats.BatchesProduced++
 		return &s.batch, nil
 	}
+	return nil, nil
 }
 
 func (s *ColTableScan) Close() error {
 	for j := range s.batch.Cols {
 		s.batch.Cols[j] = nil // drop storage aliases
 	}
+	s.view = colstore.View{}
 	return nil
 }
 
@@ -548,8 +623,10 @@ type IndexNLJoin struct {
 	Residual    Evaluator // over concat schema; may be nil
 	out         Schema
 
-	combined value.Row
-	outBuf   outBuffer
+	combined  value.Row
+	innerHeap []value.Row
+	idsBuf    []int32
+	outBuf    outBuffer
 }
 
 // NewIndexNLJoin constructs an index nested-loop join.
@@ -573,8 +650,20 @@ func (j *IndexNLJoin) Open(ctx *Context) error {
 	if j.combined == nil {
 		j.combined = make(value.Row, len(j.out))
 	}
+	j.innerHeap = j.InnerTable.Heap()
 	j.outBuf.init(len(j.out))
 	return j.Outer.Open(ctx)
+}
+
+// innerRow resolves a probed heap id against the pinned heap snapshot,
+// refreshing it when a concurrently inserted row lies beyond the
+// snapshot (heap slots are immutable and append-only, so the refreshed
+// snapshot is a superset).
+func (j *IndexNLJoin) innerRow(id int32) value.Row {
+	if int(id) >= len(j.innerHeap) {
+		j.innerHeap = j.InnerTable.Heap()
+	}
+	return j.innerHeap[id]
 }
 
 func (j *IndexNLJoin) Next(ctx *Context) (*Batch, error) {
@@ -589,7 +678,8 @@ func (j *IndexNLJoin) Next(ctx *Context) (*Batch, error) {
 		for i := 0; i < n; i++ {
 			p := ob.PosAt(i)
 			ctx.Stats.IndexProbes++
-			ids := j.InnerIndex.Lookup(ob.Cols[j.OuterKeyCol][p])
+			ids := j.InnerIndex.LookupAppend(ob.Cols[j.OuterKeyCol][p], j.idsBuf[:0])
+			j.idsBuf = ids
 			if len(ids) == 0 {
 				continue
 			}
@@ -597,7 +687,7 @@ func (j *IndexNLJoin) Next(ctx *Context) (*Batch, error) {
 				// no residual to pre-check: write outer and inner values
 				// straight into the output vectors, skipping the scratch row
 				for _, id := range ids {
-					in := j.InnerTable.Row(id)
+					in := j.innerRow(id)
 					ctx.Stats.RowsScanned++
 					ctx.Stats.BytesScanned += j.InnerTable.Meta.AvgRowBytes
 					j.outBuf.appendSplit(ob, p, outerWidth, in)
@@ -608,7 +698,7 @@ func (j *IndexNLJoin) Next(ctx *Context) (*Batch, error) {
 				j.combined[c] = ob.Cols[c][p]
 			}
 			for _, id := range ids {
-				in := j.InnerTable.Row(id)
+				in := j.innerRow(id)
 				ctx.Stats.RowsScanned++
 				ctx.Stats.BytesScanned += j.InnerTable.Meta.AvgRowBytes
 				copy(j.combined[outerWidth:], in)
@@ -628,7 +718,10 @@ func (j *IndexNLJoin) Next(ctx *Context) (*Batch, error) {
 	}
 }
 
-func (j *IndexNLJoin) Close() error { return j.Outer.Close() }
+func (j *IndexNLJoin) Close() error {
+	j.innerHeap = nil
+	return j.Outer.Close()
+}
 
 // HashJoin builds a hash table on the Build child at Open and probes it a
 // batch at a time with the Probe child. Output schema is probe ++ build

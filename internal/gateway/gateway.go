@@ -110,11 +110,19 @@ func (o CacheOutcome) String() string {
 
 // Response is the outcome of serving one query.
 type Response struct {
-	SQL    string
+	SQL string
+	// Kind is "select" for reads and "insert"/"update"/"delete" for DML
+	// served by the write path.
+	Kind   string
 	Engine plan.Engine
 	Rows   []value.Row
 	Stats  exec.Stats
 	Cache  CacheOutcome
+	// RowsAffected and LSN are set for DML: the write's row count and its
+	// commit LSN (AP reads see the write once the replication watermark
+	// reaches the LSN).
+	RowsAffected int
+	LSN          uint64
 	// TPTime/APTime are the modeled latencies at deployment scale. On a
 	// template hit only the routed engine was planned, so the other is 0.
 	TPTime, APTime time.Duration
@@ -202,8 +210,19 @@ func (g *Gateway) Submit(sql string) (*Response, error) {
 	}
 }
 
-// Metrics returns a point-in-time snapshot of the serving counters.
-func (g *Gateway) Metrics() Snapshot { return g.metrics.Snapshot() }
+// Metrics returns a point-in-time snapshot of the serving counters,
+// including the TP→AP freshness gauge (commit LSN vs replication
+// watermark) and the background merger's compaction counters.
+func (g *Gateway) Metrics() Snapshot {
+	s := g.metrics.Snapshot()
+	s.CommitLSN = g.sys.CommitLSN()
+	s.Watermark = g.sys.Watermark()
+	s.StalenessLSNs = g.sys.Staleness()
+	ms := g.sys.Col.MergeStats()
+	s.Merges = ms.Merges
+	s.RowsMerged = ms.RowsMerged
+	return s
+}
 
 // CacheLen returns the number of cached plan templates.
 func (g *Gateway) CacheLen() int { return g.cache.Len() }
@@ -248,7 +267,13 @@ func (g *Gateway) Serve(sql string) *Response {
 }
 
 func (g *Gateway) process(sql string) *Response {
-	resp := &Response{SQL: sql}
+	// classify on the leading keyword only (no tokenization): DML bypasses
+	// the read-only plan cache and goes straight to the write path
+	switch kind := sqlparser.StatementKind(sql); kind {
+	case "insert", "update", "delete":
+		return g.processDML(sql, kind)
+	}
+	resp := &Response{SQL: sql, Kind: "select"}
 	fp, params, err := sqlparser.Fingerprint(sql)
 	if err != nil {
 		resp.Err = fmt.Errorf("gateway: fingerprint: %w", err)
@@ -303,6 +328,24 @@ func (g *Gateway) process(sql string) *Response {
 		g.recordRoute(entry.Route, bp.TPTime, bp.APTime)
 		g.execute(resp, pickPlan(bp, entry.Route), entry.Route)
 	}
+	return resp
+}
+
+// processDML serves one write through the system's TP write path: the
+// statement commits on the row-store primary under the single-writer lock
+// and is queued for delta replication; the response reports the commit
+// LSN so callers can reason about AP visibility.
+func (g *Gateway) processDML(sql, kind string) *Response {
+	resp := &Response{SQL: sql, Kind: kind}
+	res, err := g.sys.Exec(sql)
+	if err != nil {
+		resp.Err = fmt.Errorf("gateway: write: %w", err)
+		return resp
+	}
+	resp.Kind = res.Kind
+	resp.RowsAffected = res.RowsAffected
+	resp.LSN = res.LSN
+	g.metrics.observeWrite(res.Kind, res.RowsAffected)
 	return resp
 }
 

@@ -32,12 +32,18 @@ type LoadConfig struct {
 	// TestMix includes the rare out-of-KB query shapes
 	// (workload.NewTestGenerator) in the pool.
 	TestMix bool
+	// WriteFraction makes the workload mixed read/write: the given share
+	// of submissions (0..1) are DML statements from the seeded DML
+	// generator, exercising the TP write path and delta replication under
+	// concurrent AP reads.
+	WriteFraction float64
 }
 
 // LoadReport summarizes one load-generation run.
 type LoadReport struct {
 	Issued     int64
 	Completed  int64
+	Writes     int64 // completed DML submissions (subset of Completed)
 	Shed       int64
 	Failed     int64
 	Elapsed    time.Duration
@@ -47,8 +53,8 @@ type LoadReport struct {
 
 // String renders the report for logs and CLI output.
 func (r LoadReport) String() string {
-	return fmt.Sprintf("issued=%d completed=%d shed=%d failed=%d in %v (%.0f qps)\n  %v",
-		r.Issued, r.Completed, r.Shed, r.Failed, r.Elapsed.Round(time.Millisecond),
+	return fmt.Sprintf("issued=%d completed=%d (writes=%d) shed=%d failed=%d in %v (%.0f qps)\n  %v",
+		r.Issued, r.Completed, r.Writes, r.Shed, r.Failed, r.Elapsed.Round(time.Millisecond),
 		r.Throughput, r.Gateway)
 }
 
@@ -66,6 +72,12 @@ func RunLoad(g *Gateway, cfg LoadConfig) LoadReport {
 	if cfg.Distinct <= 0 || cfg.Distinct > cfg.Queries {
 		cfg.Distinct = cfg.Queries
 	}
+	if cfg.WriteFraction < 0 {
+		cfg.WriteFraction = 0
+	}
+	if cfg.WriteFraction > 1 {
+		cfg.WriteFraction = 1
+	}
 	var gen *workload.Generator
 	if cfg.TestMix {
 		gen = workload.NewTestGenerator(cfg.Seed)
@@ -73,8 +85,23 @@ func RunLoad(g *Gateway, cfg LoadConfig) LoadReport {
 		gen = workload.NewGenerator(cfg.Seed)
 	}
 	pool := gen.Batch(cfg.Distinct)
+	// pre-generate the full write stream (no cycling: repeated INSERTs of
+	// the same synthetic key would create duplicate rows). Submission i is
+	// a write iff the accumulated fraction crosses an integer at i, which
+	// realizes WriteFraction exactly in the long run for any fraction
+	// (int(1/f) would floor — e.g. 0.4 → every 2nd query, a 50% mix).
+	frac := cfg.WriteFraction
+	writeIndex := func(i int64) (int64, bool) {
+		lo, hi := int64(float64(i)*frac), int64(float64(i+1)*frac)
+		return lo, hi > lo
+	}
+	var writePool []workload.Query
+	if frac > 0 {
+		nWrites := int(float64(cfg.Queries)*frac) + 1
+		writePool = workload.NewDMLGenerator(cfg.Seed).Batch(nWrites)
+	}
 
-	var next, completed, shed, failed atomic.Int64
+	var next, completed, writes, shed, failed atomic.Int64
 	start := time.Now()
 	var wg sync.WaitGroup
 	wg.Add(cfg.Clients)
@@ -86,7 +113,15 @@ func RunLoad(g *Gateway, cfg LoadConfig) LoadReport {
 				if i >= int64(cfg.Queries) {
 					return
 				}
-				resp, err := g.Submit(pool[i%int64(len(pool))].SQL)
+				sql := pool[i%int64(len(pool))].SQL
+				isWrite := false
+				if frac > 0 {
+					if wi, ok := writeIndex(i); ok && wi < int64(len(writePool)) {
+						sql = writePool[wi].SQL
+						isWrite = true
+					}
+				}
+				resp, err := g.Submit(sql)
 				switch {
 				case errors.Is(err, ErrOverloaded):
 					shed.Add(1)
@@ -96,6 +131,9 @@ func RunLoad(g *Gateway, cfg LoadConfig) LoadReport {
 					failed.Add(1)
 				default:
 					completed.Add(1)
+					if isWrite {
+						writes.Add(1)
+					}
 				}
 			}
 		}()
@@ -105,6 +143,7 @@ func RunLoad(g *Gateway, cfg LoadConfig) LoadReport {
 	rep := LoadReport{
 		Issued:    int64(cfg.Queries),
 		Completed: completed.Load(),
+		Writes:    writes.Load(),
 		Shed:      shed.Load(),
 		Failed:    failed.Load(),
 		Elapsed:   elapsed,

@@ -33,6 +33,11 @@ type Metrics struct {
 	routeKnown   atomic.Int64 // routes with modeled ground truth available
 	routeCorrect atomic.Int64 // ... that matched the modeled winner
 
+	writesInsert atomic.Int64 // committed INSERT statements
+	writesUpdate atomic.Int64 // committed UPDATE statements
+	writesDelete atomic.Int64 // committed DELETE statements
+	rowsWritten  atomic.Int64 // rows affected across all committed DML
+
 	execTP execCounters // physical work done by queries routed to TP
 	execAP execCounters // ... and to AP
 
@@ -45,6 +50,19 @@ type execCounters struct {
 	rowsScanned     atomic.Int64
 	chunksSkipped   atomic.Int64
 	batchesProduced atomic.Int64
+}
+
+// observeWrite folds one committed DML statement into the write counters.
+func (m *Metrics) observeWrite(kind string, rowsAffected int) {
+	switch kind {
+	case "insert":
+		m.writesInsert.Add(1)
+	case "update":
+		m.writesUpdate.Add(1)
+	case "delete":
+		m.writesDelete.Add(1)
+	}
+	m.rowsWritten.Add(int64(rowsAffected))
 }
 
 // observeExec folds one query's execution stats into the counters of the
@@ -103,6 +121,20 @@ type Snapshot struct {
 	RoutedAP      int64   `json:"routed_ap"`
 	RouteAccuracy float64 `json:"route_accuracy"`
 
+	WritesInsert int64 `json:"writes_insert"`
+	WritesUpdate int64 `json:"writes_update"`
+	WritesDelete int64 `json:"writes_delete"`
+	RowsWritten  int64 `json:"rows_written"`
+
+	// TP→AP freshness gauge: the primary's commit LSN, the column store's
+	// replication watermark, and their gap (0 = AP reads are fully fresh).
+	// Filled by Gateway.Metrics from the system, not by the counter set.
+	CommitLSN     uint64 `json:"commit_lsn"`
+	Watermark     uint64 `json:"replication_watermark"`
+	StalenessLSNs uint64 `json:"staleness_lsns"`
+	Merges        int64  `json:"delta_merges"`
+	RowsMerged    int64  `json:"delta_rows_merged"`
+
 	ExecTP ExecSnapshot `json:"exec_tp"`
 	ExecAP ExecSnapshot `json:"exec_ap"`
 
@@ -124,6 +156,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		CacheMisses:       m.misses.Load(),
 		RoutedTP:          m.routedTP.Load(),
 		RoutedAP:          m.routedAP.Load(),
+		WritesInsert:      m.writesInsert.Load(),
+		WritesUpdate:      m.writesUpdate.Load(),
+		WritesDelete:      m.writesDelete.Load(),
+		RowsWritten:       m.rowsWritten.Load(),
 		ExecTP:            m.execTP.snapshot(),
 		ExecAP:            m.execAP.snapshot(),
 	}
@@ -172,6 +208,11 @@ func (s Snapshot) String() string {
 	fmt.Fprintf(&b, " cache=%.0f%% (%d/%d/%d hit/tmpl/miss)",
 		100*s.CacheHitRate, s.CacheHits, s.CacheTemplateHits, s.CacheMisses)
 	fmt.Fprintf(&b, " routes=TP:%d,AP:%d acc=%.0f%%", s.RoutedTP, s.RoutedAP, 100*s.RouteAccuracy)
+	if w := s.WritesInsert + s.WritesUpdate + s.WritesDelete; w > 0 {
+		fmt.Fprintf(&b, " writes=%d (%d/%d/%d ins/upd/del, %d rows) staleness=%d lsns merges=%d",
+			w, s.WritesInsert, s.WritesUpdate, s.WritesDelete, s.RowsWritten,
+			s.StalenessLSNs, s.Merges)
+	}
 	fmt.Fprintf(&b, " exec=TP(rows:%d,batches:%d),AP(rows:%d,skipped:%d,batches:%d)",
 		s.ExecTP.RowsScanned, s.ExecTP.BatchesProduced,
 		s.ExecAP.RowsScanned, s.ExecAP.ChunksSkipped, s.ExecAP.BatchesProduced)

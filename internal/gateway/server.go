@@ -14,19 +14,25 @@ type QueryRequest struct {
 	SQL string `json:"sql"`
 }
 
-// QueryResponse is the JSON reply of POST /query.
+// QueryResponse is the JSON reply of POST /query. Reads report the routed
+// engine and result rows; DML (kind insert/update/delete) reports the
+// affected row count and the commit LSN the replication watermark must
+// reach before AP scans see the write.
 type QueryResponse struct {
-	SQL       string     `json:"sql"`
-	Engine    string     `json:"engine"`
-	Cache     string     `json:"cache"`
-	RowCount  int        `json:"row_count"`
-	Rows      [][]string `json:"rows,omitempty"`
-	TPMillis  float64    `json:"modeled_tp_ms,omitempty"`
-	APMillis  float64    `json:"modeled_ap_ms,omitempty"`
-	ServeUS   int64      `json:"serve_us"`
-	QueueUS   int64      `json:"queue_us"`
-	Error     string     `json:"error,omitempty"`
-	Truncated bool       `json:"truncated,omitempty"`
+	SQL          string     `json:"sql"`
+	Kind         string     `json:"kind"`
+	Engine       string     `json:"engine,omitempty"`
+	Cache        string     `json:"cache,omitempty"`
+	RowCount     int        `json:"row_count"`
+	Rows         [][]string `json:"rows,omitempty"`
+	RowsAffected int        `json:"rows_affected,omitempty"`
+	LSN          uint64     `json:"commit_lsn,omitempty"`
+	TPMillis     float64    `json:"modeled_tp_ms,omitempty"`
+	APMillis     float64    `json:"modeled_ap_ms,omitempty"`
+	ServeUS      int64      `json:"serve_us"`
+	QueueUS      int64      `json:"queue_us"`
+	Error        string     `json:"error,omitempty"`
+	Truncated    bool       `json:"truncated,omitempty"`
 }
 
 // maxRowsInReply bounds the rows echoed over HTTP; the full count is
@@ -36,7 +42,12 @@ const maxRowsInReply = 100
 // NewServeMux returns the gateway's HTTP surface:
 //
 //	POST /query   {"sql": "..."} → QueryResponse
-//	GET  /metrics               → Snapshot
+//	              SELECT is routed dual-engine; INSERT/UPDATE/DELETE
+//	              commit on the TP primary and replicate to the column
+//	              store (the reply carries rows_affected + commit_lsn)
+//	GET  /metrics               → Snapshot (including the freshness gauge:
+//	                              commit_lsn, replication_watermark,
+//	                              staleness_lsns, delta_merges)
 //	GET  /healthz               → 200 ok
 func NewServeMux(g *Gateway) *http.ServeMux {
 	mux := http.NewServeMux()
@@ -77,13 +88,19 @@ func NewServeMux(g *Gateway) *http.ServeMux {
 func toQueryResponse(resp *Response) QueryResponse {
 	out := QueryResponse{
 		SQL:      resp.SQL,
-		Engine:   resp.Engine.String(),
-		Cache:    resp.Cache.String(),
+		Kind:     resp.Kind,
 		RowCount: len(resp.Rows),
-		TPMillis: float64(resp.TPTime) / float64(time.Millisecond),
-		APMillis: float64(resp.APTime) / float64(time.Millisecond),
 		ServeUS:  resp.ServeTime.Microseconds(),
 		QueueUS:  resp.QueueWait.Microseconds(),
+	}
+	if resp.Kind == "select" {
+		out.Engine = resp.Engine.String()
+		out.Cache = resp.Cache.String()
+		out.TPMillis = float64(resp.TPTime) / float64(time.Millisecond)
+		out.APMillis = float64(resp.APTime) / float64(time.Millisecond)
+	} else {
+		out.RowsAffected = resp.RowsAffected
+		out.LSN = resp.LSN
 	}
 	if resp.Err != nil {
 		out.Error = resp.Err.Error()

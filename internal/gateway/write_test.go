@@ -1,0 +1,172 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"htapxplain/internal/htap"
+)
+
+// writeSystem builds a private system: gateways that serve DML must not
+// share the package-wide read-only testSystem.
+func writeSystem(t *testing.T) *htap.System {
+	t.Helper()
+	sys, err := htap.New(htap.DefaultConfig())
+	if err != nil {
+		t.Fatalf("htap.New: %v", err)
+	}
+	t.Cleanup(sys.Close)
+	return sys
+}
+
+func TestGatewayServesDML(t *testing.T) {
+	sys := writeSystem(t)
+	g := New(sys, Config{Workers: 2, CacheCapacity: 64})
+	defer g.Stop()
+
+	ins := g.Serve(`INSERT INTO nation (n_nationkey, n_name, n_regionkey, n_comment) VALUES (91, 'oz', 0, 'emerald')`)
+	if ins.Err != nil {
+		t.Fatalf("insert: %v", ins.Err)
+	}
+	if ins.Kind != "insert" || ins.RowsAffected != 1 || ins.LSN != 1 {
+		t.Fatalf("insert response = kind %q, %d rows, LSN %d; want insert/1/1",
+			ins.Kind, ins.RowsAffected, ins.LSN)
+	}
+	upd := g.Serve(`UPDATE nation SET n_comment = 'ruby' WHERE n_name = 'oz'`)
+	if upd.Err != nil || upd.Kind != "update" || upd.RowsAffected != 1 {
+		t.Fatalf("update response = %+v (err %v)", upd, upd.Err)
+	}
+	if err := sys.WaitFresh(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// the write is queryable through the same gateway (dual-engine read)
+	sel := g.Serve(`SELECT COUNT(*) FROM nation WHERE n_comment = 'ruby'`)
+	if sel.Err != nil {
+		t.Fatalf("select: %v", sel.Err)
+	}
+	if sel.Kind != "select" || len(sel.Rows) != 1 || sel.Rows[0][0].I != 1 {
+		t.Fatalf("select after write = kind %q rows %v", sel.Kind, sel.Rows)
+	}
+	del := g.Serve(`DELETE FROM nation WHERE n_name = 'oz'`)
+	if del.Err != nil || del.Kind != "delete" || del.RowsAffected != 1 {
+		t.Fatalf("delete response = %+v (err %v)", del, del.Err)
+	}
+
+	m := g.Metrics()
+	if m.WritesInsert != 1 || m.WritesUpdate != 1 || m.WritesDelete != 1 {
+		t.Errorf("write counters = %d/%d/%d, want 1/1/1",
+			m.WritesInsert, m.WritesUpdate, m.WritesDelete)
+	}
+	if m.RowsWritten != 3 {
+		t.Errorf("rows written = %d, want 3", m.RowsWritten)
+	}
+	if m.CommitLSN != 3 {
+		t.Errorf("commit LSN gauge = %d, want 3", m.CommitLSN)
+	}
+	if err := sys.WaitFresh(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	m = g.Metrics()
+	if m.StalenessLSNs != 0 || m.Watermark != m.CommitLSN {
+		t.Errorf("freshness gauge: watermark %d, commit %d, staleness %d",
+			m.Watermark, m.CommitLSN, m.StalenessLSNs)
+	}
+}
+
+func TestGatewayWriteErrors(t *testing.T) {
+	sys := writeSystem(t)
+	g := New(sys, Config{Workers: 1})
+	defer g.Stop()
+	resp := g.Serve(`INSERT INTO nosuch VALUES (1)`)
+	if resp.Err == nil || !strings.Contains(resp.Err.Error(), "no such table") {
+		t.Errorf("err = %v, want no-such-table", resp.Err)
+	}
+	if g.Metrics().Errors != 1 {
+		t.Errorf("errors = %d, want 1", g.Metrics().Errors)
+	}
+	if resp := g.Serve(`UPDATE nation SET n_name = 5 WHERE n_nationkey = 0`); resp.Err == nil {
+		t.Error("type-mismatched SET succeeded")
+	}
+}
+
+func TestWriteSurfaceOverHTTP(t *testing.T) {
+	sys := writeSystem(t)
+	g := New(sys, Config{Workers: 2})
+	defer g.Stop()
+	srv := httptest.NewServer(NewServeMux(g))
+	defer srv.Close()
+
+	body := bytes.NewBufferString(`{"sql": "INSERT INTO nation (n_nationkey, n_name, n_regionkey, n_comment) VALUES (92, 'narnia', 1, 'wardrobe')"}`)
+	resp, err := http.Post(srv.URL+"/query", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Kind != "insert" || qr.RowsAffected != 1 || qr.LSN == 0 || qr.Error != "" {
+		t.Fatalf("POST /query DML reply = %+v", qr)
+	}
+	if err := sys.WaitFresh(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	mResp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mResp.Body.Close()
+	var snap map[string]any
+	if err := json.NewDecoder(mResp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"writes_insert", "rows_written", "commit_lsn",
+		"replication_watermark", "staleness_lsns", "delta_merges"} {
+		if _, ok := snap[field]; !ok {
+			t.Errorf("/metrics missing freshness/write field %q", field)
+		}
+	}
+	if snap["writes_insert"].(float64) != 1 {
+		t.Errorf("writes_insert = %v, want 1", snap["writes_insert"])
+	}
+	if snap["staleness_lsns"].(float64) != 0 {
+		t.Errorf("staleness_lsns = %v, want 0 after WaitFresh", snap["staleness_lsns"])
+	}
+}
+
+func TestRunLoadMixedReadWrite(t *testing.T) {
+	sys := writeSystem(t)
+	g := New(sys, Config{Workers: 4, QueueDepth: 64, CacheCapacity: 128})
+	defer g.Stop()
+	rep := RunLoad(g, LoadConfig{
+		Clients: 4, Queries: 80, Distinct: 12, Seed: 11, WriteFraction: 0.25,
+	})
+	if rep.Failed != 0 {
+		t.Fatalf("mixed load failed %d submissions:\n%v", rep.Failed, rep)
+	}
+	if rep.Writes == 0 {
+		t.Fatalf("no writes completed: %v", rep)
+	}
+	if rep.Completed+rep.Shed != rep.Issued {
+		t.Errorf("accounting: completed %d + shed %d != issued %d",
+			rep.Completed, rep.Shed, rep.Issued)
+	}
+	m := rep.Gateway
+	if m.WritesInsert+m.WritesUpdate+m.WritesDelete != rep.Writes {
+		t.Errorf("metrics writes %d+%d+%d != report writes %d",
+			m.WritesInsert, m.WritesUpdate, m.WritesDelete, rep.Writes)
+	}
+	if err := sys.WaitFresh(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Metrics().StalenessLSNs; got != 0 {
+		t.Errorf("staleness = %d after quiesce", got)
+	}
+}

@@ -1,0 +1,294 @@
+package htap
+
+import (
+	"fmt"
+	"strings"
+
+	"htapxplain/internal/catalog"
+	"htapxplain/internal/exec"
+	"htapxplain/internal/repl"
+	"htapxplain/internal/rowstore"
+	"htapxplain/internal/sqlparser"
+	"htapxplain/internal/value"
+)
+
+// DMLResult is the outcome of one committed DML statement.
+type DMLResult struct {
+	// Kind is "insert", "update" or "delete".
+	Kind         string
+	Table        string
+	RowsAffected int
+	// LSN is the commit sequence number assigned by the primary; the
+	// statement becomes visible to AP scans once the replication
+	// watermark reaches it.
+	LSN uint64
+}
+
+// Exec parses and executes one DML statement: the mutation commits on the
+// row store (the write primary, with index maintenance and a fresh LSN)
+// and is enqueued on the replication channel for the column store's delta
+// layer. Statements are serialized by a single writer lock, which is what
+// makes the commit LSN a total order. SELECTs are rejected — reads go
+// through Run or the gateway.
+func (s *System) Exec(sql string) (*DMLResult, error) {
+	stmt, err := sqlparser.ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStmt(stmt)
+}
+
+// ExecStmt executes an already-parsed DML statement.
+func (s *System) ExecStmt(stmt sqlparser.Statement) (*DMLResult, error) {
+	switch x := stmt.(type) {
+	case *sqlparser.Insert:
+		return s.execInsert(x)
+	case *sqlparser.Update:
+		return s.execUpdate(x)
+	case *sqlparser.Delete:
+		return s.execDelete(x)
+	case *sqlparser.Select:
+		return nil, fmt.Errorf("htap: Exec handles DML only; run SELECT through Run")
+	default:
+		return nil, fmt.Errorf("htap: unsupported statement %T", stmt)
+	}
+}
+
+// commit applies fn (which produces the row-store mutation) under the
+// single-writer lock and enqueues the result for replication.
+func (s *System) commit(fn func() (*repl.Mutation, error)) (*repl.Mutation, error) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("htap: system closed")
+	}
+	mut, err := fn()
+	if err != nil {
+		return nil, err
+	}
+	s.replCh <- mut
+	return mut, nil
+}
+
+func (s *System) execInsert(ins *sqlparser.Insert) (*DMLResult, error) {
+	meta, ok := s.Cat.Table(ins.Table)
+	if !ok {
+		return nil, fmt.Errorf("htap: no such table %q", ins.Table)
+	}
+	// map the column list (or the full schema) to table positions
+	positions := make([]int, 0, len(meta.Columns))
+	if len(ins.Columns) == 0 {
+		for i := range meta.Columns {
+			positions = append(positions, i)
+		}
+	} else {
+		for _, name := range ins.Columns {
+			i := meta.ColumnIndex(name)
+			if i < 0 {
+				return nil, fmt.Errorf("htap: no column %q in table %q", name, ins.Table)
+			}
+			positions = append(positions, i)
+		}
+	}
+	rows := make([]value.Row, 0, len(ins.Rows))
+	for _, tuple := range ins.Rows {
+		if len(tuple) != len(positions) {
+			return nil, fmt.Errorf("htap: INSERT expects %d values, got %d", len(positions), len(tuple))
+		}
+		row := make(value.Row, len(meta.Columns))
+		for i := range row {
+			row[i] = value.Null
+		}
+		for i, e := range tuple {
+			v, err := evalConst(e)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := coerce(v, meta.Columns[positions[i]])
+			if err != nil {
+				return nil, err
+			}
+			row[positions[i]] = cv
+		}
+		rows = append(rows, row)
+	}
+	mut, err := s.commit(func() (*repl.Mutation, error) {
+		return s.Row.Insert(ins.Table, rows)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DMLResult{Kind: "insert", Table: strings.ToLower(ins.Table),
+		RowsAffected: len(rows), LSN: mut.LSN}, nil
+}
+
+func (s *System) execUpdate(upd *sqlparser.Update) (*DMLResult, error) {
+	t, meta, pred, err := s.dmlTarget(upd.Table, upd.Where)
+	if err != nil {
+		return nil, err
+	}
+	schema := exec.TableSchema(meta, strings.ToLower(upd.Table))
+	type setter struct {
+		col int
+		ev  exec.Evaluator
+	}
+	setters := make([]setter, 0, len(upd.Set))
+	for _, sc := range upd.Set {
+		ci := meta.ColumnIndex(sc.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("htap: no column %q in table %q", sc.Column, upd.Table)
+		}
+		ev, err := exec.Compile(sc.Expr, schema)
+		if err != nil {
+			return nil, fmt.Errorf("htap: SET %s: %w", sc.Column, err)
+		}
+		setters = append(setters, setter{col: ci, ev: ev})
+	}
+	mut, err := s.commit(func() (*repl.Mutation, error) {
+		rids, rows, err := matchLive(t, pred)
+		if err != nil {
+			return nil, err
+		}
+		if len(rids) == 0 {
+			return nil, errNoMatch
+		}
+		newRows := make([]value.Row, len(rows))
+		for i, r := range rows {
+			nr := r.Clone()
+			for _, st := range setters {
+				v, err := st.ev(r)
+				if err != nil {
+					return nil, err
+				}
+				cv, err := coerce(v, meta.Columns[st.col])
+				if err != nil {
+					return nil, err
+				}
+				nr[st.col] = cv
+			}
+			newRows[i] = nr
+		}
+		return s.Row.Update(upd.Table, rids, newRows)
+	})
+	if err == errNoMatch {
+		return &DMLResult{Kind: "update", Table: strings.ToLower(upd.Table), LSN: s.CommitLSN()}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &DMLResult{Kind: "update", Table: strings.ToLower(upd.Table),
+		RowsAffected: mut.NumRowsAffected(), LSN: mut.LSN}, nil
+}
+
+func (s *System) execDelete(del *sqlparser.Delete) (*DMLResult, error) {
+	t, _, pred, err := s.dmlTarget(del.Table, del.Where)
+	if err != nil {
+		return nil, err
+	}
+	mut, err := s.commit(func() (*repl.Mutation, error) {
+		rids, _, err := matchLive(t, pred)
+		if err != nil {
+			return nil, err
+		}
+		if len(rids) == 0 {
+			return nil, errNoMatch
+		}
+		return s.Row.Delete(del.Table, rids)
+	})
+	if err == errNoMatch {
+		return &DMLResult{Kind: "delete", Table: strings.ToLower(del.Table), LSN: s.CommitLSN()}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &DMLResult{Kind: "delete", Table: strings.ToLower(del.Table),
+		RowsAffected: mut.NumRowsAffected(), LSN: mut.LSN}, nil
+}
+
+// errNoMatch is an internal sentinel: the WHERE clause selected no rows,
+// so no LSN was consumed.
+var errNoMatch = fmt.Errorf("htap: no rows matched")
+
+// dmlTarget resolves the target table and compiles the optional WHERE
+// predicate against its schema.
+func (s *System) dmlTarget(table string, where sqlparser.Expr) (*rowstore.Table, *catalog.Table, exec.Evaluator, error) {
+	meta, ok := s.Cat.Table(table)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("htap: no such table %q", table)
+	}
+	t, ok := s.Row.Table(table)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("htap: row store missing table %q", table)
+	}
+	var pred exec.Evaluator
+	if where != nil {
+		ev, err := exec.Compile(where, exec.TableSchema(meta, strings.ToLower(table)))
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("htap: WHERE: %w", err)
+		}
+		pred = ev
+	}
+	return t, meta, pred, nil
+}
+
+// matchLive scans the live rows and returns the RIDs (and rows) the
+// predicate selects; a nil predicate selects everything.
+func matchLive(t *rowstore.Table, pred exec.Evaluator) ([]int64, []value.Row, error) {
+	rids, rows := t.ScanLive()
+	if pred == nil {
+		return rids, rows, nil
+	}
+	// filter in place: ScanLive returns fresh slices, and the write index
+	// never overtakes the read index
+	outIDs := rids[:0]
+	outRows := rows[:0]
+	for i, r := range rows {
+		ok, err := exec.Truthy(pred, r)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ok {
+			outIDs = append(outIDs, rids[i])
+			outRows = append(outRows, r)
+		}
+	}
+	return outIDs, outRows, nil
+}
+
+// evalConst evaluates a constant expression (literals and arithmetic over
+// them); column references are rejected with a readable error.
+func evalConst(e sqlparser.Expr) (value.Value, error) {
+	ev, err := exec.Compile(e, nil)
+	if err != nil {
+		return value.Value{}, fmt.Errorf("htap: VALUES expressions must be constant: %w", err)
+	}
+	return ev(nil)
+}
+
+// coerce adapts a value to the column's declared type where lossless
+// (ints widen to float, dates are stored as int days) and rejects kind
+// mismatches with a readable error.
+func coerce(v value.Value, col catalog.Column) (value.Value, error) {
+	if v.IsNull() {
+		return v, nil
+	}
+	switch col.Type {
+	case catalog.TypeInt, catalog.TypeDate:
+		if v.K == value.KindInt {
+			return v, nil
+		}
+	case catalog.TypeFloat:
+		if v.K == value.KindFloat {
+			return v, nil
+		}
+		if v.K == value.KindInt {
+			return value.NewFloat(float64(v.I)), nil
+		}
+	case catalog.TypeString:
+		if v.K == value.KindString {
+			return v, nil
+		}
+	}
+	return value.Value{}, fmt.Errorf("htap: cannot store %s value %s in %s column %s",
+		v.K, v, col.Type, col.Name)
+}

@@ -7,6 +7,8 @@ package htap
 
 import (
 	"fmt"
+	"math"
+	"sync"
 	"time"
 
 	"htapxplain/internal/catalog"
@@ -15,6 +17,7 @@ import (
 	"htapxplain/internal/latency"
 	"htapxplain/internal/optimizer"
 	"htapxplain/internal/plan"
+	"htapxplain/internal/repl"
 	"htapxplain/internal/rowstore"
 	"htapxplain/internal/sqlparser"
 	"htapxplain/internal/tpch"
@@ -31,6 +34,23 @@ AND n_name = 'egypt' AND o_orderstatus = 'p'
 AND o_custkey = c_custkey
 AND n_nationkey = c_nationkey`
 
+// ReplConfig controls the TP→AP replication pipeline.
+type ReplConfig struct {
+	// QueueDepth bounds the in-flight mutation channel between the write
+	// path and the column store's delta layer (default 256). A full queue
+	// back-pressures writers rather than growing without bound.
+	QueueDepth int
+	// MergeInterval is the background merger's tick (default
+	// colstore.DefaultMergeInterval).
+	MergeInterval time.Duration
+	// MergeThreshold is the pending-delta size that wakes the merger
+	// between ticks (default colstore.DefaultMergeThreshold).
+	MergeThreshold int
+	// DisableMerger keeps the background merger off — tests use it to
+	// control merge points explicitly via Col.MergeAll.
+	DisableMerger bool
+}
+
 // Config controls system construction.
 type Config struct {
 	// ModeledSF is the TPC-H scale factor the statistics and latency
@@ -38,6 +58,8 @@ type Config struct {
 	ModeledSF float64
 	// Data controls physical data generation.
 	Data tpch.Config
+	// Repl controls TP→AP replication and background merging.
+	Repl ReplConfig
 }
 
 // DefaultConfig mirrors the paper's environment (100 GB modeled) with the
@@ -46,17 +68,33 @@ func DefaultConfig() Config {
 	return Config{ModeledSF: 100, Data: tpch.DefaultConfig()}
 }
 
-// System is the assembled HTAP database.
+// System is the assembled HTAP database. The row store is the write
+// primary: DML (see Exec in dml.go) commits there under a monotonic LSN
+// and is replicated asynchronously — through a bounded channel drained by
+// a replication goroutine — into the column store's delta layer, whose
+// background merger compacts deltas into fresh base chunks. AP reads are
+// fresh up to the column store's replication watermark.
 type System struct {
 	Cat     *catalog.Catalog
 	Data    *tpch.Dataset
 	Row     *rowstore.Store
 	Col     *colstore.Store
 	Planner *optimizer.Planner
+
+	// write path state
+	writeMu   sync.Mutex // serializes DML commits and orders the log
+	replCh    chan *repl.Mutation
+	replDone  chan struct{}
+	replErrMu sync.Mutex
+	replErr   error // first replication-apply failure, if any
+	closed    bool
+	closeOnce sync.Once
 }
 
-// New builds the catalog, generates data, loads both storage engines and
-// wires the planners.
+// New builds the catalog, generates data, loads both storage engines,
+// wires the planners, and starts the replication pipeline (applier
+// goroutine + background delta merger). Callers that mutate the system
+// should Close it to stop the pipeline.
 func New(cfg Config) (*System, error) {
 	if cfg.ModeledSF <= 0 {
 		return nil, fmt.Errorf("htap: ModeledSF must be positive, got %g", cfg.ModeledSF)
@@ -74,10 +112,101 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("htap: loading column store: %w", err)
 	}
-	return &System{
+	depth := cfg.Repl.QueueDepth
+	if depth <= 0 {
+		depth = 256
+	}
+	s := &System{
 		Cat: cat, Data: data, Row: row, Col: col,
-		Planner: optimizer.NewPlanner(cat, row, col),
-	}, nil
+		Planner:  optimizer.NewPlanner(cat, row, col),
+		replCh:   make(chan *repl.Mutation, depth),
+		replDone: make(chan struct{}),
+	}
+	go s.replicate()
+	if !cfg.Repl.DisableMerger {
+		col.StartMerger(cfg.Repl.MergeInterval, cfg.Repl.MergeThreshold)
+	}
+	return s, nil
+}
+
+// replicate is the replication applier: it drains the mutation channel in
+// commit order into the column store's delta layer, advancing the
+// watermark one LSN at a time. On the first Apply failure replication
+// halts — later mutations are discarded (keeping writers from blocking on
+// a full channel) and the watermark stops, so the growing staleness gauge
+// reports the divergence instead of silently skipping a lost mutation.
+func (s *System) replicate() {
+	defer close(s.replDone)
+	for mut := range s.replCh {
+		if s.ReplicationErr() != nil {
+			continue // halted: drain without applying
+		}
+		if err := s.Col.Apply(mut); err != nil {
+			s.replErrMu.Lock()
+			s.replErr = err
+			s.replErrMu.Unlock()
+		}
+	}
+}
+
+// ReplicationErr reports the error that halted replication, if any. While
+// non-nil the watermark no longer advances and Staleness grows.
+func (s *System) ReplicationErr() error {
+	s.replErrMu.Lock()
+	defer s.replErrMu.Unlock()
+	return s.replErr
+}
+
+// Close stops the replication applier and the background merger, waiting
+// for queued mutations to drain. The system stays readable; further DML
+// fails.
+func (s *System) Close() {
+	s.closeOnce.Do(func() {
+		s.writeMu.Lock()
+		s.closed = true
+		close(s.replCh)
+		s.writeMu.Unlock()
+		<-s.replDone
+		s.Col.StopMerger()
+	})
+}
+
+// CommitLSN returns the primary's last committed LSN.
+func (s *System) CommitLSN() uint64 { return s.Row.CommitLSN() }
+
+// Watermark returns the column store's replication watermark: every AP
+// read reflects at least all commits up to it.
+func (s *System) Watermark() uint64 { return s.Col.Watermark() }
+
+// Staleness returns how many committed LSNs the column store lags the
+// primary — the freshness gauge the gateway exports on /metrics.
+func (s *System) Staleness() uint64 {
+	c, w := s.CommitLSN(), s.Watermark()
+	if w >= c {
+		return 0
+	}
+	return c - w
+}
+
+// WaitFresh blocks until the replication watermark reaches the primary's
+// current commit LSN (bounded staleness made zero for a moment), the
+// timeout expires, or replication has failed.
+func (s *System) WaitFresh(timeout time.Duration) error {
+	target := s.CommitLSN()
+	deadline := time.Now().Add(timeout)
+	for {
+		if err := s.ReplicationErr(); err != nil {
+			return fmt.Errorf("htap: replication failed: %w", err)
+		}
+		if s.Watermark() >= target {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("htap: watermark %d did not reach LSN %d within %v",
+				s.Watermark(), target, timeout)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
 }
 
 // AddIndex creates a secondary index in both the catalog (so optimizers
@@ -216,12 +345,20 @@ func sameCardinality(a, b []value.Row) bool {
 
 // rowKey renders a row for multiset comparison, rounding floats so that
 // the two engines' different accumulation orders do not yield spurious
-// mismatches in aggregate sums.
+// mismatches in aggregate sums. Rounding happens numerically before
+// formatting, and a zero result is normalized to +0: otherwise -0.0 (or a
+// tiny negative sum like -1e-9) renders as "-0.0000" while +0.0 renders
+// as "0.0000", splitting values that are equal under the rounding
+// tolerance into different multiset keys.
 func rowKey(r value.Row) string {
 	var b []byte
 	for _, v := range r {
 		if v.K == value.KindFloat {
-			b = append(b, fmt.Sprintf("f%.4f|", v.F)...)
+			f := math.Round(v.F*1e4) / 1e4
+			if f == 0 {
+				f = 0 // collapse -0.0 into +0.0
+			}
+			b = append(b, fmt.Sprintf("f%.4f|", f)...)
 			continue
 		}
 		b = append(b, v.Key()...)

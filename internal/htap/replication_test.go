@@ -1,0 +1,297 @@
+package htap
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"htapxplain/internal/value"
+)
+
+// The replication suite is the write path's differential harness: after
+// any interleaving of DML, replication and merges, a full scan of the
+// column store at the replication watermark must be byte-identical to the
+// row store's live rows — same rows, same values, same order (both stores
+// preserve commit order: the heap appends, the delta replays in LSN order,
+// and merges keep survivors in sequence). CI runs these tests under -race
+// (see .github/workflows/ci.yml, "Write path differential (race)").
+
+func newWriteSystem(t *testing.T, cfg Config) *System {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// assertStoresEqual compares both engines' logical contents table by
+// table, value by value, in commit order.
+func assertStoresEqual(t *testing.T, s *System) {
+	t.Helper()
+	for _, meta := range s.Cat.Tables() {
+		rt, ok := s.Row.Table(meta.Name)
+		if !ok {
+			t.Fatalf("row store missing %q", meta.Name)
+		}
+		ct, ok := s.Col.Table(meta.Name)
+		if !ok {
+			t.Fatalf("column store missing %q", meta.Name)
+		}
+		rows := rt.Scan()
+		v := ct.View()
+		if v.NumLive() != len(rows) {
+			t.Fatalf("%s: row store has %d live rows, column store %d",
+				meta.Name, len(rows), v.NumLive())
+		}
+		i := 0
+		check := func(read func(col int) value.Value, where string) {
+			for c := range meta.Columns {
+				if got, want := read(c), rows[i][c]; got != want {
+					t.Fatalf("%s: %s row %d col %d: colstore %v != rowstore %v",
+						meta.Name, where, i, c, got, want)
+				}
+			}
+			i++
+		}
+		for pos := 0; pos < v.NumRows; pos++ {
+			if v.BaseDead[int32(pos)] {
+				continue
+			}
+			pos := pos
+			check(func(c int) value.Value { return v.Cols[c].Value(pos) }, "base")
+		}
+		for _, dr := range v.Delta {
+			dr := dr
+			check(func(c int) value.Value { return dr[c] }, "delta")
+		}
+	}
+}
+
+// dmlMixer issues a deterministic stream of INSERT/UPDATE/DELETE over
+// customer and orders, tracking the synthetic customer keys it inserted.
+type dmlMixer struct {
+	rng      *rand.Rand
+	nextKey  int64
+	inserted []int64
+}
+
+func newMixer(seed int64) *dmlMixer {
+	return &dmlMixer{rng: rand.New(rand.NewSource(seed)), nextKey: 5_000_000}
+}
+
+func (m *dmlMixer) next() string {
+	switch op := m.rng.Intn(10); {
+	case op < 4 || len(m.inserted) < 3: // insert-heavy
+		k := m.nextKey
+		m.nextKey++
+		m.inserted = append(m.inserted, k)
+		return fmt.Sprintf(
+			"INSERT INTO customer (c_custkey, c_name, c_address, c_nationkey, c_phone, c_acctbal, c_mktsegment, c_comment) "+
+				"VALUES (%d, 'w#%d', 'addr', %d, '%02d-%03d', %d.%02d, 'machinery', 'written')",
+			k, k, m.rng.Intn(25), 10+m.rng.Intn(25), m.rng.Intn(1000),
+			m.rng.Intn(5000), m.rng.Intn(100))
+	case op < 6:
+		k := m.inserted[m.rng.Intn(len(m.inserted))]
+		return fmt.Sprintf("UPDATE customer SET c_acctbal = c_acctbal + %d WHERE c_custkey = %d",
+			1+m.rng.Intn(50), k)
+	case op < 7:
+		return fmt.Sprintf("UPDATE orders SET o_orderstatus = 'f' WHERE o_orderkey = %d",
+			1+m.rng.Intn(500))
+	case op < 9:
+		i := m.rng.Intn(len(m.inserted))
+		k := m.inserted[i]
+		m.inserted = append(m.inserted[:i], m.inserted[i+1:]...)
+		return fmt.Sprintf("DELETE FROM customer WHERE c_custkey = %d", k)
+	default:
+		return fmt.Sprintf("DELETE FROM orders WHERE o_orderkey = %d", 1+m.rng.Intn(2000))
+	}
+}
+
+// TestReplicationDifferentialMixedWorkload is the acceptance harness:
+// random DML batches with merges forced at varying points, and after every
+// batch (once the watermark catches the commit LSN) the two engines must
+// hold byte-identical tables, and dual-engine query execution must still
+// agree.
+func TestReplicationDifferentialMixedWorkload(t *testing.T) {
+	// merger disabled: merge points are forced explicitly so every
+	// interleaving class (delta-only, merged, half-merged) is exercised
+	// deterministically
+	s := newWriteSystem(t, Config{ModeledSF: 100, Data: DefaultConfig().Data,
+		Repl: ReplConfig{DisableMerger: true}})
+	mix := newMixer(20260725)
+	queries := []string{
+		`SELECT COUNT(*) FROM customer`,
+		`SELECT COUNT(*), SUM(c_acctbal) FROM customer WHERE c_mktsegment = 'machinery'`,
+		`SELECT COUNT(*) FROM customer, nation WHERE n_nationkey = c_nationkey AND n_name = 'egypt'`,
+		`SELECT COUNT(*) FROM orders WHERE o_orderstatus = 'f'`,
+	}
+	for round := 0; round < 8; round++ {
+		for i := 0; i < 12; i++ {
+			sql := mix.next()
+			if _, err := s.Exec(sql); err != nil {
+				t.Fatalf("round %d: Exec(%q): %v", round, sql, err)
+			}
+		}
+		if err := s.WaitFresh(5 * time.Second); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		// vary the merge point: some rounds compare against pure delta,
+		// some against freshly merged base chunks
+		if round%3 == 1 {
+			s.Col.MergeAll()
+		}
+		assertStoresEqual(t, s)
+		for _, q := range queries {
+			res, err := s.Run(q)
+			if err != nil {
+				t.Fatalf("round %d: Run(%q): %v", round, q, err)
+			}
+			if !res.ResultsAgree {
+				t.Fatalf("round %d: engines disagree on %q: TP=%v AP=%v",
+					round, q, res.TPRows, res.APRows)
+			}
+		}
+	}
+	if s.CommitLSN() == 0 || s.Watermark() != s.CommitLSN() {
+		t.Errorf("watermark %d vs commit LSN %d after quiesce", s.Watermark(), s.CommitLSN())
+	}
+}
+
+// TestReplicationConcurrentWritesReadsAndMerges exercises the full
+// concurrent pipeline — a writer, closed-loop dual-engine readers, the
+// replication applier and an aggressive background merger — and then
+// quiesces and asserts the engines converged. Under -race this is the
+// test that proves the locking protocol (heap snapshots, copy-on-write
+// delete sets, immutable merged chunks) is sound.
+func TestReplicationConcurrentWritesReadsAndMerges(t *testing.T) {
+	s := newWriteSystem(t, Config{ModeledSF: 100, Data: DefaultConfig().Data,
+		Repl: ReplConfig{MergeInterval: time.Millisecond, MergeThreshold: 8}})
+	const writes = 150
+	var wg sync.WaitGroup
+	stopReaders := make(chan struct{})
+	errs := make(chan error, 8)
+
+	wg.Add(1)
+	go func() { // single writer (DML is serialized by the system anyway)
+		defer wg.Done()
+		mix := newMixer(7)
+		for i := 0; i < writes; i++ {
+			if _, err := s.Exec(mix.next()); err != nil {
+				errs <- fmt.Errorf("writer: %w", err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) { // dual-engine readers racing the writer and merger
+			defer wg.Done()
+			queries := []string{
+				`SELECT COUNT(*), SUM(c_acctbal) FROM customer`,
+				`SELECT COUNT(*) FROM customer, nation WHERE n_nationkey = c_nationkey`,
+				`SELECT c_name, c_acctbal FROM customer ORDER BY c_acctbal DESC LIMIT 5`,
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				if _, err := s.Run(queries[(i+r)%len(queries)]); err != nil {
+					errs <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+			}
+		}(r)
+	}
+
+	done := make(chan struct{})
+	go func() { defer close(done); wg.Wait() }()
+	// writer finishes first; then stop the readers
+	for {
+		select {
+		case err := <-errs:
+			close(stopReaders)
+			t.Fatal(err)
+		case <-time.After(10 * time.Millisecond):
+		}
+		if s.CommitLSN() >= writes {
+			break
+		}
+	}
+	close(stopReaders)
+	<-done
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	if err := s.WaitFresh(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s.Col.MergeAll()
+	assertStoresEqual(t, s)
+	if s.Col.MergeStats().Merges == 0 {
+		t.Error("background merger never ran despite threshold-sized deltas")
+	}
+}
+
+// TestWatermarkAndStaleness: the freshness gauge must be exact at
+// quiescence and the watermark must never pass the commit LSN.
+func TestWatermarkAndStaleness(t *testing.T) {
+	s := newWriteSystem(t, Config{ModeledSF: 100, Data: DefaultConfig().Data,
+		Repl: ReplConfig{DisableMerger: true}})
+	if s.Staleness() != 0 || s.CommitLSN() != 0 {
+		t.Fatalf("fresh system: staleness=%d lsn=%d", s.Staleness(), s.CommitLSN())
+	}
+	res, err := s.Exec(`INSERT INTO nation (n_nationkey, n_name, n_regionkey, n_comment) VALUES (90, 'atlantis', 0, 'sunk')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LSN != 1 || res.RowsAffected != 1 {
+		t.Fatalf("result = %+v, want LSN 1, 1 row", res)
+	}
+	if err := s.WaitFresh(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if w := s.Watermark(); w != 1 {
+		t.Errorf("watermark = %d, want 1", w)
+	}
+	if s.Staleness() != 0 {
+		t.Errorf("staleness = %d after WaitFresh", s.Staleness())
+	}
+	// the write is visible to a dual-engine query and both engines agree
+	r, err := s.Run(`SELECT COUNT(*) FROM nation WHERE n_name = 'atlantis'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.ResultsAgree || len(r.TPRows) != 1 || r.TPRows[0][0].I != 1 {
+		t.Fatalf("fresh write not visible: agree=%v TP=%v AP=%v", r.ResultsAgree, r.TPRows, r.APRows)
+	}
+}
+
+// TestRowKeyFloatNormalization is the regression test for the multiset
+// cross-check: -0.0 and +0.0 (and values inside the rounding tolerance
+// that straddle zero) must land on the same key, while values that differ
+// at the 4th decimal must not.
+func TestRowKeyFloatNormalization(t *testing.T) {
+	key := func(f float64) string { return rowKey(value.Row{value.NewFloat(f)}) }
+	if key(-0.0) != key(0.0) {
+		t.Errorf("rowKey splits -0.0 and 0.0: %q vs %q", key(-0.0), key(0.0))
+	}
+	if key(-1e-9) != key(1e-9) {
+		t.Errorf("rowKey splits ±1e-9 (both round to zero): %q vs %q", key(-1e-9), key(1e-9))
+	}
+	if key(1.00004) == key(1.00016) {
+		t.Errorf("rowKey collides values that differ at the 4th decimal: %q", key(1.00004))
+	}
+	// non-floats still use the exact Key encoding
+	if rowKey(value.Row{value.NewInt(3)}) == rowKey(value.Row{value.NewFloat(3)}) {
+		t.Error("rowKey conflates INT 3 with FLOAT 3.0")
+	}
+}

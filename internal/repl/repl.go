@@ -1,0 +1,47 @@
+// Package repl defines the TP→AP replication log shared by the storage
+// engines. The row store (the write primary) emits one Mutation per
+// committed DML statement, stamped with a monotonic commit LSN; the column
+// store consumes mutations strictly in LSN order, folding them into its
+// in-memory delta layer and advancing its replication watermark — the
+// bounded-staleness design of ByteHTAP/TiFlash-style HTAP systems.
+//
+// Row versions are identified by a RID (row identifier) assigned by the
+// primary: the heap position of the version, which is stable because the
+// row heap is append-only and never compacts. An UPDATE is replicated as a
+// delete of the old RID plus an insert of the new one, so the log has only
+// two physical operations and replay order alone reconstructs the table.
+package repl
+
+import "htapxplain/internal/value"
+
+// RowVersion is one inserted row version: its primary-assigned RID and the
+// full row image.
+type RowVersion struct {
+	RID int64
+	Row value.Row
+}
+
+// Mutation is one committed DML statement as seen by the replication log.
+// Deletes are applied before Inserts, which makes an UPDATE (delete old
+// version, insert new) replay correctly from a single mutation.
+type Mutation struct {
+	// LSN is the commit sequence number assigned by the primary. LSN 0 is
+	// the bulk-loaded base; the first mutation commits at LSN 1.
+	LSN   uint64
+	Table string
+	// Deletes lists RIDs of row versions deleted by this mutation.
+	Deletes []int64
+	// Inserts lists row versions created by this mutation, in insert order.
+	Inserts []RowVersion
+}
+
+// NumRowsAffected reports the logical row count the mutation touched:
+// pure deletes plus pure inserts, with delete+insert pairs (updates)
+// counted once.
+func (m *Mutation) NumRowsAffected() int {
+	n := len(m.Deletes)
+	if len(m.Inserts) > n {
+		n = len(m.Inserts)
+	}
+	return n
+}

@@ -1,0 +1,171 @@
+package rowstore
+
+import (
+	"testing"
+
+	"htapxplain/internal/catalog"
+	"htapxplain/internal/value"
+)
+
+func mutCatalog() *catalog.Catalog {
+	cat := catalog.New(1)
+	_ = cat.AddTable(&catalog.Table{
+		Name: "t",
+		Columns: []catalog.Column{
+			{Name: "k", Type: catalog.TypeInt, NDV: 100},
+			{Name: "s", Type: catalog.TypeString, NDV: 100},
+		},
+		Indexes: []catalog.Index{
+			{Name: "pk_t", Table: "t", Column: "k", Kind: catalog.PrimaryIndex, Unique: true},
+		},
+		Rows: 4, AvgRowBytes: 16,
+	})
+	return cat
+}
+
+func mutStore(t *testing.T) *Store {
+	t.Helper()
+	data := map[string][]value.Row{
+		"t": {
+			{value.NewInt(10), value.NewString("a")},
+			{value.NewInt(20), value.NewString("b")},
+			{value.NewInt(30), value.NewString("c")},
+			{value.NewInt(40), value.NewString("d")},
+		},
+	}
+	s, err := NewStore(mutCatalog(), data)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	return s
+}
+
+func TestInsertAssignsLSNAndRIDs(t *testing.T) {
+	s := mutStore(t)
+	mut, err := s.Insert("t", []value.Row{
+		{value.NewInt(50), value.NewString("e")},
+		{value.NewInt(60), value.NewString("f")},
+	})
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if mut.LSN != 1 || s.CommitLSN() != 1 {
+		t.Errorf("LSN = %d (store %d), want 1", mut.LSN, s.CommitLSN())
+	}
+	if len(mut.Inserts) != 2 || mut.Inserts[0].RID != 4 || mut.Inserts[1].RID != 5 {
+		t.Errorf("inserts = %+v, want RIDs 4,5", mut.Inserts)
+	}
+	tb, _ := s.Table("t")
+	if tb.NumLive() != 6 || tb.NumRows() != 6 {
+		t.Errorf("live=%d physical=%d, want 6/6", tb.NumLive(), tb.NumRows())
+	}
+	ix, _ := tb.IndexOn("k")
+	if ids := ix.Lookup(value.NewInt(60)); len(ids) != 1 || ids[0] != 5 {
+		t.Errorf("index lookup of inserted key = %v, want [5]", ids)
+	}
+}
+
+func TestDeleteTombstonesAndUnindexes(t *testing.T) {
+	s := mutStore(t)
+	mut, err := s.Delete("t", []int64{1})
+	if err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if len(mut.Deletes) != 1 || mut.Deletes[0] != 1 {
+		t.Errorf("deletes = %v", mut.Deletes)
+	}
+	tb, _ := s.Table("t")
+	if tb.NumLive() != 3 || tb.NumRows() != 4 {
+		t.Errorf("live=%d physical=%d, want 3/4 (tombstone, no compaction)", tb.NumLive(), tb.NumRows())
+	}
+	ix, _ := tb.IndexOn("k")
+	if ids := ix.Lookup(value.NewInt(20)); len(ids) != 0 {
+		t.Errorf("deleted key still indexed: %v", ids)
+	}
+	if rows := tb.Scan(); len(rows) != 3 {
+		t.Errorf("Scan returned %d rows, want 3", len(rows))
+	}
+	// deleting a dead RID is rejected and consumes no LSN
+	if _, err := s.Delete("t", []int64{1}); err == nil {
+		t.Error("double delete succeeded")
+	}
+	if s.CommitLSN() != 1 {
+		t.Errorf("failed delete advanced LSN to %d", s.CommitLSN())
+	}
+}
+
+func TestUpdateIsDeletePlusInsert(t *testing.T) {
+	s := mutStore(t)
+	tb0, _ := s.Table("t")
+	oldRow := tb0.Row(2)
+	mut, err := s.Update("t", []int64{2}, []value.Row{{value.NewInt(35), value.NewString("c2")}})
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if len(mut.Deletes) != 1 || mut.Deletes[0] != 2 {
+		t.Errorf("deletes = %v, want [2]", mut.Deletes)
+	}
+	if len(mut.Inserts) != 1 || mut.Inserts[0].RID != 4 {
+		t.Errorf("inserts = %+v, want new version at RID 4", mut.Inserts)
+	}
+	if mut.NumRowsAffected() != 1 {
+		t.Errorf("NumRowsAffected = %d, want 1", mut.NumRowsAffected())
+	}
+	tb, _ := s.Table("t")
+	// the old heap slot is untouched (aliased batches stay valid)
+	if got := tb.Heap()[2]; got[0] != oldRow[0] || got[1] != oldRow[1] {
+		t.Errorf("update rewrote heap slot in place: %v", got)
+	}
+	ix, _ := tb.IndexOn("k")
+	if ids := ix.Lookup(value.NewInt(30)); len(ids) != 0 {
+		t.Errorf("old key still indexed: %v", ids)
+	}
+	if ids := ix.Lookup(value.NewInt(35)); len(ids) != 1 || ids[0] != 4 {
+		t.Errorf("new key lookup = %v, want [4]", ids)
+	}
+	if tb.NumLive() != 4 {
+		t.Errorf("live = %d, want 4", tb.NumLive())
+	}
+}
+
+func TestScanLiveParallelSlices(t *testing.T) {
+	s := mutStore(t)
+	if _, err := s.Delete("t", []int64{0, 3}); err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := s.Table("t")
+	rids, rows := tb.ScanLive()
+	if len(rids) != 2 || len(rows) != 2 {
+		t.Fatalf("ScanLive = %v / %d rows, want 2/2", rids, len(rows))
+	}
+	if rids[0] != 1 || rids[1] != 2 {
+		t.Errorf("rids = %v, want [1 2]", rids)
+	}
+	if rows[0][0].I != 20 || rows[1][0].I != 30 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestIndexRangeAfterMutations(t *testing.T) {
+	s := mutStore(t)
+	if _, err := s.Insert("t", []value.Row{{value.NewInt(25), value.NewString("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Delete("t", []int64{0}); err != nil { // k=10
+		t.Fatal(err)
+	}
+	tb, _ := s.Table("t")
+	ix, _ := tb.IndexOn("k")
+	lo, hi := value.NewInt(0), value.NewInt(30)
+	ids := ix.Range(&lo, &hi)
+	// live keys in range: 20 (rid 1), 25 (rid 4), 30 (rid 2), in key order
+	want := []int32{1, 4, 2}
+	if len(ids) != len(want) {
+		t.Fatalf("Range = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("Range = %v, want %v", ids, want)
+		}
+	}
+}

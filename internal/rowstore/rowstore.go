@@ -5,44 +5,78 @@
 // that exploit these indexes; when no index applies it is forced into full
 // scans and nested-loop joins — the situation the paper's Example 1 hinges
 // on.
+//
+// The row store is also the system's write primary. The heap is
+// append-only and versioned: every INSERT appends a new row version, an
+// UPDATE appends the new version and tombstones the old one, and a DELETE
+// only tombstones — stored rows are never mutated in place, which is what
+// lets execution batches alias heap rows without copying. Each committed
+// mutation is stamped with a monotonic commit LSN and returned as a
+// repl.Mutation for the column store's delta layer to replay. A row
+// version's RID is its heap position (stable forever, since the heap never
+// compacts). Secondary indexes are maintained synchronously under the
+// table lock, so index lookups only ever see live versions.
 package rowstore
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"htapxplain/internal/catalog"
+	"htapxplain/internal/repl"
 	"htapxplain/internal/value"
 )
 
-// Table is one row-oriented table: the heap plus its indexes.
+// version carries the visibility metadata of one heap slot.
+type version struct {
+	insertLSN uint64
+	deleteLSN uint64 // 0 = live
+}
+
+// Table is one row-oriented table: the versioned heap plus its indexes.
+// All access goes through the table's RWMutex: readers take snapshots
+// under RLock; the (single) writer mutates under Lock.
 type Table struct {
 	Meta *catalog.Table
-	rows []value.Row
+
+	mu       sync.RWMutex
+	rows     []value.Row // append-only version heap; RID == position
+	versions []version   // parallel to rows
+	live     int         // number of undeleted versions
 	// indexes maps lower-cased column name → ordered index.
 	indexes map[string]*Index
 }
 
 // Index is an ordered single-column index: keys sorted ascending, each with
-// the heap positions of matching rows.
+// the heap positions of matching live rows. It shares its owning table's
+// lock.
 type Index struct {
 	Column string
 	Col    int // column position in the table
+	mu     *sync.RWMutex
 	keys   []value.Value
 	rowIDs [][]int32
 }
 
 // Len returns the number of distinct keys.
-func (ix *Index) Len() int { return len(ix.keys) }
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.keys)
+}
 
-// Store is the row engine's storage manager.
+// Store is the row engine's storage manager and the write primary: it owns
+// the commit LSN.
 type Store struct {
-	tables map[string]*Table
+	tables    map[string]*Table
+	commitLSN atomic.Uint64
 }
 
 // NewStore builds a row store over the given physical data, creating every
-// index the catalog declares.
+// index the catalog declares. Bulk-loaded rows carry insert LSN 0.
 func NewStore(cat *catalog.Catalog, data map[string][]value.Row) (*Store, error) {
 	s := &Store{tables: make(map[string]*Table, len(data))}
 	for _, meta := range cat.Tables() {
@@ -50,9 +84,15 @@ func NewStore(cat *catalog.Catalog, data map[string][]value.Row) (*Store, error)
 		if !ok {
 			return nil, fmt.Errorf("rowstore: no data for table %q", meta.Name)
 		}
-		t := &Table{Meta: meta, rows: rows, indexes: make(map[string]*Index)}
+		t := &Table{
+			Meta:     meta,
+			rows:     rows,
+			versions: make([]version, len(rows)),
+			live:     len(rows),
+			indexes:  make(map[string]*Index),
+		}
 		for _, ixMeta := range meta.Indexes {
-			ix, err := buildIndex(meta, rows, ixMeta.Column)
+			ix, err := buildIndex(t, ixMeta.Column)
 			if err != nil {
 				return nil, err
 			}
@@ -69,6 +109,10 @@ func (s *Store) Table(name string) (*Table, bool) {
 	return t, ok
 }
 
+// CommitLSN returns the LSN of the last committed mutation (0 if the store
+// has only its bulk-loaded base).
+func (s *Store) CommitLSN() uint64 { return s.commitLSN.Load() }
+
 // BuildIndex creates (or replaces) an index on the column at runtime —
 // used when the paper's "additional user context" adds an index.
 func (s *Store) BuildIndex(table, column string) error {
@@ -76,7 +120,9 @@ func (s *Store) BuildIndex(table, column string) error {
 	if !ok {
 		return fmt.Errorf("rowstore: no such table %q", table)
 	}
-	ix, err := buildIndex(t.Meta, t.rows, column)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ix, err := buildIndex(t, column)
 	if err != nil {
 		return err
 	}
@@ -90,6 +136,8 @@ func (s *Store) DropIndex(table, column string) error {
 	if !ok {
 		return fmt.Errorf("rowstore: no such table %q", table)
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	key := strings.ToLower(column)
 	if _, ok := t.indexes[key]; !ok {
 		return fmt.Errorf("rowstore: no index on %s.%s", table, column)
@@ -98,23 +146,28 @@ func (s *Store) DropIndex(table, column string) error {
 	return nil
 }
 
-func buildIndex(meta *catalog.Table, rows []value.Row, column string) (*Index, error) {
-	col := meta.ColumnIndex(column)
+// buildIndex indexes the live versions of t. Callers hold t.mu (or own t
+// exclusively during construction).
+func buildIndex(t *Table, column string) (*Index, error) {
+	col := t.Meta.ColumnIndex(column)
 	if col < 0 {
-		return nil, fmt.Errorf("rowstore: no column %q in %q", column, meta.Name)
+		return nil, fmt.Errorf("rowstore: no column %q in %q", column, t.Meta.Name)
 	}
 	type kv struct {
 		key value.Value
 		id  int32
 	}
-	pairs := make([]kv, len(rows))
-	for i, r := range rows {
-		pairs[i] = kv{key: r[col], id: int32(i)}
+	pairs := make([]kv, 0, t.live)
+	for i, r := range t.rows {
+		if t.versions[i].deleteLSN != 0 {
+			continue
+		}
+		pairs = append(pairs, kv{key: r[col], id: int32(i)})
 	}
 	sort.SliceStable(pairs, func(a, b int) bool {
 		return pairs[a].key.Compare(pairs[b].key) < 0
 	})
-	ix := &Index{Column: strings.ToLower(column), Col: col}
+	ix := &Index{Column: strings.ToLower(column), Col: col, mu: &t.mu}
 	for _, p := range pairs {
 		n := len(ix.keys)
 		if n > 0 && ix.keys[n-1].Compare(p.key) == 0 {
@@ -127,37 +180,283 @@ func buildIndex(meta *catalog.Table, rows []value.Row, column string) (*Index, e
 	return ix, nil
 }
 
-// NumRows returns the physical row count.
-func (t *Table) NumRows() int { return len(t.rows) }
+// ---------------------------------------------------------------- writes
 
-// Row returns the heap row at position id.
-func (t *Table) Row(id int32) value.Row { return t.rows[id] }
-
-// Scan returns all rows (a full table scan). The returned slice aliases
-// storage; callers must not mutate rows.
-func (t *Table) Scan() []value.Row { return t.rows }
-
-// IndexOn returns the index on the column, if one exists.
-func (t *Table) IndexOn(column string) (*Index, bool) {
-	ix, ok := t.indexes[strings.ToLower(column)]
-	return ix, ok
+// Insert appends the rows as new live versions, maintains every index, and
+// commits at a fresh LSN. The returned mutation is the replication-log
+// record for the column store.
+func (s *Store) Insert(table string, rows []value.Row) (*repl.Mutation, error) {
+	t, ok := s.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("rowstore: no such table %q", table)
+	}
+	for _, r := range rows {
+		if len(r) != len(t.Meta.Columns) {
+			return nil, fmt.Errorf("rowstore: %s expects %d columns, got %d",
+				t.Meta.Name, len(t.Meta.Columns), len(r))
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	lsn := s.commitLSN.Add(1)
+	mut := &repl.Mutation{LSN: lsn, Table: strings.ToLower(t.Meta.Name)}
+	for _, r := range rows {
+		rid := t.appendVersion(r, lsn)
+		mut.Inserts = append(mut.Inserts, repl.RowVersion{RID: rid, Row: r})
+	}
+	return mut, nil
 }
 
-// Lookup returns the heap positions of rows whose indexed column equals
-// key.
-func (ix *Index) Lookup(key value.Value) []int32 {
+// Delete tombstones the given live row versions (RIDs) and unlinks them
+// from every index. Already-dead or out-of-range RIDs are rejected.
+func (s *Store) Delete(table string, rids []int64) (*repl.Mutation, error) {
+	t, ok := s.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("rowstore: no such table %q", table)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.checkLive(rids); err != nil {
+		return nil, err
+	}
+	lsn := s.commitLSN.Add(1)
+	mut := &repl.Mutation{LSN: lsn, Table: strings.ToLower(t.Meta.Name)}
+	for _, rid := range rids {
+		t.tombstone(rid, lsn)
+		mut.Deletes = append(mut.Deletes, rid)
+	}
+	return mut, nil
+}
+
+// Update replaces the given live versions with newRows (parallel slices):
+// the old version is tombstoned and the new image appended as a fresh
+// version, so heap slots are never rewritten and aliased batches stay
+// valid. Replicated as delete-old + insert-new in one mutation.
+func (s *Store) Update(table string, rids []int64, newRows []value.Row) (*repl.Mutation, error) {
+	t, ok := s.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("rowstore: no such table %q", table)
+	}
+	if len(rids) != len(newRows) {
+		return nil, fmt.Errorf("rowstore: update arity mismatch: %d rids, %d rows", len(rids), len(newRows))
+	}
+	for _, r := range newRows {
+		if len(r) != len(t.Meta.Columns) {
+			return nil, fmt.Errorf("rowstore: %s expects %d columns, got %d",
+				t.Meta.Name, len(t.Meta.Columns), len(r))
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.checkLive(rids); err != nil {
+		return nil, err
+	}
+	lsn := s.commitLSN.Add(1)
+	mut := &repl.Mutation{LSN: lsn, Table: strings.ToLower(t.Meta.Name)}
+	for i, rid := range rids {
+		t.tombstone(rid, lsn)
+		mut.Deletes = append(mut.Deletes, rid)
+		newRID := t.appendVersion(newRows[i], lsn)
+		mut.Inserts = append(mut.Inserts, repl.RowVersion{RID: newRID, Row: newRows[i]})
+	}
+	return mut, nil
+}
+
+// appendVersion appends one live version and indexes it. Caller holds
+// t.mu.
+func (t *Table) appendVersion(r value.Row, lsn uint64) int64 {
+	rid := int64(len(t.rows))
+	t.rows = append(t.rows, r)
+	t.versions = append(t.versions, version{insertLSN: lsn})
+	t.live++
+	for _, ix := range t.indexes {
+		ix.insertLocked(r[ix.Col], int32(rid))
+	}
+	return rid
+}
+
+// tombstone marks one live version deleted and unindexes it. Caller holds
+// t.mu and has validated rid via checkLive.
+func (t *Table) tombstone(rid int64, lsn uint64) {
+	t.versions[rid].deleteLSN = lsn
+	t.live--
+	r := t.rows[rid]
+	for _, ix := range t.indexes {
+		ix.removeLocked(r[ix.Col], int32(rid))
+	}
+}
+
+// checkLive validates that every rid names a live version. Caller holds
+// t.mu.
+func (t *Table) checkLive(rids []int64) error {
+	for _, rid := range rids {
+		if rid < 0 || rid >= int64(len(t.rows)) {
+			return fmt.Errorf("rowstore: %s has no row %d", t.Meta.Name, rid)
+		}
+		if t.versions[rid].deleteLSN != 0 {
+			return fmt.Errorf("rowstore: %s row %d is already deleted", t.Meta.Name, rid)
+		}
+	}
+	return nil
+}
+
+// insertLocked adds (key, id) to the index. Caller holds the table lock.
+func (ix *Index) insertLocked(key value.Value, id int32) {
 	i := sort.Search(len(ix.keys), func(i int) bool {
 		return ix.keys[i].Compare(key) >= 0
 	})
 	if i < len(ix.keys) && ix.keys[i].Compare(key) == 0 {
-		return ix.rowIDs[i]
+		ix.rowIDs[i] = append(ix.rowIDs[i], id)
+		return
+	}
+	ix.keys = append(ix.keys, value.Value{})
+	copy(ix.keys[i+1:], ix.keys[i:])
+	ix.keys[i] = key
+	ix.rowIDs = append(ix.rowIDs, nil)
+	copy(ix.rowIDs[i+1:], ix.rowIDs[i:])
+	ix.rowIDs[i] = []int32{id}
+}
+
+// removeLocked drops (key, id) from the index, keeping postings in heap
+// order so index-ordered scans stay deterministic. Caller holds the table
+// lock.
+func (ix *Index) removeLocked(key value.Value, id int32) {
+	i := sort.Search(len(ix.keys), func(i int) bool {
+		return ix.keys[i].Compare(key) >= 0
+	})
+	if i >= len(ix.keys) || ix.keys[i].Compare(key) != 0 {
+		return
+	}
+	ids := ix.rowIDs[i]
+	for j, v := range ids {
+		if v == id {
+			copy(ids[j:], ids[j+1:])
+			ix.rowIDs[i] = ids[:len(ids)-1]
+			break
+		}
+	}
+	if len(ix.rowIDs[i]) == 0 {
+		copy(ix.keys[i:], ix.keys[i+1:])
+		ix.keys = ix.keys[:len(ix.keys)-1]
+		copy(ix.rowIDs[i:], ix.rowIDs[i+1:])
+		ix.rowIDs = ix.rowIDs[:len(ix.rowIDs)-1]
+	}
+}
+
+// ---------------------------------------------------------------- reads
+
+// NumRows returns the physical heap size (live + tombstoned versions).
+func (t *Table) NumRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// NumLive returns the live row count.
+func (t *Table) NumLive() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.live
+}
+
+// Row returns the heap row at position id. Heap slots are immutable once
+// written, so the returned row is safe to read without further locking.
+func (t *Table) Row(id int32) value.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[id]
+}
+
+// Heap returns a stable snapshot of the full version heap (including
+// tombstoned slots), indexable by RID. The slice header is a snapshot;
+// the rows it references are immutable.
+func (t *Table) Heap() []value.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[:len(t.rows):len(t.rows)]
+}
+
+// Scan returns a snapshot of all live rows (a full table scan). The
+// returned rows alias storage and must not be mutated. When the table has
+// never seen a delete the snapshot aliases the heap itself with no
+// copying; otherwise a fresh slice of live row references is built.
+func (t *Table) Scan() []value.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.live == len(t.rows) {
+		return t.rows[:len(t.rows):len(t.rows)]
+	}
+	out := make([]value.Row, 0, t.live)
+	for i, r := range t.rows {
+		if t.versions[i].deleteLSN == 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ScanLive returns parallel snapshots of the live RIDs and their rows —
+// the access path DML statements use to evaluate their WHERE clause before
+// mutating.
+func (t *Table) ScanLive() (rids []int64, rows []value.Row) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	rids = make([]int64, 0, t.live)
+	rows = make([]value.Row, 0, t.live)
+	for i, r := range t.rows {
+		if t.versions[i].deleteLSN == 0 {
+			rids = append(rids, int64(i))
+			rows = append(rows, r)
+		}
+	}
+	return rids, rows
+}
+
+// IndexOn returns the index on the column, if one exists.
+func (t *Table) IndexOn(column string) (*Index, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix, ok := t.indexes[strings.ToLower(column)]
+	return ix, ok
+}
+
+// Lookup returns the heap positions of live rows whose indexed column
+// equals key. The result is freshly allocated (never aliases index
+// internals), so it stays valid after concurrent index maintenance.
+func (ix *Index) Lookup(key value.Value) []int32 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	i := sort.Search(len(ix.keys), func(i int) bool {
+		return ix.keys[i].Compare(key) >= 0
+	})
+	if i < len(ix.keys) && ix.keys[i].Compare(key) == 0 {
+		out := make([]int32, len(ix.rowIDs[i]))
+		copy(out, ix.rowIDs[i])
+		return out
 	}
 	return nil
+}
+
+// LookupAppend appends the matching heap positions to dst and returns it —
+// the allocation-free variant of Lookup for per-row probe loops
+// (index nested-loop joins) that reuse one buffer across probes.
+func (ix *Index) LookupAppend(key value.Value, dst []int32) []int32 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	i := sort.Search(len(ix.keys), func(i int) bool {
+		return ix.keys[i].Compare(key) >= 0
+	})
+	if i < len(ix.keys) && ix.keys[i].Compare(key) == 0 {
+		dst = append(dst, ix.rowIDs[i]...)
+	}
+	return dst
 }
 
 // Range returns heap positions of rows with lo <= key <= hi. Nil bounds
 // are open. The scan visits keys in ascending order.
 func (ix *Index) Range(lo, hi *value.Value) []int32 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	start := 0
 	if lo != nil {
 		start = sort.Search(len(ix.keys), func(i int) bool {
@@ -177,6 +476,8 @@ func (ix *Index) Range(lo, hi *value.Value) []int32 {
 // Ascending returns row ids in index-key order — the access path behind
 // index-ordered Top-N plans (ORDER BY indexed_col LIMIT n).
 func (ix *Index) Ascending() []int32 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	var out []int32
 	for _, ids := range ix.rowIDs {
 		out = append(out, ids...)
@@ -186,6 +487,8 @@ func (ix *Index) Ascending() []int32 {
 
 // Descending returns row ids in reverse key order.
 func (ix *Index) Descending() []int32 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	var out []int32
 	for i := len(ix.rowIDs) - 1; i >= 0; i-- {
 		out = append(out, ix.rowIDs[i]...)

@@ -2,7 +2,9 @@
 // for the SQL subset the paper's workloads use: single-block SELECT queries
 // with inner joins (comma-style or JOIN ... ON), conjunctive/disjunctive
 // predicates, IN lists, BETWEEN, LIKE, SUBSTRING and arithmetic, aggregate
-// functions, GROUP BY, ORDER BY, LIMIT and OFFSET.
+// functions, GROUP BY, ORDER BY, LIMIT and OFFSET — plus the DML subset of
+// the TP write path: multi-row INSERT ... VALUES, UPDATE ... SET ... WHERE
+// and DELETE FROM ... WHERE (see ParseStatement).
 package sqlparser
 
 import (

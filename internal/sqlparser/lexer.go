@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // tokenKind enumerates lexical token classes.
@@ -32,6 +33,9 @@ var keywords = map[string]bool{
 	"ASC": true, "DESC": true, "JOIN": true, "INNER": true, "ON": true,
 	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
 	"DISTINCT": true,
+	// DML
+	"INSERT": true, "INTO": true, "VALUES": true,
+	"UPDATE": true, "SET": true, "DELETE": true,
 }
 
 // lex tokenizes the input. It returns a descriptive error with byte offset
@@ -85,10 +89,21 @@ func lex(input string) ([]token, error) {
 			}
 			toks = append(toks, token{kind: kind, text: input[i:j], pos: i})
 			i = j
-		case isIdentStart(rune(c)):
+		case c >= utf8.RuneSelf || isIdentStart(rune(c)):
+			// decode full runes: a byte-wise rune(c) misclassifies non-ASCII
+			// input (e.g. the lone byte 0xde) and breaks re-lexing of
+			// lower-cased multi-byte identifiers
+			r, _ := utf8.DecodeRuneInString(input[i:])
+			if !isIdentStart(r) {
+				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", r, i)
+			}
 			j := i
-			for j < n && isIdentPart(rune(input[j])) {
-				j++
+			for j < n {
+				r, size := utf8.DecodeRuneInString(input[j:])
+				if !isIdentPart(r) {
+					break
+				}
+				j += size
 			}
 			word := input[i:j]
 			up := strings.ToUpper(word)
