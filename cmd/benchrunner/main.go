@@ -7,6 +7,7 @@
 //	benchrunner              # all experiments
 //	benchrunner -e e1        # just Example 1 / Tables II-III
 //	benchrunner -e e3,e5,a2  # a subset
+//	benchrunner -wal-bench   # durability microbenchmarks -> BENCH_wal.json
 package main
 
 import (
@@ -21,7 +22,17 @@ import (
 
 func main() {
 	which := flag.String("e", "all", "comma-separated experiment ids (e1..e8, a1..a3) or 'all'")
+	walBench := flag.Bool("wal-bench", false, "run the durability microbenchmarks instead of the paper experiments")
+	walOut := flag.String("wal-out", "BENCH_wal.json", "wal-bench: output JSON path")
 	flag.Parse()
+
+	if *walBench {
+		fmt.Println("durability microbenchmarks: group-commit throughput + recovery time ...")
+		if err := runWALBench(*walOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	fmt.Println("building experimental environment (system, router, knowledge base) ...")
 	env, err := eval.NewEnv(eval.DefaultEnvConfig())

@@ -1,0 +1,259 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"htapxplain/internal/recovery"
+	"htapxplain/internal/repl"
+	"htapxplain/internal/rowstore"
+	"htapxplain/internal/value"
+	"htapxplain/internal/wal"
+)
+
+// The WAL benchmark (-wal-bench) seeds the durability perf trajectory:
+// group-commit throughput as a function of committer concurrency (more
+// concurrent committers -> bigger fsync batches -> higher commits/sec at
+// the same fsync count), and recovery time as a function of log length.
+// CI runs it once per build and archives BENCH_wal.json.
+
+// WALBenchReport is the JSON document written to -wal-out.
+type WALBenchReport struct {
+	GroupCommit []GroupCommitPoint `json:"group_commit"`
+	Recovery    []RecoveryPoint    `json:"recovery"`
+}
+
+// GroupCommitPoint measures durable-commit throughput at one (device
+// latency, concurrency) point. FsyncLatencyMS models the durable medium:
+// 0 is the host's raw fsync (nearly free on CI's filesystems), 2ms is a
+// typical networked block device — where group commit is the difference
+// between ~500 commits/s and tens of thousands.
+type GroupCommitPoint struct {
+	FsyncLatencyMS float64 `json:"fsync_latency_ms"`
+	Committers     int     `json:"committers"`
+	Commits        int     `json:"commits"`
+	ElapsedMS      float64 `json:"elapsed_ms"`
+	CommitsPerSec  float64 `json:"commits_per_sec"`
+	Fsyncs         int64   `json:"fsyncs"`
+	MeanBatch      float64 `json:"mean_fsync_batch"`
+	MaxBatch       int64   `json:"max_fsync_batch"`
+}
+
+// RecoveryPoint measures log scan + replay-decode time at one log length,
+// plus checkpoint write/load time for the equivalent state size.
+type RecoveryPoint struct {
+	Records       int     `json:"records"`
+	OpenMS        float64 `json:"open_ms"`
+	ReplayMS      float64 `json:"replay_ms"`
+	RecordsPerSec float64 `json:"replay_records_per_sec"`
+	CkptWriteMS   float64 `json:"checkpoint_write_ms"`
+	CkptLoadMS    float64 `json:"checkpoint_load_ms"`
+}
+
+// benchMutation is a representative small-write mutation body.
+func benchMutation(lsn uint64) *repl.Mutation {
+	return &repl.Mutation{
+		LSN:   lsn,
+		Table: "customer",
+		Inserts: []repl.RowVersion{{
+			RID: int64(lsn),
+			Row: value.Row{
+				value.NewInt(int64(lsn)), value.NewString("bench customer name"),
+				value.NewString("bench address"), value.NewInt(7),
+				value.NewString("20-123"), value.NewFloat(1234.56),
+				value.NewString("machinery"), value.NewString("group commit bench"),
+			},
+		}},
+	}
+}
+
+func runWALBench(outPath string) error {
+	var rep WALBenchReport
+	for _, dev := range []struct {
+		latency time.Duration
+		commits int
+	}{
+		{0, 2000},                   // raw host fsync
+		{2 * time.Millisecond, 600}, // modeled networked block device
+	} {
+		for _, committers := range []int{1, 4, 16, 32} {
+			pt, err := benchGroupCommit(committers, dev.commits, dev.latency)
+			if err != nil {
+				return fmt.Errorf("group commit (%d committers): %w", committers, err)
+			}
+			rep.GroupCommit = append(rep.GroupCommit, pt)
+			fmt.Printf("group-commit fsync=%.1fms %2d committers: %8.0f commits/s, %5d fsyncs (mean batch %.1f, max %d)\n",
+				pt.FsyncLatencyMS, pt.Committers, pt.CommitsPerSec, pt.Fsyncs, pt.MeanBatch, pt.MaxBatch)
+		}
+	}
+	for _, records := range []int{1_000, 10_000, 50_000} {
+		pt, err := benchRecovery(records)
+		if err != nil {
+			return fmt.Errorf("recovery (%d records): %w", records, err)
+		}
+		rep.Recovery = append(rep.Recovery, pt)
+		fmt.Printf("recovery %6d records: open %.1fms, replay %.1fms (%.0f rec/s), ckpt write %.1fms / load %.1fms\n",
+			pt.Records, pt.OpenMS, pt.ReplayMS, pt.RecordsPerSec, pt.CkptWriteMS, pt.CkptLoadMS)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}
+
+// benchGroupCommit runs totalCommits durable commits from n concurrent
+// committers sharing a single-writer lock — the same shape as the
+// system's write path — and reports throughput and fsync amortization.
+func benchGroupCommit(n, totalCommits int, syncLatency time.Duration) (GroupCommitPoint, error) {
+	dir, err := os.MkdirTemp("", "walbench-*")
+	if err != nil {
+		return GroupCommitPoint{}, err
+	}
+	defer os.RemoveAll(dir)
+	w, err := wal.Open(wal.Options{Dir: dir, SimulatedSyncLatency: syncLatency})
+	if err != nil {
+		return GroupCommitPoint{}, err
+	}
+	defer w.Close()
+
+	var (
+		mu   sync.Mutex
+		next uint64
+		wg   sync.WaitGroup
+		errs = make(chan error, n)
+	)
+	per := totalCommits / n
+	start := time.Now()
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				mu.Lock()
+				next++
+				lsn := next
+				err := w.Append(wal.Record{LSN: lsn, Kind: wal.KindMutation,
+					Body: wal.EncodeMutation(benchMutation(lsn))})
+				mu.Unlock()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := w.WaitDurable(lsn); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return GroupCommitPoint{}, err
+	default:
+	}
+	st := w.Stats()
+	commits := n * per
+	pt := GroupCommitPoint{
+		FsyncLatencyMS: float64(syncLatency.Microseconds()) / 1e3,
+		Committers:     n,
+		Commits:        commits,
+		ElapsedMS:      float64(elapsed.Microseconds()) / 1e3,
+		CommitsPerSec:  float64(commits) / elapsed.Seconds(),
+		Fsyncs:         st.Syncs,
+		MaxBatch:       st.MaxGroupCommit,
+	}
+	if st.Syncs > 0 {
+		pt.MeanBatch = float64(st.Appends) / float64(st.Syncs)
+	}
+	return pt, nil
+}
+
+// benchRecovery writes a log of n mutation records, then measures the two
+// recovery phases (Open's full validation scan, Replay's decode pass) and
+// the checkpoint write/load path for a state of the same cardinality.
+func benchRecovery(n int) (RecoveryPoint, error) {
+	dir, err := os.MkdirTemp("", "walbench-*")
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	defer os.RemoveAll(dir)
+	w, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	for lsn := uint64(1); lsn <= uint64(n); lsn++ {
+		if err := w.Append(wal.Record{LSN: lsn, Kind: wal.KindMutation,
+			Body: wal.EncodeMutation(benchMutation(lsn))}); err != nil {
+			return RecoveryPoint{}, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return RecoveryPoint{}, err
+	}
+
+	openStart := time.Now()
+	w2, err := wal.Open(wal.Options{Dir: dir})
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	openMS := float64(time.Since(openStart).Microseconds()) / 1e3
+	replayStart := time.Now()
+	decoded := 0
+	err = w2.Replay(1, func(rec wal.Record) error {
+		mut, err := wal.DecodeMutation(rec.LSN, rec.Body)
+		if err != nil {
+			return err
+		}
+		decoded += len(mut.Inserts)
+		return nil
+	})
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	replayDur := time.Since(replayStart)
+	w2.Close()
+	if decoded != n {
+		return RecoveryPoint{}, fmt.Errorf("decoded %d of %d records", decoded, n)
+	}
+
+	// checkpoint path at the same cardinality
+	snap := rowstore.HeapSnapshot{
+		Rows:     make([]value.Row, n),
+		Versions: make([]rowstore.VersionMeta, n),
+	}
+	for i := 0; i < n; i++ {
+		snap.Rows[i] = benchMutation(uint64(i + 1)).Inserts[0].Row
+		snap.Versions[i] = rowstore.VersionMeta{InsertLSN: uint64(i + 1)}
+	}
+	ck := &recovery.Checkpoint{LSN: uint64(n), Tables: map[string]rowstore.HeapSnapshot{"customer": snap}}
+	ckStart := time.Now()
+	path, err := recovery.Write(dir, ck)
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	ckWriteMS := float64(time.Since(ckStart).Microseconds()) / 1e3
+	loadStart := time.Now()
+	if _, err := recovery.Load(path); err != nil {
+		return RecoveryPoint{}, err
+	}
+	ckLoadMS := float64(time.Since(loadStart).Microseconds()) / 1e3
+
+	return RecoveryPoint{
+		Records:       n,
+		OpenMS:        openMS,
+		ReplayMS:      float64(replayDur.Microseconds()) / 1e3,
+		RecordsPerSec: float64(n) / replayDur.Seconds(),
+		CkptWriteMS:   ckWriteMS,
+		CkptLoadMS:    ckLoadMS,
+	}, nil
+}

@@ -1,0 +1,71 @@
+package colstore
+
+import (
+	"fmt"
+	"strings"
+
+	"htapxplain/internal/catalog"
+	"htapxplain/internal/value"
+)
+
+// HeapSnapshot mirrors the row store's recovered version heap for the
+// column store's recovery constructor: the full heap (live and tombstoned
+// slots, indexable by RID) plus the parallel tombstone flags.
+type HeapSnapshot struct {
+	Rows []value.Row
+	Dead []bool
+}
+
+// NewStoreFromHeap rebuilds the replication secondary from the recovered
+// row-store heap: base columns are laid out over the *full* heap so the
+// identity RID mapping (position == RID) that the replication protocol
+// assumes still holds, and tombstoned slots are seeded into the
+// copy-on-write delete set that scans already filter. Zone maps cover dead
+// slots too — they can only widen a chunk's range, which keeps pruning
+// conservative and correct. watermark seats the replication watermark at
+// the recovered commit point, so the freshness gauge does not report a
+// phantom lag after restart; WAL tail replay continues through Apply.
+func NewStoreFromHeap(cat *catalog.Catalog, heaps map[string]HeapSnapshot, watermark uint64) (*Store, error) {
+	s := &Store{tables: make(map[string]*Table, len(heaps))}
+	s.repl.init()
+	for _, meta := range cat.Tables() {
+		snap, ok := heaps[strings.ToLower(meta.Name)]
+		if !ok {
+			return nil, fmt.Errorf("colstore: recovered heap has no table %q", meta.Name)
+		}
+		if len(snap.Dead) != len(snap.Rows) {
+			return nil, fmt.Errorf("colstore: recovered table %q has %d rows but %d tombstone flags",
+				meta.Name, len(snap.Rows), len(snap.Dead))
+		}
+		for ri, r := range snap.Rows {
+			if len(r) != len(meta.Columns) {
+				return nil, fmt.Errorf("colstore: recovered table %q row %d has %d columns, want %d",
+					meta.Name, ri, len(r), len(meta.Columns))
+			}
+		}
+		t := &Table{Meta: meta, numRows: len(snap.Rows)}
+		for ci := range meta.Columns {
+			col := &Column{
+				Name: strings.ToLower(meta.Columns[ci].Name),
+				vals: make([]value.Value, len(snap.Rows)),
+			}
+			for ri, r := range snap.Rows {
+				col.vals[ri] = r[ci]
+			}
+			col.buildZoneMaps()
+			t.columns = append(t.columns, col)
+		}
+		for pos, dead := range snap.Dead {
+			if !dead {
+				continue
+			}
+			if t.baseDead == nil {
+				t.baseDead = make(map[int32]bool)
+			}
+			t.baseDead[int32(pos)] = true
+		}
+		s.tables[strings.ToLower(meta.Name)] = t
+	}
+	s.repl.watermark.Store(watermark)
+	return s, nil
+}

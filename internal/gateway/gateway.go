@@ -142,13 +142,14 @@ type request struct {
 
 // Gateway serves queries against one htap.System.
 type Gateway struct {
-	sys     *htap.System
-	cfg     Config
-	cache   *PlanCache
-	metrics Metrics
-	queue   chan *request
-	stop    chan struct{}
-	wg      sync.WaitGroup
+	sys      *htap.System
+	cfg      Config
+	cache    *PlanCache
+	metrics  Metrics
+	queue    chan *request
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
 }
 
 // New builds a gateway and starts its worker pool. Callers must Stop it.
@@ -182,10 +183,13 @@ func New(sys *htap.System, cfg Config) *Gateway {
 
 // Stop shuts the worker pool down and waits for in-flight queries to
 // finish. Queued-but-unstarted queries are abandoned; their Submit calls
-// return ErrStopped.
+// return ErrStopped. Idempotent — a signal handler and a deferred Stop may
+// both call it.
 func (g *Gateway) Stop() {
-	close(g.stop)
-	g.wg.Wait()
+	g.stopOnce.Do(func() {
+		close(g.stop)
+		g.wg.Wait()
+	})
 }
 
 // Submit enqueues the query and blocks until it is served. It returns
@@ -212,7 +216,8 @@ func (g *Gateway) Submit(sql string) (*Response, error) {
 
 // Metrics returns a point-in-time snapshot of the serving counters,
 // including the TP→AP freshness gauge (commit LSN vs replication
-// watermark) and the background merger's compaction counters.
+// watermark), the background merger's compaction counters, and the
+// durability subsystem's wal_*/checkpoint_* gauges.
 func (g *Gateway) Metrics() Snapshot {
 	s := g.metrics.Snapshot()
 	s.CommitLSN = g.sys.CommitLSN()
@@ -221,6 +226,19 @@ func (g *Gateway) Metrics() Snapshot {
 	ms := g.sys.Col.MergeStats()
 	s.Merges = ms.Merges
 	s.RowsMerged = ms.RowsMerged
+	if ds := g.sys.DurabilityStats(); ds.Enabled {
+		s.DurabilityOn = true
+		s.WALAppends = ds.WAL.Appends
+		s.WALBytes = ds.WAL.AppendedBytes
+		s.WALSyncs = ds.WAL.Syncs
+		s.WALMaxGroup = ds.WAL.MaxGroupCommit
+		s.WALSegments = ds.WAL.Segments
+		s.WALDurableLSN = ds.WAL.DurableLSN
+		s.Checkpoints = ds.Ckpt.Checkpoints
+		s.CheckpointLSN = ds.Ckpt.LastLSN
+		s.CheckpointMS = ds.Ckpt.LastDurationMS
+		s.CheckpointFree = ds.Ckpt.SegmentsFreed
+	}
 	return s
 }
 

@@ -135,6 +135,23 @@ type Snapshot struct {
 	Merges        int64  `json:"delta_merges"`
 	RowsMerged    int64  `json:"delta_rows_merged"`
 
+	// Durability gauges (all zero when the system runs without a data
+	// directory). WALDurableLSN lagging CommitLSN means commits are
+	// waiting on the group committer; WALSyncs vs WALAppends is the
+	// group-commit amortization ratio. Filled by Gateway.Metrics from the
+	// system's WAL and checkpoint manager.
+	DurabilityOn   bool   `json:"durability_enabled"`
+	WALAppends     int64  `json:"wal_appends"`
+	WALBytes       int64  `json:"wal_appended_bytes"`
+	WALSyncs       int64  `json:"wal_syncs"`
+	WALMaxGroup    int64  `json:"wal_max_group_commit"`
+	WALSegments    int    `json:"wal_segments"`
+	WALDurableLSN  uint64 `json:"wal_durable_lsn"`
+	Checkpoints    int64  `json:"checkpoint_count"`
+	CheckpointLSN  uint64 `json:"checkpoint_last_lsn"`
+	CheckpointMS   int64  `json:"checkpoint_last_ms"`
+	CheckpointFree int64  `json:"checkpoint_wal_segments_freed"`
+
 	ExecTP ExecSnapshot `json:"exec_tp"`
 	ExecAP ExecSnapshot `json:"exec_ap"`
 
@@ -212,6 +229,14 @@ func (s Snapshot) String() string {
 		fmt.Fprintf(&b, " writes=%d (%d/%d/%d ins/upd/del, %d rows) staleness=%d lsns merges=%d",
 			w, s.WritesInsert, s.WritesUpdate, s.WritesDelete, s.RowsWritten,
 			s.StalenessLSNs, s.Merges)
+	}
+	if s.DurabilityOn {
+		group := float64(0)
+		if s.WALSyncs > 0 {
+			group = float64(s.WALAppends) / float64(s.WALSyncs)
+		}
+		fmt.Fprintf(&b, " wal=%d appends/%d fsyncs (%.1f per fsync, max %d) durable_lsn=%d ckpts=%d@%d",
+			s.WALAppends, s.WALSyncs, group, s.WALMaxGroup, s.WALDurableLSN, s.Checkpoints, s.CheckpointLSN)
 	}
 	fmt.Fprintf(&b, " exec=TP(rows:%d,batches:%d),AP(rows:%d,skipped:%d,batches:%d)",
 		s.ExecTP.RowsScanned, s.ExecTP.BatchesProduced,

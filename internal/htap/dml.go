@@ -10,6 +10,7 @@ import (
 	"htapxplain/internal/rowstore"
 	"htapxplain/internal/sqlparser"
 	"htapxplain/internal/value"
+	"htapxplain/internal/wal"
 )
 
 // DMLResult is the outcome of one committed DML statement.
@@ -55,18 +56,54 @@ func (s *System) ExecStmt(stmt sqlparser.Statement) (*DMLResult, error) {
 }
 
 // commit applies fn (which produces the row-store mutation) under the
-// single-writer lock and enqueues the result for replication.
+// single-writer lock, logs it to the WAL, and enqueues the result for
+// replication. With durability on, commit returns only after the group
+// committer has fsynced the record — the wait happens *outside* the writer
+// lock, so while one committer waits on the disk, the next one is already
+// appending, and a single fsync acknowledges the whole batch. Replication
+// into the in-memory column store may run ahead of the fsync; that is
+// safe, because on a crash both stores are rebuilt from the same log.
 func (s *System) commit(fn func() (*repl.Mutation, error)) (*repl.Mutation, error) {
 	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
 	if s.closed {
+		s.writeMu.Unlock()
 		return nil, fmt.Errorf("htap: system closed")
+	}
+	if s.walErr != nil {
+		s.writeMu.Unlock()
+		return nil, fmt.Errorf("htap: write path halted by log failure: %w", s.walErr)
 	}
 	mut, err := fn()
 	if err != nil {
+		s.writeMu.Unlock()
 		return nil, err
 	}
+	if s.wal != nil {
+		rec := wal.Record{LSN: mut.LSN, Kind: wal.KindMutation, Body: wal.EncodeMutation(mut)}
+		if err := s.wal.Append(rec); err != nil {
+			// the heap already applied the mutation but the log did not
+			// record it: acknowledging (or accepting more writes) could
+			// lose it on restart, so poison the write path instead
+			s.walErr = err
+			s.writeMu.Unlock()
+			return nil, fmt.Errorf("htap: logging commit %d: %w", mut.LSN, err)
+		}
+	}
 	s.replCh <- mut
+	s.writeMu.Unlock()
+	if s.wal != nil {
+		if err := s.wal.WaitDurable(mut.LSN); err != nil {
+			// a failed fsync is sticky in the WAL; make it sticky here too,
+			// so retries cannot keep mutating state that will never be
+			// acknowledged durable (and would vanish on restart)
+			s.writeMu.Lock()
+			if s.walErr == nil {
+				s.walErr = err
+			}
+			s.writeMu.Unlock()
+			return nil, fmt.Errorf("htap: commit %d not durable: %w", mut.LSN, err)
+		}
+	}
 	return mut, nil
 }
 

@@ -1,0 +1,222 @@
+package htap
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"htapxplain/internal/catalog"
+	"htapxplain/internal/colstore"
+	"htapxplain/internal/recovery"
+	"htapxplain/internal/rowstore"
+	"htapxplain/internal/tpch"
+	"htapxplain/internal/wal"
+)
+
+// DurabilityConfig controls the WAL + checkpoint subsystem. The zero value
+// keeps the system volatile (the pre-durability behavior): no directory,
+// no logging, restarts lose all writes.
+type DurabilityConfig struct {
+	// Dir is the data directory; empty disables durability. The layout is
+	// Dir/wal/ for log segments and Dir/checkpoint/ for snapshots.
+	Dir string
+	// SyncInterval is the group-commit fsync window (default
+	// wal.DefaultSyncInterval).
+	SyncInterval time.Duration
+	// SyncBytes forces an fsync once this many bytes are buffered (default
+	// wal.DefaultSyncBytes).
+	SyncBytes int
+	// SegmentBytes is the WAL segment rotation threshold (default
+	// wal.DefaultSegmentBytes).
+	SegmentBytes int64
+	// CheckpointInterval is the background checkpoint period (default
+	// recovery.DefaultInterval).
+	CheckpointInterval time.Duration
+	// DisableCheckpointer keeps the periodic checkpointer off — crash
+	// tests use it so the WAL tail deterministically holds every commit.
+	DisableCheckpointer bool
+}
+
+// Enabled reports whether a data directory was configured.
+func (d DurabilityConfig) Enabled() bool { return d.Dir != "" }
+
+func (d DurabilityConfig) walDir() string  { return filepath.Join(d.Dir, "wal") }
+func (d DurabilityConfig) ckptDir() string { return filepath.Join(d.Dir, "checkpoint") }
+
+// RecoveryInfo reports what startup found on disk.
+type RecoveryInfo struct {
+	// Recovered is true when state was restored from a checkpoint (as
+	// opposed to a fresh bulk load).
+	Recovered bool
+	// CheckpointLSN is the commit LSN of the restored checkpoint.
+	CheckpointLSN uint64
+	// ReplayedMutations is the number of WAL records re-applied on top of
+	// the checkpoint.
+	ReplayedMutations int
+	// RecoveredLSN is the commit LSN after replay — the system's first
+	// serving LSN.
+	RecoveredLSN uint64
+	// CleanShutdown is true when the log ends with a shutdown marker at
+	// the recovered LSN (the previous process exited gracefully).
+	CleanShutdown bool
+	// TornBytesDropped is how many torn trailing WAL bytes were truncated
+	// (nonzero exactly when the previous process died mid-append).
+	TornBytesDropped int64
+}
+
+func (r RecoveryInfo) String() string {
+	if !r.Recovered {
+		return "fresh boot (no checkpoint on disk)"
+	}
+	mode := "crash recovery"
+	if r.CleanShutdown {
+		mode = "clean restart"
+	}
+	return fmt.Sprintf("%s: checkpoint LSN %d + %d WAL records -> LSN %d (%d torn bytes dropped)",
+		mode, r.CheckpointLSN, r.ReplayedMutations, r.RecoveredLSN, r.TornBytesDropped)
+}
+
+// DurabilityStats is the durability gauge set the gateway exports.
+type DurabilityStats struct {
+	Enabled bool
+	WAL     wal.Stats
+	Ckpt    recovery.Stats
+}
+
+// DurabilityStats snapshots the WAL and checkpoint counters (zero when the
+// system is volatile).
+func (s *System) DurabilityStats() DurabilityStats {
+	if s.wal == nil {
+		return DurabilityStats{}
+	}
+	out := DurabilityStats{Enabled: true, WAL: s.wal.Stats()}
+	if s.ckpt != nil {
+		out.Ckpt = s.ckpt.Stats()
+	}
+	return out
+}
+
+// Recovery reports what this system's startup found on disk.
+func (s *System) Recovery() RecoveryInfo { return s.recovery }
+
+// CheckpointSnapshot implements recovery.Source: it copies every table's
+// version heap under the single-writer lock, so the snapshot contains
+// exactly the effects of LSNs <= the returned checkpoint's LSN — the
+// consistency contract WAL-tail replay depends on.
+func (s *System) CheckpointSnapshot() *recovery.Checkpoint {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	ck := &recovery.Checkpoint{
+		LSN:    s.Row.CommitLSN(),
+		Tables: make(map[string]rowstore.HeapSnapshot),
+	}
+	for _, meta := range s.Cat.Tables() {
+		t, ok := s.Row.Table(meta.Name)
+		if !ok {
+			continue
+		}
+		ck.Tables[strings.ToLower(meta.Name)] = t.SnapshotHeap()
+	}
+	return ck
+}
+
+// Checkpoint forces a checkpoint now and returns its LSN (an error when
+// the system is volatile).
+func (s *System) Checkpoint() (uint64, error) {
+	if s.ckpt == nil {
+		return 0, fmt.Errorf("htap: durability is not enabled")
+	}
+	return s.ckpt.CheckpointNow()
+}
+
+// openDurable builds the storage engines from the data directory: restore
+// the latest checkpoint if one exists (else bulk-load fresh data), replay
+// the WAL tail through both stores, and leave the WAL positioned for
+// appends. It returns the stores seated at the recovered commit LSN with
+// the replication watermark equal to it (an AP read right after recovery
+// is fully fresh).
+func openDurable(cat *catalog.Catalog, data *tpch.Dataset, dcfg DurabilityConfig) (
+	row *rowstore.Store, col *colstore.Store, w *wal.WAL, info RecoveryInfo, err error) {
+	w, err = wal.Open(wal.Options{
+		Dir:          dcfg.walDir(),
+		SegmentBytes: dcfg.SegmentBytes,
+		SyncInterval: dcfg.SyncInterval,
+		SyncBytes:    dcfg.SyncBytes,
+	})
+	if err != nil {
+		return nil, nil, nil, info, err
+	}
+	fail := func(e error) (*rowstore.Store, *colstore.Store, *wal.WAL, RecoveryInfo, error) {
+		w.Close()
+		return nil, nil, nil, info, e
+	}
+	info.TornBytesDropped = w.Info().TruncatedBytes
+
+	ck, err := recovery.LoadLatest(dcfg.ckptDir())
+	if err != nil {
+		return fail(err)
+	}
+	if ck == nil {
+		// first boot (or every checkpoint destroyed): bulk-load, then
+		// replay any surviving log over the deterministic base
+		row, err = rowstore.NewStore(cat, data.Tables)
+		if err != nil {
+			return fail(fmt.Errorf("htap: loading row store: %w", err))
+		}
+		col, err = colstore.NewStore(cat, data.Tables)
+		if err != nil {
+			return fail(fmt.Errorf("htap: loading column store: %w", err))
+		}
+	} else {
+		info.Recovered = true
+		info.CheckpointLSN = ck.LSN
+		row, err = rowstore.NewStoreFromSnapshot(cat, ck.Tables, ck.LSN)
+		if err != nil {
+			return fail(fmt.Errorf("htap: restoring row store: %w", err))
+		}
+		colHeaps := make(map[string]colstore.HeapSnapshot, len(ck.Tables))
+		for name, snap := range ck.Tables {
+			dead := make([]bool, len(snap.Versions))
+			for i, vm := range snap.Versions {
+				dead[i] = vm.DeleteLSN != 0
+			}
+			colHeaps[name] = colstore.HeapSnapshot{Rows: snap.Rows, Dead: dead}
+		}
+		col, err = colstore.NewStoreFromHeap(cat, colHeaps, ck.LSN)
+		if err != nil {
+			return fail(fmt.Errorf("htap: restoring column store: %w", err))
+		}
+	}
+
+	// replay the WAL tail through both stores — the row store rebuilds the
+	// heap (validating logged RIDs against heap positions) and the column
+	// store rebuilds its delta layer, advancing the replication watermark
+	// to the recovered commit LSN
+	replayFrom := info.CheckpointLSN + 1
+	err = w.Replay(replayFrom, func(rec wal.Record) error {
+		if rec.Kind != wal.KindMutation {
+			return nil
+		}
+		mut, err := wal.DecodeMutation(rec.LSN, rec.Body)
+		if err != nil {
+			return fmt.Errorf("htap: decoding WAL record %d: %w", rec.LSN, err)
+		}
+		if err := row.Replay(mut); err != nil {
+			return err
+		}
+		if err := col.Apply(mut); err != nil {
+			return fmt.Errorf("htap: replaying LSN %d into column store: %w", mut.LSN, err)
+		}
+		info.ReplayedMutations++
+		return nil
+	})
+	if err != nil {
+		return fail(err)
+	}
+	info.RecoveredLSN = row.CommitLSN()
+	info.CleanShutdown = info.TornBytesDropped == 0 &&
+		w.Info().LastKind == wal.KindShutdown &&
+		w.Info().LastLSN == info.RecoveredLSN
+	return row, col, w, info, nil
+}

@@ -17,11 +17,13 @@ import (
 	"htapxplain/internal/latency"
 	"htapxplain/internal/optimizer"
 	"htapxplain/internal/plan"
+	"htapxplain/internal/recovery"
 	"htapxplain/internal/repl"
 	"htapxplain/internal/rowstore"
 	"htapxplain/internal/sqlparser"
 	"htapxplain/internal/tpch"
 	"htapxplain/internal/value"
+	"htapxplain/internal/wal"
 )
 
 // Example1SQL is the paper's demonstrative query (§VI-A, Example 1): a
@@ -60,6 +62,9 @@ type Config struct {
 	Data tpch.Config
 	// Repl controls TP→AP replication and background merging.
 	Repl ReplConfig
+	// Durability controls the WAL + checkpoint subsystem; the zero value
+	// keeps the system volatile. See Open for the durable entry point.
+	Durability DurabilityConfig
 }
 
 // DefaultConfig mirrors the paper's environment (100 GB modeled) with the
@@ -89,28 +94,56 @@ type System struct {
 	replErr   error // first replication-apply failure, if any
 	closed    bool
 	closeOnce sync.Once
+
+	// durability state (nil / zero when the system is volatile)
+	wal      *wal.WAL
+	ckpt     *recovery.Manager
+	recovery RecoveryInfo
+	walErr   error // sticky append failure; guarded by writeMu
 }
 
 // New builds the catalog, generates data, loads both storage engines,
 // wires the planners, and starts the replication pipeline (applier
-// goroutine + background delta merger). Callers that mutate the system
-// should Close it to stop the pipeline.
+// goroutine + background delta merger). When Config.Durability names a
+// data directory, storage state is instead recovered from the latest
+// checkpoint + WAL tail (see Open), every commit is logged and group-
+// committed before it is acknowledged, and a background checkpointer
+// bounds replay length. Callers that mutate the system should Close it to
+// stop the pipeline (and, when durable, flush the log and write the
+// clean-shutdown checkpoint).
 func New(cfg Config) (*System, error) {
 	if cfg.ModeledSF <= 0 {
 		return nil, fmt.Errorf("htap: ModeledSF must be positive, got %g", cfg.ModeledSF)
 	}
 	cat := catalog.TPCH(cfg.ModeledSF)
+	// Data is generated even when a checkpoint will supersede it: the
+	// generator is deterministic, so s.Data stays exactly the LSN-0 bulk
+	// base its consumers expect, and the no-checkpoint recovery fallback
+	// (checkpoints destroyed, WAL intact) needs it to replay onto.
 	data, err := tpch.Generate(cat, cfg.Data)
 	if err != nil {
 		return nil, fmt.Errorf("htap: generating data: %w", err)
 	}
-	row, err := rowstore.NewStore(cat, data.Tables)
-	if err != nil {
-		return nil, fmt.Errorf("htap: loading row store: %w", err)
-	}
-	col, err := colstore.NewStore(cat, data.Tables)
-	if err != nil {
-		return nil, fmt.Errorf("htap: loading column store: %w", err)
+	var (
+		row  *rowstore.Store
+		col  *colstore.Store
+		w    *wal.WAL
+		info RecoveryInfo
+	)
+	if cfg.Durability.Enabled() {
+		row, col, w, info, err = openDurable(cat, data, cfg.Durability)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		row, err = rowstore.NewStore(cat, data.Tables)
+		if err != nil {
+			return nil, fmt.Errorf("htap: loading row store: %w", err)
+		}
+		col, err = colstore.NewStore(cat, data.Tables)
+		if err != nil {
+			return nil, fmt.Errorf("htap: loading column store: %w", err)
+		}
 	}
 	depth := cfg.Repl.QueueDepth
 	if depth <= 0 {
@@ -121,12 +154,46 @@ func New(cfg Config) (*System, error) {
 		Planner:  optimizer.NewPlanner(cat, row, col),
 		replCh:   make(chan *repl.Mutation, depth),
 		replDone: make(chan struct{}),
+		wal:      w,
+		recovery: info,
 	}
 	go s.replicate()
 	if !cfg.Repl.DisableMerger {
 		col.StartMerger(cfg.Repl.MergeInterval, cfg.Repl.MergeThreshold)
 	}
+	if cfg.Durability.Enabled() {
+		s.ckpt = recovery.NewManager(cfg.Durability.ckptDir(), s, w)
+		if info.Recovered && info.CleanShutdown && info.ReplayedMutations == 0 {
+			// a clean restart restored a checkpoint at exactly the current
+			// LSN; rewriting an identical snapshot would be pure waste
+			s.ckpt.Prime(info.CheckpointLSN)
+		} else {
+			// a boot checkpoint pins the recovered (or freshly bulk-loaded)
+			// state on disk, so future recoveries replay only this run's
+			// tail and the surviving log prefix can be retired immediately
+			if _, err := s.ckpt.CheckpointNow(); err != nil {
+				s.Close()
+				return nil, fmt.Errorf("htap: boot checkpoint: %w", err)
+			}
+		}
+		if !cfg.Durability.DisableCheckpointer {
+			s.ckpt.Start(cfg.Durability.CheckpointInterval)
+		}
+	}
 	return s, nil
+}
+
+// Open is the durable entry point: it builds (or recovers) a system whose
+// storage lives under dir. On first boot the bulk-loaded base is
+// checkpointed there; on every later boot the latest checkpoint is
+// restored and the WAL tail replayed, so all committed writes survive
+// restarts and crashes. See System.Recovery for what startup found.
+func Open(dir string, cfg Config) (*System, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("htap: Open requires a data directory")
+	}
+	cfg.Durability.Dir = dir
+	return New(cfg)
 }
 
 // replicate is the replication applier: it drains the mutation channel in
@@ -158,16 +225,32 @@ func (s *System) ReplicationErr() error {
 }
 
 // Close stops the replication applier and the background merger, waiting
-// for queued mutations to drain. The system stays readable; further DML
-// fails.
+// for queued mutations to drain. A durable system then writes a final
+// checkpoint, appends the clean-shutdown marker and fsyncs the log, so
+// the next Open is a clean restart with an empty replay tail. The system
+// stays readable; further DML fails. Idempotent — double-close from tests
+// and signal handlers is safe.
 func (s *System) Close() {
 	s.closeOnce.Do(func() {
+		if s.ckpt != nil {
+			s.ckpt.Stop()
+		}
 		s.writeMu.Lock()
 		s.closed = true
 		close(s.replCh)
 		s.writeMu.Unlock()
 		<-s.replDone
 		s.Col.StopMerger()
+		if s.wal != nil {
+			// final checkpoint first (it appends its own marker), then the
+			// shutdown marker so the log's last record names a clean exit
+			if s.ckpt != nil {
+				_, _ = s.ckpt.CheckpointNow()
+			}
+			_ = s.wal.Append(wal.Record{LSN: s.CommitLSN(), Kind: wal.KindShutdown})
+			_ = s.wal.Sync()
+			_ = s.wal.Close()
+		}
 	})
 }
 

@@ -1,0 +1,180 @@
+package recovery
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"htapxplain/internal/wal"
+)
+
+// DefaultInterval is the default period between background checkpoints.
+const DefaultInterval = 30 * time.Second
+
+// Source produces consistent checkpoints of the running system. The
+// implementation (htap.System) must guarantee the snapshot contains
+// exactly the effects of LSNs <= Checkpoint.LSN — it takes the
+// single-writer lock while copying.
+type Source interface {
+	CheckpointSnapshot() *Checkpoint
+}
+
+// Stats is a snapshot of the manager's counters.
+type Stats struct {
+	Checkpoints    int64  `json:"checkpoint_count"`
+	LastLSN        uint64 `json:"checkpoint_last_lsn"`
+	LastDurationMS int64  `json:"checkpoint_last_ms"`
+	SegmentsFreed  int64  `json:"checkpoint_wal_segments_freed"`
+}
+
+// Manager writes periodic checkpoints and retires the WAL prefix each one
+// covers. It owns no storage state itself — it pulls snapshots from the
+// Source and pushes retention into the WAL.
+type Manager struct {
+	dir string
+	src Source
+	log *wal.WAL // may be nil (checkpoint-only operation)
+
+	mu      sync.Mutex
+	running bool
+	stop    chan struct{}
+	done    chan struct{}
+
+	checkpoints atomic.Int64
+	lastLSN     atomic.Uint64
+	lastMS      atomic.Int64
+	freed       atomic.Int64
+	lastErrMu   sync.Mutex
+	lastErr     error
+}
+
+// NewManager builds a manager writing checkpoints into dir. log may be nil
+// when there is no WAL to retire.
+func NewManager(dir string, src Source, log *wal.WAL) *Manager {
+	return &Manager{dir: dir, src: src, log: log}
+}
+
+// CheckpointNow takes a snapshot, persists it, prunes old checkpoints and
+// retires covered WAL segments. Safe to call concurrently with the
+// background loop (checkpoints serialize on the manager lock).
+func (m *Manager) CheckpointNow() (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	start := time.Now()
+	ck := m.src.CheckpointSnapshot()
+	if ck == nil {
+		return 0, fmt.Errorf("recovery: source returned no snapshot")
+	}
+	// make sure the WAL covers the snapshot before the old log prefix
+	// becomes eligible for retirement
+	if m.log != nil {
+		if err := m.log.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := Write(m.dir, ck); err != nil {
+		m.setErr(err)
+		return 0, err
+	}
+	if err := Prune(m.dir, KeepCheckpoints); err != nil {
+		m.setErr(err)
+		return 0, err
+	}
+	if m.log != nil {
+		// the marker makes the checkpoint visible in the log stream, and
+		// retirement drops segments recovery can no longer need
+		_ = m.log.Append(wal.Record{LSN: ck.LSN, Kind: wal.KindCheckpoint})
+		freed, err := m.log.TruncateBefore(ck.LSN)
+		if err != nil {
+			m.setErr(err)
+			return 0, err
+		}
+		m.freed.Add(int64(freed))
+	}
+	m.checkpoints.Add(1)
+	m.lastLSN.Store(ck.LSN)
+	m.lastMS.Store(time.Since(start).Milliseconds())
+	return ck.LSN, nil
+}
+
+// Prime records that a checkpoint at lsn already exists on disk, so a
+// clean restart (whose Close wrote a final checkpoint at exactly this
+// LSN) does not immediately rewrite an identical snapshot, and the
+// background loop's "anything committed since?" test starts from the
+// right place.
+func (m *Manager) Prime(lsn uint64) { m.lastLSN.Store(lsn) }
+
+func (m *Manager) setErr(err error) {
+	m.lastErrMu.Lock()
+	m.lastErr = err
+	m.lastErrMu.Unlock()
+}
+
+// Err returns the most recent background checkpoint failure, if any.
+func (m *Manager) Err() error {
+	m.lastErrMu.Lock()
+	defer m.lastErrMu.Unlock()
+	return m.lastErr
+}
+
+// Start launches the periodic checkpoint loop (<=0 uses DefaultInterval).
+func (m *Manager) Start(interval time.Duration) {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.running {
+		return
+	}
+	m.running = true
+	m.stop = make(chan struct{})
+	m.done = make(chan struct{})
+	go m.loop(interval, m.stop, m.done)
+}
+
+// Stop halts the periodic loop and waits for an in-flight checkpoint to
+// finish. CheckpointNow stays callable afterwards (Close uses it for the
+// final clean-shutdown checkpoint).
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	if !m.running {
+		m.mu.Unlock()
+		return
+	}
+	stop, done := m.stop, m.done
+	m.running = false
+	m.mu.Unlock()
+	close(stop)
+	<-done
+}
+
+func (m *Manager) loop(interval time.Duration, stop, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			lastLSN := m.lastLSN.Load()
+			// skip no-op checkpoints: nothing committed since the last one
+			if m.log != nil && m.log.LastLSN() <= lastLSN {
+				continue
+			}
+			_, _ = m.CheckpointNow() // failure is sticky in Err()
+		}
+	}
+}
+
+// Stats returns the manager's counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Checkpoints:    m.checkpoints.Load(),
+		LastLSN:        m.lastLSN.Load(),
+		LastDurationMS: m.lastMS.Load(),
+		SegmentsFreed:  m.freed.Load(),
+	}
+}

@@ -1,0 +1,426 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"htapxplain/internal/repl"
+	"htapxplain/internal/value"
+)
+
+// testMutation builds a deterministic mutation for LSN i.
+func testMutation(lsn uint64) *repl.Mutation {
+	return &repl.Mutation{
+		LSN:     lsn,
+		Table:   "customer",
+		Deletes: []int64{int64(lsn) * 3},
+		Inserts: []repl.RowVersion{{
+			RID: int64(lsn) * 7,
+			Row: value.Row{
+				value.NewInt(int64(lsn)),
+				value.NewString(fmt.Sprintf("row-%d", lsn)),
+				value.NewFloat(float64(lsn) / 3),
+				value.Null,
+				value.NewBool(lsn%2 == 0),
+			},
+		}},
+	}
+}
+
+func appendMutations(t *testing.T, w *WAL, from, to uint64) {
+	t.Helper()
+	for lsn := from; lsn <= to; lsn++ {
+		rec := Record{LSN: lsn, Kind: KindMutation, Body: EncodeMutation(testMutation(lsn))}
+		if err := w.Append(rec); err != nil {
+			t.Fatalf("Append(%d): %v", lsn, err)
+		}
+	}
+	if err := w.WaitDurable(to); err != nil {
+		t.Fatalf("WaitDurable(%d): %v", to, err)
+	}
+}
+
+func collect(t *testing.T, w *WAL, from uint64) []Record {
+	t.Helper()
+	var recs []Record
+	if err := w.Replay(from, func(r Record) error {
+		cp := r
+		cp.Body = append([]byte(nil), r.Body...)
+		recs = append(recs, cp)
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return recs
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendMutations(t, w, 1, 20)
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	w2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	info := w2.Info()
+	if info.LastLSN != 20 || info.Records != 20 || info.TruncatedBytes != 0 {
+		t.Fatalf("Info = %+v, want 20 records through LSN 20 with no truncation", info)
+	}
+	recs := collect(t, w2, 1)
+	if len(recs) != 20 {
+		t.Fatalf("replayed %d records, want 20", len(recs))
+	}
+	for i, rec := range recs {
+		want := testMutation(uint64(i + 1))
+		got, err := DecodeMutation(rec.LSN, rec.Body)
+		if err != nil {
+			t.Fatalf("DecodeMutation(%d): %v", rec.LSN, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("record %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	// replay from the middle
+	if n := len(collect(t, w2, 15)); n != 6 {
+		t.Fatalf("Replay(from=15) returned %d records, want 6", n)
+	}
+}
+
+func TestMutationCodecStrict(t *testing.T) {
+	m := testMutation(9)
+	body := EncodeMutation(m)
+	got, err := DecodeMutation(9, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, m)
+	}
+	if _, err := DecodeMutation(9, append(body, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	for cut := 0; cut < len(body); cut++ {
+		if _, err := DecodeMutation(9, body[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendMutations(t, w, 1, 10)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want 1 segment, got %d (%v)", len(segs), err)
+	}
+	path := segs[0].path
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// simulate a crash mid-append: cut the last record in half, then add
+	// garbage
+	if err := os.WriteFile(path, append(full[:len(full)-11], 0xde, 0xad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("Open after torn tail: %v", err)
+	}
+	info := w2.Info()
+	if info.LastLSN != 9 {
+		t.Fatalf("LastLSN = %d after torn tail, want 9", info.LastLSN)
+	}
+	if info.TruncatedBytes == 0 {
+		t.Fatal("expected torn bytes to be reported")
+	}
+	if n := len(collect(t, w2, 1)); n != 9 {
+		t.Fatalf("replayed %d records, want 9", n)
+	}
+	// the log must accept appends again at the recovered position
+	appendMutations(t, w2, 10, 12)
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w3, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	if n := len(collect(t, w3, 1)); n != 12 {
+		t.Fatalf("after repair + append: %d records, want 12", n)
+	}
+}
+
+func TestCorruptMiddleRecordTruncates(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendMutations(t, w, 1, 10)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(dir)
+	data, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40 // bit-flip mid-log
+	if err := os.WriteFile(segs[0].path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer w2.Close()
+	recs := collect(t, w2, 1)
+	if len(recs) >= 10 {
+		t.Fatalf("bit flip went undetected: %d records", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.LSN != uint64(i+1) {
+			t.Fatalf("surviving prefix is not contiguous: record %d has LSN %d", i, rec.LSN)
+		}
+		if _, err := DecodeMutation(rec.LSN, rec.Body); err != nil {
+			t.Fatalf("surviving record %d is corrupt: %v", i, err)
+		}
+	}
+}
+
+func TestCorruptNonFinalSegmentRefusesOpen(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, SegmentBytes: 256}) // force many segments
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendMutations(t, w, 1, 40)
+	if len(w.segments) < 3 {
+		t.Fatalf("want >= 3 segments, got %d", len(w.segments))
+	}
+	first := w.segments[0].path
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(first)
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(first, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir, SegmentBytes: 256}); err == nil {
+		t.Fatal("Open accepted a corrupt non-final segment")
+	}
+}
+
+func TestRotationAndRetention(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendMutations(t, w, 1, 60)
+	st := w.Stats()
+	if st.Rotations == 0 || st.Segments < 3 {
+		t.Fatalf("expected rotations with 512-byte segments, got %+v", st)
+	}
+	// a checkpoint at LSN 40 retires every segment fully below 41
+	removed, err := w.TruncateBefore(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("TruncateBefore removed nothing")
+	}
+	recs := collect(t, w, 41)
+	if len(recs) != 20 || recs[0].LSN != 41 {
+		t.Fatalf("post-retention replay: %d records starting at %d, want 20 from 41",
+			len(recs), recs[0].LSN)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// reopen after retention still works
+	w2, err := Open(Options{Dir: dir, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if got := w2.Info().LastLSN; got != 60 {
+		t.Fatalf("LastLSN after reopen = %d, want 60", got)
+	}
+}
+
+func TestGroupCommitOneFsyncPerBatch(t *testing.T) {
+	dir := t.TempDir()
+	// interval and byte threshold far out of reach: the only fsync trigger
+	// is the WaitDurable poke, so the batch accounting is deterministic
+	w, err := Open(Options{Dir: dir, SyncInterval: time.Hour, SyncBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	const n = 100
+	for lsn := uint64(1); lsn <= n; lsn++ {
+		rec := Record{LSN: lsn, Kind: KindMutation, Body: EncodeMutation(testMutation(lsn))}
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.WaitDurable(n); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.Syncs != 1 {
+		t.Fatalf("%d appends needed %d fsyncs, want exactly 1", st.Appends, st.Syncs)
+	}
+	if st.MaxGroupCommit != n {
+		t.Fatalf("MaxGroupCommit = %d, want %d", st.MaxGroupCommit, n)
+	}
+	if st.DurableLSN != n {
+		t.Fatalf("DurableLSN = %d, want %d", st.DurableLSN, n)
+	}
+}
+
+func TestConcurrentCommitters(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		committers = 8
+		perG       = 50
+	)
+	var (
+		mu   sync.Mutex // stands in for the system's single-writer lock
+		next uint64
+		wg   sync.WaitGroup
+	)
+	wg.Add(committers)
+	for g := 0; g < committers; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				mu.Lock()
+				next++
+				lsn := next
+				err := w.Append(Record{LSN: lsn, Kind: KindMutation,
+					Body: EncodeMutation(testMutation(lsn))})
+				mu.Unlock()
+				if err != nil {
+					t.Errorf("Append: %v", err)
+					return
+				}
+				if err := w.WaitDurable(lsn); err != nil {
+					t.Errorf("WaitDurable(%d): %v", lsn, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := w.Stats()
+	if st.Appends != committers*perG {
+		t.Fatalf("appends = %d, want %d", st.Appends, committers*perG)
+	}
+	if st.DurableLSN != committers*perG {
+		t.Fatalf("durable LSN = %d, want %d", st.DurableLSN, committers*perG)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if n := len(collect(t, w2, 1)); n != committers*perG {
+		t.Fatalf("replayed %d records, want %d", n, committers*perG)
+	}
+}
+
+func TestCloseIdempotentAndConcurrent(t *testing.T) {
+	w, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendMutations(t, w, 1, 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := w.Append(Record{LSN: 4, Kind: KindMutation}); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+}
+
+func TestMarkersRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendMutations(t, w, 1, 2)
+	if err := w.Append(Record{LSN: 2, Kind: KindShutdown}); err != nil {
+		t.Fatalf("shutdown marker: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	info := w2.Info()
+	if info.LastKind != KindShutdown || info.LastLSN != 2 {
+		t.Fatalf("Info = %+v, want shutdown marker at LSN 2", info)
+	}
+}
+
+func TestFrameEncodingStable(t *testing.T) {
+	// the on-disk format is a compatibility surface: pin the exact bytes of
+	// a tiny record so accidental format changes fail loudly
+	rec := Record{LSN: 0x0102030405060708, Kind: KindCheckpoint}
+	got := appendFrame(nil, rec)
+	want := []byte{
+		9, 0, 0, 0, // payload length
+		0x54, 0x02, 0xa5, 0xfc, // crc32c
+		2,                                              // kind
+		0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // lsn LE
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("frame bytes changed:\n got %x\nwant %x", got, want)
+	}
+}
