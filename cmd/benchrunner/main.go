@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	benchrunner              # all experiments
-//	benchrunner -e e1        # just Example 1 / Tables II-III
-//	benchrunner -e e3,e5,a2  # a subset
-//	benchrunner -wal-bench   # durability microbenchmarks -> BENCH_wal.json
+//	benchrunner                  # all experiments
+//	benchrunner -e e1            # just Example 1 / Tables II-III
+//	benchrunner -e e3,e5,a2      # a subset
+//	benchrunner -wal-bench       # durability microbenchmarks -> BENCH_wal.json
+//	benchrunner -parallel-bench  # morsel-parallelism microbenchmarks -> BENCH_parallel.json
 package main
 
 import (
@@ -24,11 +25,20 @@ func main() {
 	which := flag.String("e", "all", "comma-separated experiment ids (e1..e8, a1..a3) or 'all'")
 	walBench := flag.Bool("wal-bench", false, "run the durability microbenchmarks instead of the paper experiments")
 	walOut := flag.String("wal-out", "BENCH_wal.json", "wal-bench: output JSON path")
+	parBench := flag.Bool("parallel-bench", false, "run the morsel-parallelism microbenchmarks instead of the paper experiments")
+	parOut := flag.String("parallel-out", "BENCH_parallel.json", "parallel-bench: output JSON path")
 	flag.Parse()
 
 	if *walBench {
 		fmt.Println("durability microbenchmarks: group-commit throughput + recovery time ...")
 		if err := runWALBench(*walOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *parBench {
+		fmt.Println("morsel-parallelism microbenchmarks: scan/aggregate throughput at DOP 1/2/4/8 + pruning hit-rate ...")
+		if err := runParallelBench(*parOut); err != nil {
 			fatal(err)
 		}
 		return

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"htapxplain/internal/exec"
+	"htapxplain/internal/htap"
+	"htapxplain/internal/optimizer"
+	"htapxplain/internal/sqlparser"
+	"htapxplain/internal/tpch"
+)
+
+// The parallel benchmark (-parallel-bench) tracks the morsel-driven
+// execution trajectory: large-scan and scan+aggregate throughput at DOP
+// 1/2/4/8 over a 10x-scaled physical dataset, plus the zone-map pruning
+// hit-rate of a selective range scan on a sorted column. CI runs it once
+// per build and archives BENCH_parallel.json.
+
+// ParallelBenchReport is the JSON document written to -parallel-out.
+type ParallelBenchReport struct {
+	GOMAXPROCS int                  `json:"gomaxprocs"`
+	PhysRows   int                  `json:"lineitem_phys_rows"`
+	Scan       []ParallelBenchPoint `json:"scan"`
+	Aggregate  []ParallelBenchPoint `json:"aggregate"`
+	Pruning    PruningPoint         `json:"pruning"`
+}
+
+// ParallelBenchPoint is one (query shape, DOP) measurement.
+type ParallelBenchPoint struct {
+	DOP        int     `json:"dop"`
+	Runs       int     `json:"runs"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	SpeedupX   float64 `json:"speedup_vs_dop1"`
+}
+
+// PruningPoint reports zone-map effectiveness on the selective sorted-
+// column scan.
+type PruningPoint struct {
+	SQL           string  `json:"sql"`
+	ChunksPruned  int64   `json:"chunks_pruned"`
+	ChunksScanned int64   `json:"chunks_scanned"`
+	HitRate       float64 `json:"prune_hit_rate"`
+}
+
+// parallelBenchScale is 10x the default physical dataset — enough chunk
+// supply (~120k lineitem rows ≈ 118 chunks) for DOP 8 to have morsels to
+// spread.
+const parallelBenchScale = 0.02
+
+func runParallelBench(out string) error {
+	cfg := htap.Config{ModeledSF: 100,
+		Data: tpch.Config{PhysScale: parallelBenchScale, Seed: 42},
+		Repl: htap.ReplConfig{DisableMerger: true}}
+	sys, err := htap.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	ct, ok := sys.Col.Table("lineitem")
+	if !ok {
+		return fmt.Errorf("no lineitem column table")
+	}
+	rep := &ParallelBenchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), PhysRows: ct.NumRows()}
+
+	scanSQL := `SELECT l_orderkey, l_quantity, l_extendedprice FROM lineitem WHERE l_quantity > 10`
+	aggSQL := `SELECT l_shipmode, COUNT(*), SUM(l_extendedprice), AVG(l_quantity) FROM lineitem WHERE l_quantity > 5 GROUP BY l_shipmode`
+	dops := []int{1, 2, 4, 8}
+
+	measure := func(sql string) ([]ParallelBenchPoint, error) {
+		phys, err := planAPOf(sys, sql)
+		if err != nil {
+			return nil, err
+		}
+		var points []ParallelBenchPoint
+		var base float64
+		for _, dop := range dops {
+			elapsed, rows, runs, err := timeExecutions(phys, dop)
+			if err != nil {
+				return nil, err
+			}
+			p := ParallelBenchPoint{
+				DOP: dop, Runs: runs,
+				ElapsedMS:  1000 * elapsed.Seconds() / float64(runs),
+				RowsPerSec: float64(rows) / elapsed.Seconds(),
+			}
+			if dop == 1 {
+				base = p.RowsPerSec
+			}
+			if base > 0 {
+				p.SpeedupX = p.RowsPerSec / base
+			}
+			points = append(points, p)
+		}
+		return points, nil
+	}
+
+	fmt.Printf("  large scan (%d rows, GOMAXPROCS %d) ...\n", rep.PhysRows, rep.GOMAXPROCS)
+	if rep.Scan, err = measure(scanSQL); err != nil {
+		return err
+	}
+	fmt.Println("  scan + grouped aggregate ...")
+	if rep.Aggregate, err = measure(aggSQL); err != nil {
+		return err
+	}
+
+	// pruning hit-rate: tight range on the ascending l_orderkey
+	pruneSQL := `SELECT COUNT(*) FROM lineitem WHERE l_orderkey <= 100`
+	phys, err := planAPOf(sys, pruneSQL)
+	if err != nil {
+		return err
+	}
+	ctx := exec.NewContext()
+	if _, err := phys.Execute(ctx); err != nil {
+		return err
+	}
+	rep.Pruning = PruningPoint{
+		SQL:           pruneSQL,
+		ChunksPruned:  ctx.Stats.ChunksSkipped,
+		ChunksScanned: ctx.Stats.ChunksScanned,
+	}
+	if total := ctx.Stats.ChunksSkipped + ctx.Stats.ChunksScanned; total > 0 {
+		rep.Pruning.HitRate = float64(ctx.Stats.ChunksSkipped) / float64(total)
+	}
+
+	for _, p := range rep.Scan {
+		fmt.Printf("  scan   DOP %d: %8.0f rows/s (%.2fx)\n", p.DOP, p.RowsPerSec, p.SpeedupX)
+	}
+	for _, p := range rep.Aggregate {
+		fmt.Printf("  agg    DOP %d: %8.0f rows/s (%.2fx)\n", p.DOP, p.RowsPerSec, p.SpeedupX)
+	}
+	fmt.Printf("  pruning: %d/%d chunks skipped (%.0f%%)\n",
+		rep.Pruning.ChunksPruned, rep.Pruning.ChunksPruned+rep.Pruning.ChunksScanned,
+		100*rep.Pruning.HitRate)
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("wrote", out)
+	return nil
+}
+
+func planAPOf(sys *htap.System, sql string) (*optimizer.PhysPlan, error) {
+	sel, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Planner.PlanAP(sel)
+}
+
+// timeExecutions runs the plan repeatedly at the given DOP for a minimum
+// wall budget and returns total elapsed time, total rows scanned and run
+// count.
+func timeExecutions(phys *optimizer.PhysPlan, dop int) (time.Duration, int64, int, error) {
+	const minRuns, minWall = 3, 250 * time.Millisecond
+	var (
+		elapsed time.Duration
+		rows    int64
+		runs    int
+	)
+	for runs < minRuns || elapsed < minWall {
+		ctx := exec.NewContext()
+		ctx.DOP = dop
+		start := time.Now()
+		if _, err := phys.Execute(ctx); err != nil {
+			return 0, 0, 0, err
+		}
+		elapsed += time.Since(start)
+		rows += ctx.Stats.RowsScanned
+		runs++
+	}
+	return elapsed, rows, runs, nil
+}

@@ -1,0 +1,116 @@
+package colstore
+
+import (
+	"sync/atomic"
+)
+
+// A Morsel is one chunk-aligned unit of scan work: either a base chunk
+// (carrying its zone-map chunk index) or a window of the pinned delta.
+// Morsels alias the immutable snapshot they were cut from — the base
+// column vectors are never mutated after publication and the delta slice
+// is pinned by the Morsels source, so a worker may hold a morsel's data
+// for as long as the source is alive.
+type Morsel struct {
+	// Base distinguishes base-chunk morsels from delta windows.
+	Base bool
+	// Lo/Hi is the half-open row range: base positions for base morsels,
+	// delta indices for delta morsels.
+	Lo, Hi int
+	// Chunk is the zone-map chunk index of a base morsel (-1 for delta).
+	Chunk int
+}
+
+// Rows returns the number of rows the morsel spans.
+func (m Morsel) Rows() int { return m.Hi - m.Lo }
+
+// Morsels is a concurrent morsel source over one pinned view: a shared
+// atomic cursor over the base chunks followed by the delta windows. It is
+// the storage half of morsel-driven parallelism — every worker clone of a
+// columnar scan draws disjoint chunk-aligned ranges from the same source,
+// so the view (including its delta snapshot) is pinned exactly once per
+// query regardless of the degree of parallelism.
+//
+// Zone-map predicate pruning happens here, at dispatch: a base chunk whose
+// zone map falls entirely outside the pruner's range is skipped without
+// ever being handed to a worker, and the skip is counted — pruned chunks
+// are counted, not scanned.
+type Morsels struct {
+	// View is the pinned snapshot every morsel addresses. Immutable.
+	View View
+
+	pruner *RangePruner
+	zc     *Column // pruner column, resolved once
+	nBase  int     // base chunk count
+	nTotal int     // base chunks + delta windows
+	cursor atomic.Int64
+}
+
+// deltaWindow is the number of delta rows per morsel, aligned with the
+// base chunk size so execution batches stay uniformly sized.
+const deltaWindow = ChunkSize
+
+// NewMorsels pins a morsel source over the given view. pruner may be nil
+// (no zone-map pruning).
+func NewMorsels(v View, pruner *RangePruner) *Morsels {
+	m := &Morsels{View: v, pruner: pruner}
+	m.nBase = (v.NumRows + ChunkSize - 1) / ChunkSize
+	m.nTotal = m.nBase + (len(v.Delta)+deltaWindow-1)/deltaWindow
+	if pruner != nil {
+		m.zc = v.Cols[pruner.Col]
+	}
+	return m
+}
+
+// Next claims the next unpruned morsel. It is safe to call from any number
+// of goroutines concurrently; each chunk of the view is dispatched to
+// exactly one caller. The second return value is the number of base chunks
+// this call pruned via zone maps on the way to the returned morsel —
+// callers fold it into their work counters, so pruning is counted exactly
+// once across all workers without any shared bookkeeping beyond the
+// cursor itself. Pruned chunks are reported even when the source is
+// exhausted: the final false return may carry a non-zero count.
+func (m *Morsels) Next() (Morsel, int64, bool) {
+	var prunedNow int64
+	for {
+		i := int(m.cursor.Add(1)) - 1
+		if i >= m.nTotal {
+			return Morsel{}, prunedNow, false
+		}
+		if i >= m.nBase { // delta window
+			lo := (i - m.nBase) * deltaWindow
+			hi := lo + deltaWindow
+			if hi > len(m.View.Delta) {
+				hi = len(m.View.Delta)
+			}
+			return Morsel{Lo: lo, Hi: hi, Chunk: -1}, prunedNow, true
+		}
+		lo := i * ChunkSize
+		hi := lo + ChunkSize
+		if hi > m.View.NumRows {
+			hi = m.View.NumRows
+		}
+		if m.zc != nil {
+			mn, mx := m.zc.ChunkRange(i)
+			if (m.pruner.Lo != nil && mx.Compare(*m.pruner.Lo) < 0) ||
+				(m.pruner.Hi != nil && mn.Compare(*m.pruner.Hi) > 0) {
+				prunedNow++
+				continue
+			}
+		}
+		return Morsel{Base: true, Lo: lo, Hi: hi, Chunk: i}, prunedNow, true
+	}
+}
+
+// NumMorsels returns the total morsel supply (base chunks + delta
+// windows, before pruning) — what bounds how many workers can usefully
+// share the cursor.
+func (m *Morsels) NumMorsels() int { return m.nTotal }
+
+// NumChunks returns the number of zone-mapped base chunks a scan of the
+// table would cover — the physical cardinality fact the optimizer's
+// degree-of-parallelism choice is made from.
+func (t *Table) NumChunks() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return (t.numRows + ChunkSize - 1) / ChunkSize
+}

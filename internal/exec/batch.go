@@ -114,9 +114,21 @@ func Drain(op BatchOperator, ctx *Context) ([]value.Row, error) {
 	return drainOp(op.Clone(), ctx)
 }
 
-// drainOp runs Open/Next/Close on an already-private operator tree.
+// drainOp runs Open/Next/Close on an already-private operator tree. When
+// the query was granted a degree of parallelism and the tree is a
+// forkable per-morsel pipeline, the drain fans out over worker clones
+// sharing one morsel cursor and gathers their rows — this is the parallel
+// entry point for plain scan/filter/project(/limit) queries and for
+// blocking operators that materialize a child (sorts, nested-loop
+// inners).
 func drainOp(op BatchOperator, ctx *Context) ([]value.Row, error) {
+	if ctx.DOP > 1 {
+		if pipes, ok := forkPipeline(op, ctx.DOP); ok {
+			return drainForked(ctx, pipes)
+		}
+	}
 	if err := op.Open(ctx); err != nil {
+		_ = op.Close()
 		return nil, err
 	}
 	var out []value.Row

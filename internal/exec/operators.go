@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"htapxplain/internal/colstore"
 	"htapxplain/internal/rowstore"
@@ -38,9 +39,10 @@ type RowTableScan struct {
 	Binding string
 	out     Schema
 
-	rows []value.Row
-	pos  int
-	rw   rowWindow
+	rows   []value.Row
+	pos    int
+	rw     rowWindow
+	closed bool
 }
 
 // NewRowTableScan constructs a full-table scan.
@@ -55,6 +57,7 @@ func (s *RowTableScan) Clone() BatchOperator {
 }
 
 func (s *RowTableScan) Open(ctx *Context) error {
+	s.closed = false
 	s.rows = s.Table.Scan()
 	s.pos = 0
 	s.rw.init(len(s.out))
@@ -79,6 +82,10 @@ func (s *RowTableScan) Next(ctx *Context) (*Batch, error) {
 }
 
 func (s *RowTableScan) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
 	s.rows = nil
 	return nil
 }
@@ -98,6 +105,7 @@ type RowIndexScan struct {
 	pos     int
 	rowsBuf []value.Row
 	rw      rowWindow
+	closed  bool
 }
 
 // NewRowIndexScan constructs an index access path.
@@ -114,6 +122,7 @@ func (s *RowIndexScan) Clone() BatchOperator {
 }
 
 func (s *RowIndexScan) Open(ctx *Context) error {
+	s.closed = false
 	s.ids = s.ids[:0]
 	s.pos = 0
 	if s.Keys != nil {
@@ -153,6 +162,10 @@ func (s *RowIndexScan) Next(ctx *Context) (*Batch, error) {
 }
 
 func (s *RowIndexScan) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
 	s.rowsBuf, s.heap = nil, nil
 	return nil
 }
@@ -175,6 +188,7 @@ type RowIndexOrderScan struct {
 	matched int
 	rowsBuf []value.Row
 	rw      rowWindow
+	closed  bool
 }
 
 // NewRowIndexOrderScan constructs an index-order scan.
@@ -191,6 +205,7 @@ func (s *RowIndexOrderScan) Clone() BatchOperator {
 }
 
 func (s *RowIndexOrderScan) Open(ctx *Context) error {
+	s.closed = false
 	if s.Desc {
 		s.ids = s.Index.Descending()
 	} else {
@@ -235,19 +250,30 @@ func (s *RowIndexOrderScan) Next(ctx *Context) (*Batch, error) {
 }
 
 func (s *RowIndexOrderScan) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
 	s.ids, s.rowsBuf, s.heap = nil, nil, nil
 	return nil
 }
 
 // ColTableScan is a columnar scan reading only the referenced columns, with
 // optional predicate and zone-map pruning. It is the engine's native batch
-// source: each non-pruned chunk becomes one batch whose vectors alias the
-// stored chunk directly — zero per-row materialization; the predicate only
-// narrows the selection vector. Open pins a replication view of the table,
-// so the scan unions the immutable base chunks (filtering rows deleted
+// source and its native ParallelSource: scan work is drawn morsel-at-a-time
+// from a colstore.Morsels cursor — a private one over a freshly pinned view
+// in serial execution, or a shared one (built by ForkShared) that spreads
+// disjoint chunk-aligned morsels across worker clones. Zone-map pruning
+// lives inside the morsel cursor, so skipped chunks are counted at dispatch
+// and never reach the scan. Each non-pruned base morsel becomes one batch
+// whose vectors alias the stored chunk directly — zero per-row
+// materialization; the predicate only narrows the selection vector. The
+// pinned view unions the immutable base chunks (filtering rows deleted
 // since the last merge through the selection vector) with the replicated
 // delta rows, which are batched through a private projection slab — AP
-// reads are fresh up to the column store's replication watermark.
+// reads are fresh up to the column store's replication watermark, and the
+// delta snapshot is pinned exactly once per query however many workers
+// share the cursor.
 type ColTableScan struct {
 	Table   *colstore.Table
 	Binding string
@@ -256,13 +282,17 @@ type ColTableScan struct {
 	Pruner  *colstore.RangePruner
 	out     Schema
 
+	// shared, when set (by ForkShared), is the cross-worker morsel cursor
+	// this clone draws from instead of pinning its own view.
+	shared *colstore.Morsels
+
+	src       *colstore.Morsels
 	view      colstore.View
-	chunk     int
-	deltaPos  int
 	batch     Batch
 	selBuf    []int32
 	scratch   value.Row
 	deltaSlab []value.Value
+	closed    bool
 }
 
 // NewColTableScan constructs a columnar scan over the given column subset.
@@ -283,10 +313,38 @@ func (s *ColTableScan) Clone() BatchOperator {
 		Pred: s.Pred, Pruner: s.Pruner, out: s.out}
 }
 
+// ForkShared pins one view of the table and returns scan clones that all
+// draw morsels from a single shared cursor — the ParallelSource contract.
+// The clone count is dop clamped to the morsel supply: workers beyond it
+// would only pay goroutine and Open overhead to receive nothing. Pruning
+// state and the delta snapshot live in the shared cursor; per-batch
+// buffers stay private to each clone.
+func (s *ColTableScan) ForkShared(dop int) []BatchOperator {
+	src := colstore.NewMorsels(s.Table.View(), s.Pruner)
+	if n := src.NumMorsels(); dop > n {
+		dop = n
+	}
+	if dop < 1 {
+		dop = 1
+	}
+	out := make([]BatchOperator, dop)
+	for i := range out {
+		c := s.Clone().(*ColTableScan)
+		c.shared = src
+		out[i] = c
+	}
+	return out
+}
+
 func (s *ColTableScan) Open(ctx *Context) error {
-	s.view = s.Table.View()
-	s.chunk = 0
-	s.deltaPos = 0
+	s.closed = false
+	if s.shared != nil {
+		s.src = s.shared
+		s.view = s.shared.View
+	} else {
+		s.view = s.Table.View()
+		s.src = colstore.NewMorsels(s.view, s.Pruner)
+	}
 	if s.batch.Cols == nil {
 		s.batch.Cols = make([][]value.Value, len(s.Cols))
 		s.scratch = make(value.Row, len(s.Cols))
@@ -295,126 +353,133 @@ func (s *ColTableScan) Open(ctx *Context) error {
 }
 
 func (s *ColTableScan) Next(ctx *Context) (*Batch, error) {
-	n := s.view.NumRows
 	// modeled bytes: column subset width only — the columnar advantage
 	perCol := s.Table.Meta.AvgRowBytes / int64(len(s.Table.Meta.Columns))
 	if perCol < 1 {
 		perCol = 1
 	}
 	for {
-		start := s.chunk * colstore.ChunkSize
-		if start >= n {
-			break
+		if ctx.Canceled() {
+			return nil, nil // early termination reads as exhaustion
 		}
-		end := start + colstore.ChunkSize
-		if end > n {
-			end = n
+		m, pruned, ok := s.src.Next()
+		ctx.Stats.ChunksSkipped += pruned
+		if !ok {
+			return nil, nil
 		}
-		k := s.chunk
-		s.chunk++
-		if s.Pruner != nil {
-			mn, mx := s.view.Cols[s.Pruner.Col].ChunkRange(k)
-			if (s.Pruner.Lo != nil && mx.Compare(*s.Pruner.Lo) < 0) ||
-				(s.Pruner.Hi != nil && mn.Compare(*s.Pruner.Hi) > 0) {
-				ctx.Stats.ChunksSkipped++
-				continue
-			}
+		ctx.Stats.MorselsDispatched++
+		var b *Batch
+		var err error
+		if m.Base {
+			ctx.Stats.ChunksScanned++
+			b, err = s.baseBatch(ctx, m, perCol)
+		} else {
+			b, err = s.deltaBatch(ctx, m, perCol)
 		}
-		rows := end - start
-		ctx.Stats.RowsScanned += int64(rows)
-		ctx.Stats.BytesScanned += int64(rows) * perCol * int64(len(s.Cols))
-		for j, c := range s.Cols {
-			s.batch.Cols[j] = s.view.Cols[c].Slice(start, end)
+		if err != nil {
+			return nil, err
 		}
-		s.batch.Len = rows
-		s.batch.Sel = nil
-		if s.Pred != nil || s.view.BaseDead != nil {
-			sel := s.selBuf[:0]
-			for i := 0; i < rows; i++ {
-				if s.view.BaseDead[int32(start+i)] {
-					continue
-				}
-				if s.Pred != nil {
-					s.batch.FillRow(i, s.scratch)
-					ok, err := Truthy(s.Pred, s.scratch)
-					if err != nil {
-						return nil, err
-					}
-					if !ok {
-						continue
-					}
-				}
-				sel = append(sel, int32(i))
-			}
-			s.selBuf = sel
-			if len(sel) == 0 {
-				continue
-			}
-			s.batch.Sel = sel
+		if b == nil {
+			continue // fully filtered morsel
 		}
 		ctx.Stats.BatchesProduced++
-		return &s.batch, nil
+		return b, nil
 	}
-	return s.nextDelta(ctx, perCol)
 }
 
-// nextDelta emits the replicated-but-unmerged delta rows after the base
-// chunks are exhausted: each batch projects the needed columns into a
-// reusable slab (delta rows are full table width, batches carry only the
-// scanned subset).
-func (s *ColTableScan) nextDelta(ctx *Context, perCol int64) (*Batch, error) {
-	width := len(s.Cols)
-	for s.deltaPos < len(s.view.Delta) {
-		end := s.deltaPos + BatchSize
-		if end > len(s.view.Delta) {
-			end = len(s.view.Delta)
-		}
-		rows := s.view.Delta[s.deltaPos:end]
-		s.deltaPos = end
-		nr := len(rows)
-		if cap(s.deltaSlab) < nr*width {
-			s.deltaSlab = make([]value.Value, nr*width)
-		}
-		for j, c := range s.Cols {
-			col := s.deltaSlab[j*nr : j*nr+nr : j*nr+nr]
-			for i, r := range rows {
-				col[i] = r[c]
-			}
-			s.batch.Cols[j] = col
-		}
-		s.batch.Len = nr
-		s.batch.Sel = nil
-		ctx.Stats.RowsScanned += int64(nr)
-		ctx.Stats.BytesScanned += int64(nr) * perCol * int64(width)
-		if s.Pred != nil {
-			sel := s.selBuf[:0]
-			for i := 0; i < nr; i++ {
-				s.batch.FillRow(i, s.scratch)
-				ok, err := Truthy(s.Pred, s.scratch)
-				if err != nil {
-					return nil, err
-				}
-				if ok {
-					sel = append(sel, int32(i))
-				}
-			}
-			s.selBuf = sel
-			if len(sel) == 0 {
-				continue
-			}
-			s.batch.Sel = sel
-		}
-		ctx.Stats.BatchesProduced++
+// baseBatch turns one base-chunk morsel into a batch aliasing the chunk's
+// immutable vectors, narrowing the selection vector by the predicate and
+// the deleted-positions set. Returns nil when no row survives.
+func (s *ColTableScan) baseBatch(ctx *Context, m colstore.Morsel, perCol int64) (*Batch, error) {
+	rows := m.Rows()
+	ctx.Stats.RowsScanned += int64(rows)
+	ctx.Stats.BytesScanned += int64(rows) * perCol * int64(len(s.Cols))
+	for j, c := range s.Cols {
+		s.batch.Cols[j] = s.view.Cols[c].Slice(m.Lo, m.Hi)
+	}
+	s.batch.Len = rows
+	s.batch.Sel = nil
+	if s.Pred == nil && s.view.BaseDead == nil {
 		return &s.batch, nil
 	}
-	return nil, nil
+	sel := s.selBuf[:0]
+	for i := 0; i < rows; i++ {
+		if s.view.BaseDead[int32(m.Lo+i)] {
+			continue
+		}
+		if s.Pred != nil {
+			s.batch.FillRow(i, s.scratch)
+			ok, err := Truthy(s.Pred, s.scratch)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		sel = append(sel, int32(i))
+	}
+	s.selBuf = sel
+	if len(sel) == 0 {
+		return nil, nil
+	}
+	s.batch.Sel = sel
+	return &s.batch, nil
+}
+
+// deltaBatch emits one window of the replicated-but-unmerged delta rows:
+// the batch projects the needed columns into a private reusable slab
+// (delta rows are full table width, batches carry only the scanned
+// subset). Returns nil when no row survives the predicate.
+func (s *ColTableScan) deltaBatch(ctx *Context, m colstore.Morsel, perCol int64) (*Batch, error) {
+	width := len(s.Cols)
+	rows := s.view.Delta[m.Lo:m.Hi]
+	nr := len(rows)
+	if cap(s.deltaSlab) < nr*width {
+		s.deltaSlab = make([]value.Value, nr*width)
+	}
+	for j, c := range s.Cols {
+		col := s.deltaSlab[j*nr : j*nr+nr : j*nr+nr]
+		for i, r := range rows {
+			col[i] = r[c]
+		}
+		s.batch.Cols[j] = col
+	}
+	s.batch.Len = nr
+	s.batch.Sel = nil
+	ctx.Stats.RowsScanned += int64(nr)
+	ctx.Stats.BytesScanned += int64(nr) * perCol * int64(width)
+	if s.Pred != nil {
+		sel := s.selBuf[:0]
+		for i := 0; i < nr; i++ {
+			s.batch.FillRow(i, s.scratch)
+			ok, err := Truthy(s.Pred, s.scratch)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				sel = append(sel, int32(i))
+			}
+		}
+		s.selBuf = sel
+		if len(sel) == 0 {
+			return nil, nil
+		}
+		s.batch.Sel = sel
+	}
+	return &s.batch, nil
 }
 
 func (s *ColTableScan) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
 	for j := range s.batch.Cols {
 		s.batch.Cols[j] = nil // drop storage aliases
 	}
 	s.view = colstore.View{}
+	s.src = nil
 	return nil
 }
 
@@ -428,6 +493,7 @@ type FilterOp struct {
 
 	scratch value.Row
 	selBuf  []int32
+	closed  bool
 }
 
 func (f *FilterOp) Schema() Schema { return f.Child.Schema() }
@@ -437,6 +503,7 @@ func (f *FilterOp) Clone() BatchOperator {
 }
 
 func (f *FilterOp) Open(ctx *Context) error {
+	f.closed = false
 	if f.scratch == nil {
 		f.scratch = make(value.Row, len(f.Schema()))
 	}
@@ -474,7 +541,13 @@ func (f *FilterOp) Next(ctx *Context) (*Batch, error) {
 	}
 }
 
-func (f *FilterOp) Close() error { return f.Child.Close() }
+func (f *FilterOp) Close() error {
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	return f.Child.Close()
+}
 
 // ProjectOp evaluates expressions into a new schema, producing dense output
 // vectors (one value per active input row).
@@ -486,6 +559,7 @@ type ProjectOp struct {
 	scratch value.Row
 	out     outBuffer
 	rowBuf  value.Row
+	closed  bool
 }
 
 func (p *ProjectOp) Schema() Schema { return p.Out }
@@ -495,6 +569,7 @@ func (p *ProjectOp) Clone() BatchOperator {
 }
 
 func (p *ProjectOp) Open(ctx *Context) error {
+	p.closed = false
 	if p.scratch == nil {
 		p.scratch = make(value.Row, len(p.Child.Schema()))
 		p.rowBuf = make(value.Row, len(p.Evals))
@@ -524,7 +599,13 @@ func (p *ProjectOp) Next(ctx *Context) (*Batch, error) {
 	return p.out.take(ctx), nil
 }
 
-func (p *ProjectOp) Close() error { return p.Child.Close() }
+func (p *ProjectOp) Close() error {
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	return p.Child.Close()
+}
 
 // ---------------------------------------------------------------- joins
 
@@ -540,6 +621,7 @@ type NestedLoopJoin struct {
 	innerRows []value.Row
 	combined  value.Row
 	outBuf    outBuffer
+	closed    bool
 }
 
 // NewNestedLoopJoin constructs the join; pred must be compiled against
@@ -557,6 +639,7 @@ func (j *NestedLoopJoin) Clone() BatchOperator {
 }
 
 func (j *NestedLoopJoin) Open(ctx *Context) error {
+	j.closed = false
 	// the tree is private by the time it executes (Drain/Runner clone it),
 	// so the inner child can be drained in place, keeping its buffers
 	rows, err := drainOp(j.Inner, ctx)
@@ -607,6 +690,10 @@ func (j *NestedLoopJoin) Next(ctx *Context) (*Batch, error) {
 }
 
 func (j *NestedLoopJoin) Close() error {
+	if j.closed {
+		return nil
+	}
+	j.closed = true
 	j.innerRows = nil
 	return j.Outer.Close()
 }
@@ -627,6 +714,7 @@ type IndexNLJoin struct {
 	innerHeap []value.Row
 	idsBuf    []int32
 	outBuf    outBuffer
+	closed    bool
 }
 
 // NewIndexNLJoin constructs an index nested-loop join.
@@ -647,6 +735,7 @@ func (j *IndexNLJoin) Clone() BatchOperator {
 }
 
 func (j *IndexNLJoin) Open(ctx *Context) error {
+	j.closed = false
 	if j.combined == nil {
 		j.combined = make(value.Row, len(j.out))
 	}
@@ -719,6 +808,10 @@ func (j *IndexNLJoin) Next(ctx *Context) (*Batch, error) {
 }
 
 func (j *IndexNLJoin) Close() error {
+	if j.closed {
+		return nil
+	}
+	j.closed = true
 	j.innerHeap = nil
 	return j.Outer.Close()
 }
@@ -736,6 +829,7 @@ type HashJoin struct {
 	combined value.Row
 	keyBuf   strings.Builder
 	outBuf   outBuffer
+	closed   bool
 }
 
 // NewHashJoin constructs a hash join.
@@ -752,6 +846,29 @@ func (j *HashJoin) Clone() BatchOperator {
 }
 
 func (j *HashJoin) Open(ctx *Context) error {
+	j.closed = false
+	if err := j.build(ctx); err != nil {
+		return err
+	}
+	if j.combined == nil {
+		j.combined = make(value.Row, len(j.out))
+	}
+	j.outBuf.init(len(j.out))
+	return j.Probe.Open(ctx)
+}
+
+// build constructs the hash table from the Build child. When the query
+// has a degree of parallelism and the build side is a forkable per-morsel
+// pipeline, the build is partitioned: each worker drains disjoint morsels
+// into a private hash table, and a merge stage folds the partitions into
+// the probe-side table (bucket order for duplicate keys is then
+// worker-arrival order — a multiset-equivalent reordering).
+func (j *HashJoin) build(ctx *Context) error {
+	if ctx.DOP > 1 {
+		if pipes, ok := forkPipeline(j.Build, ctx.DOP); ok {
+			return j.buildParallel(ctx, pipes)
+		}
+	}
 	buildRows, err := drainOp(j.Build, ctx)
 	if err != nil {
 		return err
@@ -762,11 +879,35 @@ func (j *HashJoin) Open(ctx *Context) error {
 		k := r.Key(j.BuildKeys)
 		j.ht[k] = append(j.ht[k], r)
 	}
-	if j.combined == nil {
-		j.combined = make(value.Row, len(j.out))
+	return nil
+}
+
+func (j *HashJoin) buildParallel(ctx *Context, pipes []BatchOperator) error {
+	parts := make([]map[string][]value.Row, len(pipes))
+	err := runForked(ctx, pipes, func(w int, wctx *Context, b *Batch) error {
+		ht := parts[w]
+		if ht == nil {
+			ht = make(map[string][]value.Row)
+			parts[w] = ht
+		}
+		for _, r := range b.AppendRows(nil) {
+			wctx.Stats.HashBuildRows++
+			k := r.Key(j.BuildKeys)
+			ht[k] = append(ht[k], r)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
-	j.outBuf.init(len(j.out))
-	return j.Probe.Open(ctx)
+	// merge stage: fold worker partitions into one probe-side table
+	j.ht = make(map[string][]value.Row)
+	for _, ht := range parts {
+		for k, rows := range ht {
+			j.ht[k] = append(j.ht[k], rows...)
+		}
+	}
+	return nil
 }
 
 func (j *HashJoin) Next(ctx *Context) (*Batch, error) {
@@ -815,6 +956,10 @@ func (j *HashJoin) Next(ctx *Context) (*Batch, error) {
 }
 
 func (j *HashJoin) Close() error {
+	if j.closed {
+		return nil
+	}
+	j.closed = true
 	j.ht = nil
 	return j.Probe.Close()
 }
@@ -838,7 +983,8 @@ type HashAggregate struct {
 	Aggs   []AggSpec
 	Out    Schema // group columns followed by aggregate columns
 
-	emit rowEmitter
+	emit   rowEmitter
+	closed bool
 }
 
 func (a *HashAggregate) Schema() Schema { return a.Out }
@@ -900,56 +1046,84 @@ func (a *HashAggregate) accumulate(st *aggState, row value.Row) error {
 	return nil
 }
 
-func (a *HashAggregate) Open(ctx *Context) error {
-	if err := a.Child.Open(ctx); err != nil {
-		return err
+// aggTable is one (per-worker or global) aggregation hash table with its
+// first-seen group order and the scratch row batches are folded through.
+type aggTable struct {
+	groups  map[string]*aggState
+	order   []string
+	scratch value.Row
+}
+
+func (a *HashAggregate) newTable() *aggTable {
+	return &aggTable{
+		groups:  make(map[string]*aggState),
+		scratch: make(value.Row, len(a.Child.Schema())),
 	}
-	groups := make(map[string]*aggState)
-	var order []string
-	scratch := make(value.Row, len(a.Child.Schema()))
-	for {
-		b, err := a.Child.Next(ctx)
-		if err != nil {
-			_ = a.Child.Close()
-			return err
-		}
-		if b == nil {
-			break
-		}
-		n := b.NumActive()
-		for i := 0; i < n; i++ {
-			b.FillRow(i, scratch)
-			g := make(value.Row, len(a.Groups))
-			for gi, ev := range a.Groups {
-				v, err := ev(scratch)
-				if err != nil {
-					_ = a.Child.Close()
-					return err
-				}
-				g[gi] = v
-			}
-			key := g.Key(intRange(len(g)))
-			st, ok := groups[key]
-			if !ok {
-				st = a.newState(g)
-				groups[key] = st
-				order = append(order, key)
-				ctx.Stats.GroupsCreated++
-			}
-			if err := a.accumulate(st, scratch); err != nil {
-				_ = a.Child.Close()
+}
+
+// foldBatch folds every active row of b into the table.
+func (a *HashAggregate) foldBatch(ctx *Context, t *aggTable, b *Batch) error {
+	n := b.NumActive()
+	for i := 0; i < n; i++ {
+		b.FillRow(i, t.scratch)
+		g := make(value.Row, len(a.Groups))
+		for gi, ev := range a.Groups {
+			v, err := ev(t.scratch)
+			if err != nil {
 				return err
 			}
+			g[gi] = v
+		}
+		key := g.Key(intRange(len(g)))
+		st, ok := t.groups[key]
+		if !ok {
+			st = a.newState(g)
+			t.groups[key] = st
+			t.order = append(t.order, key)
+			ctx.Stats.GroupsCreated++
+		}
+		if err := a.accumulate(st, t.scratch); err != nil {
+			return err
 		}
 	}
-	// global aggregate over empty input still yields one row
-	if len(a.Groups) == 0 && len(order) == 0 {
-		groups[""] = a.newState(nil)
-		order = append(order, "")
+	return nil
+}
+
+// mergeState folds a partial aggregation state into dst — the merge half
+// of partitioned parallel aggregation. COUNT/SUM/AVG merge additively
+// (AVG keeps sum and count separately), MIN/MAX combine, so every
+// supported aggregate decomposes exactly.
+func (a *HashAggregate) mergeState(dst, src *aggState) {
+	for i := range a.Aggs {
+		dst.counts[i] += src.counts[i]
+		dst.sums[i] += src.sums[i]
+		if !src.seen[i] {
+			continue
+		}
+		if !dst.seen[i] {
+			dst.mins[i], dst.maxs[i] = src.mins[i], src.maxs[i]
+			dst.seen[i] = true
+			continue
+		}
+		if src.mins[i].Compare(dst.mins[i]) < 0 {
+			dst.mins[i] = src.mins[i]
+		}
+		if src.maxs[i].Compare(dst.maxs[i]) > 0 {
+			dst.maxs[i] = src.maxs[i]
+		}
 	}
-	out := make([]value.Row, 0, len(order))
-	for _, key := range order {
-		st := groups[key]
+}
+
+// emitRows renders the final output rows from the (merged) table.
+func (a *HashAggregate) emitRows(t *aggTable) ([]value.Row, error) {
+	// global aggregate over empty input still yields one row
+	if len(a.Groups) == 0 && len(t.order) == 0 {
+		t.groups[""] = a.newState(nil)
+		t.order = append(t.order, "")
+	}
+	out := make([]value.Row, 0, len(t.order))
+	for _, key := range t.order {
+		st := t.groups[key]
 		row := make(value.Row, 0, len(a.Out))
 		row = append(row, st.group...)
 		for i, spec := range a.Aggs {
@@ -981,11 +1155,90 @@ func (a *HashAggregate) Open(ctx *Context) error {
 					row = append(row, st.maxs[i])
 				}
 			default:
-				_ = a.Child.Close()
-				return fmt.Errorf("exec: unsupported aggregate %v", spec.Func)
+				return nil, fmt.Errorf("exec: unsupported aggregate %v", spec.Func)
 			}
 		}
 		out = append(out, row)
+	}
+	return out, nil
+}
+
+func (a *HashAggregate) Open(ctx *Context) error {
+	a.closed = false
+	if ctx.DOP > 1 {
+		if pipes, ok := forkPipeline(a.Child, ctx.DOP); ok {
+			return a.openParallel(ctx, pipes)
+		}
+	}
+	if err := a.Child.Open(ctx); err != nil {
+		return err
+	}
+	t := a.newTable()
+	for {
+		b, err := a.Child.Next(ctx)
+		if err != nil {
+			_ = a.Child.Close()
+			return err
+		}
+		if b == nil {
+			break
+		}
+		if err := a.foldBatch(ctx, t, b); err != nil {
+			_ = a.Child.Close()
+			return err
+		}
+	}
+	out, err := a.emitRows(t)
+	if err != nil {
+		_ = a.Child.Close()
+		return err
+	}
+	a.emit.reset(out, len(a.Out))
+	return nil
+}
+
+// openParallel is the partitioned hash-aggregate: each worker folds its
+// share of morsels into a private hash table, a merge stage combines the
+// partial states, and the merged groups are emitted in sorted-key order
+// (worker arrival order is nondeterministic, so the merge sorts to keep
+// parallel output deterministic run-to-run).
+func (a *HashAggregate) openParallel(ctx *Context, pipes []BatchOperator) error {
+	parts := make([]*aggTable, len(pipes))
+	err := runForked(ctx, pipes, func(w int, wctx *Context, b *Batch) error {
+		if parts[w] == nil {
+			parts[w] = a.newTable()
+		}
+		return a.foldBatch(wctx, parts[w], b)
+	})
+	if err != nil {
+		return err
+	}
+	merged := a.newTable()
+	var partGroups int64
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		partGroups += int64(len(p.order))
+		for _, key := range p.order {
+			src := p.groups[key]
+			dst, ok := merged.groups[key]
+			if !ok {
+				merged.groups[key] = src
+				merged.order = append(merged.order, key)
+				continue
+			}
+			a.mergeState(dst, src)
+		}
+	}
+	// runForked folded each worker's per-partition group creations into
+	// ctx; rewrite the counter to the distinct merged count so the stat a
+	// query reports does not vary with the granted DOP
+	ctx.Stats.GroupsCreated += int64(len(merged.order)) - partGroups
+	sort.Strings(merged.order)
+	out, err := a.emitRows(merged)
+	if err != nil {
+		return err
 	}
 	a.emit.reset(out, len(a.Out))
 	return nil
@@ -996,6 +1249,10 @@ func (a *HashAggregate) Next(ctx *Context) (*Batch, error) {
 }
 
 func (a *HashAggregate) Close() error {
+	if a.closed {
+		return nil
+	}
+	a.closed = true
 	a.emit.reset(nil, len(a.Out))
 	return a.Child.Close()
 }
@@ -1044,7 +1301,8 @@ type SortOp struct {
 	Child Operator
 	Keys  []SortKey
 
-	emit rowEmitter
+	emit   rowEmitter
+	closed bool
 }
 
 func (s *SortOp) Schema() Schema { return s.Child.Schema() }
@@ -1054,6 +1312,7 @@ func (s *SortOp) Clone() BatchOperator {
 }
 
 func (s *SortOp) Open(ctx *Context) error {
+	s.closed = false
 	rows, err := drainOp(s.Child, ctx)
 	if err != nil {
 		return err
@@ -1079,8 +1338,12 @@ func (s *SortOp) Next(ctx *Context) (*Batch, error) {
 }
 
 func (s *SortOp) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
 	s.emit.reset(nil, len(s.Schema()))
-	return nil
+	return s.Child.Close()
 }
 
 // TopNOp keeps the first N+Offset rows in key order using a bounded
@@ -1092,7 +1355,8 @@ type TopNOp struct {
 	N      int64
 	Offset int64
 
-	emit rowEmitter
+	emit   rowEmitter
+	closed bool
 }
 
 func (t *TopNOp) Schema() Schema { return t.Child.Schema() }
@@ -1102,6 +1366,7 @@ func (t *TopNOp) Clone() BatchOperator {
 }
 
 func (t *TopNOp) Open(ctx *Context) error {
+	t.closed = false
 	if err := t.Child.Open(ctx); err != nil {
 		return err
 	}
@@ -1162,6 +1427,10 @@ func (t *TopNOp) Next(ctx *Context) (*Batch, error) {
 }
 
 func (t *TopNOp) Close() error {
+	if t.closed {
+		return nil
+	}
+	t.closed = true
 	t.emit.reset(nil, len(t.Schema()))
 	return t.Child.Close()
 }
@@ -1169,14 +1438,26 @@ func (t *TopNOp) Close() error {
 // LimitOp applies LIMIT/OFFSET without ordering by trimming selection
 // vectors; it stops pulling from its child as soon as the limit is
 // satisfied (early termination the materializing engine could not do).
+//
+// When a limit pipeline is forked for parallel execution (offset-free
+// only — see forkPipeline), every worker clone shares one atomic row
+// budget: each clone claims rows from the budget before emitting them,
+// and the clone that drains it cancels the fork's execution scope so
+// sibling workers stop fetching morsels — cross-worker early termination
+// via a shared atomic plus context cancellation.
 type LimitOp struct {
 	Child  Operator
 	N      int64
 	Offset int64
 
+	// budget, when set by forkPipeline, is the cross-worker shared
+	// remaining-row count.
+	budget *atomic.Int64
+
 	skipped int64
 	emitted int64
 	selBuf  []int32
+	closed  bool
 }
 
 func (l *LimitOp) Schema() Schema { return l.Child.Schema() }
@@ -1186,12 +1467,47 @@ func (l *LimitOp) Clone() BatchOperator {
 }
 
 func (l *LimitOp) Open(ctx *Context) error {
+	l.closed = false
 	l.skipped, l.emitted = 0, 0
 	return l.Child.Open(ctx)
 }
 
+// claim reserves up to n rows: from the shared cross-worker budget when
+// parallel, from the private emitted count otherwise. A zero grant with
+// a shared budget cancels the fork scope — the whole fork is done.
+func (l *LimitOp) claim(ctx *Context, n int) int {
+	if l.budget == nil {
+		if l.N < 0 {
+			return n
+		}
+		take := l.N - l.emitted
+		if take > int64(n) {
+			take = int64(n)
+		}
+		return int(take)
+	}
+	for {
+		rem := l.budget.Load()
+		if rem <= 0 {
+			ctx.Cancel()
+			return 0
+		}
+		take := int64(n)
+		if take > rem {
+			take = rem
+		}
+		if l.budget.CompareAndSwap(rem, rem-take) {
+			if rem == take {
+				// budget drained: stop sibling workers eagerly
+				ctx.Cancel()
+			}
+			return int(take)
+		}
+	}
+}
+
 func (l *LimitOp) Next(ctx *Context) (*Batch, error) {
-	if l.N >= 0 && l.emitted >= l.N {
+	if l.budget == nil && l.N >= 0 && l.emitted >= l.N {
 		return nil, nil
 	}
 	for {
@@ -1211,9 +1527,9 @@ func (l *LimitOp) Next(ctx *Context) (*Batch, error) {
 		if skip >= n {
 			continue
 		}
-		take := n - skip
-		if l.N >= 0 && int64(take) > l.N-l.emitted {
-			take = int(l.N - l.emitted)
+		take := l.claim(ctx, n-skip)
+		if take == 0 {
+			return nil, nil
 		}
 		l.emitted += int64(take)
 		if skip == 0 && take == n {
@@ -1231,4 +1547,10 @@ func (l *LimitOp) Next(ctx *Context) (*Batch, error) {
 	}
 }
 
-func (l *LimitOp) Close() error { return l.Child.Close() }
+func (l *LimitOp) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.Child.Close()
+}

@@ -1,0 +1,234 @@
+// Morsel-driven intra-query parallelism. A query granted a degree of
+// parallelism (Context.DOP > 1) does not change its physical plan: the
+// per-morsel part of a pipeline — filters, projections, offset-free
+// limits over a single ParallelSource leaf — is cloned once per worker,
+// every clone draws disjoint chunk-aligned morsels from one shared cursor
+// over one pinned snapshot, and a gather/merge stage recombines the
+// workers' results (concatenation for drains, partition merges for
+// hash aggregation and hash-join builds).
+//
+// The aliasing contract survives unchanged: morsels alias immutable base
+// chunks, the delta snapshot is pinned exactly once per query (inside the
+// shared cursor), and every worker clone owns its batch buffers — cached
+// plans clone per-worker operator state instead of sharing buffers.
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"htapxplain/internal/value"
+)
+
+// ParallelSource is a leaf operator whose scan can be split into
+// chunk-aligned morsels drawn from a shared cursor. ForkShared pins the
+// source's snapshot once and returns dop clones that all draw from it;
+// each clone is a full BatchOperator whose Open attaches to the shared
+// cursor instead of pinning a private one.
+type ParallelSource interface {
+	BatchOperator
+	ForkShared(dop int) []BatchOperator
+}
+
+// forkable reports whether op is a per-morsel pipeline: a chain of
+// operators that work row-at-a-time with no cross-morsel state
+// (FilterOp, ProjectOp, offset-free LimitOp) over a single
+// ParallelSource leaf. Blocking operators (aggregation, joins, sorts)
+// are not forkable themselves — they parallelize their forkable inputs
+// and merge.
+func forkable(op BatchOperator) bool {
+	switch x := op.(type) {
+	case *FilterOp:
+		return forkable(x.Child)
+	case *ProjectOp:
+		return forkable(x.Child)
+	case *LimitOp:
+		// offset needs a serial view of the stream; a bounded limit forks
+		// with a shared cross-worker budget
+		return x.Offset == 0 && x.N >= 0 && forkable(x.Child)
+	case ParallelSource:
+		return true
+	}
+	return false
+}
+
+// CanParallelize reports whether executing the tree with Context.DOP > 1
+// would actually fork workers anywhere. Forks only happen at specific
+// points — a drain of the root, or an Open-time forker (hash aggregate,
+// hash-join build, sort/nested-loop child drains) somewhere in the tree —
+// and Open cascades to every node, so any such interior fork point
+// counts. The optimizer uses this to avoid asking the gateway for
+// workers a plan can never use (a Top-N over a scan, for example, pulls
+// its child serially): reserving slots for them would starve concurrent
+// queries for no speedup.
+func CanParallelize(op BatchOperator) bool {
+	return forkable(op) || hasForkPoint(op)
+}
+
+// hasForkPoint walks the tree for an Open-time forker with a forkable
+// input. A forkable chain on its own does not count: an operator that
+// merely pulls it (Top-N, for instance) never forks it — only a drain or
+// a partitioned build/aggregate does.
+func hasForkPoint(op BatchOperator) bool {
+	switch x := op.(type) {
+	case *HashAggregate:
+		return forkable(x.Child) || hasForkPoint(x.Child)
+	case *HashJoin:
+		return forkable(x.Build) || hasForkPoint(x.Build) || hasForkPoint(x.Probe)
+	case *SortOp:
+		return forkable(x.Child) || hasForkPoint(x.Child) // Open drains the child
+	case *NestedLoopJoin:
+		return forkable(x.Inner) || hasForkPoint(x.Inner) || hasForkPoint(x.Outer)
+	case *FilterOp:
+		return hasForkPoint(x.Child)
+	case *ProjectOp:
+		return hasForkPoint(x.Child)
+	case *LimitOp:
+		return hasForkPoint(x.Child)
+	case *TopNOp:
+		// Top-N pulls its child serially — no fork at this node, but a
+		// forker deeper in the tree still forks at its own Open
+		return hasForkPoint(x.Child)
+	case *IndexNLJoin:
+		return hasForkPoint(x.Outer)
+	}
+	return false
+}
+
+// forkPipeline clones the per-morsel pipeline rooted at op dop times over
+// one shared morsel cursor. It returns (nil, false) when the pipeline is
+// not forkable or parallelism is not worth it — callers fall back to the
+// serial path. Limits in the pipeline share one atomic row budget across
+// all clones.
+func forkPipeline(op BatchOperator, dop int) ([]BatchOperator, bool) {
+	if dop <= 1 || !forkable(op) {
+		return nil, false
+	}
+	src := findSource(op)
+	// the source clamps to its morsel supply — fewer clones may come back
+	// than asked for, and a supply too small to share runs serial
+	leaves := src.ForkShared(dop)
+	if len(leaves) <= 1 {
+		return nil, false
+	}
+	var budget *atomic.Int64
+	out := make([]BatchOperator, len(leaves))
+	for i := range out {
+		out[i] = forkOne(op, leaves[i], &budget)
+	}
+	return out, true
+}
+
+// findSource returns the pipeline's ParallelSource leaf (the caller has
+// established forkability).
+func findSource(op BatchOperator) ParallelSource {
+	for {
+		switch x := op.(type) {
+		case *FilterOp:
+			op = x.Child
+		case *ProjectOp:
+			op = x.Child
+		case *LimitOp:
+			op = x.Child
+		default:
+			return op.(ParallelSource)
+		}
+	}
+}
+
+// forkOne builds one worker's private pipeline clone over the given
+// shared-cursor leaf. The first limit encountered lazily creates the
+// shared budget all clones reuse.
+func forkOne(op BatchOperator, leaf BatchOperator, budget **atomic.Int64) BatchOperator {
+	switch x := op.(type) {
+	case *FilterOp:
+		return &FilterOp{Child: forkOne(x.Child, leaf, budget), Pred: x.Pred}
+	case *ProjectOp:
+		return &ProjectOp{Child: forkOne(x.Child, leaf, budget), Evals: x.Evals, Out: x.Out}
+	case *LimitOp:
+		if *budget == nil {
+			b := &atomic.Int64{}
+			b.Store(x.N)
+			*budget = b
+		}
+		return &LimitOp{Child: forkOne(x.Child, leaf, budget), N: x.N, budget: *budget}
+	default:
+		return leaf
+	}
+}
+
+// runForked executes the forked worker pipelines to completion, invoking
+// consume for every batch on the worker's own goroutine — consume receives
+// the worker index and the worker's context, and must only touch
+// worker-indexed state (the batch is reused by the worker after consume
+// returns, so consume must copy what it keeps). Worker contexts share one
+// cancellation scope nested under ctx's: the first error (or a drained
+// limit budget) cancels the scope and the remaining workers stop at their
+// next morsel. Worker stats are merged into ctx after the barrier.
+func runForked(ctx *Context, pipes []BatchOperator, consume func(w int, wctx *Context, b *Batch) error) error {
+	wctxs := ctx.forkScope(len(pipes))
+	var (
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstEr error
+	)
+	fail := func(wctx *Context, err error) {
+		errOnce.Do(func() { firstEr = err })
+		wctx.Cancel() // stop the sibling workers
+	}
+	for i := range pipes {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p, wctx := pipes[w], wctxs[w]
+			if err := p.Open(wctx); err != nil {
+				_ = p.Close()
+				fail(wctx, err)
+				return
+			}
+			for {
+				b, err := p.Next(wctx)
+				if err != nil {
+					fail(wctx, err)
+					break
+				}
+				if b == nil {
+					break
+				}
+				if err := consume(w, wctx, b); err != nil {
+					fail(wctx, err)
+					break
+				}
+			}
+			if err := p.Close(); err != nil {
+				fail(wctx, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, w := range wctxs {
+		ctx.Stats.Add(w.Stats)
+	}
+	ctx.Stats.ParallelWorkers += int64(len(pipes))
+	return firstEr
+}
+
+// drainForked is the gather stage for materializing drains: every worker
+// appends its batches to a private row slice and the slices are
+// concatenated in worker order (a multiset-equivalent reordering of the
+// serial output).
+func drainForked(ctx *Context, pipes []BatchOperator) ([]value.Row, error) {
+	parts := make([][]value.Row, len(pipes))
+	err := runForked(ctx, pipes, func(w int, wctx *Context, b *Batch) error {
+		parts[w] = b.AppendRows(parts[w])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []value.Row
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}

@@ -11,6 +11,7 @@ package exec
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"htapxplain/internal/catalog"
 	"htapxplain/internal/sqlparser"
@@ -69,18 +70,21 @@ func TableSchema(meta *catalog.Table, binding string) Schema {
 // Stats accumulates engine work counters during execution. The latency
 // model translates them into modeled wall time.
 type Stats struct {
-	RowsScanned     int64 // heap/column rows visited by scans
-	BytesScanned    int64 // modeled bytes read from storage
-	IndexProbes     int64 // point lookups through an index
-	JoinComparisons int64 // nested-loop inner-row visits
-	HashBuildRows   int64
-	HashProbeRows   int64
-	RowsSorted      int64
-	RowsTopN        int64 // rows pushed through bounded Top-N selection
-	GroupsCreated   int64
-	OutputRows      int64
-	ChunksSkipped   int64 // zone-map chunk skips (AP only)
-	BatchesProduced int64 // batches emitted by operators in the vectorized pipeline
+	RowsScanned       int64 // heap/column rows visited by scans
+	BytesScanned      int64 // modeled bytes read from storage
+	IndexProbes       int64 // point lookups through an index
+	JoinComparisons   int64 // nested-loop inner-row visits
+	HashBuildRows     int64
+	HashProbeRows     int64
+	RowsSorted        int64
+	RowsTopN          int64 // rows pushed through bounded Top-N selection
+	GroupsCreated     int64
+	OutputRows        int64
+	ChunksSkipped     int64 // zone-map chunk skips (AP only)
+	ChunksScanned     int64 // base chunks actually dispatched to scans (AP only)
+	BatchesProduced   int64 // batches emitted by operators in the vectorized pipeline
+	MorselsDispatched int64 // chunk-aligned scan morsels handed to workers
+	ParallelWorkers   int64 // worker goroutines spawned by parallel operators (0 = fully serial)
 }
 
 // Add accumulates o into s.
@@ -96,13 +100,83 @@ func (s *Stats) Add(o Stats) {
 	s.GroupsCreated += o.GroupsCreated
 	s.OutputRows += o.OutputRows
 	s.ChunksSkipped += o.ChunksSkipped
+	s.ChunksScanned += o.ChunksScanned
 	s.BatchesProduced += o.BatchesProduced
+	s.MorselsDispatched += o.MorselsDispatched
+	s.ParallelWorkers += o.ParallelWorkers
 }
 
-// Context carries per-query execution state: the work counters.
+// Context carries per-query execution state: the work counters, the degree
+// of parallelism granted to the query, and a cancellation scope.
 type Context struct {
 	Stats Stats
+	// DOP is the number of workers this execution may spread morsel-driven
+	// pipelines across. 0 and 1 both mean serial execution; parallel
+	// operators fork min(DOP, morsel supply) workers at Open. The gateway
+	// sets it to the admission-granted worker count; direct callers
+	// (htap.Run, tests) leave it at the serial default.
+	DOP int
+
+	cancel *cancelScope
 }
 
-// NewContext returns a fresh execution context.
-func NewContext() *Context { return &Context{} }
+// cancelScope is a shared early-termination flag. Scopes nest: a forked
+// worker context observes its own scope and every ancestor's, so a limit
+// firing inside one parallel fork stops that fork's workers without
+// poisoning the rest of the query.
+type cancelScope struct {
+	done   atomic.Bool
+	parent *cancelScope
+}
+
+func (c *cancelScope) canceled() bool {
+	for s := c; s != nil; s = s.parent {
+		if s.done.Load() {
+			return true
+		}
+	}
+	return false
+}
+
+// NewContext returns a fresh execution context (serial by default). The
+// cancellation scope is allocated eagerly so Cancel and Canceled are safe
+// to call from different goroutines for every context built here or by a
+// fork.
+func NewContext() *Context { return &Context{cancel: &cancelScope{}} }
+
+// Canceled reports whether this execution scope has been asked to stop
+// early. Morsel loops poll it between morsels: a canceled scan reports
+// exhaustion, which is exactly the contract LIMIT early-termination needs.
+func (c *Context) Canceled() bool {
+	return c.cancel != nil && c.cancel.canceled()
+}
+
+// Cancel asks every context sharing this scope (this context and the
+// workers forked from it) to stop early. Cross-goroutine use requires a
+// context from NewContext (or a fork); on a bare &Context{} literal the
+// lazy fallback here is single-goroutine only.
+func (c *Context) Cancel() {
+	if c.cancel == nil {
+		c.cancel = &cancelScope{}
+	}
+	c.cancel.done.Store(true)
+}
+
+// forkScope derives a child cancellation scope for one parallel fork: the
+// returned contexts share a fresh cancel flag (so cross-worker limit
+// termination stays local to the fork) nested under the parent's (so
+// canceling the query still stops the workers — the parent scope is
+// materialized before it is captured, so a Cancel issued after the fork
+// is always visible to the workers). Each worker context has its own
+// Stats, merged back by the forking operator.
+func (c *Context) forkScope(n int) []*Context {
+	if c.cancel == nil {
+		c.cancel = &cancelScope{}
+	}
+	scope := &cancelScope{parent: c.cancel}
+	out := make([]*Context, n)
+	for i := range out {
+		out[i] = &Context{DOP: 1, cancel: scope}
+	}
+	return out
+}

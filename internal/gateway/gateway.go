@@ -147,9 +147,80 @@ type Gateway struct {
 	cache    *PlanCache
 	metrics  Metrics
 	queue    chan *request
+	slots    *workerSem
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
+}
+
+// workerSem is the DOP-aware admission ledger: a counting semaphore sized
+// to the worker pool that every execution worker is charged against. A
+// pool goroutine holds one slot for the query it serves; a query whose
+// plan asks for intra-query parallelism tries to acquire its extra
+// workers from the same ledger, so a DOP-4 query admits 4 workers against
+// the pool, not 1 — when parallel queries hold slots, pool goroutines
+// block acquiring theirs, the queue drains slower, and admission control
+// sheds honestly instead of oversubscribing the machine.
+type workerSem struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	free   int
+	closed bool
+}
+
+func newWorkerSem(n int) *workerSem {
+	s := &workerSem{free: n}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// acquire blocks until one slot is free and takes it. It returns false
+// once the semaphore is closed (gateway shutdown).
+func (s *workerSem) acquire() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.free < 1 && !s.closed {
+		s.cond.Wait()
+	}
+	if s.closed {
+		return false
+	}
+	s.free--
+	return true
+}
+
+// tryAcquire takes up to n slots without blocking and returns how many it
+// got — the degraded-DOP path: a parallel plan runs with whatever workers
+// the pool can spare right now, down to serial.
+func (s *workerSem) tryAcquire(n int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.free < 1 || n < 1 {
+		return 0
+	}
+	got := n
+	if got > s.free {
+		got = s.free
+	}
+	s.free -= got
+	return got
+}
+
+func (s *workerSem) release(n int) {
+	if n < 1 {
+		return
+	}
+	s.mu.Lock()
+	s.free += n
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+func (s *workerSem) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
 }
 
 // New builds a gateway and starts its worker pool. Callers must Stop it.
@@ -172,6 +243,7 @@ func New(sys *htap.System, cfg Config) *Gateway {
 		cfg:   cfg,
 		cache: NewPlanCache(cfg.CacheShards, cfg.CacheCapacity),
 		queue: make(chan *request, cfg.QueueDepth),
+		slots: newWorkerSem(cfg.Workers),
 		stop:  make(chan struct{}),
 	}
 	g.wg.Add(cfg.Workers)
@@ -188,6 +260,7 @@ func New(sys *htap.System, cfg Config) *Gateway {
 func (g *Gateway) Stop() {
 	g.stopOnce.Do(func() {
 		close(g.stop)
+		g.slots.close() // wake workers blocked on slot acquisition
 		g.wg.Wait()
 	})
 }
@@ -255,7 +328,14 @@ func (g *Gateway) worker() {
 		case <-g.stop:
 			return
 		case r := <-g.queue:
+			// charge this query's base worker against the DOP ledger; a
+			// false return means the gateway is stopping (the submitter is
+			// released by its own g.stop select)
+			if !g.slots.acquire() {
+				return
+			}
 			resp := g.Serve(r.sql)
+			g.slots.release(1)
 			resp.QueueWait = time.Since(r.enqueued) - resp.ServeTime
 			r.resp <- resp
 		}
@@ -393,9 +473,21 @@ func (g *Gateway) recordRoute(route plan.Engine, tpTime, apTime time.Duration) {
 func (g *Gateway) execute(resp *Response, phys *optimizer.PhysPlan, eng plan.Engine) {
 	resp.Engine = eng
 	ctx := exec.NewContext()
+	// DOP-aware admission: a plan that wants intra-query parallelism
+	// claims its extra workers from the same ledger the pool goroutines
+	// are charged against — never more than the pool can spare, degrading
+	// to serial under load so shedding stays honest.
+	if phys.DOP > 1 {
+		extra := g.slots.tryAcquire(phys.DOP - 1)
+		if extra > 0 {
+			defer g.slots.release(extra)
+		}
+		ctx.DOP = 1 + extra
+	}
 	// Execute draws a private operator-tree clone from the plan's runner
 	// pool, so a cached plan can run on many workers concurrently through
-	// the batch pipeline while reusing execution buffers across queries.
+	// the batch pipeline while reusing execution buffers across queries;
+	// with DOP > 1 the clone forks per-worker pipeline state at Open.
 	rows, err := phys.Execute(ctx)
 	if err != nil {
 		resp.Err = fmt.Errorf("gateway: %v execution: %w", eng, err)
@@ -403,6 +495,9 @@ func (g *Gateway) execute(resp *Response, phys *optimizer.PhysPlan, eng plan.Eng
 	}
 	resp.Rows = rows
 	resp.Stats = ctx.Stats
+	if ctx.Stats.ParallelWorkers > 0 {
+		g.metrics.parallelQueries.Add(1)
+	}
 	g.metrics.observeExec(eng, &ctx.Stats)
 }
 

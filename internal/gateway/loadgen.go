@@ -3,10 +3,13 @@ package gateway
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"htapxplain/internal/plan"
 	"htapxplain/internal/workload"
 )
 
@@ -39,6 +42,13 @@ type LoadConfig struct {
 	WriteFraction float64
 }
 
+// RouteLatency is the per-route serve-latency summary of a load run.
+type RouteLatency struct {
+	Count int64
+	P50   time.Duration
+	P99   time.Duration
+}
+
 // LoadReport summarizes one load-generation run.
 type LoadReport struct {
 	Issued     int64
@@ -48,14 +58,52 @@ type LoadReport struct {
 	Failed     int64
 	Elapsed    time.Duration
 	Throughput float64 // completed queries per second
-	Gateway    Snapshot
+	// PerRoute breaks serve latency down by where the query executed —
+	// "tp", "ap" or "dml" — so a DOP or admission change's effect on each
+	// class is observable directly from `htapserve -load`.
+	PerRoute map[string]RouteLatency
+	Gateway  Snapshot
 }
 
 // String renders the report for logs and CLI output.
 func (r LoadReport) String() string {
-	return fmt.Sprintf("issued=%d completed=%d (writes=%d) shed=%d failed=%d in %v (%.0f qps)\n  %v",
+	var b strings.Builder
+	fmt.Fprintf(&b, "issued=%d completed=%d (writes=%d) shed=%d failed=%d in %v (%.0f qps)",
 		r.Issued, r.Completed, r.Writes, r.Shed, r.Failed, r.Elapsed.Round(time.Millisecond),
-		r.Throughput, r.Gateway)
+		r.Throughput)
+	for _, route := range []string{"tp", "ap", "dml"} {
+		rl, ok := r.PerRoute[route]
+		if !ok || rl.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\n  %-3s n=%-5d p50=%-10v p99=%v", route, rl.Count,
+			rl.P50.Round(time.Microsecond), rl.P99.Round(time.Microsecond))
+	}
+	fmt.Fprintf(&b, "\n  %v", r.Gateway)
+	return b.String()
+}
+
+// routeOf classifies a served response for the per-route breakdown.
+func routeOf(resp *Response) string {
+	if resp.Kind != "select" {
+		return "dml"
+	}
+	if resp.Engine == plan.TP {
+		return "tp"
+	}
+	return "ap"
+}
+
+// latQuantile returns the q-th quantile of a sorted latency slice.
+func latQuantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }
 
 // RunLoad drives the gateway with the configured closed loop and returns
@@ -102,12 +150,24 @@ func RunLoad(g *Gateway, cfg LoadConfig) LoadReport {
 	}
 
 	var next, completed, writes, shed, failed atomic.Int64
+	var latMu sync.Mutex
+	routeLat := map[string][]time.Duration{}
 	start := time.Now()
 	var wg sync.WaitGroup
 	wg.Add(cfg.Clients)
 	for c := 0; c < cfg.Clients; c++ {
 		go func() {
 			defer wg.Done()
+			// client-local latency samples, merged once at exit so the hot
+			// loop never contends on the shared map
+			local := map[string][]time.Duration{}
+			defer func() {
+				latMu.Lock()
+				for route, ds := range local {
+					routeLat[route] = append(routeLat[route], ds...)
+				}
+				latMu.Unlock()
+			}()
 			for {
 				i := next.Add(1) - 1
 				if i >= int64(cfg.Queries) {
@@ -134,6 +194,8 @@ func RunLoad(g *Gateway, cfg LoadConfig) LoadReport {
 					if isWrite {
 						writes.Add(1)
 					}
+					route := routeOf(resp)
+					local[route] = append(local[route], resp.ServeTime)
 				}
 			}
 		}()
@@ -147,7 +209,16 @@ func RunLoad(g *Gateway, cfg LoadConfig) LoadReport {
 		Shed:      shed.Load(),
 		Failed:    failed.Load(),
 		Elapsed:   elapsed,
+		PerRoute:  map[string]RouteLatency{},
 		Gateway:   g.Metrics(),
+	}
+	for route, ds := range routeLat {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		rep.PerRoute[route] = RouteLatency{
+			Count: int64(len(ds)),
+			P50:   latQuantile(ds, 0.50),
+			P99:   latQuantile(ds, 0.99),
+		}
 	}
 	if elapsed > 0 {
 		rep.Throughput = float64(rep.Completed) / elapsed.Seconds()

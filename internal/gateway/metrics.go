@@ -38,6 +38,8 @@ type Metrics struct {
 	writesDelete atomic.Int64 // committed DELETE statements
 	rowsWritten  atomic.Int64 // rows affected across all committed DML
 
+	parallelQueries atomic.Int64 // queries that actually forked morsel workers
+
 	execTP execCounters // physical work done by queries routed to TP
 	execAP execCounters // ... and to AP
 
@@ -47,9 +49,12 @@ type Metrics struct {
 
 // execCounters aggregates the batch pipeline's work counters per route.
 type execCounters struct {
-	rowsScanned     atomic.Int64
-	chunksSkipped   atomic.Int64
-	batchesProduced atomic.Int64
+	rowsScanned       atomic.Int64
+	chunksSkipped     atomic.Int64
+	chunksScanned     atomic.Int64
+	batchesProduced   atomic.Int64
+	morselsDispatched atomic.Int64
+	parallelWorkers   atomic.Int64
 }
 
 // observeWrite folds one committed DML statement into the write counters.
@@ -74,22 +79,31 @@ func (m *Metrics) observeExec(eng plan.Engine, st *exec.Stats) {
 	}
 	ec.rowsScanned.Add(st.RowsScanned)
 	ec.chunksSkipped.Add(st.ChunksSkipped)
+	ec.chunksScanned.Add(st.ChunksScanned)
 	ec.batchesProduced.Add(st.BatchesProduced)
+	ec.morselsDispatched.Add(st.MorselsDispatched)
+	ec.parallelWorkers.Add(st.ParallelWorkers)
 }
 
 // ExecSnapshot is the exported per-route view of the execution work
 // counters.
 type ExecSnapshot struct {
-	RowsScanned     int64 `json:"rows_scanned"`
-	ChunksSkipped   int64 `json:"chunks_skipped"`
-	BatchesProduced int64 `json:"batches_produced"`
+	RowsScanned       int64 `json:"rows_scanned"`
+	ChunksSkipped     int64 `json:"chunks_skipped"`
+	ChunksScanned     int64 `json:"chunks_scanned"`
+	BatchesProduced   int64 `json:"batches_produced"`
+	MorselsDispatched int64 `json:"morsels_dispatched"`
+	ParallelWorkers   int64 `json:"parallel_workers"`
 }
 
 func (ec *execCounters) snapshot() ExecSnapshot {
 	return ExecSnapshot{
-		RowsScanned:     ec.rowsScanned.Load(),
-		ChunksSkipped:   ec.chunksSkipped.Load(),
-		BatchesProduced: ec.batchesProduced.Load(),
+		RowsScanned:       ec.rowsScanned.Load(),
+		ChunksSkipped:     ec.chunksSkipped.Load(),
+		ChunksScanned:     ec.chunksScanned.Load(),
+		BatchesProduced:   ec.batchesProduced.Load(),
+		MorselsDispatched: ec.morselsDispatched.Load(),
+		ParallelWorkers:   ec.parallelWorkers.Load(),
 	}
 }
 
@@ -152,6 +166,15 @@ type Snapshot struct {
 	CheckpointMS   int64  `json:"checkpoint_last_ms"`
 	CheckpointFree int64  `json:"checkpoint_wal_segments_freed"`
 
+	// Morsel-driven parallel execution gauges: how many queries actually
+	// forked workers, how many chunk-aligned morsels were dispatched, and
+	// the zone-map pruning effectiveness (chunks skipped at morsel
+	// dispatch vs chunks scanned), summed over both routes.
+	ParallelQueries   int64 `json:"exec_parallel_queries"`
+	MorselsDispatched int64 `json:"exec_morsels_dispatched"`
+	ZonemapPruned     int64 `json:"zonemap_chunks_pruned"`
+	ZonemapScanned    int64 `json:"zonemap_chunks_scanned"`
+
 	ExecTP ExecSnapshot `json:"exec_tp"`
 	ExecAP ExecSnapshot `json:"exec_ap"`
 
@@ -177,9 +200,13 @@ func (m *Metrics) Snapshot() Snapshot {
 		WritesUpdate:      m.writesUpdate.Load(),
 		WritesDelete:      m.writesDelete.Load(),
 		RowsWritten:       m.rowsWritten.Load(),
+		ParallelQueries:   m.parallelQueries.Load(),
 		ExecTP:            m.execTP.snapshot(),
 		ExecAP:            m.execAP.snapshot(),
 	}
+	s.MorselsDispatched = s.ExecTP.MorselsDispatched + s.ExecAP.MorselsDispatched
+	s.ZonemapPruned = s.ExecTP.ChunksSkipped + s.ExecAP.ChunksSkipped
+	s.ZonemapScanned = s.ExecTP.ChunksScanned + s.ExecAP.ChunksScanned
 	if lookups := s.CacheHits + s.CacheTemplateHits + s.CacheMisses; lookups > 0 {
 		s.CacheHitRate = float64(s.CacheHits+s.CacheTemplateHits) / float64(lookups)
 	}
@@ -238,9 +265,11 @@ func (s Snapshot) String() string {
 		fmt.Fprintf(&b, " wal=%d appends/%d fsyncs (%.1f per fsync, max %d) durable_lsn=%d ckpts=%d@%d",
 			s.WALAppends, s.WALSyncs, group, s.WALMaxGroup, s.WALDurableLSN, s.Checkpoints, s.CheckpointLSN)
 	}
-	fmt.Fprintf(&b, " exec=TP(rows:%d,batches:%d),AP(rows:%d,skipped:%d,batches:%d)",
+	fmt.Fprintf(&b, " exec=TP(rows:%d,batches:%d),AP(rows:%d,batches:%d)",
 		s.ExecTP.RowsScanned, s.ExecTP.BatchesProduced,
-		s.ExecAP.RowsScanned, s.ExecAP.ChunksSkipped, s.ExecAP.BatchesProduced)
+		s.ExecAP.RowsScanned, s.ExecAP.BatchesProduced)
+	fmt.Fprintf(&b, " morsels=%d zonemap=%d/%d pruned/scanned parallel=%d",
+		s.MorselsDispatched, s.ZonemapPruned, s.ZonemapScanned, s.ParallelQueries)
 	fmt.Fprintf(&b, " lat mean=%v p50=%v p95=%v p99=%v", s.MeanLatency, s.P50, s.P95, s.P99)
 	return b.String()
 }

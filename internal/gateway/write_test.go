@@ -170,3 +170,47 @@ func TestRunLoadMixedReadWrite(t *testing.T) {
 		t.Errorf("staleness = %d after quiesce", got)
 	}
 }
+
+// TestRunLoadPerRouteLatency: the load report must break serve latency
+// down by route (TP / AP / DML) with sane quantiles, so DOP and admission
+// changes are observable from `htapserve -load`.
+func TestRunLoadPerRouteLatency(t *testing.T) {
+	sys := writeSystem(t)
+	g := New(sys, Config{Workers: 4, QueueDepth: 64, CacheCapacity: 128})
+	defer g.Stop()
+	rep := RunLoad(g, LoadConfig{
+		Clients: 4, Queries: 80, Distinct: 12, Seed: 11, WriteFraction: 0.25,
+	})
+	if rep.Failed != 0 {
+		t.Fatalf("load failed %d submissions:\n%v", rep.Failed, rep)
+	}
+	var total int64
+	for route, rl := range rep.PerRoute {
+		if rl.Count <= 0 {
+			t.Errorf("route %q has zero samples", route)
+		}
+		if rl.P50 <= 0 || rl.P99 < rl.P50 {
+			t.Errorf("route %q quantiles implausible: p50=%v p99=%v", route, rl.P50, rl.P99)
+		}
+		total += rl.Count
+	}
+	if total != rep.Completed {
+		t.Errorf("per-route samples %d != completed %d", total, rep.Completed)
+	}
+	if rl, ok := rep.PerRoute["dml"]; !ok || rl.Count != rep.Writes {
+		t.Errorf("dml route count = %+v, want %d writes", rl, rep.Writes)
+	}
+	// the seeded mix routes both engines; the report must show them apart
+	if _, ok := rep.PerRoute["tp"]; !ok {
+		t.Error("no TP route latency in report")
+	}
+	if _, ok := rep.PerRoute["ap"]; !ok {
+		t.Error("no AP route latency in report")
+	}
+	out := rep.String()
+	for _, want := range []string{"tp ", "ap ", "dml", "p50", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report rendering missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"testing"
 	"time"
 
+	"htapxplain/internal/exec"
+	"htapxplain/internal/sqlparser"
 	"htapxplain/internal/value"
 )
 
@@ -293,5 +295,201 @@ func TestRowKeyFloatNormalization(t *testing.T) {
 	// non-floats still use the exact Key encoding
 	if rowKey(value.Row{value.NewInt(3)}) == rowKey(value.Row{value.NewFloat(3)}) {
 		t.Error("rowKey conflates INT 3 with FLOAT 3.0")
+	}
+}
+
+// runAPAt plans sql on the column engine and executes it at an explicit
+// degree of parallelism — the harness hook for differential testing of
+// morsel-driven execution (the planner's own DOP choice is bypassed so
+// DOP 1 and DOP 4 run the identical plan).
+func runAPAt(t *testing.T, s *System, sql string, dop int) []value.Row {
+	t.Helper()
+	sel, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	phys, err := s.Planner.PlanAP(sel)
+	if err != nil {
+		t.Fatalf("plan %q: %v", sql, err)
+	}
+	ctx := exec.NewContext()
+	ctx.DOP = dop
+	rows, err := phys.Execute(ctx)
+	if err != nil {
+		t.Fatalf("execute %q at DOP %d: %v", sql, dop, err)
+	}
+	return rows
+}
+
+// assertParallelizes guards the differential against silently-serial
+// execution: aggregate/scan shapes over multi-chunk tables must actually
+// fork workers at DOP > 1 (worker count is clamped to morsel supply, so
+// only tables spanning >= 2 chunks can fork at all).
+func assertParallelizes(t *testing.T, s *System, sql string) {
+	t.Helper()
+	sel, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys, err := s.Planner.PlanAP(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := exec.NewContext()
+	ctx.DOP = 4
+	if _, err := phys.Execute(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Stats.ParallelWorkers < 2 {
+		t.Fatalf("%q at DOP 4 forked %d workers, want >= 2", sql, ctx.Stats.ParallelWorkers)
+	}
+}
+
+// parallelDifferentialQueries are deterministic read shapes (aggregates,
+// group-bys, full filter scans, ordered Top-N — no bare LIMIT, whose row
+// choice is legitimately nondeterministic) used by the DOP differential.
+var parallelDifferentialQueries = []string{
+	`SELECT COUNT(*), SUM(l_extendedprice), MIN(l_quantity), MAX(l_quantity) FROM lineitem WHERE l_quantity > 10`,
+	`SELECT COUNT(*), SUM(c_acctbal) FROM customer`,
+	`SELECT COUNT(*), SUM(c_acctbal), MIN(c_acctbal), MAX(c_acctbal), AVG(c_acctbal) FROM customer WHERE c_mktsegment = 'machinery'`,
+	`SELECT c_mktsegment, COUNT(*), SUM(c_acctbal) FROM customer GROUP BY c_mktsegment`,
+	`SELECT c_custkey, c_name, c_acctbal FROM customer WHERE c_acctbal > 3000`,
+	`SELECT COUNT(*) FROM orders WHERE o_orderkey <= 500`,
+	`SELECT COUNT(*) FROM customer, nation WHERE n_nationkey = c_nationkey AND n_name = 'egypt'`,
+	`SELECT c_name, c_acctbal FROM customer ORDER BY c_acctbal DESC, c_custkey LIMIT 7`,
+}
+
+// TestReplicationParallelReadDifferential extends the differential
+// harness to morsel-driven execution: after every quiesced DML batch (at
+// varying merge points, so delta-only, merged and half-merged states are
+// all covered), each deterministic query must return the same multiset at
+// DOP 1 and DOP 4, and parallel results must agree with the row engine.
+func TestReplicationParallelReadDifferential(t *testing.T) {
+	s := newWriteSystem(t, Config{ModeledSF: 100, Data: DefaultConfig().Data,
+		Repl: ReplConfig{DisableMerger: true}})
+	// the multi-chunk aggregate and filter-scan shapes must really fork
+	// (Top-N pipelines legitimately stay serial — the operator consumes
+	// its child's stream itself — and single-chunk tables clamp to serial)
+	assertParallelizes(t, s, parallelDifferentialQueries[0])
+	assertParallelizes(t, s, `SELECT o_orderkey, o_totalprice FROM orders WHERE o_totalprice > 50000`)
+	mix := newMixer(20260726)
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 12; i++ {
+			sql := mix.next()
+			if _, err := s.Exec(sql); err != nil {
+				t.Fatalf("round %d: Exec(%q): %v", round, sql, err)
+			}
+		}
+		if err := s.WaitFresh(5 * time.Second); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if round%2 == 1 {
+			s.Col.MergeAll()
+		}
+		for _, q := range parallelDifferentialQueries {
+			serial := runAPAt(t, s, q, 1)
+			parallel := runAPAt(t, s, q, 4)
+			if !sameCardinality(serial, parallel) {
+				t.Fatalf("round %d: DOP 1 and DOP 4 disagree on %q:\n  serial:   %v\n  parallel: %v",
+					round, q, serial, parallel)
+			}
+			res, err := s.Run(q)
+			if err != nil {
+				t.Fatalf("round %d: Run(%q): %v", round, q, err)
+			}
+			if !sameCardinality(res.TPRows, parallel) {
+				t.Fatalf("round %d: parallel AP disagrees with the row engine on %q:\n  TP: %v\n  AP(4): %v",
+					round, q, res.TPRows, parallel)
+			}
+		}
+	}
+}
+
+// TestReplicationConcurrentDMLAndParallelScans races the full pipeline —
+// writer, replication applier, aggressive background merger — against
+// closed-loop parallel readers at DOP 4. Under -race this is the proof
+// that morsel workers (sharing a pinned view across goroutines) obey the
+// storage locking protocol; at quiescence the stores must have converged
+// and DOP 1 / DOP 4 must still agree.
+func TestReplicationConcurrentDMLAndParallelScans(t *testing.T) {
+	s := newWriteSystem(t, Config{ModeledSF: 100, Data: DefaultConfig().Data,
+		Repl: ReplConfig{MergeInterval: time.Millisecond, MergeThreshold: 8}})
+	const writes = 120
+	var wg sync.WaitGroup
+	stopReaders := make(chan struct{})
+	errs := make(chan error, 8)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mix := newMixer(13)
+		for i := 0; i < writes; i++ {
+			if _, err := s.Exec(mix.next()); err != nil {
+				errs <- fmt.Errorf("writer: %w", err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				q := parallelDifferentialQueries[(i+r)%len(parallelDifferentialQueries)]
+				sel, err := sqlparser.Parse(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				phys, err := s.Planner.PlanAP(sel)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+				ctx := exec.NewContext()
+				ctx.DOP = 4
+				if _, err := phys.Execute(ctx); err != nil {
+					errs <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+			}
+		}(r)
+	}
+
+	done := make(chan struct{})
+	go func() { defer close(done); wg.Wait() }()
+	for {
+		select {
+		case err := <-errs:
+			close(stopReaders)
+			t.Fatal(err)
+		case <-time.After(10 * time.Millisecond):
+		}
+		if s.CommitLSN() >= writes {
+			break
+		}
+	}
+	close(stopReaders)
+	<-done
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	if err := s.WaitFresh(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s.Col.MergeAll()
+	assertStoresEqual(t, s)
+	for _, q := range parallelDifferentialQueries {
+		if !sameCardinality(runAPAt(t, s, q, 1), runAPAt(t, s, q, 4)) {
+			t.Fatalf("DOP 1 and DOP 4 disagree on %q after quiesce", q)
+		}
 	}
 }

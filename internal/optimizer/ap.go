@@ -64,7 +64,9 @@ func (p *Planner) PlanAP(sel *sqlparser.Select) (*PhysPlan, error) {
 			node: &plan.Node{Op: plan.OpFilter, Engine: plan.AP,
 				Cost: b.node.Cost + b.rows*apFilterPerRow, Rows: math.Max(1, b.rows*0.5),
 				Condition: condString(a.otherPreds), Children: []*plan.Node{b.node}},
-			rows: math.Max(1, b.rows*0.5),
+			rows:      math.Max(1, b.rows*0.5),
+			parChunks: b.parChunks,
+			parRoot:   b.parRoot, // a filter keeps a per-morsel chain forkable
 		}
 	}
 	return finish(a, shape, b)
@@ -104,16 +106,17 @@ func (p *Planner) apAccess(a *analysis, t boundTable) (built, error) {
 	}
 	pruner := zonePruner(a, t, cols)
 	op := exec.NewColTableScan(ct, t.binding, cols, pred, pruner)
+	chunks := ct.NumChunks()
 
 	if len(preds) == 0 {
 		scanNode.Cost = full * apScanPerRow * colFraction(t, cols)
-		return built{op: op, node: scanNode, rows: full}, nil
+		return built{op: op, node: scanNode, rows: full, parChunks: chunks, parRoot: true}, nil
 	}
 	node := &plan.Node{Op: plan.OpFilter, Engine: plan.AP,
 		Cost: full * apFilterPerRow * colFraction(t, cols),
 		Rows: math.Max(1, filtered), Condition: condString(preds),
 		Children: []*plan.Node{scanNode}}
-	return built{op: op, node: node, rows: math.Max(1, filtered)}, nil
+	return built{op: op, node: node, rows: math.Max(1, filtered), parChunks: chunks, parRoot: true}, nil
 }
 
 // colFraction scales scan cost by the fraction of columns actually read.
@@ -251,5 +254,14 @@ func (p *Planner) apJoinStep(a *analysis, cur built, inner boundTable, jps []joi
 	node := &plan.Node{Op: plan.OpHashJoin, Engine: plan.AP,
 		Cost: cost, Rows: outRows, Condition: condString(condParts),
 		Children: []*plan.Node{cur.node, buildNode}}
-	return built{op: op, node: node, rows: outRows}, nil
+	// only fork-point inputs contribute to the join's parallelism: the
+	// build side forks entirely (its access path is a per-morsel chain),
+	// while the probe side is pulled serially — a probe that was itself a
+	// bare chain loses its root forkability here, and only fork points
+	// interior to it (earlier joins' builds) carry over
+	chunks := buildSide.parChunks
+	if !cur.parRoot && cur.parChunks > chunks {
+		chunks = cur.parChunks
+	}
+	return built{op: op, node: node, rows: outRows, parChunks: chunks}, nil
 }

@@ -20,6 +20,14 @@ type PhysPlan struct {
 	Engine  plan.Engine
 	Root    exec.Operator
 	Explain *plan.Node
+	// DOP is the planner-chosen degree of parallelism: the number of
+	// morsel workers the plan's scan pipelines are worth spreading across,
+	// derived from the physical chunk counts of the scanned tables (see
+	// chooseDOP). 1 means serial. The gateway admits DOP workers against
+	// its pool and passes the granted count through exec.Context.DOP;
+	// executing with a smaller grant (or serially) is always safe — the
+	// operators fork at Open from whatever the context carries.
+	DOP int
 
 	runnerOnce sync.Once
 	runner     *exec.Runner
@@ -62,6 +70,17 @@ type built struct {
 	op   exec.Operator
 	node *plan.Node
 	rows float64
+	// parChunks is the physical base-chunk count of the largest columnar
+	// scan a fork point can actually reach in this subtree — the
+	// cardinality fact the degree-of-parallelism choice is made from
+	// (0 for row-store trees). parRoot marks a subtree that is itself a
+	// forkable per-morsel chain (scan + filters): its whole parChunks is
+	// usable by whatever forks it (a root drain, an aggregate, a join
+	// build), but the moment it becomes a hash join's probe side that
+	// root forkability is lost — the probe is pulled serially — and only
+	// interior fork points keep contributing.
+	parChunks int
+	parRoot   bool
 }
 
 // finish applies aggregation / ordering / limit / projection on top of the
@@ -100,7 +119,14 @@ func finish(a *analysis, shape engineShape, b built) (*PhysPlan, error) {
 			return nil, err
 		}
 	}
-	return &PhysPlan{Engine: shape.engine, Root: b.op, Explain: b.node}, nil
+	dop := chooseDOP(b.parChunks)
+	if dop > 1 && !exec.CanParallelize(b.op) {
+		// the final shape has no fork point (e.g. Top-N pulls its scan
+		// serially) — asking the gateway for workers would reserve pool
+		// slots the execution can never use
+		dop = 1
+	}
+	return &PhysPlan{Engine: shape.engine, Root: b.op, Explain: b.node, DOP: dop}, nil
 }
 
 // buildAggregate plans GROUP BY + aggregates. Output schema: group columns
@@ -164,7 +190,7 @@ func buildAggregate(a *analysis, shape engineShape, child built) (built, error) 
 		Cost: child.node.Cost + shape.costAgg(child.rows),
 		Rows: outRows, Children: []*plan.Node{child.node},
 	}
-	return built{op: op, node: node, rows: outRows}, nil
+	return built{op: op, node: node, rows: outRows, parChunks: child.parChunks}, nil
 }
 
 // orderKeys compiles ORDER BY terms against the current schema. In
@@ -237,7 +263,7 @@ func buildOrdering(a *analysis, shape engineShape, child built, agged bool) (bui
 			Condition: fmt.Sprintf("limit %d offset %d", sel.Limit, sel.Offset),
 			Children:  []*plan.Node{child.node},
 		}
-		return built{op: op, node: node, rows: outRows}, nil
+		return built{op: op, node: node, rows: outRows, parChunks: child.parChunks}, nil
 	}
 	op := &exec.SortOp{Child: child.op, Keys: keys}
 	node := &plan.Node{
@@ -245,7 +271,7 @@ func buildOrdering(a *analysis, shape engineShape, child built, agged bool) (bui
 		Cost: child.node.Cost + shape.costSort(child.rows),
 		Rows: child.rows, Children: []*plan.Node{child.node},
 	}
-	return built{op: op, node: node, rows: child.rows}, nil
+	return built{op: op, node: node, rows: child.rows, parChunks: child.parChunks}, nil
 }
 
 // buildLimit plans LIMIT/OFFSET without ordering.
@@ -259,7 +285,7 @@ func buildLimit(sel *sqlparser.Select, shape engineShape, child built) built {
 		Condition: fmt.Sprintf("limit %d offset %d", sel.Limit, sel.Offset),
 		Children:  []*plan.Node{child.node},
 	}
-	return built{op: op, node: node, rows: outRows}
+	return built{op: op, node: node, rows: outRows, parChunks: child.parChunks}
 }
 
 // projectAggOutput reorders the aggregate output into select-list order.
@@ -307,7 +333,7 @@ func projectAggOutput(a *analysis, child built) (built, error) {
 		}
 	}
 	op := &exec.ProjectOp{Child: child.op, Evals: evals, Out: out}
-	return built{op: op, node: child.node, rows: child.rows}, nil
+	return built{op: op, node: child.node, rows: child.rows, parChunks: child.parChunks}, nil
 }
 
 // projectPlain plans the select list of a non-aggregated query.
@@ -349,7 +375,7 @@ func projectPlain(a *analysis, child built) (built, error) {
 		out = append(out, exec.Col{Binding: binding, Name: name, Type: typ})
 	}
 	op := &exec.ProjectOp{Child: child.op, Evals: evals, Out: out}
-	return built{op: op, node: child.node, rows: child.rows}, nil
+	return built{op: op, node: child.node, rows: child.rows, parChunks: child.parChunks}, nil
 }
 
 // condString renders a conjunction for EXPLAIN display.

@@ -1,0 +1,103 @@
+package optimizer
+
+import (
+	"runtime"
+	"testing"
+
+	"htapxplain/internal/sqlparser"
+)
+
+func TestChooseDOP(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	cases := []struct {
+		chunks, want int
+	}{
+		{0, 1},  // row-store plan
+		{1, 1},  // single chunk
+		{2, 1},  // one worker's worth
+		{8, 4},  // four workers' worth
+		{16, 8}, // eight
+		{64, 8}, // capped at maxPlannedDOP
+	}
+	for _, tc := range cases {
+		if got := chooseDOP(tc.chunks); got != tc.want {
+			t.Errorf("chooseDOP(%d) = %d, want %d", tc.chunks, got, tc.want)
+		}
+	}
+	// hardware cap below the plan's ask
+	runtime.GOMAXPROCS(2)
+	if got := chooseDOP(64); got != 2 {
+		t.Errorf("chooseDOP(64) under GOMAXPROCS(2) = %d, want 2", got)
+	}
+}
+
+// TestPlannedDOPFromCardinality: AP plans over the big fact table ask for
+// parallelism proportional to its physical chunk count, tiny-dimension
+// plans and TP plans stay serial.
+func TestPlannedDOPFromCardinality(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	p := testPlanner(t)
+
+	planAP := func(sql string) *PhysPlan {
+		t.Helper()
+		sel, err := sqlparser.Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		phys, err := p.PlanAP(sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return phys
+	}
+
+	big := planAP(`SELECT COUNT(*) FROM lineitem WHERE l_quantity > 10`)
+	ct, _ := p.Col.Table("lineitem")
+	want := chooseDOP(ct.NumChunks())
+	if big.DOP != want || big.DOP < 2 {
+		t.Errorf("lineitem scan DOP = %d, want %d (> 1) from %d chunks",
+			big.DOP, want, ct.NumChunks())
+	}
+
+	small := planAP(`SELECT COUNT(*) FROM nation`)
+	if small.DOP != 1 {
+		t.Errorf("nation scan DOP = %d, want 1", small.DOP)
+	}
+
+	// a Top-N pulls its scan serially — no fork point, so the plan must
+	// not reserve workers it can never use
+	topn := planAP(`SELECT l_orderkey, l_extendedprice FROM lineitem ORDER BY l_extendedprice DESC LIMIT 10`)
+	if topn.DOP != 1 {
+		t.Errorf("Top-N plan DOP = %d, want 1 (no fork point)", topn.DOP)
+	}
+
+	// a probe-heavy join over a tiny build side: the probe (lineitem) is
+	// pulled serially and only the single-chunk nation build can fork, so
+	// the plan must not size its DOP from the probe's chunk count
+	join := planAP(`SELECT COUNT(*) FROM lineitem, orders, nation` +
+		` WHERE l_orderkey = o_orderkey AND o_custkey = n_nationkey AND n_name = 'egypt'`)
+	nt, _ := p.Col.Table("nation")
+	ot, _ := p.Col.Table("orders")
+	maxBuild := nt.NumChunks()
+	if c := ot.NumChunks(); c > maxBuild {
+		maxBuild = c
+	}
+	if want := chooseDOP(maxBuild); join.DOP != want {
+		t.Errorf("probe-heavy join DOP = %d, want %d (sized from build sides, not the %d-chunk probe)",
+			join.DOP, want, ct.NumChunks())
+	}
+
+	sel, err := sqlparser.Parse(`SELECT COUNT(*) FROM lineitem WHERE l_quantity > 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := p.PlanTP(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.DOP != 1 {
+		t.Errorf("TP plan DOP = %d, want 1 (row-store scans are not morsel-driven)", tp.DOP)
+	}
+}

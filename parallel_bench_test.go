@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"htapxplain/internal/exec"
+	"htapxplain/internal/htap"
+	"htapxplain/internal/optimizer"
+	"htapxplain/internal/sqlparser"
+	"htapxplain/internal/tpch"
+)
+
+// The morsel-parallelism benchmarks run over a 10x-scaled physical
+// dataset (~120k lineitem rows ≈ 120 chunks) so DOP 8 has morsel supply;
+// cmd/benchrunner -parallel-bench emits the same measurements as
+// BENCH_parallel.json for the CI artifact trail.
+
+var (
+	parSysOnce sync.Once
+	parSysVal  *htap.System
+	parSysErr  error
+)
+
+func parallelBenchSystem(tb testing.TB) *htap.System {
+	tb.Helper()
+	parSysOnce.Do(func() {
+		parSysVal, parSysErr = htap.New(htap.Config{ModeledSF: 100,
+			Data: tpch.Config{PhysScale: 0.02, Seed: 42},
+			Repl: htap.ReplConfig{DisableMerger: true}})
+	})
+	if parSysErr != nil {
+		tb.Fatalf("htap.New: %v", parSysErr)
+	}
+	return parSysVal
+}
+
+// parallelAggSQL is the large-scan/aggregate shape the speedup gate is
+// measured on: every row is visited, predicate and aggregate work happen
+// inside the morsel workers, and only 7 group partials cross the merge.
+const parallelAggSQL = `SELECT l_shipmode, COUNT(*), SUM(l_extendedprice), AVG(l_quantity)` +
+	` FROM lineitem WHERE l_quantity > 5 GROUP BY l_shipmode`
+
+func planParallelAgg(tb testing.TB, sys *htap.System) *optimizer.PhysPlan {
+	tb.Helper()
+	sel, err := sqlparser.Parse(parallelAggSQL)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	phys, err := sys.Planner.PlanAP(sel)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return phys
+}
+
+// bestOf runs the plan n times at the given DOP and returns the fastest
+// wall time — minimum over runs is the standard way to strip scheduler
+// noise from a speedup ratio.
+func bestOf(tb testing.TB, phys *optimizer.PhysPlan, dop, n int) time.Duration {
+	tb.Helper()
+	best := time.Duration(-1)
+	for i := 0; i < n; i++ {
+		ctx := exec.NewContext()
+		ctx.DOP = dop
+		start := time.Now()
+		rows, err := phys.Execute(ctx)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if len(rows) == 0 {
+			tb.Fatal("aggregate produced no rows")
+		}
+		if d := time.Since(start); best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// TestParallelSpeedup is the acceptance gate for morsel-driven execution:
+// the large-scan/aggregate pipeline at DOP 4 must be at least 2x faster
+// than the identical plan at DOP 1. The ratio needs real cores — the test
+// skips on machines with fewer than 4 CPUs and under the race detector
+// (whose instrumentation serializes the workers' memory traffic).
+func TestParallelSpeedup(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing gate skipped under the race detector")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs to demonstrate DOP-4 speedup, have %d", runtime.NumCPU())
+	}
+	prev := runtime.GOMAXPROCS(0)
+	if prev < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	sys := parallelBenchSystem(t)
+	phys := planParallelAgg(t, sys)
+
+	// warm both paths (pooled runner clones, forked pipeline allocation)
+	bestOf(t, phys, 1, 1)
+	bestOf(t, phys, 4, 1)
+
+	serial := bestOf(t, phys, 1, 5)
+	parallel := bestOf(t, phys, 4, 5)
+	speedup := float64(serial) / float64(parallel)
+	t.Logf("scan+aggregate over %d rows: DOP 1 %v, DOP 4 %v → %.2fx",
+		mustRows(t, sys), serial, parallel, speedup)
+	if speedup < 2 {
+		t.Errorf("DOP-4 speedup = %.2fx, want >= 2x (serial %v, parallel %v)",
+			speedup, serial, parallel)
+	}
+}
+
+func mustRows(t testing.TB, sys *htap.System) int {
+	ct, ok := sys.Col.Table("lineitem")
+	if !ok {
+		t.Fatal("no lineitem column table")
+	}
+	return ct.NumRows()
+}
+
+// BenchmarkParallel_ScanAggregate measures the gate pipeline at DOP
+// 1/2/4/8 — the before/after pair for morsel-driven parallelism.
+func BenchmarkParallel_ScanAggregate(b *testing.B) {
+	sys := parallelBenchSystem(b)
+	phys := planParallelAgg(b, sys)
+	for _, dop := range []int{1, 2, 4, 8} {
+		dop := dop
+		b.Run(benchName("DOP", dop), func(b *testing.B) {
+			b.ReportAllocs()
+			var rows int64
+			for i := 0; i < b.N; i++ {
+				ctx := exec.NewContext()
+				ctx.DOP = dop
+				if _, err := phys.Execute(ctx); err != nil {
+					b.Fatal(err)
+				}
+				rows += ctx.Stats.RowsScanned
+			}
+			b.ReportMetric(float64(rows)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// BenchmarkParallel_PrunedScan measures the selective sorted-column range
+// scan whose chunks are pruned at morsel dispatch — the zone-map half of
+// the tentpole (pruned chunks are counted, never scanned).
+func BenchmarkParallel_PrunedScan(b *testing.B) {
+	sys := parallelBenchSystem(b)
+	sel, err := sqlparser.Parse(`SELECT COUNT(*) FROM lineitem WHERE l_orderkey <= 100`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	phys, err := sys.Planner.PlanAP(sel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var pruned, scanned int64
+	for i := 0; i < b.N; i++ {
+		ctx := exec.NewContext()
+		if _, err := phys.Execute(ctx); err != nil {
+			b.Fatal(err)
+		}
+		pruned, scanned = ctx.Stats.ChunksSkipped, ctx.Stats.ChunksScanned
+	}
+	if pruned == 0 {
+		b.Fatal("selective scan pruned nothing")
+	}
+	b.ReportMetric(float64(pruned)/float64(pruned+scanned)*100, "pruned-%")
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing-sensitive tests (the parallel speedup gate) skip their
+// throughput assertions under it.
+const raceEnabled = true
