@@ -9,6 +9,7 @@
 //	benchrunner -e e3,e5,a2      # a subset
 //	benchrunner -wal-bench       # durability microbenchmarks -> BENCH_wal.json
 //	benchrunner -parallel-bench  # morsel-parallelism microbenchmarks -> BENCH_parallel.json
+//	benchrunner -obs-bench       # tracing-overhead microbenchmarks -> BENCH_obs.json
 package main
 
 import (
@@ -27,6 +28,8 @@ func main() {
 	walOut := flag.String("wal-out", "BENCH_wal.json", "wal-bench: output JSON path")
 	parBench := flag.Bool("parallel-bench", false, "run the morsel-parallelism microbenchmarks instead of the paper experiments")
 	parOut := flag.String("parallel-out", "BENCH_parallel.json", "parallel-bench: output JSON path")
+	obsBench := flag.Bool("obs-bench", false, "run the observability-overhead microbenchmarks instead of the paper experiments")
+	obsOut := flag.String("obs-out", "BENCH_obs.json", "obs-bench: output JSON path")
 	flag.Parse()
 
 	if *walBench {
@@ -39,6 +42,13 @@ func main() {
 	if *parBench {
 		fmt.Println("morsel-parallelism microbenchmarks: scan/aggregate throughput at DOP 1/2/4/8 + pruning hit-rate ...")
 		if err := runParallelBench(*parOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *obsBench {
+		fmt.Println("observability microbenchmarks: trace overhead at sample rates 0/0.1/1.0 + histogram observe cost ...")
+		if err := runObsBench(*obsOut); err != nil {
 			fatal(err)
 		}
 		return

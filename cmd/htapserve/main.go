@@ -23,6 +23,11 @@
 //	GET  /metrics                          → serving counters, latencies, the
 //	                                         TP→AP freshness gauge and the
 //	                                         wal_*/checkpoint_* gauges
+//	                                         (?format=prometheus → text
+//	                                         exposition format for scraping)
+//	GET  /debug/traces                     → sampled query span traces,
+//	                                         newest first (-trace-sample,
+//	                                         -slow-query-ms)
 //	GET  /healthz                          → liveness
 //
 // On SIGINT/SIGTERM the server shuts down gracefully: stop admitting,
@@ -47,6 +52,7 @@ import (
 
 	"htapxplain/internal/gateway"
 	"htapxplain/internal/htap"
+	"htapxplain/internal/obs"
 	"htapxplain/internal/treecnn"
 	"htapxplain/internal/workload"
 )
@@ -68,6 +74,11 @@ func main() {
 		testMix   = flag.Bool("test-mix", false, "load mode: include rare out-of-KB query shapes")
 		writeFrac = flag.Float64("write-frac", 0, "load mode: fraction of submissions that are DML (0..1)")
 		seed      = flag.Int64("seed", 7, "workload / training seed")
+
+		traceRate   = flag.Float64("trace-sample", 0, "fraction of queries traced into span trees (0 disables, 1 traces all)")
+		traceRing   = flag.Int("trace-ring", 256, "trace ring-buffer capacity served at /debug/traces")
+		slowQueryMS = flag.Int("slow-query-ms", 0, "log the span tree of queries at least this slow (0 disables; forces trace-sample 1)")
+		obsEvery    = flag.Int("observed-every", 0, "dual-execute every Nth cache-miss SELECT for router_observed_accuracy (0 disables)")
 
 		dataDir   = flag.String("data-dir", "", "data directory for the WAL + checkpoints (empty = volatile)")
 		fsyncIvl  = flag.Duration("fsync-interval", 0, "group-commit fsync window (0 = default 2ms)")
@@ -103,12 +114,22 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	tracer := obs.NewTracer(obs.TracerConfig{
+		SampleRate: *traceRate,
+		RingSize:   *traceRing,
+		SlowQuery:  time.Duration(*slowQueryMS) * time.Millisecond,
+		SlowLogf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "htapserve: "+format+"\n", args...)
+		},
+	})
 	g := gateway.New(sys, gateway.Config{
 		Workers:       *workers,
 		QueueDepth:    *queue,
 		CacheCapacity: *cacheCap,
 		CacheShards:   *shards,
 		Policy:        pol,
+		Tracer:        tracer,
+		ObservedEvery: *obsEvery,
 	})
 	defer g.Stop()
 

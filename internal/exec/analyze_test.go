@@ -1,0 +1,131 @@
+package exec
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"htapxplain/internal/colstore"
+	"htapxplain/internal/sqlparser"
+)
+
+// TestInstrumentedPipelineMatchesPlain: wrapping a filter+scan pipeline
+// for EXPLAIN ANALYZE must not change its output, and the profile must
+// account for every row and batch that flowed.
+func TestInstrumentedPipelineMatchesPlain(t *testing.T) {
+	tbl := parallelFixture(t, 4*colstore.ChunkSize+13)
+	mk := func() BatchOperator {
+		scan := NewColTableScan(tbl, "p", []int{0, 1, 2}, nil, nil)
+		return &FilterOp{Child: scan, Pred: parallelPred(t, scan.Schema(), "v", sqlparser.OpLt, 9)}
+	}
+	plain, err := Drain(mk(), NewContext())
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, prof := Instrument(mk())
+	instrumented, err := Drain(root, NewContext())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, plain, instrumented)
+
+	s := prof.Snapshot()
+	if s.Name != "Filter" || len(s.Children) != 1 || !strings.HasPrefix(s.Children[0].Name, "Column Scan") {
+		t.Fatalf("profile shape wrong: %s", s)
+	}
+	if s.Rows != int64(len(plain)) {
+		t.Errorf("filter profile rows = %d, want %d", s.Rows, len(plain))
+	}
+	scan := s.Children[0]
+	if scan.Morsels <= 0 || scan.ChunksScanned <= 0 {
+		t.Errorf("scan profile morsels=%d chunks=%d, want both > 0", scan.Morsels, scan.ChunksScanned)
+	}
+	if scan.Rows < s.Rows {
+		t.Errorf("scan emitted %d rows < filter's %d", scan.Rows, s.Rows)
+	}
+	out := s.String()
+	for _, want := range []string{"Filter", "Column Scan on p", "rows=", "morsels="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered profile missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestInstrumentedParallelForkSharesProfile: an instrumented DOP-4 plan
+// must fork like a plain one (same rows, same morsel accounting) with all
+// worker clones recording into the one profile.
+func TestInstrumentedParallelForkSharesProfile(t *testing.T) {
+	tbl := parallelFixture(t, 10*colstore.ChunkSize+77)
+	mk := func() BatchOperator {
+		scan := NewColTableScan(tbl, "p", []int{0, 1, 2}, nil, nil)
+		return &FilterOp{Child: scan, Pred: parallelPred(t, scan.Schema(), "v", sqlparser.OpLt, 9)}
+	}
+	serial, err := Drain(mk(), NewContext())
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, prof := Instrument(mk())
+	ctx := NewContext()
+	ctx.DOP = 4
+	parallel, err := Drain(root, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, serial, parallel)
+	if ctx.Stats.ParallelWorkers != 4 {
+		t.Fatalf("ParallelWorkers = %d, want 4 (instrumentation broke forking)", ctx.Stats.ParallelWorkers)
+	}
+	s := prof.Snapshot()
+	scan := s.Children[0]
+	if scan.Workers != 4 {
+		t.Errorf("scan profile workers = %d, want 4", scan.Workers)
+	}
+	if scan.Morsels != ctx.Stats.MorselsDispatched {
+		t.Errorf("profile morsels %d != ctx morsels %d", scan.Morsels, ctx.Stats.MorselsDispatched)
+	}
+	if s.Rows != int64(len(serial)) {
+		t.Errorf("filter profile rows = %d across workers, want %d", s.Rows, len(serial))
+	}
+}
+
+// TestStatsQuietAfterParallelLimitCancel is the race-detector regression
+// for the Stats-merge invariant: a shared limit budget cancels the fork
+// scope mid-scan, sibling workers unwind asynchronously, and runForked
+// must still merge every worker's counters before Drain returns — a plain
+// (non-atomic) read of ctx.Stats right after Drain must be quiet under
+// -race even while the early termination is racing chunk boundaries.
+// Concurrent drains over the same table make the cancel timing vary.
+func TestStatsQuietAfterParallelLimitCancel(t *testing.T) {
+	const chunks = 32
+	tbl := parallelFixture(t, chunks*colstore.ChunkSize)
+	const drains = 24
+	var wg sync.WaitGroup
+	wg.Add(drains)
+	for i := 0; i < drains; i++ {
+		go func(n int64) {
+			defer wg.Done()
+			scan := NewColTableScan(tbl, "p", []int{0}, nil, nil)
+			ctx := NewContext()
+			ctx.DOP = 4
+			rows, err := Drain(&LimitOp{Child: scan, N: n}, ctx)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if int64(len(rows)) != n {
+				t.Errorf("limit %d emitted %d rows", n, len(rows))
+			}
+			// plain reads of every merged counter: the -race payload
+			total := ctx.Stats.RowsScanned + ctx.Stats.MorselsDispatched +
+				ctx.Stats.ChunksScanned + ctx.Stats.BatchesProduced + ctx.Stats.ParallelWorkers
+			if total <= 0 {
+				t.Errorf("no stats merged after cancelled drain: %+v", ctx.Stats)
+			}
+			if ctx.Stats.MorselsDispatched >= chunks {
+				t.Errorf("limit %d did not terminate early: %d morsels of %d",
+					n, ctx.Stats.MorselsDispatched, chunks)
+			}
+		}(int64(1 + i%7))
+	}
+	wg.Wait()
+}

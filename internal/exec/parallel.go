@@ -46,6 +46,10 @@ func forkable(op BatchOperator) bool {
 		// offset needs a serial view of the stream; a bounded limit forks
 		// with a shared cross-worker budget
 		return x.Offset == 0 && x.N >= 0 && forkable(x.Child)
+	case *analyzeOp:
+		// EXPLAIN ANALYZE wrappers are transparent: a wrapped per-morsel
+		// pipeline forks exactly like the bare one
+		return forkable(x.child)
 	case ParallelSource:
 		return true
 	}
@@ -91,6 +95,8 @@ func hasForkPoint(op BatchOperator) bool {
 		return hasForkPoint(x.Child)
 	case *IndexNLJoin:
 		return hasForkPoint(x.Outer)
+	case *analyzeOp:
+		return hasForkPoint(x.child)
 	}
 	return false
 }
@@ -130,6 +136,8 @@ func findSource(op BatchOperator) ParallelSource {
 			op = x.Child
 		case *LimitOp:
 			op = x.Child
+		case *analyzeOp:
+			op = x.child
 		default:
 			return op.(ParallelSource)
 		}
@@ -152,6 +160,10 @@ func forkOne(op BatchOperator, leaf BatchOperator, budget **atomic.Int64) BatchO
 			*budget = b
 		}
 		return &LimitOp{Child: forkOne(x.Child, leaf, budget), N: x.N, budget: *budget}
+	case *analyzeOp:
+		// every worker gets a private wrapper instance recording into the
+		// shared profile through its atomic counters
+		return &analyzeOp{child: forkOne(x.child, leaf, budget), prof: x.prof, leafScan: x.leafScan}
 	default:
 		return leaf
 	}
@@ -164,7 +176,11 @@ func forkOne(op BatchOperator, leaf BatchOperator, budget **atomic.Int64) BatchO
 // returns, so consume must copy what it keeps). Worker contexts share one
 // cancellation scope nested under ctx's: the first error (or a drained
 // limit budget) cancels the scope and the remaining workers stop at their
-// next morsel. Worker stats are merged into ctx after the barrier.
+// next morsel. Worker stats are merged into ctx strictly after the
+// wg.Wait barrier — including on cancellation and error paths — which is
+// the invariant that makes plain (non-atomic) reads of ctx.Stats safe the
+// moment Drain/Execute returns; callers must not read ctx.Stats while a
+// drain is still in flight.
 func runForked(ctx *Context, pipes []BatchOperator, consume func(w int, wctx *Context, b *Batch) error) error {
 	wctxs := ctx.forkScope(len(pipes))
 	var (

@@ -31,11 +31,13 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"htapxplain/internal/exec"
 	"htapxplain/internal/htap"
 	"htapxplain/internal/latency"
+	"htapxplain/internal/obs"
 	"htapxplain/internal/optimizer"
 	"htapxplain/internal/plan"
 	"htapxplain/internal/sqlparser"
@@ -64,6 +66,20 @@ type Config struct {
 	CacheShards int
 	// Policy picks the engine per query (default: CostPolicy).
 	Policy RoutingPolicy
+
+	// Tracer samples served queries into span traces (nil = tracing off;
+	// the sampled-out and tracer-less paths are allocation-free).
+	Tracer *obs.Tracer
+	// Calibrator receives (observed, modeled) latency pairs so the latency
+	// oracle's paper-scale estimates can be restated in observed units
+	// (default: a private instance).
+	Calibrator *latency.Calibrator
+	// ObservedEvery enables sampled dual-execution: every Nth cache-miss
+	// SELECT (which has both engines planned) also executes the non-routed
+	// engine's plan serially, and the measured winner is compared against
+	// the routing decision — the router_observed_accuracy metric. 0
+	// disables the sampling.
+	ObservedEvery int
 
 	// testServeStart, when set, is invoked at the top of every Serve
 	// call. It exists so package tests can park a worker mid-serve and
@@ -131,7 +147,14 @@ type Response struct {
 	ServeTime time.Duration
 	// QueueWait is the time the query sat in the admission queue.
 	QueueWait time.Duration
-	Err       error
+	// ExecTime is the wall time of plan execution alone (inside ServeTime).
+	ExecTime time.Duration
+	// Explain carries the rendered plan for EXPLAIN [ANALYZE] statements
+	// (kind "explain" / "explain_analyze"); Profile additionally carries
+	// the measured per-operator tree for EXPLAIN ANALYZE.
+	Explain string
+	Profile *exec.OpStats
+	Err     error
 }
 
 type request struct {
@@ -146,6 +169,8 @@ type Gateway struct {
 	cfg      Config
 	cache    *PlanCache
 	metrics  Metrics
+	cal      *latency.Calibrator
+	dualN    atomic.Int64 // dual-execution sampling counter
 	queue    chan *request
 	slots    *workerSem
 	stop     chan struct{}
@@ -238,10 +263,14 @@ func New(sys *htap.System, cfg Config) *Gateway {
 	if cfg.Policy == nil {
 		cfg.Policy = def.Policy
 	}
+	if cfg.Calibrator == nil {
+		cfg.Calibrator = &latency.Calibrator{}
+	}
 	g := &Gateway{
 		sys:   sys,
 		cfg:   cfg,
 		cache: NewPlanCache(cfg.CacheShards, cfg.CacheCapacity),
+		cal:   cfg.Calibrator,
 		queue: make(chan *request, cfg.QueueDepth),
 		slots: newWorkerSem(cfg.Workers),
 		stop:  make(chan struct{}),
@@ -312,6 +341,9 @@ func (g *Gateway) Metrics() Snapshot {
 		s.CheckpointMS = ds.Ckpt.LastDurationMS
 		s.CheckpointFree = ds.Ckpt.SegmentsFreed
 	}
+	s.LatencyScaleTP = g.cal.Scale(plan.TP)
+	s.LatencyScaleAP = g.cal.Scale(plan.AP)
+	s.TracesSampled = g.cfg.Tracer.Sampled()
 	return s
 }
 
@@ -320,6 +352,12 @@ func (g *Gateway) CacheLen() int { return g.cache.Len() }
 
 // Policy returns the active routing policy.
 func (g *Gateway) Policy() RoutingPolicy { return g.cfg.Policy }
+
+// Tracer returns the gateway's query tracer (nil when tracing is off).
+func (g *Gateway) Tracer() *obs.Tracer { return g.cfg.Tracer }
+
+// Calibrator returns the latency calibrator fed by observed executions.
+func (g *Gateway) Calibrator() *latency.Calibrator { return g.cal }
 
 func (g *Gateway) worker() {
 	defer g.wg.Done()
@@ -334,7 +372,7 @@ func (g *Gateway) worker() {
 			if !g.slots.acquire() {
 				return
 			}
-			resp := g.Serve(r.sql)
+			resp := g.serve(r.sql, r.enqueued)
 			g.slots.release(1)
 			resp.QueueWait = time.Since(r.enqueued) - resp.ServeTime
 			r.resp <- resp
@@ -347,39 +385,69 @@ func (g *Gateway) worker() {
 // workers run per query; benchmarks call it directly to measure the
 // pipeline without queue overhead.
 func (g *Gateway) Serve(sql string) *Response {
+	return g.serve(sql, time.Time{})
+}
+
+// serve wraps process with timing, metrics, and the trace lifecycle. A
+// sampled-out query carries a nil trace, making every span site a single
+// branch — the hot path allocates nothing for observability.
+func (g *Gateway) serve(sql string, enqueued time.Time) *Response {
 	g.metrics.inFlight.Add(1)
 	defer g.metrics.inFlight.Add(-1)
 	if g.cfg.testServeStart != nil {
 		g.cfg.testServeStart()
 	}
+	tr := g.cfg.Tracer.Start(sql, "")
+	if tr != nil && !enqueued.IsZero() {
+		tr.AddSpan("queue_wait", enqueued, time.Since(enqueued))
+	}
 	start := time.Now()
-	resp := g.process(sql)
+	resp := g.process(sql, tr)
 	resp.ServeTime = time.Since(start)
 	g.metrics.total.Add(1)
 	if resp.Err != nil {
 		g.metrics.errs.Add(1)
 	} else {
-		g.metrics.observeLatency(resp.ServeTime)
+		g.metrics.observeLatency(routeOf(resp), resp.ServeTime)
+	}
+	if tr != nil {
+		tr.SetKind(resp.Kind)
+		switch resp.Kind {
+		case "select":
+			tr.Annotate(resp.Engine.String(), resp.Cache.String())
+			tr.AttachStats(resp.Stats)
+		case "explain", "explain_analyze":
+			tr.Annotate(resp.Engine.String(), "")
+		}
+		g.cfg.Tracer.Finish(tr, resp.Err)
+		g.metrics.observeStages(tr)
 	}
 	return resp
 }
 
-func (g *Gateway) process(sql string) *Response {
+func (g *Gateway) process(sql string, tr *obs.QueryTrace) *Response {
+	if body, explain, analyze := sqlparser.StripExplain(sql); explain {
+		return g.processExplain(sql, body, analyze, tr)
+	}
 	// classify on the leading keyword only (no tokenization): DML bypasses
 	// the read-only plan cache and goes straight to the write path
 	switch kind := sqlparser.StatementKind(sql); kind {
 	case "insert", "update", "delete":
-		return g.processDML(sql, kind)
+		return g.processDML(sql, kind, tr)
 	}
 	resp := &Response{SQL: sql, Kind: "select"}
+	sp := tr.Begin("fingerprint")
 	fp, params, err := sqlparser.Fingerprint(sql)
+	sp.End()
 	if err != nil {
 		resp.Err = fmt.Errorf("gateway: fingerprint: %w", err)
 		return resp
 	}
 	paramKey := sqlparser.ParamKey(params)
 
+	sp = tr.Begin("cache_lookup")
 	entry, found := g.cache.Get(fp)
+	sp.End()
 	switch {
 	case found:
 		if bp, ok := entry.Bind(paramKey); ok {
@@ -387,12 +455,14 @@ func (g *Gateway) process(sql string) *Response {
 			g.metrics.hits.Add(1)
 			resp.TPTime, resp.APTime = bp.TPTime, bp.APTime
 			g.recordRoute(entry.Route, bp.TPTime, bp.APTime)
-			g.execute(resp, pickPlan(bp, entry.Route), entry.Route)
+			g.execute(resp, pickPlan(bp, entry.Route), entry.Route, tr, false)
 			return resp
 		}
 		resp.Cache = CacheTemplateHit
 		g.metrics.tmplHit.Add(1)
+		sp = tr.Begin("plan")
 		phys, err := g.planOne(sql, entry.Route)
+		sp.End()
 		if err != nil {
 			resp.Err = err
 			return resp
@@ -406,36 +476,123 @@ func (g *Gateway) process(sql string) *Response {
 		entry.AddBind(bp)
 		resp.TPTime, resp.APTime = bp.TPTime, bp.APTime
 		g.recordRoute(entry.Route, 0, 0)
-		g.execute(resp, phys, entry.Route)
+		g.execute(resp, phys, entry.Route, tr, false)
 	default:
 		resp.Cache = CacheMiss
 		g.metrics.misses.Add(1)
+		sp = tr.Begin("plan")
 		entry, bp, err := g.planBoth(sql, fp, paramKey)
+		sp.End()
 		if err != nil {
 			resp.Err = err
 			return resp
 		}
+		sp = tr.Begin("route")
 		entry.Route = g.cfg.Policy.Route(RouteInput{
 			Stmt:   entry.stmt,
 			Pair:   &entry.Pair,
 			TPTime: entry.TPTime,
 			APTime: entry.APTime,
 		})
+		sp.End()
 		g.cache.Put(entry)
 		resp.TPTime, resp.APTime = bp.TPTime, bp.APTime
 		g.recordRoute(entry.Route, bp.TPTime, bp.APTime)
-		g.execute(resp, pickPlan(bp, entry.Route), entry.Route)
+		g.execute(resp, pickPlan(bp, entry.Route), entry.Route, tr, false)
+		g.maybeObserveDual(resp, bp, entry.Route)
 	}
 	return resp
+}
+
+// processExplain serves `EXPLAIN [ANALYZE] <select>`: both engines are
+// planned, the policy routes as it would for the bare statement, and the
+// routed plan is either rendered (EXPLAIN) or executed with per-operator
+// instrumentation and full DOP admission (EXPLAIN ANALYZE). The plan
+// cache is bypassed — an explain is a diagnostic, not workload.
+func (g *Gateway) processExplain(orig, body string, analyze bool, tr *obs.QueryTrace) *Response {
+	resp := &Response{SQL: orig, Kind: "explain"}
+	if analyze {
+		resp.Kind = "explain_analyze"
+	}
+	if sqlparser.StatementKind(body) != "select" {
+		resp.Err = fmt.Errorf("gateway: EXPLAIN supports SELECT only")
+		return resp
+	}
+	resp.Cache = CacheMiss
+	sp := tr.Begin("plan")
+	entry, bp, err := g.planBoth(body, "", "")
+	sp.End()
+	if err != nil {
+		resp.Err = err
+		return resp
+	}
+	sp = tr.Begin("route")
+	route := g.cfg.Policy.Route(RouteInput{
+		Stmt:   entry.stmt,
+		Pair:   &entry.Pair,
+		TPTime: entry.TPTime,
+		APTime: entry.APTime,
+	})
+	sp.End()
+	resp.Engine = route
+	resp.TPTime, resp.APTime = bp.TPTime, bp.APTime
+	phys := pickPlan(bp, route)
+	if !analyze {
+		resp.Explain = phys.Explain.ExplainIndentJSON()
+		return resp
+	}
+	g.execute(resp, phys, route, tr, true)
+	if resp.Err == nil && resp.Profile != nil {
+		resp.Explain = resp.Profile.String()
+	}
+	return resp
+}
+
+// maybeObserveDual closes the paper's loop on a sampled cache miss: the
+// non-routed engine's plan is executed too (serially, on this worker's
+// slot), the measured winner is compared against the routing decision,
+// and both engines' (observed, modeled) pairs feed the latency
+// calibrator. Deterministic every-Nth sampling keeps the overhead
+// proportional and predictable.
+func (g *Gateway) maybeObserveDual(resp *Response, bp *BoundPlan, route plan.Engine) {
+	every := g.cfg.ObservedEvery
+	if every <= 0 || resp.Err != nil || bp.TP == nil || bp.AP == nil {
+		return
+	}
+	if g.dualN.Add(1)%int64(every) != 0 {
+		return
+	}
+	other := plan.AP
+	if route == plan.AP {
+		other = plan.TP
+	}
+	ctx := exec.NewContext()
+	start := time.Now()
+	_, err := pickPlan(bp, other).Execute(ctx)
+	otherTime := time.Since(start)
+	if err != nil {
+		return
+	}
+	chosen := resp.ExecTime
+	g.metrics.observedKnown.Add(1)
+	if chosen <= otherTime {
+		g.metrics.observedCorrect.Add(1)
+	}
+	tpObs, apObs := chosen, otherTime
+	if route == plan.AP {
+		tpObs, apObs = otherTime, chosen
+	}
+	g.cal.Observe(plan.TP, tpObs.Nanoseconds(), resp.TPTime.Nanoseconds())
+	g.cal.Observe(plan.AP, apObs.Nanoseconds(), resp.APTime.Nanoseconds())
 }
 
 // processDML serves one write through the system's TP write path: the
 // statement commits on the row-store primary under the single-writer lock
 // and is queued for delta replication; the response reports the commit
 // LSN so callers can reason about AP visibility.
-func (g *Gateway) processDML(sql, kind string) *Response {
+func (g *Gateway) processDML(sql, kind string, tr *obs.QueryTrace) *Response {
 	resp := &Response{SQL: sql, Kind: kind}
-	res, err := g.sys.Exec(sql)
+	res, err := g.sys.ExecTraced(sql, tr)
 	if err != nil {
 		resp.Err = fmt.Errorf("gateway: write: %w", err)
 		return resp
@@ -470,7 +627,7 @@ func (g *Gateway) recordRoute(route plan.Engine, tpTime, apTime time.Duration) {
 	}
 }
 
-func (g *Gateway) execute(resp *Response, phys *optimizer.PhysPlan, eng plan.Engine) {
+func (g *Gateway) execute(resp *Response, phys *optimizer.PhysPlan, eng plan.Engine, tr *obs.QueryTrace, analyzed bool) {
 	resp.Engine = eng
 	ctx := exec.NewContext()
 	// DOP-aware admission: a plan that wants intra-query parallelism
@@ -488,7 +645,17 @@ func (g *Gateway) execute(resp *Response, phys *optimizer.PhysPlan, eng plan.Eng
 	// pool, so a cached plan can run on many workers concurrently through
 	// the batch pipeline while reusing execution buffers across queries;
 	// with DOP > 1 the clone forks per-worker pipeline state at Open.
-	rows, err := phys.Execute(ctx)
+	sp := tr.Begin("execute")
+	start := time.Now()
+	var rows []value.Row
+	var err error
+	if analyzed {
+		rows, resp.Profile, err = phys.ExecuteAnalyzed(ctx)
+	} else {
+		rows, err = phys.Execute(ctx)
+	}
+	resp.ExecTime = time.Since(start)
+	sp.End()
 	if err != nil {
 		resp.Err = fmt.Errorf("gateway: %v execution: %w", eng, err)
 		return
@@ -499,6 +666,13 @@ func (g *Gateway) execute(resp *Response, phys *optimizer.PhysPlan, eng plan.Eng
 		g.metrics.parallelQueries.Add(1)
 	}
 	g.metrics.observeExec(eng, &ctx.Stats)
+	// feed the latency calibrator when the modeled time for this engine is
+	// known (misses and full hits; template hits planned one engine only)
+	modeled := resp.TPTime
+	if eng == plan.AP {
+		modeled = resp.APTime
+	}
+	g.cal.Observe(eng, resp.ExecTime.Nanoseconds(), modeled.Nanoseconds())
 }
 
 // planOne parses the query and plans only the given engine — the

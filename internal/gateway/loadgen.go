@@ -3,12 +3,12 @@ package gateway
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"htapxplain/internal/obs"
 	"htapxplain/internal/plan"
 	"htapxplain/internal/workload"
 )
@@ -84,26 +84,16 @@ func (r LoadReport) String() string {
 }
 
 // routeOf classifies a served response for the per-route breakdown.
+// Explains follow the engine the policy routed them to.
 func routeOf(resp *Response) string {
-	if resp.Kind != "select" {
-		return "dml"
+	switch resp.Kind {
+	case "select", "explain", "explain_analyze":
+		if resp.Engine == plan.TP {
+			return "tp"
+		}
+		return "ap"
 	}
-	if resp.Engine == plan.TP {
-		return "tp"
-	}
-	return "ap"
-}
-
-// latQuantile returns the q-th quantile of a sorted latency slice.
-func latQuantile(sorted []time.Duration, q float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(q * float64(len(sorted)))
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
+	return "dml"
 }
 
 // RunLoad drives the gateway with the configured closed loop and returns
@@ -150,24 +140,17 @@ func RunLoad(g *Gateway, cfg LoadConfig) LoadReport {
 	}
 
 	var next, completed, writes, shed, failed atomic.Int64
-	var latMu sync.Mutex
-	routeLat := map[string][]time.Duration{}
+	// per-route latency histograms; obs.Histogram.Observe is atomic, so
+	// every client records directly with no merge step or shared lock
+	routeLat := map[string]*obs.Histogram{
+		"tp": new(obs.Histogram), "ap": new(obs.Histogram), "dml": new(obs.Histogram),
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	wg.Add(cfg.Clients)
 	for c := 0; c < cfg.Clients; c++ {
 		go func() {
 			defer wg.Done()
-			// client-local latency samples, merged once at exit so the hot
-			// loop never contends on the shared map
-			local := map[string][]time.Duration{}
-			defer func() {
-				latMu.Lock()
-				for route, ds := range local {
-					routeLat[route] = append(routeLat[route], ds...)
-				}
-				latMu.Unlock()
-			}()
 			for {
 				i := next.Add(1) - 1
 				if i >= int64(cfg.Queries) {
@@ -194,8 +177,7 @@ func RunLoad(g *Gateway, cfg LoadConfig) LoadReport {
 					if isWrite {
 						writes.Add(1)
 					}
-					route := routeOf(resp)
-					local[route] = append(local[route], resp.ServeTime)
+					routeLat[routeOf(resp)].Observe(resp.ServeTime)
 				}
 			}
 		}()
@@ -212,12 +194,15 @@ func RunLoad(g *Gateway, cfg LoadConfig) LoadReport {
 		PerRoute:  map[string]RouteLatency{},
 		Gateway:   g.Metrics(),
 	}
-	for route, ds := range routeLat {
-		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	for route, h := range routeLat {
+		snap := h.Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
 		rep.PerRoute[route] = RouteLatency{
-			Count: int64(len(ds)),
-			P50:   latQuantile(ds, 0.50),
-			P99:   latQuantile(ds, 0.99),
+			Count: snap.Count,
+			P50:   snap.Quantile(0.50),
+			P99:   snap.Quantile(0.99),
 		}
 	}
 	if elapsed > 0 {

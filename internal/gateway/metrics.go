@@ -7,13 +7,26 @@ import (
 	"time"
 
 	"htapxplain/internal/exec"
+	"htapxplain/internal/obs"
 	"htapxplain/internal/plan"
 )
 
-// histBuckets is the number of power-of-two latency buckets. Bucket i
-// counts serve times in [2^i, 2^(i+1)) microseconds; the last bucket is an
-// overflow (≥ ~8.6 s).
-const histBuckets = 24
+// Serving stages with their own latency histogram, fed from sampled query
+// traces (see Metrics.observeStages). The list is fixed so the histograms
+// are flat atomic arrays with no registry locking.
+var stageNames = [...]string{
+	"queue_wait", "parse", "fingerprint", "cache_lookup", "plan", "route",
+	"execute", "apply", "wal_append", "wal_fsync_wait",
+}
+
+func stageIndex(name string) int {
+	for i, s := range stageNames {
+		if s == name {
+			return i
+		}
+	}
+	return -1
+}
 
 // Metrics is the gateway's lock-free counter set. All fields are updated
 // with atomics from every worker; Snapshot reads them without stopping the
@@ -33,6 +46,12 @@ type Metrics struct {
 	routeKnown   atomic.Int64 // routes with modeled ground truth available
 	routeCorrect atomic.Int64 // ... that matched the modeled winner
 
+	// Observed routing accuracy: sampled dual-executions where the routed
+	// engine was (or was not) the measured-faster one — the paper's loop
+	// closed against real execution rather than the model.
+	observedKnown   atomic.Int64
+	observedCorrect atomic.Int64
+
 	writesInsert atomic.Int64 // committed INSERT statements
 	writesUpdate atomic.Int64 // committed UPDATE statements
 	writesDelete atomic.Int64 // committed DELETE statements
@@ -43,8 +62,27 @@ type Metrics struct {
 	execTP execCounters // physical work done by queries routed to TP
 	execAP execCounters // ... and to AP
 
-	latSum     atomic.Int64 // total serve nanoseconds
-	latBuckets [histBuckets]atomic.Int64
+	// Serve-latency histograms: one overall, one per route class. The
+	// per-stage histograms are only fed from sampled traces, so their
+	// counts are a sample of the per-route ones.
+	latAll obs.Histogram
+	latTP  obs.Histogram
+	latAP  obs.Histogram
+	latDML obs.Histogram
+	stages [len(stageNames)]obs.Histogram
+}
+
+// routeHist returns the serve-latency histogram of a route class
+// ("tp", "ap" or "dml").
+func (m *Metrics) routeHist(route string) *obs.Histogram {
+	switch route {
+	case "tp":
+		return &m.latTP
+	case "ap":
+		return &m.latAP
+	default:
+		return &m.latDML
+	}
 }
 
 // execCounters aggregates the batch pipeline's work counters per route.
@@ -107,15 +145,24 @@ func (ec *execCounters) snapshot() ExecSnapshot {
 	}
 }
 
-func (m *Metrics) observeLatency(d time.Duration) {
-	m.latSum.Add(int64(d))
-	us := d.Microseconds()
-	b := 0
-	for us > 1 && b < histBuckets-1 {
-		us >>= 1
-		b++
+func (m *Metrics) observeLatency(route string, d time.Duration) {
+	m.latAll.Observe(d)
+	m.routeHist(route).Observe(d)
+}
+
+// observeStages folds one sampled trace's spans into the per-stage
+// histograms. Only called for traced queries, so the cost never touches
+// the sampled-out hot path.
+func (m *Metrics) observeStages(t *obs.QueryTrace) {
+	if t == nil {
+		return
 	}
-	m.latBuckets[b].Add(1)
+	for i := range t.Spans {
+		sp := &t.Spans[i]
+		if idx := stageIndex(sp.Name); idx >= 0 {
+			m.stages[idx].Observe(time.Duration(sp.DurUS) * time.Microsecond)
+		}
+	}
 }
 
 // Snapshot is a point-in-time copy of the gateway metrics with derived
@@ -134,6 +181,19 @@ type Snapshot struct {
 	RoutedTP      int64   `json:"routed_tp"`
 	RoutedAP      int64   `json:"routed_ap"`
 	RouteAccuracy float64 `json:"route_accuracy"`
+
+	// Observed routing accuracy from sampled dual-execution: of the
+	// samples, the fraction where the routed engine was the measured-faster
+	// one. The latency scales are the calibrator's observed/modeled EWMA
+	// ratios (0 until the engine has samples). Filled by Gateway.Metrics.
+	RouterObservedAccuracy float64 `json:"router_observed_accuracy"`
+	RouterObservedSamples  int64   `json:"router_observed_samples"`
+	LatencyScaleTP         float64 `json:"latency_scale_tp"`
+	LatencyScaleAP         float64 `json:"latency_scale_ap"`
+
+	// TracesSampled counts queries that carried a full span trace. Filled
+	// by Gateway.Metrics from the tracer.
+	TracesSampled int64 `json:"traces_sampled"`
 
 	WritesInsert int64 `json:"writes_insert"`
 	WritesUpdate int64 `json:"writes_update"`
@@ -213,36 +273,17 @@ func (m *Metrics) Snapshot() Snapshot {
 	if known := m.routeKnown.Load(); known > 0 {
 		s.RouteAccuracy = float64(m.routeCorrect.Load()) / float64(known)
 	}
-	var counts [histBuckets]int64
-	var n int64
-	for i := range counts {
-		counts[i] = m.latBuckets[i].Load()
-		n += counts[i]
+	if known := m.observedKnown.Load(); known > 0 {
+		s.RouterObservedAccuracy = float64(m.observedCorrect.Load()) / float64(known)
+		s.RouterObservedSamples = known
 	}
-	if n > 0 {
-		s.MeanLatency = time.Duration(m.latSum.Load() / n)
-		s.P50 = quantile(counts[:], n, 0.50)
-		s.P95 = quantile(counts[:], n, 0.95)
-		s.P99 = quantile(counts[:], n, 0.99)
+	if lat := m.latAll.Snapshot(); lat.Count > 0 {
+		s.MeanLatency = m.latAll.Mean()
+		s.P50 = lat.Quantile(0.50)
+		s.P95 = lat.Quantile(0.95)
+		s.P99 = lat.Quantile(0.99)
 	}
 	return s
-}
-
-// quantile returns the upper bound of the histogram bucket containing the
-// q-th sample — a standard bucketed-quantile estimate.
-func quantile(counts []int64, n int64, q float64) time.Duration {
-	target := int64(q * float64(n))
-	if target >= n {
-		target = n - 1
-	}
-	var seen int64
-	for i, c := range counts {
-		seen += c
-		if seen > target {
-			return time.Duration(int64(1)<<uint(i+1)) * time.Microsecond
-		}
-	}
-	return time.Duration(int64(1)<<histBuckets) * time.Microsecond
 }
 
 // String renders the snapshot as a compact one-line summary for logs.

@@ -1,0 +1,114 @@
+package gateway
+
+import (
+	"htapxplain/internal/obs"
+)
+
+// PromText renders the full metric set in the Prometheus text exposition
+// format (version 0.0.4). Counters and gauges come from the same snapshot
+// the JSON endpoint serves; latency distributions are exposed as native
+// histograms (per route class and per serving stage) plus derived
+// quantile gauges for dashboards that do not compute histogram_quantile.
+func (g *Gateway) PromText() string {
+	s := g.Metrics()
+	m := &g.metrics
+	w := obs.NewPromWriter()
+
+	w.Counter("htap_queries_total", "Queries admitted and served.", nil, s.Total)
+	w.Counter("htap_queries_shed_total", "Queries rejected by admission control.", nil, s.Shed)
+	w.Counter("htap_query_errors_total", "Queries that failed in parse, plan, or execution.", nil, s.Errors)
+	w.Gauge("htap_in_flight", "Queries currently being served by workers.", nil, float64(s.InFlight))
+
+	w.Counter("htap_cache_hits_total", "Plan-cache hits by kind.",
+		map[string]string{"kind": "full"}, s.CacheHits)
+	w.Counter("htap_cache_hits_total", "Plan-cache hits by kind.",
+		map[string]string{"kind": "template"}, s.CacheTemplateHits)
+	w.Counter("htap_cache_misses_total", "Plan-cache misses (both engines planned).", nil, s.CacheMisses)
+
+	w.Counter("htap_routed_total", "Queries routed per engine.",
+		map[string]string{"engine": "tp"}, s.RoutedTP)
+	w.Counter("htap_routed_total", "Queries routed per engine.",
+		map[string]string{"engine": "ap"}, s.RoutedAP)
+	w.Gauge("htap_route_modeled_accuracy", "Fraction of routes matching the modeled-latency winner.", nil, s.RouteAccuracy)
+	w.Gauge("router_observed_accuracy", "Fraction of sampled dual-executions where the routed engine was measured faster.", nil, s.RouterObservedAccuracy)
+	w.Counter("htap_router_observed_samples_total", "Dual-execution samples behind router_observed_accuracy.", nil, s.RouterObservedSamples)
+	w.Gauge("htap_latency_scale", "Calibrator observed/modeled latency ratio per engine (0 until sampled).",
+		map[string]string{"engine": "tp"}, s.LatencyScaleTP)
+	w.Gauge("htap_latency_scale", "Calibrator observed/modeled latency ratio per engine (0 until sampled).",
+		map[string]string{"engine": "ap"}, s.LatencyScaleAP)
+	w.Counter("htap_traces_sampled_total", "Queries that carried a full span trace.", nil, s.TracesSampled)
+
+	w.Counter("htap_writes_total", "Committed DML statements by kind.",
+		map[string]string{"kind": "insert"}, s.WritesInsert)
+	w.Counter("htap_writes_total", "Committed DML statements by kind.",
+		map[string]string{"kind": "update"}, s.WritesUpdate)
+	w.Counter("htap_writes_total", "Committed DML statements by kind.",
+		map[string]string{"kind": "delete"}, s.WritesDelete)
+	w.Counter("htap_rows_written_total", "Rows affected across committed DML.", nil, s.RowsWritten)
+
+	w.Gauge("htap_commit_lsn", "Primary's last committed LSN.", nil, float64(s.CommitLSN))
+	w.Gauge("htap_replication_watermark", "Column store's applied-delta watermark LSN.", nil, float64(s.Watermark))
+	w.Gauge("htap_staleness_lsns", "Commit LSN minus replication watermark (0 = AP fully fresh).", nil, float64(s.StalenessLSNs))
+	w.Counter("htap_delta_merges_total", "Background delta-to-column-store merge passes.", nil, s.Merges)
+	w.Counter("htap_delta_rows_merged_total", "Rows folded into the column store by merges.", nil, s.RowsMerged)
+
+	if s.DurabilityOn {
+		w.Counter("htap_wal_appends_total", "WAL records appended.", nil, s.WALAppends)
+		w.Counter("htap_wal_appended_bytes_total", "WAL bytes appended.", nil, s.WALBytes)
+		w.Counter("htap_wal_syncs_total", "WAL fsync batches (group commits).", nil, s.WALSyncs)
+		w.Gauge("htap_wal_max_group_commit", "Largest group-commit batch observed.", nil, float64(s.WALMaxGroup))
+		w.Gauge("htap_wal_segments", "Live WAL segment files.", nil, float64(s.WALSegments))
+		w.Gauge("htap_wal_durable_lsn", "Highest fsync-durable LSN.", nil, float64(s.WALDurableLSN))
+		w.Counter("htap_checkpoints_total", "Checkpoints taken.", nil, s.Checkpoints)
+		w.Gauge("htap_checkpoint_last_lsn", "LSN of the last checkpoint.", nil, float64(s.CheckpointLSN))
+		w.Gauge("htap_checkpoint_last_ms", "Duration of the last checkpoint in milliseconds.", nil, float64(s.CheckpointMS))
+		w.Counter("htap_checkpoint_wal_segments_freed_total", "WAL segments truncated by checkpoints.", nil, s.CheckpointFree)
+	}
+
+	w.Counter("htap_parallel_queries_total", "Queries that forked morsel workers.", nil, s.ParallelQueries)
+	w.Counter("htap_morsels_dispatched_total", "Chunk-aligned morsels dispatched to workers.", nil, s.MorselsDispatched)
+	w.Counter("htap_zonemap_chunks_pruned_total", "Column chunks skipped by zone-map pruning.", nil, s.ZonemapPruned)
+	w.Counter("htap_zonemap_chunks_scanned_total", "Column chunks actually scanned.", nil, s.ZonemapScanned)
+	for _, e := range []struct {
+		name string
+		ec   ExecSnapshot
+	}{{"tp", s.ExecTP}, {"ap", s.ExecAP}} {
+		lbl := map[string]string{"engine": e.name}
+		w.Counter("htap_exec_rows_scanned_total", "Rows scanned by the batch pipeline per engine.", lbl, e.ec.RowsScanned)
+		w.Counter("htap_exec_batches_produced_total", "Vector batches produced per engine.", lbl, e.ec.BatchesProduced)
+	}
+
+	routes := []struct {
+		name string
+		h    *obs.Histogram
+	}{{"all", &m.latAll}, {"tp", &m.latTP}, {"ap", &m.latAP}, {"dml", &m.latDML}}
+	for _, r := range routes {
+		w.Histogram("htap_query_latency_seconds", "Serve latency per route class.",
+			map[string]string{"route": r.name}, r.h.Snapshot())
+	}
+	for _, r := range routes {
+		snap := r.h.Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		for _, q := range []struct {
+			label string
+			q     float64
+		}{{"0.5", 0.50}, {"0.9", 0.90}, {"0.99", 0.99}} {
+			w.Gauge("htap_query_latency_quantile_seconds",
+				"Derived latency quantiles per route class (log-bucket upper bounds).",
+				map[string]string{"route": r.name, "quantile": q.label},
+				snap.Quantile(q.q).Seconds())
+		}
+	}
+	for i, stage := range stageNames {
+		snap := m.stages[i].Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		w.Histogram("htap_stage_latency_seconds",
+			"Serving-stage latency from sampled traces (a sample of query totals).",
+			map[string]string{"stage": stage}, snap)
+	}
+	return w.String()
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"htapxplain/internal/obs"
 	"htapxplain/internal/value"
 )
 
@@ -31,6 +32,7 @@ type QueryResponse struct {
 	APMillis     float64    `json:"modeled_ap_ms,omitempty"`
 	ServeUS      int64      `json:"serve_us"`
 	QueueUS      int64      `json:"queue_us"`
+	Explain      string     `json:"explain,omitempty"`
 	Error        string     `json:"error,omitempty"`
 	Truncated    bool       `json:"truncated,omitempty"`
 }
@@ -45,9 +47,13 @@ const maxRowsInReply = 100
 //	              SELECT is routed dual-engine; INSERT/UPDATE/DELETE
 //	              commit on the TP primary and replicate to the column
 //	              store (the reply carries rows_affected + commit_lsn)
-//	GET  /metrics               → Snapshot (including the freshness gauge:
-//	                              commit_lsn, replication_watermark,
-//	                              staleness_lsns, delta_merges)
+//	GET  /metrics               → Snapshot as JSON (including the freshness
+//	                              gauge: commit_lsn, replication_watermark,
+//	                              staleness_lsns, delta_merges); with
+//	                              ?format=prometheus, the text exposition
+//	                              format 0.0.4 instead
+//	GET  /debug/traces          → retained sampled query traces, newest
+//	                              first, as JSON
 //	GET  /healthz               → 200 ok
 func NewServeMux(g *Gateway) *http.ServeMux {
 	mux := http.NewServeMux()
@@ -76,7 +82,19 @@ func NewServeMux(g *Gateway) *http.ServeMux {
 		writeJSON(w, toQueryResponse(resp))
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prometheus" {
+			w.Header().Set("Content-Type", obs.PromContentType)
+			_, _ = w.Write([]byte(g.PromText()))
+			return
+		}
 		writeJSON(w, g.Metrics())
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		traces := g.Tracer().Traces()
+		if traces == nil {
+			traces = []*obs.QueryTrace{}
+		}
+		writeJSON(w, traces)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -93,12 +111,16 @@ func toQueryResponse(resp *Response) QueryResponse {
 		ServeUS:  resp.ServeTime.Microseconds(),
 		QueueUS:  resp.QueueWait.Microseconds(),
 	}
-	if resp.Kind == "select" {
+	switch resp.Kind {
+	case "select":
 		out.Engine = resp.Engine.String()
 		out.Cache = resp.Cache.String()
 		out.TPMillis = float64(resp.TPTime) / float64(time.Millisecond)
 		out.APMillis = float64(resp.APTime) / float64(time.Millisecond)
-	} else {
+	case "explain", "explain_analyze":
+		out.Engine = resp.Engine.String()
+		out.Explain = resp.Explain
+	default:
 		out.RowsAffected = resp.RowsAffected
 		out.LSN = resp.LSN
 	}

@@ -6,6 +6,7 @@ import (
 
 	"htapxplain/internal/catalog"
 	"htapxplain/internal/exec"
+	"htapxplain/internal/obs"
 	"htapxplain/internal/repl"
 	"htapxplain/internal/rowstore"
 	"htapxplain/internal/sqlparser"
@@ -32,22 +33,35 @@ type DMLResult struct {
 // makes the commit LSN a total order. SELECTs are rejected — reads go
 // through Run or the gateway.
 func (s *System) Exec(sql string) (*DMLResult, error) {
+	return s.ExecTraced(sql, nil)
+}
+
+// ExecTraced is Exec with per-stage spans (parse, apply, wal_append,
+// wal_fsync_wait) recorded into the query's trace. A nil trace makes
+// every span a no-op — Exec is exactly ExecTraced(sql, nil).
+func (s *System) ExecTraced(sql string, t *obs.QueryTrace) (*DMLResult, error) {
+	sp := t.Begin("parse")
 	stmt, err := sqlparser.ParseStatement(sql)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	return s.ExecStmt(stmt)
+	return s.execStmt(stmt, t)
 }
 
 // ExecStmt executes an already-parsed DML statement.
 func (s *System) ExecStmt(stmt sqlparser.Statement) (*DMLResult, error) {
+	return s.execStmt(stmt, nil)
+}
+
+func (s *System) execStmt(stmt sqlparser.Statement, t *obs.QueryTrace) (*DMLResult, error) {
 	switch x := stmt.(type) {
 	case *sqlparser.Insert:
-		return s.execInsert(x)
+		return s.execInsert(x, t)
 	case *sqlparser.Update:
-		return s.execUpdate(x)
+		return s.execUpdate(x, t)
 	case *sqlparser.Delete:
-		return s.execDelete(x)
+		return s.execDelete(x, t)
 	case *sqlparser.Select:
 		return nil, fmt.Errorf("htap: Exec handles DML only; run SELECT through Run")
 	default:
@@ -63,36 +77,51 @@ func (s *System) ExecStmt(stmt sqlparser.Statement) (*DMLResult, error) {
 // appending, and a single fsync acknowledges the whole batch. Replication
 // into the in-memory column store may run ahead of the fsync; that is
 // safe, because on a crash both stores are rebuilt from the same log.
-func (s *System) commit(fn func() (*repl.Mutation, error)) (*repl.Mutation, error) {
+func (s *System) commit(t *obs.QueryTrace, fn func() (*repl.Mutation, error)) (*repl.Mutation, error) {
+	// the apply span covers writer-lock wait plus the heap mutation; the
+	// wal_append span nests inside it, and the group-commit fsync wait is
+	// its own top-level span outside the lock
+	applySpan := t.Begin("apply")
 	s.writeMu.Lock()
 	if s.closed {
 		s.writeMu.Unlock()
+		applySpan.End()
 		return nil, fmt.Errorf("htap: system closed")
 	}
 	if s.walErr != nil {
 		s.writeMu.Unlock()
+		applySpan.End()
 		return nil, fmt.Errorf("htap: write path halted by log failure: %w", s.walErr)
 	}
 	mut, err := fn()
 	if err != nil {
 		s.writeMu.Unlock()
+		applySpan.End()
 		return nil, err
 	}
 	if s.wal != nil {
 		rec := wal.Record{LSN: mut.LSN, Kind: wal.KindMutation, Body: wal.EncodeMutation(mut)}
-		if err := s.wal.Append(rec); err != nil {
+		walSpan := t.Begin("wal_append")
+		err := s.wal.Append(rec)
+		walSpan.End()
+		if err != nil {
 			// the heap already applied the mutation but the log did not
 			// record it: acknowledging (or accepting more writes) could
 			// lose it on restart, so poison the write path instead
 			s.walErr = err
 			s.writeMu.Unlock()
+			applySpan.End()
 			return nil, fmt.Errorf("htap: logging commit %d: %w", mut.LSN, err)
 		}
 	}
 	s.replCh <- mut
 	s.writeMu.Unlock()
+	applySpan.End()
 	if s.wal != nil {
-		if err := s.wal.WaitDurable(mut.LSN); err != nil {
+		fsyncSpan := t.Begin("wal_fsync_wait")
+		err := s.wal.WaitDurable(mut.LSN)
+		fsyncSpan.End()
+		if err != nil {
 			// a failed fsync is sticky in the WAL; make it sticky here too,
 			// so retries cannot keep mutating state that will never be
 			// acknowledged durable (and would vanish on restart)
@@ -107,7 +136,7 @@ func (s *System) commit(fn func() (*repl.Mutation, error)) (*repl.Mutation, erro
 	return mut, nil
 }
 
-func (s *System) execInsert(ins *sqlparser.Insert) (*DMLResult, error) {
+func (s *System) execInsert(ins *sqlparser.Insert, t *obs.QueryTrace) (*DMLResult, error) {
 	meta, ok := s.Cat.Table(ins.Table)
 	if !ok {
 		return nil, fmt.Errorf("htap: no such table %q", ins.Table)
@@ -149,7 +178,7 @@ func (s *System) execInsert(ins *sqlparser.Insert) (*DMLResult, error) {
 		}
 		rows = append(rows, row)
 	}
-	mut, err := s.commit(func() (*repl.Mutation, error) {
+	mut, err := s.commit(t, func() (*repl.Mutation, error) {
 		return s.Row.Insert(ins.Table, rows)
 	})
 	if err != nil {
@@ -159,8 +188,8 @@ func (s *System) execInsert(ins *sqlparser.Insert) (*DMLResult, error) {
 		RowsAffected: len(rows), LSN: mut.LSN}, nil
 }
 
-func (s *System) execUpdate(upd *sqlparser.Update) (*DMLResult, error) {
-	t, meta, pred, err := s.dmlTarget(upd.Table, upd.Where)
+func (s *System) execUpdate(upd *sqlparser.Update, t *obs.QueryTrace) (*DMLResult, error) {
+	tbl, meta, pred, err := s.dmlTarget(upd.Table, upd.Where)
 	if err != nil {
 		return nil, err
 	}
@@ -181,8 +210,8 @@ func (s *System) execUpdate(upd *sqlparser.Update) (*DMLResult, error) {
 		}
 		setters = append(setters, setter{col: ci, ev: ev})
 	}
-	mut, err := s.commit(func() (*repl.Mutation, error) {
-		rids, rows, err := matchLive(t, pred)
+	mut, err := s.commit(t, func() (*repl.Mutation, error) {
+		rids, rows, err := matchLive(tbl, pred)
 		if err != nil {
 			return nil, err
 		}
@@ -217,13 +246,13 @@ func (s *System) execUpdate(upd *sqlparser.Update) (*DMLResult, error) {
 		RowsAffected: mut.NumRowsAffected(), LSN: mut.LSN}, nil
 }
 
-func (s *System) execDelete(del *sqlparser.Delete) (*DMLResult, error) {
-	t, _, pred, err := s.dmlTarget(del.Table, del.Where)
+func (s *System) execDelete(del *sqlparser.Delete, t *obs.QueryTrace) (*DMLResult, error) {
+	tbl, _, pred, err := s.dmlTarget(del.Table, del.Where)
 	if err != nil {
 		return nil, err
 	}
-	mut, err := s.commit(func() (*repl.Mutation, error) {
-		rids, _, err := matchLive(t, pred)
+	mut, err := s.commit(t, func() (*repl.Mutation, error) {
+		rids, _, err := matchLive(tbl, pred)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,95 @@
+package latency
+
+import (
+	"math"
+	"sync/atomic"
+
+	"htapxplain/internal/plan"
+)
+
+// Calibrator closes the loop between the modeled latencies this package
+// produces and the wall times the gateway actually observes. Modeled
+// times are stated at the paper's deployment scale (100 GB, six nodes)
+// while in-process executions are orders of magnitude faster, so the two
+// are related by an unknown per-engine scale factor; the calibrator
+// tracks that factor as an exponentially-weighted moving average of
+// observed/modeled ratios and can restate a modeled time in observed
+// (in-process) units. Ratios — not absolute times — are averaged, so a
+// workload mix shift does not masquerade as a scale shift.
+type Calibrator struct {
+	// Alpha is the EWMA weight of a new sample (default 0.1).
+	Alpha float64
+
+	tp, ap engineCal
+}
+
+type engineCal struct {
+	scale   atomic.Uint64 // math.Float64bits of the EWMA ratio; 0 = no samples yet
+	samples atomic.Int64
+}
+
+func (c *Calibrator) eng(e plan.Engine) *engineCal {
+	if e == plan.TP {
+		return &c.tp
+	}
+	return &c.ap
+}
+
+// Observe feeds one (observed, modeled) latency pair for an engine.
+// Non-positive inputs are ignored.
+func (c *Calibrator) Observe(e plan.Engine, observedNS, modeledNS int64) {
+	if c == nil || observedNS <= 0 || modeledNS <= 0 {
+		return
+	}
+	alpha := c.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.1
+	}
+	ratio := float64(observedNS) / float64(modeledNS)
+	ec := c.eng(e)
+	for {
+		old := ec.scale.Load()
+		var next float64
+		if old == 0 {
+			next = ratio // first sample seeds the average
+		} else {
+			next = (1-alpha)*math.Float64frombits(old) + alpha*ratio
+		}
+		if ec.scale.CompareAndSwap(old, math.Float64bits(next)) {
+			ec.samples.Add(1)
+			return
+		}
+	}
+}
+
+// Scale returns the current observed/modeled ratio for an engine
+// (0 before any sample).
+func (c *Calibrator) Scale(e plan.Engine) float64 {
+	if c == nil {
+		return 0
+	}
+	bits := c.eng(e).scale.Load()
+	if bits == 0 {
+		return 0
+	}
+	return math.Float64frombits(bits)
+}
+
+// Samples returns how many pairs have been observed for an engine.
+func (c *Calibrator) Samples(e plan.Engine) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.eng(e).samples.Load()
+}
+
+// CalibratedNS restates a modeled latency in observed in-process units.
+// Before the engine has any samples the modeled value is returned
+// unchanged (scale 1).
+func (c *Calibrator) CalibratedNS(e plan.Engine, modeledNS int64) int64 {
+	s := c.Scale(e)
+	if s == 0 {
+		return modeledNS
+	}
+	return int64(float64(modeledNS) * s)
+}

@@ -1,0 +1,115 @@
+// Package obs is the engine's low-overhead observability layer: per-query
+// traces with nested timed spans collected into a lock-free ring buffer,
+// log-bucket latency histograms with derived quantiles, and a Prometheus
+// text-exposition writer. The package is a leaf — it depends on nothing
+// inside the repo — so every layer (gateway, htap, wal, exec callers) can
+// record into it without import cycles.
+//
+// The design constraint throughout is that observability must cost nothing
+// when it is switched off: every trace entry point is nil-safe (a sampled-
+// out query carries a nil *QueryTrace and every span call on it is a
+// single predictable branch), and histograms are fixed-size atomic arrays
+// with no locks on the observe path.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the number of power-of-two latency buckets. Bucket i
+// counts observations in [2^i, 2^(i+1)) microseconds; the last bucket is
+// an overflow (≥ ~33.6 s).
+const HistBuckets = 26
+
+// Histogram is a lock-free log-bucket latency histogram: observations land
+// in power-of-two microsecond buckets with a single atomic add, and
+// quantiles are derived from the bucket counts on read. One histogram is
+// ~220 bytes, so per-route and per-stage families are cheap.
+type Histogram struct {
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	buckets [HistBuckets]atomic.Int64
+}
+
+// bucketOf returns the bucket index for a duration.
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	b := 0
+	for us > 1 && b < HistBuckets-1 {
+		us >>= 1
+		b++
+	}
+	return b
+}
+
+// BucketUpperUS returns the exclusive upper bound, in microseconds, of
+// bucket i. The last bucket is unbounded (+Inf in exposition).
+func BucketUpperUS(i int) int64 { return int64(1) << uint(i+1) }
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+	h.buckets[bucketOf(d)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNS.Load()) }
+
+// Mean returns the mean observed duration (0 with no observations).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load() / n)
+}
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// sample — the standard bucketed-quantile estimate, so the reported value
+// is within 2x of the true quantile.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	return h.Snapshot().Quantile(q)
+}
+
+// HistSnapshot is a point-in-time copy of a histogram, consistent enough
+// for monitoring (buckets are read individually, not stop-the-world).
+type HistSnapshot struct {
+	Count   int64
+	SumNS   int64
+	Buckets [HistBuckets]int64
+}
+
+// Snapshot copies the live counters.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Count = h.count.Load()
+	s.SumNS = h.sumNS.Load()
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Quantile derives the q-th quantile from the snapshot's buckets.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(q * float64(s.Count))
+	if target >= s.Count {
+		target = s.Count - 1
+	}
+	var seen int64
+	for i, c := range s.Buckets {
+		seen += c
+		if seen > target {
+			return time.Duration(BucketUpperUS(i)) * time.Microsecond
+		}
+	}
+	return time.Duration(BucketUpperUS(HistBuckets-1)) * time.Microsecond
+}

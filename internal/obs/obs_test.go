@@ -1,0 +1,322 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Microsecond, 0},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 1},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 9}, // 1000 μs → [512, 1024)
+		{time.Second, 19},     // 1e6 μs → [2^19, 2^20)
+		{time.Hour, HistBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	// 90 fast observations, 10 slow ones: p50 must land in the fast bucket,
+	// p99 in the slow one.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond) // bucket [64,128) μs
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10 * time.Millisecond) // bucket [8192,16384) μs
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	if p50 := h.Quantile(0.5); p50 != 128*time.Microsecond {
+		t.Errorf("p50 = %v, want 128µs", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 != 16384*time.Microsecond {
+		t.Errorf("p99 = %v, want 16.384ms", p99)
+	}
+	wantMean := (90*100*time.Microsecond + 10*10*time.Millisecond) / 100
+	if h.Mean() != wantMean {
+		t.Errorf("mean = %v, want %v", h.Mean(), wantMean)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	var h Histogram
+	if q := h.Quantile(0.99); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *QueryTrace
+	sp := tr.Begin("anything")
+	sp.End()
+	tr.AddSpan("x", time.Now(), time.Second)
+	tr.Annotate("ap", "hit")
+	tr.AttachStats(struct{}{})
+	if s := tr.String(); s != "<no trace>" {
+		t.Errorf("nil trace String = %q", s)
+	}
+	var tc *Tracer
+	if tc.Start("sql", "select") != nil {
+		t.Error("nil tracer Start returned non-nil trace")
+	}
+	tc.Finish(nil, nil)
+	if tc.Traces() != nil {
+		t.Error("nil tracer Traces returned non-nil")
+	}
+}
+
+func TestTraceSpanNesting(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 1})
+	trace := tr.Start("SELECT 1", "select")
+	if trace == nil {
+		t.Fatal("sample rate 1 did not sample")
+	}
+	outer := trace.Begin("serve")
+	inner := trace.Begin("plan")
+	leaf := trace.Begin("cache_lookup")
+	leaf.End()
+	inner.End()
+	sibling := trace.Begin("execute")
+	sibling.End()
+	outer.End()
+	tr.Finish(trace, nil)
+
+	if len(trace.Spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(trace.Spans))
+	}
+	wantParents := map[string]int{"serve": -1, "plan": 0, "cache_lookup": 1, "execute": 0}
+	for i, sp := range trace.Spans {
+		if want, ok := wantParents[sp.Name]; !ok || sp.Parent != want {
+			t.Errorf("span %d %q parent = %d, want %d", i, sp.Name, sp.Parent, want)
+		}
+		if sp.DurUS < 0 || sp.StartUS < 0 {
+			t.Errorf("span %q has negative timing: start=%d dur=%d", sp.Name, sp.StartUS, sp.DurUS)
+		}
+	}
+	if trace.TotalUS < trace.Spans[0].DurUS {
+		t.Errorf("total %dµs < root span %dµs", trace.TotalUS, trace.Spans[0].DurUS)
+	}
+}
+
+func TestFinishClosesOpenSpansAndRecordsError(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 1})
+	trace := tr.Start("SELECT broken", "select")
+	trace.Begin("serve")
+	trace.Begin("execute") // never ended: error unwind
+	tr.Finish(trace, errors.New("boom"))
+	for _, sp := range trace.Spans {
+		if sp.DurUS < 0 {
+			t.Errorf("span %q left open with dur %d", sp.Name, sp.DurUS)
+		}
+		if sp.DurUS > trace.TotalUS {
+			t.Errorf("span %q dur %d exceeds total %d", sp.Name, sp.DurUS, trace.TotalUS)
+		}
+	}
+	if trace.Error != "boom" {
+		t.Errorf("error = %q, want boom", trace.Error)
+	}
+}
+
+func TestTracerSamplingDeterministic(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 0.1})
+	sampled := 0
+	for i := 0; i < 1000; i++ {
+		if trace := tr.Start("q", "select"); trace != nil {
+			sampled++
+			tr.Finish(trace, nil)
+		}
+	}
+	if sampled != 100 {
+		t.Errorf("sampled %d of 1000 at rate 0.1, want exactly 100", sampled)
+	}
+	if tr.Sampled() != 100 {
+		t.Errorf("Sampled() = %d, want 100", tr.Sampled())
+	}
+
+	off := NewTracer(TracerConfig{SampleRate: 0})
+	if off.Enabled() {
+		t.Error("rate-0 tracer reports enabled")
+	}
+	if off.Start("q", "select") != nil {
+		t.Error("rate-0 tracer sampled a query")
+	}
+}
+
+func TestSlowQueryForcesSamplingAndLogs(t *testing.T) {
+	var lines []string
+	tr := NewTracer(TracerConfig{
+		SlowQuery: time.Nanosecond, // everything is slow
+		SlowLogf:  func(f string, a ...any) { lines = append(lines, fmt.Sprintf(f, a...)) },
+	})
+	if !tr.Enabled() {
+		t.Fatal("slow-query log did not force sampling on")
+	}
+	trace := tr.Start("SELECT slow", "select")
+	if trace == nil {
+		t.Fatal("slow-query tracer sampled out a query")
+	}
+	sp := trace.Begin("serve")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tr.Finish(trace, nil)
+	if len(lines) != 1 {
+		t.Fatalf("got %d slow-query log lines, want 1", len(lines))
+	}
+	if !strings.Contains(lines[0], "serve") || !strings.Contains(lines[0], "SELECT slow") {
+		t.Errorf("slow log line missing span tree: %q", lines[0])
+	}
+}
+
+func TestTracerRingNewestFirstAndWrap(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 1, RingSize: 4})
+	for i := 0; i < 10; i++ {
+		trace := tr.Start(fmt.Sprintf("q%d", i), "select")
+		tr.Finish(trace, nil)
+	}
+	got := tr.Traces()
+	if len(got) != 4 {
+		t.Fatalf("ring returned %d traces, want 4", len(got))
+	}
+	for i, want := range []string{"q9", "q8", "q7", "q6"} {
+		if got[i].SQL != want {
+			t.Errorf("trace[%d].SQL = %q, want %q", i, got[i].SQL, want)
+		}
+	}
+}
+
+var (
+	promMetricRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// checkPromBody validates an exposition body: every sample line has a
+// valid metric name, valid label names, a parseable value, and histogram
+// bucket counts are monotonically non-decreasing in le order.
+func checkPromBody(t *testing.T, body string) {
+	t.Helper()
+	type bucketKey struct{ series string }
+	lastBucket := map[bucketKey]int64{}
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" {
+			t.Error("blank line in exposition body")
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# HELP ") && !strings.HasPrefix(line, "# TYPE ") {
+				t.Errorf("bad comment line: %q", line)
+			}
+			continue
+		}
+		name := line
+		rest := ""
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name, rest = line[:i], line[i:]
+		}
+		if !promMetricRe.MatchString(name) {
+			t.Errorf("invalid metric name %q in line %q", name, line)
+		}
+		var leVal string
+		if strings.HasPrefix(rest, "{") {
+			end := strings.Index(rest, "}")
+			if end < 0 {
+				t.Errorf("unterminated label set: %q", line)
+				continue
+			}
+			for _, pair := range strings.Split(rest[1:end], ",") {
+				eq := strings.Index(pair, "=")
+				if eq < 0 {
+					t.Errorf("bad label pair %q in %q", pair, line)
+					continue
+				}
+				lname, lval := pair[:eq], pair[eq+1:]
+				if !promLabelRe.MatchString(lname) {
+					t.Errorf("invalid label name %q in %q", lname, line)
+				}
+				if len(lval) < 2 || lval[0] != '"' || lval[len(lval)-1] != '"' {
+					t.Errorf("unquoted label value %q in %q", lval, line)
+				}
+				if lname == "le" {
+					leVal = strings.Trim(lval, `"`)
+				}
+			}
+			rest = rest[end+1:]
+		}
+		valStr := strings.TrimSpace(rest)
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil && valStr != "+Inf" && valStr != "-Inf" && valStr != "NaN" {
+			t.Errorf("unparseable sample value %q in %q", valStr, line)
+		}
+		if strings.HasSuffix(name, "_bucket") && leVal != "" {
+			// strip the le pair so all buckets of one series share a key
+			series := name + strings.ReplaceAll(line, `le="`+leVal+`",`, "")
+			k := bucketKey{series}
+			if prev, ok := lastBucket[k]; ok && int64(val) < prev {
+				t.Errorf("bucket counts not monotonic at le=%s: %d < %d (%q)", leVal, int64(val), prev, line)
+			}
+			lastBucket[k] = int64(val)
+		}
+	}
+}
+
+func TestPromWriterFormat(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 50; i++ {
+		h.Observe(time.Duration(i) * 100 * time.Microsecond)
+	}
+	w := NewPromWriter()
+	w.Counter("htap_queries_total", "Total queries served.", nil, 1234)
+	w.Counter("htap_routed_total", "Queries routed per engine.", map[string]string{"engine": "tp"}, 900)
+	w.Counter("htap_routed_total", "Queries routed per engine.", map[string]string{"engine": "ap"}, 334)
+	w.Gauge("htap_router_observed_accuracy", "Observed routing accuracy.", nil, 0.93)
+	w.Histogram("htap_query_latency_seconds", "Serve latency.", map[string]string{"route": "ap"}, h.Snapshot())
+	body := w.String()
+
+	checkPromBody(t, body)
+
+	if c := strings.Count(body, "# TYPE htap_routed_total counter"); c != 1 {
+		t.Errorf("family header emitted %d times, want 1", c)
+	}
+	if !strings.Contains(body, `htap_query_latency_seconds_bucket{le="+Inf",route="ap"} 50`) {
+		t.Errorf("missing +Inf bucket with full count:\n%s", body)
+	}
+	if !strings.Contains(body, "htap_query_latency_seconds_count{route=\"ap\"} 50") {
+		t.Errorf("missing _count sample:\n%s", body)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+}
+
+func BenchmarkTracerSampledOut(b *testing.B) {
+	tr := NewTracer(TracerConfig{SampleRate: 0})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := tr.Start("SELECT 1", "select")
+		sp := t.Begin("serve")
+		sp.End()
+		tr.Finish(t, nil)
+	}
+}

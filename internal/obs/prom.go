@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PromContentType is the Prometheus text exposition format 0.0.4
+// content type.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromWriter renders metrics in the Prometheus text exposition format
+// (version 0.0.4). Families must be emitted contiguously; the writer
+// tracks which families have had their HELP/TYPE header written so
+// multi-label series of one family share a single header.
+type PromWriter struct {
+	b      strings.Builder
+	headed map[string]bool
+}
+
+// NewPromWriter returns an empty writer.
+func NewPromWriter() *PromWriter {
+	return &PromWriter{headed: map[string]bool{}}
+}
+
+func (w *PromWriter) head(name, help, typ string) {
+	if w.headed[name] {
+		return
+	}
+	w.headed[name] = true
+	fmt.Fprintf(&w.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// labelString renders a label map as {k="v",...} with keys sorted for
+// deterministic output, or "" when empty.
+func labelString(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mergeLabels returns base plus one extra pair (used for the histogram
+// le label) without mutating base.
+func mergeLabels(base map[string]string, k, v string) map[string]string {
+	out := make(map[string]string, len(base)+1)
+	for bk, bv := range base {
+		out[bk] = bv
+	}
+	out[k] = v
+	return out
+}
+
+// Counter emits one counter sample.
+func (w *PromWriter) Counter(name, help string, labels map[string]string, v int64) {
+	w.head(name, help, "counter")
+	fmt.Fprintf(&w.b, "%s%s %d\n", name, labelString(labels), v)
+}
+
+// Gauge emits one gauge sample.
+func (w *PromWriter) Gauge(name, help string, labels map[string]string, v float64) {
+	w.head(name, help, "gauge")
+	fmt.Fprintf(&w.b, "%s%s %v\n", name, labelString(labels), v)
+}
+
+// Histogram emits one histogram series (cumulative le buckets in seconds,
+// _sum, _count) from a snapshot.
+func (w *PromWriter) Histogram(name, help string, labels map[string]string, s HistSnapshot) {
+	w.head(name, help, "histogram")
+	var cum int64
+	for i := 0; i < HistBuckets-1; i++ {
+		cum += s.Buckets[i]
+		le := float64(BucketUpperUS(i)) / 1e6 // bucket bounds are μs; expose seconds
+		fmt.Fprintf(&w.b, "%s_bucket%s %d\n", name, labelString(mergeLabels(labels, "le", fmt.Sprintf("%g", le))), cum)
+	}
+	cum += s.Buckets[HistBuckets-1]
+	fmt.Fprintf(&w.b, "%s_bucket%s %d\n", name, labelString(mergeLabels(labels, "le", "+Inf")), cum)
+	fmt.Fprintf(&w.b, "%s_sum%s %g\n", name, labelString(labels), float64(s.SumNS)/1e9)
+	fmt.Fprintf(&w.b, "%s_count%s %d\n", name, labelString(labels), s.Count)
+}
+
+// String returns the accumulated exposition body.
+func (w *PromWriter) String() string { return w.b.String() }

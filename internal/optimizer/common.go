@@ -42,6 +42,18 @@ func (p *PhysPlan) Execute(ctx *exec.Context) ([]value.Row, error) {
 	return p.runner.Drain(ctx)
 }
 
+// ExecuteAnalyzed runs the plan once with per-operator instrumentation —
+// the EXPLAIN ANALYZE path. A private clone of the operator tree is
+// wrapped in measuring operators (transparent to morsel-parallel forking,
+// so a DOP>1 plan forks exactly as in Execute) and drained; the measured
+// per-operator profile is returned alongside the rows. The profile is
+// also populated on error, so a failed run still shows where time went.
+func (p *PhysPlan) ExecuteAnalyzed(ctx *exec.Context) ([]value.Row, *exec.OpStats, error) {
+	root, prof := exec.Instrument(p.Root.Clone())
+	rows, err := exec.Drain(root, ctx)
+	return rows, prof.Snapshot(), err
+}
+
 // Planner plans queries for both engines over shared storage.
 type Planner struct {
 	Cat *catalog.Catalog
