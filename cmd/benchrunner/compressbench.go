@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"htapxplain/internal/colstore"
+	"htapxplain/internal/htap"
+	"htapxplain/internal/tpch"
+)
+
+// The compression benchmark (-compress-bench) tracks the encoding layer's
+// trajectory: base-chunk resident bytes raw vs encoded, and selective-scan
+// / grouped-aggregate throughput at DOP 1 and 4 under every encoding
+// policy over the same 10x-scaled physical dataset the parallel benchmark
+// uses. CI runs it once per build and archives BENCH_compress.json.
+
+// CompressBenchReport is the JSON document written to -compress-out.
+type CompressBenchReport struct {
+	GOMAXPROCS int                   `json:"gomaxprocs"`
+	PhysRows   int                   `json:"lineitem_phys_rows"`
+	Policies   []CompressPolicyPoint `json:"policies"`
+}
+
+// CompressPolicyPoint is one encoding policy's footprint and throughput.
+type CompressPolicyPoint struct {
+	Policy           string               `json:"policy"`
+	ResidentBytes    int64                `json:"colstore_resident_bytes"`
+	RawBytes         int64                `json:"colstore_raw_bytes"`
+	CompressionRatio float64              `json:"colstore_compression_ratio"`
+	ChunksByEncoding map[string]int64     `json:"chunks_by_encoding"`
+	SelectiveScan    []ParallelBenchPoint `json:"selective_scan"`
+	Aggregate        []ParallelBenchPoint `json:"aggregate"`
+}
+
+func runCompressBench(out string) error {
+	// selective range on the ascending (sorted) l_orderkey — the shape
+	// where zone maps prune most chunks and the encoded RangeSel prefilter
+	// does the residual work; the aggregate folds dict/RLE/FoR columns
+	// through the pushed-down kernels.
+	scanSQL := `SELECT COUNT(*) FROM lineitem WHERE l_orderkey <= 200`
+	aggSQL := `SELECT l_shipmode, COUNT(*), SUM(l_extendedprice), MIN(l_quantity), MAX(l_quantity) FROM lineitem GROUP BY l_shipmode`
+	dops := []int{1, 4}
+
+	rep := &CompressBenchReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, p := range colstore.AllPolicies {
+		cfg := htap.Config{ModeledSF: 100,
+			Data:     tpch.Config{PhysScale: parallelBenchScale, Seed: 42},
+			Repl:     htap.ReplConfig{DisableMerger: true},
+			Encoding: p}
+		sys, err := htap.New(cfg)
+		if err != nil {
+			return err
+		}
+		ct, ok := sys.Col.Table("lineitem")
+		if !ok {
+			sys.Close()
+			return fmt.Errorf("no lineitem column table")
+		}
+		rep.PhysRows = ct.NumRows()
+
+		ms := sys.Col.MemStats()
+		point := CompressPolicyPoint{
+			Policy:           p.String(),
+			ResidentBytes:    ms.ResidentBytes,
+			RawBytes:         ms.RawBytes,
+			CompressionRatio: ms.CompressionRatio(),
+			ChunksByEncoding: map[string]int64{},
+		}
+		for e, n := range ms.ChunksByEnc {
+			point.ChunksByEncoding[colstore.Encoding(e).String()] = n
+		}
+
+		measure := func(sql string) ([]ParallelBenchPoint, error) {
+			phys, err := planAPOf(sys, sql)
+			if err != nil {
+				return nil, err
+			}
+			var points []ParallelBenchPoint
+			var base float64
+			for _, dop := range dops {
+				elapsed, rows, runs, err := timeExecutions(phys, dop)
+				if err != nil {
+					return nil, err
+				}
+				bp := ParallelBenchPoint{
+					DOP: dop, Runs: runs,
+					ElapsedMS:  1000 * elapsed.Seconds() / float64(runs),
+					RowsPerSec: float64(rows) / elapsed.Seconds(),
+				}
+				if dop == 1 {
+					base = bp.RowsPerSec
+				}
+				if base > 0 {
+					bp.SpeedupX = bp.RowsPerSec / base
+				}
+				points = append(points, bp)
+			}
+			return points, nil
+		}
+
+		fmt.Printf("  policy %-4s: %.2fx compression (%d -> %d bytes) ...\n",
+			point.Policy, point.CompressionRatio, point.RawBytes, point.ResidentBytes)
+		if point.SelectiveScan, err = measure(scanSQL); err != nil {
+			sys.Close()
+			return err
+		}
+		if point.Aggregate, err = measure(aggSQL); err != nil {
+			sys.Close()
+			return err
+		}
+		sys.Close()
+		rep.Policies = append(rep.Policies, point)
+	}
+
+	for _, pt := range rep.Policies {
+		for _, bp := range pt.SelectiveScan {
+			fmt.Printf("  %-4s scan DOP %d: %10.0f rows/s\n", pt.Policy, bp.DOP, bp.RowsPerSec)
+		}
+		for _, bp := range pt.Aggregate {
+			fmt.Printf("  %-4s agg  DOP %d: %10.0f rows/s\n", pt.Policy, bp.DOP, bp.RowsPerSec)
+		}
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("wrote", out)
+	return nil
+}

@@ -10,6 +10,7 @@
 //	benchrunner -wal-bench       # durability microbenchmarks -> BENCH_wal.json
 //	benchrunner -parallel-bench  # morsel-parallelism microbenchmarks -> BENCH_parallel.json
 //	benchrunner -obs-bench       # tracing-overhead microbenchmarks -> BENCH_obs.json
+//	benchrunner -compress-bench  # column-encoding microbenchmarks -> BENCH_compress.json
 package main
 
 import (
@@ -30,6 +31,8 @@ func main() {
 	parOut := flag.String("parallel-out", "BENCH_parallel.json", "parallel-bench: output JSON path")
 	obsBench := flag.Bool("obs-bench", false, "run the observability-overhead microbenchmarks instead of the paper experiments")
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "obs-bench: output JSON path")
+	compBench := flag.Bool("compress-bench", false, "run the column-encoding microbenchmarks instead of the paper experiments")
+	compOut := flag.String("compress-out", "BENCH_compress.json", "compress-bench: output JSON path")
 	flag.Parse()
 
 	if *walBench {
@@ -49,6 +52,13 @@ func main() {
 	if *obsBench {
 		fmt.Println("observability microbenchmarks: trace overhead at sample rates 0/0.1/1.0 + histogram observe cost ...")
 		if err := runObsBench(*obsOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *compBench {
+		fmt.Println("column-encoding microbenchmarks: resident bytes + scan/aggregate throughput at DOP 1/4 per policy ...")
+		if err := runCompressBench(*compOut); err != nil {
 			fatal(err)
 		}
 		return

@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"htapxplain/internal/colstore"
+	"htapxplain/internal/exec"
+	"htapxplain/internal/htap"
+	"htapxplain/internal/optimizer"
+	"htapxplain/internal/sqlparser"
+	"htapxplain/internal/tpch"
+)
+
+// The compression benchmarks pit the same 10x-scaled physical dataset
+// stored raw against the auto-encoded layout; cmd/benchrunner
+// -compress-bench emits the per-policy measurements as BENCH_compress.json
+// for the CI artifact trail.
+
+var (
+	encSysOnce sync.Once
+	encRawSys  *htap.System
+	encAutoSys *htap.System
+	encSysErr  error
+)
+
+// compressionSystems returns two identical datasets, one under PolicyRaw
+// and one under PolicyAuto — the before/after pair every compression gate
+// compares.
+func compressionSystems(tb testing.TB) (raw, auto *htap.System) {
+	tb.Helper()
+	encSysOnce.Do(func() {
+		mk := func(p colstore.EncodingPolicy) (*htap.System, error) {
+			return htap.New(htap.Config{ModeledSF: 100,
+				Data:     tpch.Config{PhysScale: 0.02, Seed: 42},
+				Repl:     htap.ReplConfig{DisableMerger: true},
+				Encoding: p})
+		}
+		encRawSys, encSysErr = mk(colstore.PolicyRaw)
+		if encSysErr == nil {
+			encAutoSys, encSysErr = mk(colstore.PolicyAuto)
+		}
+	})
+	if encSysErr != nil {
+		tb.Fatalf("htap.New: %v", encSysErr)
+	}
+	return encRawSys, encAutoSys
+}
+
+func planOn(tb testing.TB, sys *htap.System, sql string) *optimizer.PhysPlan {
+	tb.Helper()
+	sel, err := sqlparser.Parse(sql)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	phys, err := sys.Planner.PlanAP(sel)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return phys
+}
+
+// halfOrderKeySQL builds the selective sorted-scan gate query: a range on
+// the ascending l_orderkey covering roughly half the table, so zone maps
+// prune half the chunks and the surviving half exercises the encoded
+// range prefilter against the raw candidate loop.
+func halfOrderKeySQL(tb testing.TB, sys *htap.System) string {
+	tb.Helper()
+	rows, err := planOn(tb, sys, `SELECT MAX(l_orderkey) FROM lineitem`).Execute(exec.NewContext())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if len(rows) != 1 || len(rows[0]) != 1 {
+		tb.Fatalf("MAX(l_orderkey) returned %d rows", len(rows))
+	}
+	return fmt.Sprintf(`SELECT COUNT(*) FROM lineitem WHERE l_orderkey <= %d`, rows[0][0].I/2)
+}
+
+// TestCompressionWins is the acceptance gate for the encoding layer: the
+// auto policy must keep the same TPC-H data in at most a third of the raw
+// resident bytes, and the selective sorted range scan at DOP 4 must be
+// measurably faster over encoded storage than over raw. Like the other
+// timing gates it skips under the race detector and on small machines.
+func TestCompressionWins(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing gate skipped under the race detector")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs for the DOP-4 scan gate, have %d", runtime.NumCPU())
+	}
+	prev := runtime.GOMAXPROCS(0)
+	if prev < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	raw, auto := compressionSystems(t)
+
+	// footprint gate: >= 3x smaller resident column data
+	rawMS, autoMS := raw.Col.MemStats(), auto.Col.MemStats()
+	if rawMS.ResidentBytes != rawMS.RawBytes {
+		t.Errorf("raw policy resident %d != raw %d bytes", rawMS.ResidentBytes, rawMS.RawBytes)
+	}
+	ratio := float64(rawMS.ResidentBytes) / float64(autoMS.ResidentBytes)
+	t.Logf("resident column data: raw %d bytes, encoded %d bytes → %.2fx",
+		rawMS.ResidentBytes, autoMS.ResidentBytes, ratio)
+	if ratio < 3 {
+		t.Errorf("compression ratio = %.2fx, want >= 3x", ratio)
+	}
+
+	// throughput gate: the same selective sorted scan, same DOP, both
+	// layouts — encoded must win
+	sql := halfOrderKeySQL(t, raw)
+	rawPlan, autoPlan := planOn(t, raw, sql), planOn(t, auto, sql)
+	bestOf(t, rawPlan, 4, 1) // warm pooled runners and forked pipelines
+	bestOf(t, autoPlan, 4, 1)
+	rawBest := bestOf(t, rawPlan, 4, 7)
+	autoBest := bestOf(t, autoPlan, 4, 7)
+	speedup := float64(rawBest) / float64(autoBest)
+	t.Logf("selective sorted scan at DOP 4: raw %v, encoded %v → %.2fx", rawBest, autoBest, speedup)
+	if speedup < 1.15 {
+		t.Errorf("encoded scan speedup = %.2fx, want >= 1.15x (raw %v, encoded %v)",
+			speedup, rawBest, autoBest)
+	}
+}
+
+// BenchmarkCompression_SelectiveScan measures the gate query on both
+// layouts at DOP 1 and 4 — the before/after pair for the encoding layer.
+func BenchmarkCompression_SelectiveScan(b *testing.B) {
+	raw, auto := compressionSystems(b)
+	sql := halfOrderKeySQL(b, raw)
+	for _, sys := range []struct {
+		name string
+		s    *htap.System
+	}{{"raw", raw}, {"encoded", auto}} {
+		phys := planOn(b, sys.s, sql)
+		for _, dop := range []int{1, 4} {
+			dop := dop
+			b.Run(sys.name+"/"+benchName("DOP", dop), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					ctx := exec.NewContext()
+					ctx.DOP = dop
+					if _, err := phys.Execute(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -25,27 +25,87 @@ import (
 // ChunkSize is the number of rows per column chunk (zone-map granularity).
 const ChunkSize = 1024
 
-// Column is one stored column: the full vector plus per-chunk zone maps.
-// A Column is immutable once published; merges build fresh Columns and
-// swap them in, so execution batches may alias the vectors indefinitely.
+// Column is one stored column: per-chunk encoded data plus per-chunk zone
+// maps. A Column is immutable once published; merges build fresh Columns
+// and swap them in, so execution batches may alias raw chunk vectors (and
+// hold decoded copies of encoded ones) indefinitely — "alias or decode,
+// never mutate".
 type Column struct {
 	Name string
-	vals []value.Value
-	// zone maps: min/max per chunk (valid for orderable kinds)
+	n    int
+	// vals is the contiguous raw vector, retained only when every chunk
+	// chose the raw encoding (the chunks alias it); nil once any chunk is
+	// encoded, so the raw backing array is actually freed.
+	vals   []value.Value
+	chunks []*EncodedChunk
+	// zone maps: min/max per chunk (valid for orderable kinds), built from
+	// the raw values before encoding — identical under every policy.
 	zmin []value.Value
 	zmax []value.Value
 }
 
+// newColumn builds an immutable column over vals, choosing a per-chunk
+// encoding under the given policy. vals is owned by the column afterwards.
+func newColumn(name string, vals []value.Value, policy EncodingPolicy) *Column {
+	c := &Column{Name: name, n: len(vals), vals: vals}
+	c.buildZoneMaps()
+	nchunks := (len(vals) + ChunkSize - 1) / ChunkSize
+	c.chunks = make([]*EncodedChunk, nchunks)
+	encoded := false
+	for k := 0; k < nchunks; k++ {
+		lo, hi := k*ChunkSize, (k+1)*ChunkSize
+		if hi > len(vals) {
+			hi = len(vals)
+		}
+		c.chunks[k] = encodeChunk(vals[lo:hi:hi], policy)
+		if c.chunks[k].Enc != EncRaw {
+			encoded = true
+		}
+	}
+	if encoded {
+		// raw chunks get private copies so the full-width backing array is
+		// actually released, then the contiguous alias is dropped
+		for _, ch := range c.chunks {
+			if ch.Enc == EncRaw {
+				ch.Raw = append([]value.Value(nil), ch.Raw...)
+			}
+		}
+		c.vals = nil
+	}
+	return c
+}
+
 // Len returns the number of values.
-func (c *Column) Len() int { return len(c.vals) }
+func (c *Column) Len() int { return c.n }
 
-// Value returns the value at row id.
-func (c *Column) Value(id int) value.Value { return c.vals[id] }
+// Value returns the value at row id, decoding through the owning chunk's
+// encoding when the column is not stored raw.
+func (c *Column) Value(id int) value.Value {
+	if c.vals != nil {
+		return c.vals[id]
+	}
+	return c.chunks[id/ChunkSize].ValueAt(id % ChunkSize)
+}
 
-// Slice returns the stored value vector for rows [lo, hi) — the raw chunk
-// data the vectorized scan aliases directly into execution batches. The
-// slice is capacity-clamped and must not be modified by callers.
-func (c *Column) Slice(lo, hi int) []value.Value { return c.vals[lo:hi:hi] }
+// Slice returns the values of rows [lo, hi). For an all-raw column this
+// aliases the stored vector (capacity-clamped, never to be modified); for
+// a column with encoded chunks it materializes a fresh decoded copy —
+// the "alias or decode" halves of the batch contract. Hot paths use
+// Chunk + EncodedChunk decode-into-buffer instead.
+func (c *Column) Slice(lo, hi int) []value.Value {
+	if c.vals != nil {
+		return c.vals[lo:hi:hi]
+	}
+	out := make([]value.Value, hi-lo)
+	for i := range out {
+		out[i] = c.Value(lo + i)
+	}
+	return out
+}
+
+// Chunk returns the encoded chunk k — the accessor scans use to operate
+// on encoded data directly. The chunk is immutable.
+func (c *Column) Chunk(k int) *EncodedChunk { return c.chunks[k] }
 
 // NumChunks returns the number of zone-mapped chunks.
 func (c *Column) NumChunks() int { return len(c.zmin) }
@@ -73,6 +133,10 @@ type Table struct {
 	// replace it with an extended copy, so views may alias it freely.
 	baseDead map[int32]bool
 	delta    tableDelta
+
+	// policy is the store's encoding policy, applied whenever this
+	// table's base chunks are (re)built: bulk load, merge, recovery.
+	policy EncodingPolicy
 }
 
 // Store is the column engine's storage manager and replication secondary.
@@ -80,30 +144,81 @@ type Store struct {
 	tables map[string]*Table
 	repl   replState
 	merger mergerState
+	policy EncodingPolicy
+}
+
+// Option configures a Store at construction.
+type Option func(*Store)
+
+// WithEncoding sets the store's chunk-encoding policy. The default is
+// PolicyAuto (smallest eligible encoding per chunk); PolicyRaw restores
+// the pre-encoding raw-vector layout, and the forced policies exist for
+// differential tests and benchmarks.
+func WithEncoding(p EncodingPolicy) Option {
+	return func(s *Store) { s.policy = p }
 }
 
 // NewStore builds a column store over the given physical data. Base
 // positions are aligned with the row store's heap (RID i ↔ position i).
-func NewStore(cat *catalog.Catalog, data map[string][]value.Row) (*Store, error) {
+func NewStore(cat *catalog.Catalog, data map[string][]value.Row, opts ...Option) (*Store, error) {
 	s := &Store{tables: make(map[string]*Table, len(data))}
 	s.repl.init()
+	for _, o := range opts {
+		o(s)
+	}
 	for _, meta := range cat.Tables() {
 		rows, ok := data[strings.ToLower(meta.Name)]
 		if !ok {
 			return nil, fmt.Errorf("colstore: no data for table %q", meta.Name)
 		}
-		t := &Table{Meta: meta, numRows: len(rows)}
+		t := &Table{Meta: meta, numRows: len(rows), policy: s.policy}
 		for ci, colMeta := range meta.Columns {
-			col := &Column{Name: strings.ToLower(colMeta.Name), vals: make([]value.Value, len(rows))}
+			vals := make([]value.Value, len(rows))
 			for ri, r := range rows {
-				col.vals[ri] = r[ci]
+				vals[ri] = r[ci]
 			}
-			col.buildZoneMaps()
-			t.columns = append(t.columns, col)
+			t.columns = append(t.columns, newColumn(strings.ToLower(colMeta.Name), vals, s.policy))
 		}
 		s.tables[strings.ToLower(meta.Name)] = t
 	}
 	return s, nil
+}
+
+// MemStats is a snapshot of the column store's base-chunk footprint under
+// its chosen encodings. Delta rows (transient, unencoded) are excluded.
+type MemStats struct {
+	// ResidentBytes is the modeled footprint of the base chunks in their
+	// stored encodings; RawBytes is what the same data would occupy as
+	// raw value vectors.
+	ResidentBytes int64 `json:"resident_bytes"`
+	RawBytes      int64 `json:"raw_bytes"`
+	// ChunksByEnc counts base chunks per encoding, indexed by Encoding.
+	ChunksByEnc [NumEncodings]int64 `json:"chunks_by_enc"`
+}
+
+// CompressionRatio returns RawBytes/ResidentBytes (1 when empty).
+func (m MemStats) CompressionRatio() float64 {
+	if m.ResidentBytes <= 0 {
+		return 1
+	}
+	return float64(m.RawBytes) / float64(m.ResidentBytes)
+}
+
+// MemStats aggregates the encoded-footprint statistics across all tables.
+func (s *Store) MemStats() MemStats {
+	var out MemStats
+	for _, t := range s.tables {
+		t.mu.RLock()
+		for _, c := range t.columns {
+			for _, ch := range c.chunks {
+				out.ResidentBytes += ch.EncBytes
+				out.RawBytes += ch.RawBytes
+				out.ChunksByEnc[ch.Enc]++
+			}
+		}
+		t.mu.RUnlock()
+	}
+	return out
 }
 
 func (c *Column) buildZoneMaps() {
@@ -221,11 +336,21 @@ type ScanStats struct {
 	ColumnsRead   int
 }
 
-// RangePruner describes an optional single-column range [Lo,Hi] the scan
-// can use against zone maps; nil bounds are open.
+// RangePruner describes an optional single-column range the scan can use
+// against zone maps and, on encoded chunks, as an encoded-domain
+// prefilter; nil bounds are open. LoStrict/HiStrict mark exclusive bounds
+// (col > Lo / col < Hi); zone-map pruning ignores strictness (always
+// conservative), the chunk-level RangeSel honors it.
 type RangePruner struct {
-	Col    int
-	Lo, Hi *value.Value
+	Col                int
+	Lo, Hi             *value.Value
+	LoStrict, HiStrict bool
+	// Exact marks the pruner as a complete, bit-exact representation of
+	// the scan's entire predicate (a single sargable comparison/BETWEEN on
+	// Col): the chunk-level RangeSel is then the final filter on base
+	// chunks, and the compiled row predicate only needs to run on delta
+	// rows. The optimizer sets it; scans may never assume it otherwise.
+	Exact bool
 }
 
 // Scan evaluates pred over the table, reading only cols, and returns the

@@ -1,0 +1,278 @@
+package colstore
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"htapxplain/internal/value"
+)
+
+// refRangeSel is the trusted reference for RangeSel: the per-row matchRange
+// loop every encoding-specific fast path must agree with.
+func refRangeSel(vals []value.Value, lo, hi *value.Value, loStrict, hiStrict bool) []int32 {
+	if (lo != nil && lo.IsNull()) || (hi != nil && hi.IsNull()) {
+		return []int32{}
+	}
+	out := []int32{}
+	for i, v := range vals {
+		if matchRange(v, lo, hi, loStrict, hiStrict) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func checkChunk(t *testing.T, label string, vals []value.Value, policy EncodingPolicy) {
+	t.Helper()
+	ch := encodeChunk(vals, policy)
+	if ch.N != len(vals) {
+		t.Fatalf("%s: N = %d, want %d", label, ch.N, len(vals))
+	}
+	// full decode round-trips bit-exactly
+	dec := ch.Decode(nil)
+	for i := range vals {
+		if !eqValue(dec[i], vals[i]) {
+			t.Fatalf("%s: Decode[%d] = %v, want %v (enc %v)", label, i, dec[i], vals[i], ch.Enc)
+		}
+		if got := ch.ValueAt(i); !eqValue(got, vals[i]) {
+			t.Fatalf("%s: ValueAt(%d) = %v, want %v (enc %v)", label, i, got, vals[i], ch.Enc)
+		}
+	}
+	// sparse decode hits exactly the selected positions
+	sel := []int32{}
+	for i := 0; i < len(vals); i += 3 {
+		sel = append(sel, int32(i))
+	}
+	sparse := make([]value.Value, len(vals))
+	ch.DecodeSel(sparse, sel)
+	for _, i := range sel {
+		if !eqValue(sparse[i], vals[i]) {
+			t.Fatalf("%s: DecodeSel[%d] = %v, want %v (enc %v)", label, i, sparse[i], vals[i], ch.Enc)
+		}
+	}
+	// RangeSel agrees with the reference for a spread of bounds
+	var probes []value.Value
+	if len(vals) > 0 {
+		probes = append(probes, vals[0], vals[len(vals)/2], vals[len(vals)-1])
+	}
+	probes = append(probes, value.NewInt(-1), value.NewInt(1<<40), value.NewString("m"), value.Null)
+	for _, lo := range probes {
+		for _, hi := range probes {
+			for _, strict := range []bool{false, true} {
+				lo, hi := lo, hi
+				got, all := ch.RangeSel(&lo, &hi, strict, strict, nil)
+				if all {
+					got = nil
+					for i := range vals {
+						got = append(got, int32(i))
+					}
+				}
+				want := refRangeSel(vals, &lo, &hi, strict, strict)
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("%s: RangeSel(%v,%v,strict=%v) enc %v = %v, want %v",
+						label, lo, hi, strict, ch.Enc, got, want)
+				}
+			}
+		}
+	}
+	// open-ended bounds
+	if got, all := ch.RangeSel(nil, nil, false, false, nil); !all && len(got) != len(refRangeSel(vals, nil, nil, false, false)) {
+		t.Fatalf("%s: unbounded RangeSel dropped rows", label)
+	}
+}
+
+func TestEncodingSelection(t *testing.T) {
+	n := ChunkSize
+	ints := make([]value.Value, n)  // wide-spread ints: FoR
+	dicts := make([]value.Value, n) // 8 distinct strings: dictionary
+	runs := make([]value.Value, n)  // long sorted runs: RLE
+	uniq := make([]value.Value, n)  // unique strings: raw stays smallest
+	for i := 0; i < n; i++ {
+		ints[i] = value.NewInt(int64(i) * 1_000_003)
+		dicts[i] = value.NewString(fmt.Sprintf("mode-%d", i%8))
+		runs[i] = value.NewInt(int64(i / 256))
+		uniq[i] = value.NewString(fmt.Sprintf("unique-value-%06d", i))
+	}
+	cases := []struct {
+		label string
+		vals  []value.Value
+		want  Encoding
+	}{
+		{"for-ints", ints, EncFoR},
+		{"dict-strings", dicts, EncDict},
+		{"rle-runs", runs, EncRLE},
+		{"unique-strings", uniq, EncRaw},
+	}
+	for _, c := range cases {
+		ch := encodeChunk(c.vals, PolicyAuto)
+		if ch.Enc != c.want {
+			t.Errorf("%s: PolicyAuto chose %v, want %v", c.label, ch.Enc, c.want)
+		}
+		if ch.Enc != EncRaw && ch.EncBytes >= ch.RawBytes {
+			t.Errorf("%s: encoded %d bytes >= raw %d", c.label, ch.EncBytes, ch.RawBytes)
+		}
+	}
+}
+
+func TestEncodedChunkContract(t *testing.T) {
+	mixed := []value.Value{
+		value.Null, value.NewInt(5), value.NewFloat(5), value.NewFloat(math.NaN()),
+		value.NewFloat(math.Copysign(0, -1)), value.NewFloat(0), value.NewString(""),
+		value.NewString("z"), value.NewBool(true), value.NewBool(false),
+		value.NewInt(math.MaxInt64), value.NewInt(math.MinInt64),
+	}
+	sets := map[string][]value.Value{
+		"mixed-kinds": mixed,
+		"all-null":    {value.Null, value.Null, value.Null},
+		"single":      {value.NewInt(42)},
+		"bools":       {value.NewBool(true), value.NewBool(false), value.NewBool(true)},
+		"extreme-ints": {
+			value.NewInt(math.MinInt64), value.NewInt(math.MaxInt64),
+			value.NewInt(0), value.NewInt(-1),
+		},
+		"neg-floats": {value.NewFloat(-1.5), value.NewFloat(2.5), value.NewFloat(-1.5)},
+	}
+	for label, vals := range sets {
+		for _, p := range AllPolicies {
+			checkChunk(t, label+"/"+p.String(), vals, p)
+		}
+	}
+}
+
+// TestZoneMapsUnchangedByEncoding: encodings change the physical layout
+// only — the zone maps a column publishes must be byte-identical to the
+// raw layout's, whatever the policy.
+func TestZoneMapsUnchangedByEncoding(t *testing.T) {
+	n := 3*ChunkSize + 71
+	vals := make([]value.Value, n)
+	for i := range vals {
+		vals[i] = value.NewInt(int64((i * 37) % 4001))
+	}
+	ref := newColumn("c", append([]value.Value(nil), vals...), PolicyRaw)
+	for _, p := range AllPolicies {
+		c := newColumn("c", append([]value.Value(nil), vals...), p)
+		if c.NumChunks() != ref.NumChunks() {
+			t.Fatalf("%v: %d chunks, want %d", p, c.NumChunks(), ref.NumChunks())
+		}
+		for k := 0; k < ref.NumChunks(); k++ {
+			mn, mx := c.ChunkRange(k)
+			rn, rx := ref.ChunkRange(k)
+			if !eqValue(mn, rn) || !eqValue(mx, rx) {
+				t.Errorf("%v chunk %d: zone map [%v,%v], want [%v,%v]", p, k, mn, mx, rn, rx)
+			}
+		}
+		for i := 0; i < n; i += 97 {
+			if got := c.Value(i); !eqValue(got, vals[i]) {
+				t.Fatalf("%v: Value(%d) = %v, want %v", p, i, got, vals[i])
+			}
+		}
+	}
+}
+
+// fuzzValues deterministically expands fuzz bytes into a value slice that
+// exercises every kind, NULLs, NaN, negative zero, and int64 extremes.
+func fuzzValues(data []byte) []value.Value {
+	vals := make([]value.Value, 0, len(data))
+	for i := 0; i+1 < len(data); i += 2 {
+		k, b := data[i], data[i+1]
+		switch k % 7 {
+		case 0:
+			vals = append(vals, value.Null)
+		case 1:
+			vals = append(vals, value.NewInt(int64(b)-128))
+		case 2:
+			vals = append(vals, value.NewInt((int64(b)-128)*(math.MaxInt64/255)))
+		case 3:
+			switch b % 4 {
+			case 0:
+				vals = append(vals, value.NewFloat(math.NaN()))
+			case 1:
+				vals = append(vals, value.NewFloat(math.Copysign(0, -1)))
+			default:
+				vals = append(vals, value.NewFloat(float64(int64(b)-128)/4))
+			}
+		case 4:
+			vals = append(vals, value.NewString(fmt.Sprintf("s%d", b%16)))
+		case 5:
+			vals = append(vals, value.NewBool(b%2 == 0))
+		case 6:
+			vals = append(vals, value.NewInt(int64(b%8)))
+		}
+	}
+	if len(vals) > ChunkSize {
+		vals = vals[:ChunkSize]
+	}
+	return vals
+}
+
+// FuzzEncodingRoundTrip: for arbitrary values under every policy, encoding
+// must never panic, must round-trip bit-exactly, must keep zone maps
+// identical to the raw layout, and RangeSel must agree with the per-row
+// reference under every bound/strictness combination derived from the
+// input.
+func FuzzEncodingRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13})
+	f.Add([]byte{12, 0, 12, 1, 12, 2, 12, 3, 12, 4})             // small ints
+	f.Add([]byte{8, 5, 8, 5, 8, 5, 8, 9, 8, 9})                  // runs
+	f.Add([]byte{4, 200, 4, 10, 2, 128, 3, 0, 3, 1, 0, 0, 5, 7}) // extremes + NaN + null
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals := fuzzValues(data)
+		if len(vals) == 0 {
+			return
+		}
+		for _, p := range AllPolicies {
+			ch := encodeChunk(append([]value.Value(nil), vals...), p)
+			if ch.N != len(vals) {
+				t.Fatalf("%v: N = %d, want %d", p, ch.N, len(vals))
+			}
+			dec := ch.Decode(nil)
+			for i := range vals {
+				if !eqValue(dec[i], vals[i]) {
+					t.Fatalf("%v: Decode[%d] = %v, want %v (enc %v)", p, i, dec[i], vals[i], ch.Enc)
+				}
+			}
+			for i := 0; i < len(vals); i += 1 + len(vals)/8 {
+				if got := ch.ValueAt(i); !eqValue(got, vals[i]) {
+					t.Fatalf("%v: ValueAt(%d) = %v, want %v (enc %v)", p, i, got, vals[i], ch.Enc)
+				}
+			}
+			// bounds drawn from the data itself plus outsiders
+			bounds := []*value.Value{nil}
+			for i := 0; i < len(vals); i += 1 + len(vals)/4 {
+				v := vals[i]
+				bounds = append(bounds, &v)
+			}
+			out := value.NewInt(12345)
+			bounds = append(bounds, &out)
+			for _, lo := range bounds {
+				for _, hi := range bounds {
+					for _, strict := range []bool{false, true} {
+						got, all := ch.RangeSel(lo, hi, strict, strict, nil)
+						if all {
+							got = got[:0]
+							for i := range vals {
+								got = append(got, int32(i))
+							}
+						}
+						want := refRangeSel(vals, lo, hi, strict, strict)
+						if fmt.Sprint(got) != fmt.Sprint(want) {
+							t.Fatalf("%v enc %v: RangeSel(%v,%v,strict=%v) = %v, want %v",
+								p, ch.Enc, lo, hi, strict, got, want)
+						}
+					}
+				}
+			}
+		}
+		// zone maps must not depend on the policy
+		raw := newColumn("c", append([]value.Value(nil), vals...), PolicyRaw)
+		for _, p := range AllPolicies {
+			c := newColumn("c", append([]value.Value(nil), vals...), p)
+			mn, mx := c.ChunkRange(0)
+			rn, rx := raw.ChunkRange(0)
+			if !eqValue(mn, rn) || !eqValue(mx, rx) {
+				t.Fatalf("%v: zone map [%v,%v] differs from raw [%v,%v]", p, mn, mx, rn, rx)
+			}
+		}
+	})
+}

@@ -128,11 +128,14 @@ func (s *Store) MergeAll() MergeStats {
 }
 
 // merge compacts the table's delta into fresh immutable base chunks:
-// surviving base values and delta rows are copied into brand-new column
-// vectors with rebuilt zone maps, and the published columns pointer is
-// swapped. Old column vectors are never touched, so concurrent views (and
-// any execution batches aliasing their chunks) stay valid — the batch-
-// aliasing contract the immutability suite guards.
+// surviving base values and delta rows are copied into brand-new columns
+// with rebuilt zone maps and freshly chosen per-chunk encodings (the
+// merger is the encoding-selection point: post-merge statistics decide
+// dictionary/FoR/RLE/raw per chunk, per column under the store's policy),
+// and the published columns pointer is swapped. Old columns are never
+// touched, so concurrent views (and any execution batches aliasing or
+// decoding their chunks) stay valid — the batch contract the immutability
+// suite guards.
 //
 // It returns the number of delta operations compacted and the new base
 // row count (0, 0 when there was nothing to do).
@@ -148,22 +151,33 @@ func (t *Table) merge() (ops, newN int) {
 	newN = t.numRows - len(t.baseDead) + t.delta.numLive()
 
 	newCols := make([]*Column, len(t.columns))
+	var decodeBuf []value.Value // per-chunk decode scratch, reused across columns
 	for ci, old := range t.columns {
 		vals := make([]value.Value, 0, newN)
-		for pos := 0; pos < t.numRows; pos++ {
-			if t.baseDead[int32(pos)] {
-				continue
+		for k := 0; k < len(old.chunks); k++ {
+			// decode chunk-at-a-time (raw chunks alias, encoded ones decode
+			// into the scratch), then drop tombstoned positions
+			ch := old.chunks[k]
+			chunk := ch.Decode(decodeBuf)
+			if ch.Enc != EncRaw {
+				decodeBuf = chunk
 			}
-			vals = append(vals, old.vals[pos])
+			base := k * ChunkSize
+			for i, v := range chunk {
+				if t.baseDead[int32(base+i)] {
+					continue
+				}
+				vals = append(vals, v)
+			}
 		}
 		for di, row := range t.delta.rows {
 			if !t.delta.dead[di] {
 				vals = append(vals, row[ci])
 			}
 		}
-		nc := &Column{Name: old.Name, vals: vals}
-		nc.buildZoneMaps()
-		newCols[ci] = nc
+		// re-encode: the merger is where chunk encodings are (re)chosen
+		// from fresh post-compaction statistics
+		newCols[ci] = newColumn(old.Name, vals, t.policy)
 	}
 
 	newRID := make([]int64, 0, newN)

@@ -22,12 +22,19 @@ type HeapSnapshot struct {
 // assumes still holds, and tombstoned slots are seeded into the
 // copy-on-write delete set that scans already filter. Zone maps cover dead
 // slots too — they can only widen a chunk's range, which keeps pruning
-// conservative and correct. watermark seats the replication watermark at
-// the recovered commit point, so the freshness gauge does not report a
-// phantom lag after restart; WAL tail replay continues through Apply.
-func NewStoreFromHeap(cat *catalog.Catalog, heaps map[string]HeapSnapshot, watermark uint64) (*Store, error) {
+// conservative and correct. Chunk encodings are re-chosen here from the
+// recovered values under the store's policy — checkpoints stay
+// encoding-agnostic (they snapshot plain row heaps), so an encoding
+// change never invalidates a checkpoint. watermark seats the replication
+// watermark at the recovered commit point, so the freshness gauge does
+// not report a phantom lag after restart; WAL tail replay continues
+// through Apply.
+func NewStoreFromHeap(cat *catalog.Catalog, heaps map[string]HeapSnapshot, watermark uint64, opts ...Option) (*Store, error) {
 	s := &Store{tables: make(map[string]*Table, len(heaps))}
 	s.repl.init()
+	for _, o := range opts {
+		o(s)
+	}
 	for _, meta := range cat.Tables() {
 		snap, ok := heaps[strings.ToLower(meta.Name)]
 		if !ok {
@@ -43,17 +50,13 @@ func NewStoreFromHeap(cat *catalog.Catalog, heaps map[string]HeapSnapshot, water
 					meta.Name, ri, len(r), len(meta.Columns))
 			}
 		}
-		t := &Table{Meta: meta, numRows: len(snap.Rows)}
+		t := &Table{Meta: meta, numRows: len(snap.Rows), policy: s.policy}
 		for ci := range meta.Columns {
-			col := &Column{
-				Name: strings.ToLower(meta.Columns[ci].Name),
-				vals: make([]value.Value, len(snap.Rows)),
-			}
+			vals := make([]value.Value, len(snap.Rows))
 			for ri, r := range snap.Rows {
-				col.vals[ri] = r[ci]
+				vals[ri] = r[ci]
 			}
-			col.buildZoneMaps()
-			t.columns = append(t.columns, col)
+			t.columns = append(t.columns, newColumn(strings.ToLower(meta.Columns[ci].Name), vals, s.policy))
 		}
 		for pos, dead := range snap.Dead {
 			if !dead {

@@ -30,6 +30,8 @@ type OpProfile struct {
 	morsels       atomic.Int64
 	chunksPruned  atomic.Int64
 	chunksScanned atomic.Int64
+	chunksEncoded atomic.Int64 // chunks served by encoded kernels
+	chunksDecoded atomic.Int64 // chunks fully decoded into batch vectors
 }
 
 // OpStats is the JSON-renderable snapshot of an OpProfile tree — the
@@ -43,6 +45,8 @@ type OpStats struct {
 	Morsels       int64      `json:"morsels,omitempty"`
 	ChunksPruned  int64      `json:"chunks_pruned,omitempty"`
 	ChunksScanned int64      `json:"chunks_scanned,omitempty"`
+	ChunksEncoded int64      `json:"chunks_encoded,omitempty"`
+	ChunksDecoded int64      `json:"chunks_decoded,omitempty"`
 	Children      []*OpStats `json:"children,omitempty"`
 }
 
@@ -57,6 +61,8 @@ func (p *OpProfile) Snapshot() *OpStats {
 		Morsels:       p.morsels.Load(),
 		ChunksPruned:  p.chunksPruned.Load(),
 		ChunksScanned: p.chunksScanned.Load(),
+		ChunksEncoded: p.chunksEncoded.Load(),
+		ChunksDecoded: p.chunksDecoded.Load(),
 	}
 	for _, c := range p.Children {
 		s.Children = append(s.Children, c.Snapshot())
@@ -84,6 +90,9 @@ func (s *OpStats) String() string {
 		}
 		if n.ChunksScanned > 0 || n.ChunksPruned > 0 {
 			fmt.Fprintf(&b, " chunks=%d pruned=%d", n.ChunksScanned, n.ChunksPruned)
+		}
+		if n.ChunksEncoded > 0 || n.ChunksDecoded > 0 {
+			fmt.Fprintf(&b, " encoded=%d decoded=%d", n.ChunksEncoded, n.ChunksDecoded)
 		}
 		b.WriteByte(')')
 		for _, c := range n.Children {
@@ -206,11 +215,13 @@ func (a *analyzeOp) Open(ctx *Context) error {
 }
 
 func (a *analyzeOp) Next(ctx *Context) (*Batch, error) {
-	var m0, s0, k0 int64
+	var m0, s0, k0, e0, d0 int64
 	if a.leafScan {
 		m0 = ctx.Stats.MorselsDispatched
 		s0 = ctx.Stats.ChunksSkipped
 		k0 = ctx.Stats.ChunksScanned
+		e0 = ctx.Stats.EncodedChunks
+		d0 = ctx.Stats.DecodedChunks
 	}
 	start := time.Now()
 	b, err := a.child.Next(ctx)
@@ -219,6 +230,8 @@ func (a *analyzeOp) Next(ctx *Context) (*Batch, error) {
 		a.prof.morsels.Add(ctx.Stats.MorselsDispatched - m0)
 		a.prof.chunksPruned.Add(ctx.Stats.ChunksSkipped - s0)
 		a.prof.chunksScanned.Add(ctx.Stats.ChunksScanned - k0)
+		a.prof.chunksEncoded.Add(ctx.Stats.EncodedChunks - e0)
+		a.prof.chunksDecoded.Add(ctx.Stats.DecodedChunks - d0)
 	}
 	if b != nil {
 		a.prof.batches.Add(1)

@@ -10,8 +10,8 @@ import (
 
 // BatchSize is the number of rows per execution batch. It is aligned with
 // the column store's chunk size so a columnar scan emits exactly one batch
-// per zone-mapped chunk, aliasing the chunk's vectors with no per-row
-// materialization.
+// per zone-mapped chunk — raw chunks aliased with no per-row
+// materialization, encoded chunks decoded once into pooled buffers.
 const BatchSize = colstore.ChunkSize
 
 // Batch is the unit of data flow in the vectorized engine: one vector per
@@ -21,7 +21,9 @@ const BatchSize = colstore.ChunkSize
 // consumers.
 type Batch struct {
 	// Cols holds one value vector per schema column; every vector is Len
-	// values long. Vectors may alias column-store chunks directly.
+	// values long. Vectors either alias raw column-store chunks directly or
+	// are pooled decode buffers owned by the producing scan — alias or
+	// decode, never mutate.
 	Cols [][]value.Value
 	// Sel lists the active row positions in ascending order. A nil Sel
 	// means all Len rows are active.

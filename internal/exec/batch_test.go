@@ -77,7 +77,7 @@ func TestFilterNarrowsSelectionVector(t *testing.T) {
 	}
 }
 
-func tinyColTable(t testing.TB, n int) *colstore.Table {
+func tinyColTable(t testing.TB, n int, opts ...colstore.Option) *colstore.Table {
 	t.Helper()
 	cat := catalog.New(1)
 	if err := cat.AddTable(&catalog.Table{
@@ -94,7 +94,7 @@ func tinyColTable(t testing.TB, n int) *colstore.Table {
 	for i := 0; i < n; i++ {
 		rows[i] = value.Row{value.NewInt(int64(i)), value.NewInt(int64(i % 10))}
 	}
-	store, err := colstore.NewStore(cat, map[string][]value.Row{"t": rows})
+	store, err := colstore.NewStore(cat, map[string][]value.Row{"t": rows}, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,11 +102,14 @@ func tinyColTable(t testing.TB, n int) *colstore.Table {
 	return tb
 }
 
-// TestColTableScanAliasesChunks: the columnar scan's batches must alias the
-// stored vectors (zero per-row materialization), one batch per chunk.
+// TestColTableScanAliasesChunks: over raw storage the columnar scan's
+// batches must alias the stored vectors (zero per-row materialization),
+// one batch per chunk. The encoding policy is pinned to raw — under the
+// default policy this integer table would be FoR-encoded and served
+// through the decode path instead (see TestColTableScanDecodesEncoded).
 func TestColTableScanAliasesChunks(t *testing.T) {
 	n := 2*colstore.ChunkSize + 100
-	tb := tinyColTable(t, n)
+	tb := tinyColTable(t, n, colstore.WithEncoding(colstore.PolicyRaw))
 	scan := NewColTableScan(tb, "t", []int{0, 1}, nil, nil)
 	ctx := NewContext()
 	if err := scan.Open(ctx); err != nil {
@@ -138,6 +141,55 @@ func TestColTableScanAliasesChunks(t *testing.T) {
 	}
 	if ctx.Stats.BatchesProduced != 3 || ctx.Stats.RowsScanned != int64(n) {
 		t.Errorf("stats = %+v", ctx.Stats)
+	}
+}
+
+// TestColTableScanDecodesEncoded: over encoded storage the scan's batches
+// are decoded copies — the other half of the "alias or decode, never
+// mutate" contract: the batch must not alias encoded storage, mutating it
+// must not corrupt the store, and the decoded values must round-trip
+// exactly.
+func TestColTableScanDecodesEncoded(t *testing.T) {
+	n := 2*colstore.ChunkSize + 100
+	tb := tinyColTable(t, n) // default policy: both int columns FoR-encode
+	if ch := tb.Column(0).Chunk(0); ch.Enc == colstore.EncRaw {
+		t.Fatalf("precondition: expected chunk 0 to be encoded, got %v", ch.Enc)
+	}
+	scan := NewColTableScan(tb, "t", []int{0, 1}, nil, nil)
+	ctx := NewContext()
+	if err := scan.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	next := int64(0)
+	for {
+		b, err := scan.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.NumActive(); i++ {
+			if got := b.Cols[0][b.PosAt(i)].I; got != next {
+				t.Fatalf("row %d: decoded k = %d", next, got)
+			}
+			next++
+		}
+		// mutating the batch must not reach storage
+		b.Cols[0][0] = value.NewInt(-1)
+	}
+	if err := scan.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if next != int64(n) {
+		t.Fatalf("scanned %d rows, want %d", next, n)
+	}
+	if v := tb.Column(0).Value(0); v.I != 0 {
+		t.Fatalf("storage corrupted: column value(0) = %v", v)
+	}
+	if ctx.Stats.DecodedChunks != 3 || ctx.Stats.EncodedChunks != 0 {
+		t.Errorf("decoded=%d encoded=%d, want 3/0 (full decode, no prefilter)",
+			ctx.Stats.DecodedChunks, ctx.Stats.EncodedChunks)
 	}
 }
 

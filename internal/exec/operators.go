@@ -266,8 +266,12 @@ func (s *RowIndexOrderScan) Close() error {
 // disjoint chunk-aligned morsels across worker clones. Zone-map pruning
 // lives inside the morsel cursor, so skipped chunks are counted at dispatch
 // and never reach the scan. Each non-pruned base morsel becomes one batch
-// whose vectors alias the stored chunk directly — zero per-row
-// materialization; the predicate only narrows the selection vector. The
+// under the "alias or decode, never mutate" contract: raw chunk vectors
+// are aliased directly with zero per-row materialization, encoded chunks
+// are decoded into pooled per-clone buffers (sparsely, when the pruner's
+// encoded-domain prefilter already narrowed the candidates), and the
+// predicate only narrows the selection vector — running on base chunks
+// only when the pruner is not an exact encoding of it. The
 // pinned view unions the immutable base chunks (filtering rows deleted
 // since the last merge through the selection vector) with the replicated
 // delta rows, which are batched through a private projection slab — AP
@@ -286,11 +290,18 @@ type ColTableScan struct {
 	// this clone draws from instead of pinning its own view.
 	shared *colstore.Morsels
 
-	src       *colstore.Morsels
-	view      colstore.View
-	batch     Batch
-	selBuf    []int32
-	scratch   value.Row
+	src     *colstore.Morsels
+	view    colstore.View
+	batch   Batch
+	selBuf  []int32
+	preSel  []int32 // encoded-domain prefilter scratch
+	scratch value.Row
+	// chunkBuf holds the current morsel's per-column encoded chunks;
+	// decodeBuf is the pooled per-column decode target for encoded chunks
+	// (lazily allocated, retained across morsels and pooled executions so
+	// steady-state decode allocates nothing).
+	chunkBuf  []*colstore.EncodedChunk
+	decodeBuf [][]value.Value
 	deltaSlab []value.Value
 	closed    bool
 }
@@ -348,6 +359,8 @@ func (s *ColTableScan) Open(ctx *Context) error {
 	if s.batch.Cols == nil {
 		s.batch.Cols = make([][]value.Value, len(s.Cols))
 		s.scratch = make(value.Row, len(s.Cols))
+		s.chunkBuf = make([]*colstore.EncodedChunk, len(s.Cols))
+		s.decodeBuf = make([][]value.Value, len(s.Cols))
 	}
 	return nil
 }
@@ -387,27 +400,110 @@ func (s *ColTableScan) Next(ctx *Context) (*Batch, error) {
 	}
 }
 
-// baseBatch turns one base-chunk morsel into a batch aliasing the chunk's
-// immutable vectors, narrowing the selection vector by the predicate and
-// the deleted-positions set. Returns nil when no row survives.
+// baseBatch turns one base-chunk morsel into a batch under the "alias or
+// decode, never mutate" contract: raw chunks are aliased directly, encoded
+// chunks are decoded into pooled buffers — sparsely when an encoded-domain
+// prefilter already narrowed the candidates. When the pruner is an exact
+// representation of the scan's predicate, the chunk-level RangeSel over
+// the (possibly encoded) pruner column IS the filter, and the compiled
+// row predicate never runs on base chunks. Returns nil when no row
+// survives.
 func (s *ColTableScan) baseBatch(ctx *Context, m colstore.Morsel, perCol int64) (*Batch, error) {
 	rows := m.Rows()
 	ctx.Stats.RowsScanned += int64(rows)
 	ctx.Stats.BytesScanned += int64(rows) * perCol * int64(len(s.Cols))
+	anyEnc := false
 	for j, c := range s.Cols {
-		s.batch.Cols[j] = s.view.Cols[c].Slice(m.Lo, m.Hi)
+		ch := s.view.Cols[c].Chunk(m.Chunk)
+		s.chunkBuf[j] = ch
+		if ch.Enc != colstore.EncRaw {
+			anyEnc = true
+		}
+	}
+	// encoded-chunk accounting: a chunk with at least one encoded column
+	// counts as decoded when some column needed a full decode, encoded
+	// when the kernels got away with aliasing plus at most a sparse decode
+	fullDecode := false
+	countChunk := func() {
+		if !anyEnc {
+			return
+		}
+		if fullDecode {
+			ctx.Stats.DecodedChunks++
+		} else {
+			ctx.Stats.EncodedChunks++
+		}
+	}
+
+	// 1) encoded-domain prefilter: when the pruner is exact it is the
+	// whole predicate; otherwise it only pre-narrows the candidate set
+	// (the sargable conjunct bounds every match) before any decode.
+	var sel []int32   // candidate positions; nil = all rows
+	selExact := false // sel already reflects the full predicate
+	if pr := s.Pruner; pr != nil && (pr.Exact || anyEnc) {
+		pch := s.view.Cols[pr.Col].Chunk(m.Chunk)
+		res, all := pch.RangeSel(pr.Lo, pr.Hi, pr.LoStrict, pr.HiStrict, s.preSel[:0])
+		s.preSel = res
+		if !all {
+			if len(res) == 0 {
+				countChunk()
+				return nil, nil
+			}
+			sel = res
+		}
+		selExact = pr.Exact
+	}
+
+	// 2) assemble vectors: alias raw chunks, decode encoded ones into the
+	// pooled per-column buffers (only the candidate positions when a
+	// selection vector survives the prefilter)
+	for j := range s.Cols {
+		ch := s.chunkBuf[j]
+		if ch.Enc == colstore.EncRaw {
+			s.batch.Cols[j] = ch.Raw
+			continue
+		}
+		buf := s.decodeBuf[j]
+		if cap(buf) < rows {
+			buf = make([]value.Value, colstore.ChunkSize)
+		}
+		buf = buf[:rows]
+		if sel != nil {
+			ch.DecodeSel(buf, sel)
+		} else {
+			buf = ch.Decode(buf)
+			fullDecode = true
+		}
+		s.decodeBuf[j] = buf
+		s.batch.Cols[j] = buf
 	}
 	s.batch.Len = rows
 	s.batch.Sel = nil
-	if s.Pred == nil && s.view.BaseDead == nil {
+
+	needDead := s.view.BaseDead != nil
+	needPred := s.Pred != nil && !selExact
+	if !needDead && !needPred {
+		s.batch.Sel = sel
+		countChunk()
 		return &s.batch, nil
 	}
-	sel := s.selBuf[:0]
-	for i := 0; i < rows; i++ {
-		if s.view.BaseDead[int32(m.Lo+i)] {
+
+	// 3) narrow the candidates by the delete set and (unless the prefilter
+	// was exact) the compiled row predicate
+	out := s.selBuf[:0]
+	n := rows
+	if sel != nil {
+		n = len(sel)
+	}
+	for ii := 0; ii < n; ii++ {
+		i := ii
+		if sel != nil {
+			i = int(sel[ii])
+		}
+		if needDead && s.view.BaseDead[int32(m.Lo+i)] {
 			continue
 		}
-		if s.Pred != nil {
+		if needPred {
 			s.batch.FillRow(i, s.scratch)
 			ok, err := Truthy(s.Pred, s.scratch)
 			if err != nil {
@@ -417,13 +513,14 @@ func (s *ColTableScan) baseBatch(ctx *Context, m colstore.Morsel, perCol int64) 
 				continue
 			}
 		}
-		sel = append(sel, int32(i))
+		out = append(out, int32(i))
 	}
-	s.selBuf = sel
-	if len(sel) == 0 {
+	s.selBuf = out
+	countChunk()
+	if len(out) == 0 {
 		return nil, nil
 	}
-	s.batch.Sel = sel
+	s.batch.Sel = out
 	return &s.batch, nil
 }
 
@@ -477,6 +574,9 @@ func (s *ColTableScan) Close() error {
 	s.closed = true
 	for j := range s.batch.Cols {
 		s.batch.Cols[j] = nil // drop storage aliases
+	}
+	for j := range s.chunkBuf {
+		s.chunkBuf[j] = nil // drop encoded-chunk aliases
 	}
 	s.view = colstore.View{}
 	s.src = nil
@@ -970,6 +1070,11 @@ func (j *HashJoin) Close() error {
 type AggSpec struct {
 	Func sqlparser.AggFunc
 	Arg  Evaluator // nil for COUNT(*)
+	// ArgCol is the argument's child-schema column position when Arg is a
+	// bare column reference, -1 for COUNT(*). It is only meaningful on
+	// operators whose GroupCols is non-nil (the optimizer sets both
+	// together); the Arg evaluator stays authoritative everywhere else.
+	ArgCol int
 }
 
 // HashAggregate groups its input by the group expressions and computes the
@@ -982,6 +1087,13 @@ type HashAggregate struct {
 	Groups []Evaluator
 	Aggs   []AggSpec
 	Out    Schema // group columns followed by aggregate columns
+	// GroupCols, when non-nil, carries the structural shape the encoded
+	// aggregation pushdown needs: every GROUP BY term is a bare column and
+	// GroupCols[i] is its child-schema position (an empty non-nil slice
+	// means a global aggregate), and every AggSpec.ArgCol is resolved. The
+	// optimizer sets it; operators built by hand leave it nil and always
+	// take the evaluator path.
+	GroupCols []int
 
 	emit   rowEmitter
 	closed bool
@@ -990,7 +1102,8 @@ type HashAggregate struct {
 func (a *HashAggregate) Schema() Schema { return a.Out }
 
 func (a *HashAggregate) Clone() BatchOperator {
-	return &HashAggregate{Child: a.Child.Clone(), Groups: a.Groups, Aggs: a.Aggs, Out: a.Out}
+	return &HashAggregate{Child: a.Child.Clone(), Groups: a.Groups, Aggs: a.Aggs,
+		Out: a.Out, GroupCols: a.GroupCols}
 }
 
 type aggState struct {
@@ -1024,26 +1137,36 @@ func (a *HashAggregate) accumulate(st *aggState, row value.Row) error {
 		if err != nil {
 			return err
 		}
-		if v.IsNull() {
-			continue
-		}
-		st.counts[i]++
-		if f, ok := v.AsFloat(); ok {
-			st.sums[i] += f
-		}
-		if !st.seen[i] {
-			st.mins[i], st.maxs[i] = v, v
-			st.seen[i] = true
-		} else {
-			if v.Compare(st.mins[i]) < 0 {
-				st.mins[i] = v
-			}
-			if v.Compare(st.maxs[i]) > 0 {
-				st.maxs[i] = v
-			}
-		}
+		accumulateArg(st, i, v)
 	}
 	return nil
+}
+
+// accumulateArg folds one evaluated aggregate argument into state slot i —
+// the single definition of per-value aggregation semantics (NULLs skipped;
+// count always advances for non-NULL; sum only for numerics; min/max by
+// value.Compare with first-seen ties kept). The encoded kernels call it —
+// or replicate it bit-exactly — so encoded and raw execution agree byte
+// for byte.
+func accumulateArg(st *aggState, i int, v value.Value) {
+	if v.IsNull() {
+		return
+	}
+	st.counts[i]++
+	if f, ok := v.AsFloat(); ok {
+		st.sums[i] += f
+	}
+	if !st.seen[i] {
+		st.mins[i], st.maxs[i] = v, v
+		st.seen[i] = true
+	} else {
+		if v.Compare(st.mins[i]) < 0 {
+			st.mins[i] = v
+		}
+		if v.Compare(st.maxs[i]) > 0 {
+			st.maxs[i] = v
+		}
+	}
 }
 
 // aggTable is one (per-worker or global) aggregation hash table with its
@@ -1165,6 +1288,11 @@ func (a *HashAggregate) emitRows(t *aggTable) ([]value.Row, error) {
 
 func (a *HashAggregate) Open(ctx *Context) error {
 	a.closed = false
+	// encoded aggregation pushdown: a structurally simple aggregate over a
+	// bare columnar scan consumes encoded chunks directly (see pushdown.go)
+	if done, err := a.openPushdown(ctx); done || err != nil {
+		return err
+	}
 	if ctx.DOP > 1 {
 		if pipes, ok := forkPipeline(a.Child, ctx.DOP); ok {
 			return a.openParallel(ctx, pipes)
@@ -1213,6 +1341,24 @@ func (a *HashAggregate) openParallel(ctx *Context, pipes []BatchOperator) error 
 	if err != nil {
 		return err
 	}
+	merged, partGroups := a.mergeParts(parts)
+	// runForked folded each worker's per-partition group creations into
+	// ctx; rewrite the counter to the distinct merged count so the stat a
+	// query reports does not vary with the granted DOP
+	ctx.Stats.GroupsCreated += int64(len(merged.order)) - partGroups
+	sort.Strings(merged.order)
+	out, err := a.emitRows(merged)
+	if err != nil {
+		return err
+	}
+	a.emit.reset(out, len(a.Out))
+	return nil
+}
+
+// mergeParts combines per-worker partial aggregation tables into one, in
+// worker order, returning the merged table and the total per-partition
+// group count (for the GroupsCreated rewrite).
+func (a *HashAggregate) mergeParts(parts []*aggTable) (*aggTable, int64) {
 	merged := a.newTable()
 	var partGroups int64
 	for _, p := range parts {
@@ -1231,17 +1377,7 @@ func (a *HashAggregate) openParallel(ctx *Context, pipes []BatchOperator) error 
 			a.mergeState(dst, src)
 		}
 	}
-	// runForked folded each worker's per-partition group creations into
-	// ctx; rewrite the counter to the distinct merged count so the stat a
-	// query reports does not vary with the granted DOP
-	ctx.Stats.GroupsCreated += int64(len(merged.order)) - partGroups
-	sort.Strings(merged.order)
-	out, err := a.emitRows(merged)
-	if err != nil {
-		return err
-	}
-	a.emit.reset(out, len(a.Out))
-	return nil
+	return merged, partGroups
 }
 
 func (a *HashAggregate) Next(ctx *Context) (*Batch, error) {

@@ -1,0 +1,626 @@
+package exec
+
+import (
+	"sort"
+	"sync"
+
+	"htapxplain/internal/colstore"
+	"htapxplain/internal/value"
+)
+
+// Encoded aggregation pushdown: when a structurally simple aggregate sits
+// directly on a bare columnar scan, the aggregate runs its own morsel loop
+// and consumes encoded chunks natively instead of pulling decoded batches —
+// COUNT/SUM/MIN/MAX fold RLE runs run-at-a-time and dictionary chunks
+// code-at-a-time, FoR chunks are unpacked to machine integers without ever
+// building a Value vector, and an exact pruner's encoded-domain RangeSel
+// replaces the compiled row predicate entirely. Grouping by a
+// dictionary-encoded column keys the hash table once per distinct code
+// rather than once per row.
+//
+// Every kernel accumulates in row order with the same float operations as
+// accumulateArg, so encoded execution is byte-identical to the decoded
+// path at the same DOP — the invariant the storage-immutability and
+// recovery differential suites assert exactly, not approximately.
+//
+// Eligibility is structural (see pushdownScan); anything else — extra
+// operators between aggregate and scan, non-bare group or argument
+// expressions, an inexact pruner alongside a residual predicate, or an
+// EXPLAIN ANALYZE wrapper — falls back to the generic batch path.
+
+// pushdownScan reports whether the aggregate can run over encoded chunks
+// directly, returning the child scan when it can.
+func (a *HashAggregate) pushdownScan() (*ColTableScan, bool) {
+	if a.GroupCols == nil || len(a.GroupCols) > 1 || len(a.GroupCols) != len(a.Groups) {
+		return nil, false
+	}
+	scan, ok := a.Child.(*ColTableScan)
+	if !ok || scan.shared != nil {
+		return nil, false
+	}
+	// a residual predicate defeats pushdown unless the pruner encodes it
+	// exactly (then RangeSel at the chunk level IS the predicate)
+	if scan.Pred != nil && (scan.Pruner == nil || !scan.Pruner.Exact) {
+		return nil, false
+	}
+	ncols := len(scan.Cols)
+	for _, g := range a.GroupCols {
+		if g < 0 || g >= ncols {
+			return nil, false
+		}
+	}
+	for _, spec := range a.Aggs {
+		if spec.ArgCol < -1 || spec.ArgCol >= ncols {
+			return nil, false
+		}
+		if spec.ArgCol == -1 && spec.Arg != nil {
+			return nil, false
+		}
+	}
+	return scan, true
+}
+
+// openPushdown runs the aggregate over encoded chunks when eligible. The
+// first return value reports whether pushdown handled the open; when false
+// the caller proceeds with the generic batch path.
+func (a *HashAggregate) openPushdown(ctx *Context) (bool, error) {
+	scan, ok := a.pushdownScan()
+	if !ok {
+		return false, nil
+	}
+	view := scan.Table.View()
+	src := colstore.NewMorsels(view, scan.Pruner)
+	dop := ctx.DOP
+	if n := src.NumMorsels(); dop > n {
+		dop = n
+	}
+	if dop <= 1 {
+		w := a.newPushWorker(scan, view)
+		t := a.newTable()
+		if err := w.fold(ctx, src, t); err != nil {
+			return true, err
+		}
+		ctx.Stats.GroupsCreated += int64(len(t.order))
+		out, err := a.emitRows(t)
+		if err != nil {
+			return true, err
+		}
+		a.emit.reset(out, len(a.Out))
+		return true, nil
+	}
+
+	// parallel: per-worker tables folded from the shared morsel cursor,
+	// merged like openParallel, emitted in sorted-key order for run-to-run
+	// determinism
+	wctxs := ctx.forkScope(dop)
+	parts := make([]*aggTable, dop)
+	errs := make([]error, dop)
+	var wg sync.WaitGroup
+	for i := 0; i < dop; i++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			w := a.newPushWorker(scan, view)
+			parts[wi] = a.newTable()
+			if err := w.fold(wctxs[wi], src, parts[wi]); err != nil {
+				errs[wi] = err
+				wctxs[wi].Cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, wctx := range wctxs {
+		ctx.Stats.Add(wctx.Stats)
+	}
+	ctx.Stats.ParallelWorkers += int64(dop)
+	for _, err := range errs {
+		if err != nil {
+			return true, err
+		}
+	}
+	merged, _ := a.mergeParts(parts)
+	ctx.Stats.GroupsCreated += int64(len(merged.order))
+	sort.Strings(merged.order)
+	out, err := a.emitRows(merged)
+	if err != nil {
+		return true, err
+	}
+	a.emit.reset(out, len(a.Out))
+	return true, nil
+}
+
+// pushWorker is one worker's scratch state for the encoded aggregation
+// fold: decode buffers, the prefilter selection, the per-dictionary-code
+// state cache, and a scan-schema row for delta predicates.
+type pushWorker struct {
+	a      *HashAggregate
+	scan   *ColTableScan
+	view   colstore.View
+	perCol int64 // modeled bytes per column per row
+
+	preSel  []int32         // encoded-domain prefilter scratch
+	argv    [][]value.Value // per-agg argument vector for the current chunk
+	dec     [][]value.Value // pooled per-agg decode targets
+	gdec    []value.Value   // pooled group-column decode target
+	states  []*aggState     // per-dict-code group state cache
+	df      []float64       // per-dict-code AsFloat cache
+	dfok    []bool
+	scratch value.Row // scan-schema row (delta rows, predicate eval)
+	keyCols []int     // {0}: single-group key columns
+}
+
+func (a *HashAggregate) newPushWorker(scan *ColTableScan, view colstore.View) *pushWorker {
+	perCol := scan.Table.Meta.AvgRowBytes / int64(len(scan.Table.Meta.Columns))
+	if perCol < 1 {
+		perCol = 1
+	}
+	return &pushWorker{
+		a:       a,
+		scan:    scan,
+		view:    view,
+		perCol:  perCol,
+		argv:    make([][]value.Value, len(a.Aggs)),
+		dec:     make([][]value.Value, len(a.Aggs)),
+		scratch: make(value.Row, len(scan.Cols)),
+		keyCols: []int{0},
+	}
+}
+
+// fold drains the morsel source into t, mirroring ColTableScan's work
+// accounting so EXPLAIN ANALYZE reads the same whether or not pushdown
+// fired.
+func (w *pushWorker) fold(ctx *Context, src *colstore.Morsels, t *aggTable) error {
+	for {
+		if ctx.Canceled() {
+			return nil
+		}
+		m, pruned, ok := src.Next()
+		ctx.Stats.ChunksSkipped += pruned
+		if !ok {
+			return nil
+		}
+		ctx.Stats.MorselsDispatched++
+		if m.Base {
+			ctx.Stats.ChunksScanned++
+			w.foldBase(ctx, m, t)
+		} else if err := w.foldDelta(ctx, m, t); err != nil {
+			return err
+		}
+	}
+}
+
+// foldBase folds one base chunk. The prefilter mirrors baseBatch exactly:
+// applied when the pruner is exact (then it is the whole predicate) or the
+// chunk has encoded columns (then the sargable bound pre-narrows before
+// any decode).
+func (w *pushWorker) foldBase(ctx *Context, m colstore.Morsel, t *aggTable) {
+	rows := m.Rows()
+	ctx.Stats.RowsScanned += int64(rows)
+	ctx.Stats.BytesScanned += int64(rows) * w.perCol * int64(len(w.scan.Cols))
+
+	anyEnc := false
+	for _, c := range w.scan.Cols {
+		if w.view.Cols[c].Chunk(m.Chunk).Enc != colstore.EncRaw {
+			anyEnc = true
+			break
+		}
+	}
+	fullDecode := false
+	countChunk := func() {
+		if !anyEnc {
+			return
+		}
+		if fullDecode {
+			ctx.Stats.DecodedChunks++
+		} else {
+			ctx.Stats.EncodedChunks++
+		}
+	}
+
+	var sel []int32 // candidate positions; nil = all rows
+	if pr := w.scan.Pruner; pr != nil && (pr.Exact || anyEnc) {
+		pch := w.view.Cols[pr.Col].Chunk(m.Chunk)
+		res, all := pch.RangeSel(pr.Lo, pr.Hi, pr.LoStrict, pr.HiStrict, w.preSel[:0])
+		w.preSel = res
+		if !all {
+			if len(res) == 0 {
+				countChunk()
+				return
+			}
+			sel = res
+		}
+	}
+
+	switch {
+	case w.view.BaseDead != nil:
+		// deleted base positions force the generic per-row walk
+		w.foldRowAt(m, t, sel)
+	case len(w.a.GroupCols) == 0:
+		w.foldGlobal(m, t, sel)
+	default:
+		fullDecode = w.foldGrouped(m, t, sel)
+	}
+	countChunk()
+}
+
+// foldGlobal folds one chunk into the single global group via the
+// per-encoding kernels — no decode, no Value vector.
+func (w *pushWorker) foldGlobal(m colstore.Morsel, t *aggTable, sel []int32) {
+	a := w.a
+	st := w.globalState(t)
+	ncand := m.Rows()
+	if sel != nil {
+		ncand = len(sel)
+	}
+	for ai := range a.Aggs {
+		if a.Aggs[ai].ArgCol < 0 { // COUNT(*): every candidate counts
+			st.counts[ai] += int64(ncand)
+			continue
+		}
+		ch := w.view.Cols[w.scan.Cols[a.Aggs[ai].ArgCol]].Chunk(m.Chunk)
+		w.aggChunk(st, ai, ch, sel)
+	}
+}
+
+// aggChunk folds one argument chunk into state slot ai, bit-exactly
+// matching a row-order accumulateArg loop over the decoded values.
+func (w *pushWorker) aggChunk(st *aggState, ai int, ch *colstore.EncodedChunk, sel []int32) {
+	switch ch.Enc {
+	case colstore.EncRaw:
+		if sel == nil {
+			for _, v := range ch.Raw {
+				accumulateArg(st, ai, v)
+			}
+		} else {
+			for _, i := range sel {
+				accumulateArg(st, ai, ch.Raw[i])
+			}
+		}
+
+	case colstore.EncDict:
+		// dictionaries hold no NULLs: every candidate counts. Sums stay
+		// row-order (one add per row from the per-code float cache);
+		// min/max reduce to the extreme codes — the dictionary is sorted
+		// by value.Compare, but the explicit code comparison keeps this
+		// independent of that.
+		df, dfok := w.dictFloats(ch)
+		minC, maxC := -1, -1
+		foldCode := func(code uint16) {
+			st.counts[ai]++
+			if dfok[code] {
+				st.sums[ai] += df[code]
+			}
+			c := int(code)
+			if minC < 0 {
+				minC, maxC = c, c
+			} else {
+				if c < minC {
+					minC = c
+				}
+				if c > maxC {
+					maxC = c
+				}
+			}
+		}
+		if sel == nil {
+			for _, code := range ch.Codes {
+				foldCode(code)
+			}
+		} else {
+			for _, i := range sel {
+				foldCode(ch.Codes[i])
+			}
+		}
+		if minC >= 0 {
+			applyMinMax(st, ai, ch.Dict[minC])
+			applyMinMax(st, ai, ch.Dict[maxC])
+		}
+
+	case colstore.EncFoR:
+		// FoR chunks are all-Int and NULL-free: unpack to machine ints,
+		// track integer extremes, one float add per row for the sum
+		var minI, maxI int64
+		first := true
+		foldInt := func(i int) {
+			v := ch.IntAt(i)
+			st.counts[ai]++
+			st.sums[ai] += float64(v)
+			if first {
+				minI, maxI = v, v
+				first = false
+			} else {
+				if v < minI {
+					minI = v
+				}
+				if v > maxI {
+					maxI = v
+				}
+			}
+		}
+		if sel == nil {
+			for i := 0; i < ch.N; i++ {
+				foldInt(i)
+			}
+		} else {
+			for _, i := range sel {
+				foldInt(int(i))
+			}
+		}
+		if !first {
+			applyMinMax(st, ai, value.NewInt(minI))
+			applyMinMax(st, ai, value.NewInt(maxI))
+		}
+
+	case colstore.EncRLE:
+		if sel == nil {
+			start := 0
+			for r, v := range ch.RunVals {
+				end := int(ch.RunEnds[r])
+				k := end - start
+				start = end
+				if v.IsNull() {
+					continue
+				}
+				st.counts[ai] += int64(k)
+				if f, ok := v.AsFloat(); ok {
+					// k sequential adds, not f*k: float addition does not
+					// distribute, and the differential suites compare bytes
+					for j := 0; j < k; j++ {
+						st.sums[ai] += f
+					}
+				}
+				applyMinMax(st, ai, v)
+			}
+		} else {
+			run := 0
+			for _, i := range sel {
+				for int(ch.RunEnds[run]) <= int(i) {
+					run++
+				}
+				accumulateArg(st, ai, ch.RunVals[run])
+			}
+		}
+	}
+}
+
+// foldGrouped folds one chunk of a single-column GROUP BY. Grouping by a
+// dictionary chunk resolves each row's state through a per-code cache —
+// one hash-key build per distinct code per chunk instead of one per row.
+// Other group encodings decode the group column like any other; argument
+// columns alias raw chunks and decode encoded ones (sparsely under a
+// selection). Reports whether any encoded column was fully decoded.
+func (w *pushWorker) foldGrouped(m colstore.Morsel, t *aggTable, sel []int32) bool {
+	a := w.a
+	rows := m.Rows()
+	fullDecode := false
+
+	// materialize argument vectors: alias or decode, never mutate
+	for ai := range a.Aggs {
+		ac := a.Aggs[ai].ArgCol
+		if ac < 0 {
+			w.argv[ai] = nil
+			continue
+		}
+		ch := w.view.Cols[w.scan.Cols[ac]].Chunk(m.Chunk)
+		if ch.Enc == colstore.EncRaw {
+			w.argv[ai] = ch.Raw
+			continue
+		}
+		buf := w.dec[ai]
+		if cap(buf) < rows {
+			buf = make([]value.Value, colstore.ChunkSize)
+		}
+		buf = buf[:rows]
+		if sel != nil {
+			ch.DecodeSel(buf, sel)
+		} else {
+			buf = ch.Decode(buf)
+			fullDecode = true
+		}
+		w.dec[ai] = buf
+		w.argv[ai] = buf
+	}
+
+	gch := w.view.Cols[w.scan.Cols[a.GroupCols[0]]].Chunk(m.Chunk)
+	if gch.Enc == colstore.EncDict {
+		if cap(w.states) < len(gch.Dict) {
+			w.states = make([]*aggState, len(gch.Dict))
+		}
+		states := w.states[:len(gch.Dict)]
+		for i := range states {
+			states[i] = nil
+		}
+		foldRow := func(i int) {
+			code := gch.Codes[i]
+			st := states[code]
+			if st == nil {
+				st = w.groupState(t, gch.Dict[code])
+				states[code] = st
+			}
+			w.foldArgs(st, i)
+		}
+		if sel == nil {
+			for i := 0; i < rows; i++ {
+				foldRow(i)
+			}
+		} else {
+			for _, i := range sel {
+				foldRow(int(i))
+			}
+		}
+		return fullDecode
+	}
+
+	var gvals []value.Value
+	if gch.Enc == colstore.EncRaw {
+		gvals = gch.Raw
+	} else {
+		buf := w.gdec
+		if cap(buf) < rows {
+			buf = make([]value.Value, colstore.ChunkSize)
+		}
+		buf = buf[:rows]
+		if sel != nil {
+			gch.DecodeSel(buf, sel)
+		} else {
+			buf = gch.Decode(buf)
+			fullDecode = true
+		}
+		w.gdec = buf
+		gvals = buf
+	}
+	if sel == nil {
+		for i := 0; i < rows; i++ {
+			w.foldArgs(w.groupState(t, gvals[i]), i)
+		}
+	} else {
+		for _, i := range sel {
+			w.foldArgs(w.groupState(t, gvals[i]), int(i))
+		}
+	}
+	return fullDecode
+}
+
+// foldRowAt is the generic per-row walk for base chunks with deleted
+// positions: random-access ValueAt reads, no decode, dead rows skipped.
+func (w *pushWorker) foldRowAt(m colstore.Morsel, t *aggTable, sel []int32) {
+	a := w.a
+	var gch *colstore.EncodedChunk
+	if len(a.GroupCols) == 1 {
+		gch = w.view.Cols[w.scan.Cols[a.GroupCols[0]]].Chunk(m.Chunk)
+	}
+	n := m.Rows()
+	if sel != nil {
+		n = len(sel)
+	}
+	for ii := 0; ii < n; ii++ {
+		i := ii
+		if sel != nil {
+			i = int(sel[ii])
+		}
+		if w.view.BaseDead[int32(m.Lo+i)] {
+			continue
+		}
+		var st *aggState
+		if gch != nil {
+			st = w.groupState(t, gch.ValueAt(i))
+		} else {
+			st = w.globalState(t)
+		}
+		for ai := range a.Aggs {
+			if a.Aggs[ai].ArgCol < 0 {
+				st.counts[ai]++
+				continue
+			}
+			ch := w.view.Cols[w.scan.Cols[a.Aggs[ai].ArgCol]].Chunk(m.Chunk)
+			accumulateArg(st, ai, ch.ValueAt(i))
+		}
+	}
+}
+
+// foldDelta folds one window of replicated-but-unmerged delta rows: full
+// table-width rows projected through the scan schema, with the compiled
+// predicate applied — delta rows are never encoded, so the pruner's
+// encoded-domain shortcut does not apply here.
+func (w *pushWorker) foldDelta(ctx *Context, m colstore.Morsel, t *aggTable) error {
+	a := w.a
+	rows := w.view.Delta[m.Lo:m.Hi]
+	ctx.Stats.RowsScanned += int64(len(rows))
+	ctx.Stats.BytesScanned += int64(len(rows)) * w.perCol * int64(len(w.scan.Cols))
+	for _, r := range rows {
+		for j, c := range w.scan.Cols {
+			w.scratch[j] = r[c]
+		}
+		if w.scan.Pred != nil {
+			ok, err := Truthy(w.scan.Pred, w.scratch)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+		}
+		var st *aggState
+		if len(a.GroupCols) == 1 {
+			st = w.groupState(t, w.scratch[a.GroupCols[0]])
+		} else {
+			st = w.globalState(t)
+		}
+		for ai := range a.Aggs {
+			if a.Aggs[ai].ArgCol < 0 {
+				st.counts[ai]++
+				continue
+			}
+			accumulateArg(st, ai, w.scratch[a.Aggs[ai].ArgCol])
+		}
+	}
+	return nil
+}
+
+// foldArgs folds row i's argument values (from the materialized argv
+// vectors) into st.
+func (w *pushWorker) foldArgs(st *aggState, i int) {
+	for ai := range w.a.Aggs {
+		if w.a.Aggs[ai].ArgCol < 0 {
+			st.counts[ai]++
+			continue
+		}
+		accumulateArg(st, ai, w.argv[ai][i])
+	}
+}
+
+// groupState resolves (creating on first sight) the state for a
+// single-column group value, with the same key construction as foldBatch.
+func (w *pushWorker) groupState(t *aggTable, gv value.Value) *aggState {
+	g := value.Row{gv}
+	key := g.Key(w.keyCols)
+	st, ok := t.groups[key]
+	if !ok {
+		st = w.a.newState(g)
+		t.groups[key] = st
+		t.order = append(t.order, key)
+	}
+	return st
+}
+
+// globalState resolves the single global-aggregate state.
+func (w *pushWorker) globalState(t *aggTable) *aggState {
+	st, ok := t.groups[""]
+	if !ok {
+		st = w.a.newState(make(value.Row, 0))
+		t.groups[""] = st
+		t.order = append(t.order, "")
+	}
+	return st
+}
+
+// applyMinMax folds v into slot i's min/max exactly as accumulateArg does,
+// without touching count or sum — for kernels that reduce a chunk's
+// extremes before consulting the running state.
+func applyMinMax(st *aggState, i int, v value.Value) {
+	if !st.seen[i] {
+		st.mins[i], st.maxs[i] = v, v
+		st.seen[i] = true
+		return
+	}
+	if v.Compare(st.mins[i]) < 0 {
+		st.mins[i] = v
+	}
+	if v.Compare(st.maxs[i]) > 0 {
+		st.maxs[i] = v
+	}
+}
+
+// dictFloats returns the per-code AsFloat cache for a dictionary chunk.
+func (w *pushWorker) dictFloats(ch *colstore.EncodedChunk) ([]float64, []bool) {
+	n := len(ch.Dict)
+	if cap(w.df) < n || cap(w.dfok) < n {
+		w.df = make([]float64, n)
+		w.dfok = make([]bool, n)
+	}
+	df, dfok := w.df[:n], w.dfok[:n]
+	for i, v := range ch.Dict {
+		df[i], dfok[i] = v.AsFloat()
+	}
+	return df, dfok
+}

@@ -85,6 +85,8 @@ type Stats struct {
 	BatchesProduced   int64 // batches emitted by operators in the vectorized pipeline
 	MorselsDispatched int64 // chunk-aligned scan morsels handed to workers
 	ParallelWorkers   int64 // worker goroutines spawned by parallel operators (0 = fully serial)
+	EncodedChunks     int64 // base chunks served by encoded kernels without a full decode (AP only)
+	DecodedChunks     int64 // base chunks with encoded columns fully decoded into batch vectors (AP only)
 }
 
 // Add accumulates o into s.
@@ -104,6 +106,8 @@ func (s *Stats) Add(o Stats) {
 	s.BatchesProduced += o.BatchesProduced
 	s.MorselsDispatched += o.MorselsDispatched
 	s.ParallelWorkers += o.ParallelWorkers
+	s.EncodedChunks += o.EncodedChunks
+	s.DecodedChunks += o.DecodedChunks
 }
 
 // Context carries per-query execution state: the work counters, the degree

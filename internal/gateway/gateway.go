@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"htapxplain/internal/colstore"
 	"htapxplain/internal/exec"
 	"htapxplain/internal/htap"
 	"htapxplain/internal/latency"
@@ -328,6 +329,14 @@ func (g *Gateway) Metrics() Snapshot {
 	ms := g.sys.Col.MergeStats()
 	s.Merges = ms.Merges
 	s.RowsMerged = ms.RowsMerged
+	cs := g.sys.Col.MemStats()
+	s.ColstoreResidentBytes = cs.ResidentBytes
+	s.ColstoreRawBytes = cs.RawBytes
+	s.ColstoreCompression = cs.CompressionRatio()
+	s.ColstoreChunks = make(map[string]int64, len(cs.ChunksByEnc))
+	for e, n := range cs.ChunksByEnc {
+		s.ColstoreChunks[colstore.Encoding(e).String()] = n
+	}
 	if ds := g.sys.DurabilityStats(); ds.Enabled {
 		s.DurabilityOn = true
 		s.WALAppends = ds.WAL.Appends

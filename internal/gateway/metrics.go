@@ -93,6 +93,8 @@ type execCounters struct {
 	batchesProduced   atomic.Int64
 	morselsDispatched atomic.Int64
 	parallelWorkers   atomic.Int64
+	encodedChunks     atomic.Int64
+	decodedChunks     atomic.Int64
 }
 
 // observeWrite folds one committed DML statement into the write counters.
@@ -121,6 +123,8 @@ func (m *Metrics) observeExec(eng plan.Engine, st *exec.Stats) {
 	ec.batchesProduced.Add(st.BatchesProduced)
 	ec.morselsDispatched.Add(st.MorselsDispatched)
 	ec.parallelWorkers.Add(st.ParallelWorkers)
+	ec.encodedChunks.Add(st.EncodedChunks)
+	ec.decodedChunks.Add(st.DecodedChunks)
 }
 
 // ExecSnapshot is the exported per-route view of the execution work
@@ -132,6 +136,8 @@ type ExecSnapshot struct {
 	BatchesProduced   int64 `json:"batches_produced"`
 	MorselsDispatched int64 `json:"morsels_dispatched"`
 	ParallelWorkers   int64 `json:"parallel_workers"`
+	EncodedChunks     int64 `json:"encoded_chunks"`
+	DecodedChunks     int64 `json:"decoded_chunks"`
 }
 
 func (ec *execCounters) snapshot() ExecSnapshot {
@@ -142,6 +148,8 @@ func (ec *execCounters) snapshot() ExecSnapshot {
 		BatchesProduced:   ec.batchesProduced.Load(),
 		MorselsDispatched: ec.morselsDispatched.Load(),
 		ParallelWorkers:   ec.parallelWorkers.Load(),
+		EncodedChunks:     ec.encodedChunks.Load(),
+		DecodedChunks:     ec.decodedChunks.Load(),
 	}
 }
 
@@ -235,6 +243,21 @@ type Snapshot struct {
 	ZonemapPruned     int64 `json:"zonemap_chunks_pruned"`
 	ZonemapScanned    int64 `json:"zonemap_chunks_scanned"`
 
+	// Encoded-kernel counters, summed over both routes: chunks whose
+	// encoded representation was consumed directly by a pushed-down kernel
+	// vs chunks that had to be decoded into batch vectors.
+	EncodedChunks int64 `json:"exec_encoded_chunks"`
+	DecodedChunks int64 `json:"exec_decoded_chunks"`
+
+	// Column-store footprint gauges: resident bytes under the chosen
+	// per-chunk encodings, what the same base data would occupy raw, their
+	// ratio, and base-chunk counts per encoding. Filled by Gateway.Metrics
+	// from the column store, not by the counter set.
+	ColstoreResidentBytes int64            `json:"colstore_resident_bytes"`
+	ColstoreRawBytes      int64            `json:"colstore_raw_bytes"`
+	ColstoreCompression   float64          `json:"colstore_compression_ratio"`
+	ColstoreChunks        map[string]int64 `json:"colstore_chunks_by_encoding"`
+
 	ExecTP ExecSnapshot `json:"exec_tp"`
 	ExecAP ExecSnapshot `json:"exec_ap"`
 
@@ -267,6 +290,8 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.MorselsDispatched = s.ExecTP.MorselsDispatched + s.ExecAP.MorselsDispatched
 	s.ZonemapPruned = s.ExecTP.ChunksSkipped + s.ExecAP.ChunksSkipped
 	s.ZonemapScanned = s.ExecTP.ChunksScanned + s.ExecAP.ChunksScanned
+	s.EncodedChunks = s.ExecTP.EncodedChunks + s.ExecAP.EncodedChunks
+	s.DecodedChunks = s.ExecTP.DecodedChunks + s.ExecAP.DecodedChunks
 	if lookups := s.CacheHits + s.CacheTemplateHits + s.CacheMisses; lookups > 0 {
 		s.CacheHitRate = float64(s.CacheHits+s.CacheTemplateHits) / float64(lookups)
 	}

@@ -321,6 +321,11 @@ func TestPrometheusEndpoint(t *testing.T) {
 		`route="tp"`, `route="ap"`, `route="dml"`,
 		"router_observed_accuracy", "htap_stage_latency_seconds_bucket",
 		"htap_query_latency_quantile_seconds",
+		"htap_colstore_resident_bytes", "htap_colstore_raw_bytes",
+		"htap_colstore_compression_ratio",
+		`htap_colstore_chunks{encoding="raw"}`, `htap_colstore_chunks{encoding="dict"}`,
+		`htap_colstore_chunks{encoding="for"}`, `htap_colstore_chunks{encoding="rle"}`,
+		"htap_exec_encoded_chunks_total", "htap_exec_decoded_chunks_total",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("exposition missing %q", want)
@@ -339,6 +344,20 @@ func TestPrometheusEndpoint(t *testing.T) {
 	}
 	if snap.Total < 3 {
 		t.Errorf("JSON snapshot total = %d, want >= 3", snap.Total)
+	}
+	if snap.ColstoreRawBytes <= 0 || snap.ColstoreResidentBytes <= 0 {
+		t.Errorf("colstore footprint gauges empty: resident=%d raw=%d",
+			snap.ColstoreResidentBytes, snap.ColstoreRawBytes)
+	}
+	if snap.ColstoreCompression < 1 {
+		t.Errorf("colstore_compression_ratio = %g, want >= 1", snap.ColstoreCompression)
+	}
+	var chunks int64
+	for _, n := range snap.ColstoreChunks {
+		chunks += n
+	}
+	if chunks == 0 {
+		t.Error("colstore_chunks_by_encoding sums to zero")
 	}
 }
 

@@ -69,6 +69,16 @@ func (g *Gateway) PromText() string {
 	w.Counter("htap_morsels_dispatched_total", "Chunk-aligned morsels dispatched to workers.", nil, s.MorselsDispatched)
 	w.Counter("htap_zonemap_chunks_pruned_total", "Column chunks skipped by zone-map pruning.", nil, s.ZonemapPruned)
 	w.Counter("htap_zonemap_chunks_scanned_total", "Column chunks actually scanned.", nil, s.ZonemapScanned)
+
+	w.Gauge("htap_colstore_resident_bytes", "Base-chunk footprint under the chosen encodings.", nil, float64(s.ColstoreResidentBytes))
+	w.Gauge("htap_colstore_raw_bytes", "What the same base data would occupy as raw value vectors.", nil, float64(s.ColstoreRawBytes))
+	w.Gauge("htap_colstore_compression_ratio", "Raw bytes over resident bytes (1 = uncompressed).", nil, s.ColstoreCompression)
+	for _, enc := range []string{"raw", "dict", "for", "rle"} {
+		w.Gauge("htap_colstore_chunks", "Base chunks per encoding.",
+			map[string]string{"encoding": enc}, float64(s.ColstoreChunks[enc]))
+	}
+	w.Counter("htap_exec_encoded_chunks_total", "Chunks consumed by encoded kernels without decoding.", nil, s.EncodedChunks)
+	w.Counter("htap_exec_decoded_chunks_total", "Encoded chunks decoded into batch vectors.", nil, s.DecodedChunks)
 	for _, e := range []struct {
 		name string
 		ec   ExecSnapshot

@@ -136,7 +136,7 @@ func (s *System) Checkpoint() (uint64, error) {
 // appends. It returns the stores seated at the recovered commit LSN with
 // the replication watermark equal to it (an AP read right after recovery
 // is fully fresh).
-func openDurable(cat *catalog.Catalog, data *tpch.Dataset, dcfg DurabilityConfig) (
+func openDurable(cat *catalog.Catalog, data *tpch.Dataset, dcfg DurabilityConfig, enc colstore.EncodingPolicy) (
 	row *rowstore.Store, col *colstore.Store, w *wal.WAL, info RecoveryInfo, err error) {
 	w, err = wal.Open(wal.Options{
 		Dir:          dcfg.walDir(),
@@ -164,7 +164,7 @@ func openDurable(cat *catalog.Catalog, data *tpch.Dataset, dcfg DurabilityConfig
 		if err != nil {
 			return fail(fmt.Errorf("htap: loading row store: %w", err))
 		}
-		col, err = colstore.NewStore(cat, data.Tables)
+		col, err = colstore.NewStore(cat, data.Tables, colstore.WithEncoding(enc))
 		if err != nil {
 			return fail(fmt.Errorf("htap: loading column store: %w", err))
 		}
@@ -183,7 +183,7 @@ func openDurable(cat *catalog.Catalog, data *tpch.Dataset, dcfg DurabilityConfig
 			}
 			colHeaps[name] = colstore.HeapSnapshot{Rows: snap.Rows, Dead: dead}
 		}
-		col, err = colstore.NewStoreFromHeap(cat, colHeaps, ck.LSN)
+		col, err = colstore.NewStoreFromHeap(cat, colHeaps, ck.LSN, colstore.WithEncoding(enc))
 		if err != nil {
 			return fail(fmt.Errorf("htap: restoring column store: %w", err))
 		}

@@ -65,6 +65,10 @@ type Config struct {
 	// Durability controls the WAL + checkpoint subsystem; the zero value
 	// keeps the system volatile. See Open for the durable entry point.
 	Durability DurabilityConfig
+	// Encoding selects the column store's per-chunk encoding policy. The
+	// zero value (PolicyAuto) picks the smallest encoding per chunk from
+	// its statistics; PolicyRaw keeps the pre-encoding layout.
+	Encoding colstore.EncodingPolicy
 }
 
 // DefaultConfig mirrors the paper's environment (100 GB modeled) with the
@@ -131,7 +135,7 @@ func New(cfg Config) (*System, error) {
 		info RecoveryInfo
 	)
 	if cfg.Durability.Enabled() {
-		row, col, w, info, err = openDurable(cat, data, cfg.Durability)
+		row, col, w, info, err = openDurable(cat, data, cfg.Durability, cfg.Encoding)
 		if err != nil {
 			return nil, err
 		}
@@ -140,7 +144,7 @@ func New(cfg Config) (*System, error) {
 		if err != nil {
 			return nil, fmt.Errorf("htap: loading row store: %w", err)
 		}
-		col, err = colstore.NewStore(cat, data.Tables)
+		col, err = colstore.NewStore(cat, data.Tables, colstore.WithEncoding(cfg.Encoding))
 		if err != nil {
 			return nil, fmt.Errorf("htap: loading column store: %w", err)
 		}

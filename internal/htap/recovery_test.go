@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"htapxplain/internal/colstore"
 	"htapxplain/internal/workload"
 )
 
@@ -406,6 +407,93 @@ func TestBackgroundCheckpointerBoundsReplay(t *testing.T) {
 		t.Fatal("recovered table diverges with checkpointer on")
 	}
 	assertStoresEqual(t, rec)
+}
+
+// TestRecoveryReencodesColumns: chunk encodings are an in-memory choice —
+// checkpoints and the WAL never record them. A hard-killed store must
+// reopen with encodings re-chosen while rebuilding columns from the
+// recovered heap, and the recovered system's serial AP results must be
+// byte-identical to a volatile reference that executed the same committed
+// statements. The merger stays off in both systems so the base/delta split
+// — and therefore the accumulation order — is deterministic.
+func TestRecoveryReencodesColumns(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableCfg(dir)
+	cfg.Repl.DisableMerger = true
+	s, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewDMLGenerator(77)
+	var stmts []string
+	for _, q := range gen.Batch(20) {
+		if _, err := s.Exec(q.SQL); err != nil {
+			continue // failed statements consume no LSN
+		}
+		stmts = append(stmts, q.SQL)
+	}
+	if len(stmts) == 0 {
+		t.Fatal("no DML committed")
+	}
+	image := t.TempDir()
+	copyTree(t, dir, image) // freeze a kill -9 disk image mid-flight
+	s.Close()
+
+	rcfg := durableCfg(image)
+	rcfg.Repl.DisableMerger = true
+	rec, err := Open(image, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if info := rec.Recovery(); !info.Recovered {
+		t.Fatalf("RecoveryInfo = %+v, want recovered", info)
+	}
+
+	// the rebuilt base chunks are encoded again, not left raw
+	stats := rec.Col.MemStats()
+	encoded := stats.ChunksByEnc[colstore.EncDict] +
+		stats.ChunksByEnc[colstore.EncFoR] + stats.ChunksByEnc[colstore.EncRLE]
+	if encoded == 0 {
+		t.Fatal("recovered column store chose no encodings")
+	}
+	if stats.ResidentBytes >= stats.RawBytes {
+		t.Fatalf("recovered store not compressed: resident %d >= raw %d",
+			stats.ResidentBytes, stats.RawBytes)
+	}
+
+	// volatile reference replays the committed history
+	vcfg := DefaultConfig()
+	vcfg.Repl.DisableMerger = true
+	ref, err := New(vcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	for _, q := range stmts {
+		if _, err := ref.Exec(q); err != nil {
+			t.Fatalf("reference Exec(%q): %v", q, err)
+		}
+	}
+	if err := ref.WaitFresh(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.WaitFresh(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, sql := range []string{
+		"SELECT COUNT(*) FROM customer",
+		"SELECT c_mktsegment, COUNT(*), SUM(c_acctbal), MIN(c_acctbal), MAX(c_acctbal) FROM customer GROUP BY c_mktsegment",
+		"SELECT o_orderstatus, COUNT(*), SUM(o_totalprice) FROM orders GROUP BY o_orderstatus",
+	} {
+		got := runAP(t, rec, sql, 1)
+		want := runAP(t, ref, sql, 1)
+		if !sameMultiset(got, want, bitRowKey) {
+			t.Errorf("recovered AP results diverge from volatile reference (%d vs %d rows):\n%s",
+				len(got), len(want), sql)
+		}
+	}
 }
 
 func equalStrings(a, b []string) bool {

@@ -290,8 +290,13 @@ type sargable struct {
 	column string
 	keys   []sqlparser.Expr // equality / IN keys (literals)
 	lo, hi sqlparser.Expr   // range bounds (literals); nil = open
-	sel    float64
-	pred   sqlparser.Expr
+	// loStrict/hiStrict mark exclusive bounds (> / <). Index range scans
+	// and zone-map pruning ignore them (conservative); the AP zone pruner
+	// propagates them so its chunk-level RangeSel can stand in for the
+	// compiled predicate exactly.
+	loStrict, hiStrict bool
+	sel                float64
+	pred               sqlparser.Expr
 }
 
 // extractSargable finds the best index-usable predicate on the binding:

@@ -148,6 +148,11 @@ func buildAggregate(a *analysis, shape engineShape, child built) (built, error) 
 	var groups []exec.Evaluator
 	var outSchema exec.Schema
 	groupNames := make([]string, len(a.sel.GroupBy))
+	// structural shape for the encoded aggregation pushdown: bare-column
+	// groups and aggregate arguments resolve to child-schema positions;
+	// any expression group/argument clears it and forces the evaluator path
+	groupCols := make([]int, 0, len(a.sel.GroupBy))
+	structural := true
 	for i, g := range a.sel.GroupBy {
 		ev, err := exec.Compile(g, inSchema)
 		if err != nil {
@@ -160,9 +165,13 @@ func buildAggregate(a *analysis, shape engineShape, child built) (built, error) 
 			name = ref.Column
 			if idx, err := inSchema.Resolve(ref); err == nil {
 				typ = inSchema[idx].Type
+				groupCols = append(groupCols, idx)
+			} else {
+				structural = false
 			}
 			outSchema = append(outSchema, exec.Col{Binding: ref.Table, Name: name, Type: typ})
 		} else {
+			structural = false
 			outSchema = append(outSchema, exec.Col{Name: name, Type: typ})
 		}
 		groupNames[i] = name
@@ -174,14 +183,24 @@ func buildAggregate(a *analysis, shape engineShape, child built) (built, error) 
 			continue
 		}
 		var arg exec.Evaluator
+		argCol := -1
 		if ax.Arg != nil {
 			ev, err := exec.Compile(ax.Arg, inSchema)
 			if err != nil {
 				return built{}, err
 			}
 			arg = ev
+			if ref, ok := ax.Arg.(*sqlparser.ColumnRef); ok {
+				if idx, rerr := inSchema.Resolve(ref); rerr == nil {
+					argCol = idx
+				} else {
+					structural = false
+				}
+			} else {
+				structural = false
+			}
 		}
-		aggs = append(aggs, exec.AggSpec{Func: ax.Func, Arg: arg})
+		aggs = append(aggs, exec.AggSpec{Func: ax.Func, Arg: arg, ArgCol: argCol})
 		name := it.Alias
 		if name == "" {
 			name = strings.ToLower(ax.String())
@@ -193,6 +212,9 @@ func buildAggregate(a *analysis, shape engineShape, child built) (built, error) 
 		outSchema = append(outSchema, exec.Col{Name: name, Type: typ})
 	}
 	op := &exec.HashAggregate{Child: child.op, Groups: groups, Aggs: aggs, Out: outSchema}
+	if structural {
+		op.GroupCols = groupCols
+	}
 	outRows := 1.0
 	if len(groups) > 0 {
 		outRows = math.Min(child.rows, math.Max(1, child.rows/10))
@@ -473,7 +495,7 @@ func zonePruner(a *analysis, t boundTable, cols []int) *colstore.RangePruner {
 			return value.Value{}, false
 		}
 	}
-	pr := &colstore.RangePruner{Col: colPos}
+	pr := &colstore.RangePruner{Col: colPos, LoStrict: s.loStrict, HiStrict: s.hiStrict}
 	switch {
 	case len(s.keys) == 1:
 		v, ok := toValue(s.keys[0])
@@ -499,6 +521,10 @@ func zonePruner(a *analysis, t boundTable, cols []int) *colstore.RangePruner {
 	default:
 		return nil
 	}
+	// the pruner is an exact predicate stand-in when the sargable conjunct
+	// is the table's whole predicate: chunk-level RangeSel then decides
+	// row membership and the compiled predicate never runs on base chunks
+	pr.Exact = len(a.tablePreds[t.binding]) == 1
 	return pr
 }
 
@@ -522,9 +548,11 @@ func extractSargable2(a *analysis, t boundTable) *sargable {
 			case sqlparser.OpEq:
 				consider(&sargable{column: ref.Column, keys: []sqlparser.Expr{x.Right}, sel: selectivity(a, p), pred: p})
 			case sqlparser.OpGt, sqlparser.OpGe:
-				consider(&sargable{column: ref.Column, lo: x.Right, sel: selectivity(a, p), pred: p})
+				consider(&sargable{column: ref.Column, lo: x.Right, loStrict: x.Op == sqlparser.OpGt,
+					sel: selectivity(a, p), pred: p})
 			case sqlparser.OpLt, sqlparser.OpLe:
-				consider(&sargable{column: ref.Column, hi: x.Right, sel: selectivity(a, p), pred: p})
+				consider(&sargable{column: ref.Column, hi: x.Right, hiStrict: x.Op == sqlparser.OpLt,
+					sel: selectivity(a, p), pred: p})
 			}
 		case *sqlparser.BetweenExpr:
 			ref, ok := x.Expr.(*sqlparser.ColumnRef)
