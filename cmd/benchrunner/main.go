@@ -11,6 +11,7 @@
 //	benchrunner -parallel-bench  # morsel-parallelism microbenchmarks -> BENCH_parallel.json
 //	benchrunner -obs-bench       # tracing-overhead microbenchmarks -> BENCH_obs.json
 //	benchrunner -compress-bench  # column-encoding microbenchmarks -> BENCH_compress.json
+//	benchrunner -txn-bench       # multi-writer commit microbenchmarks -> BENCH_txn.json
 package main
 
 import (
@@ -33,6 +34,8 @@ func main() {
 	obsOut := flag.String("obs-out", "BENCH_obs.json", "obs-bench: output JSON path")
 	compBench := flag.Bool("compress-bench", false, "run the column-encoding microbenchmarks instead of the paper experiments")
 	compOut := flag.String("compress-out", "BENCH_compress.json", "compress-bench: output JSON path")
+	txnBench := flag.Bool("txn-bench", false, "run the multi-writer transaction microbenchmarks instead of the paper experiments")
+	txnOut := flag.String("txn-out", "BENCH_txn.json", "txn-bench: output JSON path")
 	flag.Parse()
 
 	if *walBench {
@@ -59,6 +62,13 @@ func main() {
 	if *compBench {
 		fmt.Println("column-encoding microbenchmarks: resident bytes + scan/aggregate throughput at DOP 1/4 per policy ...")
 		if err := runCompressBench(*compOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *txnBench {
+		fmt.Println("transaction microbenchmarks: commit throughput at 1/4/16/64 writers x conflict rates + commits-per-fsync ...")
+		if err := runTxnBench(*txnOut); err != nil {
 			fatal(err)
 		}
 		return

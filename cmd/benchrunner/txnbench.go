@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"htapxplain/internal/htap"
+)
+
+// The transaction benchmark (-txn-bench) measures the multi-writer commit
+// pipeline end to end: concurrent transactions evaluate their statements
+// outside the commit critical section, serialize only for conflict check +
+// apply + WAL append, and wait for durability together — so more writers
+// should mean bigger group-commit batches and higher committed-txn
+// throughput on a slow device, degraded by the configured conflict rate.
+// CI runs it once per build and archives BENCH_txn.json.
+
+// TxnBenchReport is the JSON document written to -txn-out.
+type TxnBenchReport struct {
+	FsyncLatencyMS float64         `json:"fsync_latency_ms"`
+	Points         []TxnBenchPoint `json:"points"`
+}
+
+// TxnBenchPoint measures committed-transaction throughput at one
+// (writers, conflict rate) point. ConflictRate is the probability that a
+// transaction updates a row from a small shared hot set (and therefore
+// races other writers under first-writer-wins); CommitsPerFsync is the
+// group-commit amortization actually achieved by concurrent committers.
+type TxnBenchPoint struct {
+	Writers         int     `json:"writers"`
+	ConflictRate    float64 `json:"conflict_rate"`
+	Commits         int64   `json:"commits"`
+	Conflicts       int64   `json:"conflicts"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
+	CommitsPerSec   float64 `json:"commits_per_sec"`
+	Fsyncs          int64   `json:"fsyncs"`
+	CommitsPerFsync float64 `json:"commits_per_fsync"`
+}
+
+const txnBenchFsyncLatency = 2 * time.Millisecond
+
+func runTxnBench(outPath string) error {
+	rep := TxnBenchReport{
+		FsyncLatencyMS: float64(txnBenchFsyncLatency.Microseconds()) / 1e3,
+	}
+	for _, conflictRate := range []float64{0, 0.5} {
+		for _, writers := range []int{1, 4, 16, 64} {
+			pt, err := benchTxnCommit(writers, conflictRate)
+			if err != nil {
+				return fmt.Errorf("txn bench (%d writers, conflict %.1f): %w",
+					writers, conflictRate, err)
+			}
+			rep.Points = append(rep.Points, pt)
+			fmt.Printf("txn-commit %2d writers conflict=%.1f: %8.0f commits/s (%d conflicts retried), %4d fsyncs (%.1f commits/fsync)\n",
+				pt.Writers, pt.ConflictRate, pt.CommitsPerSec, pt.Conflicts, pt.Fsyncs, pt.CommitsPerFsync)
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}
+
+// benchTxnCommit runs a fixed number of committed transactions split across
+// n concurrent writers against a durable system with a modeled slow fsync.
+// Each transaction inserts one private row; with probability conflictRate
+// it also updates a row from an 8-row hot set, so writers genuinely race
+// and lose first-writer-wins conflicts, which the bench retries (counted).
+func benchTxnCommit(n int, conflictRate float64) (TxnBenchPoint, error) {
+	dir, err := os.MkdirTemp("", "txnbench-*")
+	if err != nil {
+		return TxnBenchPoint{}, err
+	}
+	defer os.RemoveAll(dir)
+	cfg := htap.DefaultConfig()
+	cfg.Durability = htap.DurabilityConfig{
+		Dir:                  dir,
+		SimulatedSyncLatency: txnBenchFsyncLatency,
+		DisableCheckpointer:  true,
+	}
+	sys, err := htap.New(cfg)
+	if err != nil {
+		return TxnBenchPoint{}, err
+	}
+	defer sys.Close()
+
+	// seed the shared hot set before timing starts
+	const hotRows = 8
+	for k := 0; k < hotRows; k++ {
+		if _, err := sys.Exec(customerInsertSQL(3_900_000_000 + int64(k))); err != nil {
+			return TxnBenchPoint{}, err
+		}
+	}
+	base := sys.DurabilityStats().WAL
+
+	const totalCommits = 512
+	per := totalCommits / n
+	var (
+		wg        sync.WaitGroup
+		conflicts atomic.Int64
+		errs      = make(chan error, n)
+	)
+	start := time.Now()
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 13))
+			for i := 0; i < per; i++ {
+				key := 3_000_000_000 + int64(w)*1_000_000 + int64(i)
+				hot := rng.Float64() < conflictRate
+				for {
+					tx := sys.Begin()
+					_, err := tx.Exec(customerInsertSQL(key))
+					if err == nil && hot {
+						_, err = tx.Exec(fmt.Sprintf(
+							"UPDATE customer SET c_acctbal = c_acctbal + 1 WHERE c_custkey = %d",
+							3_900_000_000+int64(rng.Intn(hotRows))))
+					}
+					if err == nil {
+						_, err = tx.Commit()
+					} else {
+						tx.Rollback()
+					}
+					if err == nil {
+						break
+					}
+					if errors.Is(err, htap.ErrConflict) {
+						conflicts.Add(1)
+						continue // retry on a fresh snapshot
+					}
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return TxnBenchPoint{}, err
+	default:
+	}
+	st := sys.DurabilityStats().WAL
+	commits := int64(n * per)
+	fsyncs := st.Syncs - base.Syncs
+	pt := TxnBenchPoint{
+		Writers:       n,
+		ConflictRate:  conflictRate,
+		Commits:       commits,
+		Conflicts:     conflicts.Load(),
+		ElapsedMS:     float64(elapsed.Microseconds()) / 1e3,
+		CommitsPerSec: float64(commits) / elapsed.Seconds(),
+		Fsyncs:        fsyncs,
+	}
+	if fsyncs > 0 {
+		pt.CommitsPerFsync = float64(commits) / float64(fsyncs)
+	}
+	return pt, nil
+}
+
+func customerInsertSQL(key int64) string {
+	return fmt.Sprintf(
+		"INSERT INTO customer (c_custkey, c_name, c_address, c_nationkey, c_phone, c_acctbal, c_mktsegment, c_comment) "+
+			"VALUES (%d, 'bench#%d', 'addr %d', 7, '20-123', 100.00, 'machinery', 'txn bench')",
+		key, key, key)
+}

@@ -15,6 +15,7 @@
 //	htapserve -policy rule -workers 16 -queue 256
 //	htapserve -load -clients 16 -queries 2000 -distinct 50
 //	htapserve -load -write-frac 0.2          # mixed read/write HTAP load
+//	htapserve -load -write-frac 0.4 -txn-frac 0.5   # + BEGIN..COMMIT blocks
 //
 // Endpoints:
 //
@@ -73,6 +74,7 @@ func main() {
 		distinct  = flag.Int("distinct", 50, "load mode: distinct query pool size")
 		testMix   = flag.Bool("test-mix", false, "load mode: include rare out-of-KB query shapes")
 		writeFrac = flag.Float64("write-frac", 0, "load mode: fraction of submissions that are DML (0..1)")
+		txnFrac   = flag.Float64("txn-frac", 0, "load mode: fraction of the DML submissions that are multi-statement BEGIN blocks (0..1)")
 		seed      = flag.Int64("seed", 7, "workload / training seed")
 
 		traceRate   = flag.Float64("trace-sample", 0, "fraction of queries traced into span trees (0 disables, 1 traces all)")
@@ -134,8 +136,8 @@ func main() {
 	defer g.Stop()
 
 	if *load {
-		fmt.Printf("closed-loop load: %d clients, %d queries over %d distinct templates (write fraction %.2f)\n",
-			*clients, *queries, *distinct, *writeFrac)
+		fmt.Printf("closed-loop load: %d clients, %d queries over %d distinct templates (write fraction %.2f, txn fraction %.2f)\n",
+			*clients, *queries, *distinct, *writeFrac, *txnFrac)
 		rep := gateway.RunLoad(g, gateway.LoadConfig{
 			Clients:       *clients,
 			Queries:       *queries,
@@ -143,6 +145,7 @@ func main() {
 			Seed:          *seed,
 			TestMix:       *testMix,
 			WriteFraction: *writeFrac,
+			TxnFraction:   *txnFrac,
 		})
 		fmt.Println(rep)
 		if *writeFrac > 0 {

@@ -353,6 +353,11 @@ func (g *Gateway) Metrics() Snapshot {
 	s.LatencyScaleTP = g.cal.Scale(plan.TP)
 	s.LatencyScaleAP = g.cal.Scale(plan.AP)
 	s.TracesSampled = g.cfg.Tracer.Sampled()
+	ts := g.sys.TxnStats()
+	s.TxnBegun = ts.Begun
+	s.TxnCommits = ts.Committed
+	s.TxnAborts = ts.Aborted
+	s.TxnConflicts = ts.Conflicted
 	return s
 }
 
@@ -443,6 +448,8 @@ func (g *Gateway) process(sql string, tr *obs.QueryTrace) *Response {
 	switch kind := sqlparser.StatementKind(sql); kind {
 	case "insert", "update", "delete":
 		return g.processDML(sql, kind, tr)
+	case "begin", "commit", "rollback":
+		return g.processTxn(sql, tr)
 	}
 	resp := &Response{SQL: sql, Kind: "select"}
 	sp := tr.Begin("fingerprint")
@@ -610,6 +617,57 @@ func (g *Gateway) processDML(sql, kind string, tr *obs.QueryTrace) *Response {
 	resp.RowsAffected = res.RowsAffected
 	resp.LSN = res.LSN
 	g.metrics.observeWrite(res.Kind, res.RowsAffected)
+	return resp
+}
+
+// processTxn serves a BEGIN ... COMMIT/ROLLBACK block (a stray COMMIT or
+// ROLLBACK reaches the parser, which rejects it with a dedicated error):
+// the statements buffer in one snapshot-isolated transaction and publish
+// atomically through the multi-writer commit pipeline. Response.Kind
+// reports the outcome — "commit" (with the commit LSN and total rows
+// affected), "rollback" (explicit, or forced by a failed statement), or
+// "conflict" when the transaction lost a first-writer-wins race and the
+// client should retry the whole block on a fresh snapshot.
+func (g *Gateway) processTxn(sql string, tr *obs.QueryTrace) *Response {
+	resp := &Response{SQL: sql, Kind: "txn"}
+	sp := tr.Begin("parse")
+	script, err := sqlparser.ParseScript(sql)
+	sp.End()
+	if err != nil {
+		resp.Err = fmt.Errorf("gateway: txn: %w", err)
+		return resp
+	}
+	tx := g.sys.Begin()
+	results := make([]*htap.DMLResult, 0, len(script.Stmts))
+	for _, stmt := range script.Stmts {
+		res, err := tx.ExecStmt(stmt)
+		if err != nil {
+			tx.Rollback()
+			resp.Kind = "rollback"
+			resp.Err = fmt.Errorf("gateway: txn: %w", err)
+			return resp
+		}
+		results = append(results, res)
+	}
+	if !script.Commit {
+		tx.Rollback()
+		resp.Kind = "rollback"
+		return resp
+	}
+	txr, err := tx.CommitTraced(tr)
+	if err != nil {
+		if errors.Is(err, htap.ErrConflict) {
+			resp.Kind = "conflict"
+		}
+		resp.Err = fmt.Errorf("gateway: txn: %w", err)
+		return resp
+	}
+	resp.Kind = "commit"
+	resp.RowsAffected = txr.RowsAffected
+	resp.LSN = txr.LSN
+	for _, r := range results {
+		g.metrics.observeWrite(r.Kind, r.RowsAffected)
+	}
 	return resp
 }
 

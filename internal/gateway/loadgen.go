@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"htapxplain/internal/htap"
 	"htapxplain/internal/obs"
 	"htapxplain/internal/plan"
 	"htapxplain/internal/workload"
@@ -40,6 +41,12 @@ type LoadConfig struct {
 	// generator, exercising the TP write path and delta replication under
 	// concurrent AP reads.
 	WriteFraction float64
+	// TxnFraction replaces the given share of the write submissions (0..1)
+	// with multi-statement BEGIN ... COMMIT/ROLLBACK blocks from the
+	// seeded transaction generator — concurrent clients then race real
+	// transactions (including first-writer-wins conflicts, which the
+	// closed loop retries on a fresh snapshot).
+	TxnFraction float64
 }
 
 // RouteLatency is the per-route serve-latency summary of a load run.
@@ -116,6 +123,12 @@ func RunLoad(g *Gateway, cfg LoadConfig) LoadReport {
 	if cfg.WriteFraction > 1 {
 		cfg.WriteFraction = 1
 	}
+	if cfg.TxnFraction < 0 {
+		cfg.TxnFraction = 0
+	}
+	if cfg.TxnFraction > 1 {
+		cfg.TxnFraction = 1
+	}
 	var gen *workload.Generator
 	if cfg.TestMix {
 		gen = workload.NewTestGenerator(cfg.Seed)
@@ -137,6 +150,18 @@ func RunLoad(g *Gateway, cfg LoadConfig) LoadReport {
 	if frac > 0 {
 		nWrites := int(float64(cfg.Queries)*frac) + 1
 		writePool = workload.NewDMLGenerator(cfg.Seed).Batch(nWrites)
+		// replace a share of the write stream with BEGIN blocks, using the
+		// same fraction-crossing technique over the write index
+		if tf := cfg.TxnFraction; tf > 0 {
+			nTxns := int(float64(nWrites)*tf) + 1
+			txnPool := workload.NewTxnGenerator(cfg.Seed).Batch(nTxns)
+			for wi := int64(0); wi < int64(nWrites); wi++ {
+				lo, hi := int64(float64(wi)*tf), int64(float64(wi+1)*tf)
+				if hi > lo && lo < int64(len(txnPool)) {
+					writePool[wi] = txnPool[lo]
+				}
+			}
+		}
 	}
 
 	var next, completed, writes, shed, failed atomic.Int64
@@ -165,6 +190,12 @@ func RunLoad(g *Gateway, cfg LoadConfig) LoadReport {
 					}
 				}
 				resp, err := g.Submit(sql)
+				// a write that lost a first-writer-wins race retries on a
+				// fresh snapshot, like a real transactional client
+				for retries := 0; err == nil && resp.Err != nil &&
+					errors.Is(resp.Err, htap.ErrConflict) && retries < 50; retries++ {
+					resp, err = g.Submit(sql)
+				}
 				switch {
 				case errors.Is(err, ErrOverloaded):
 					shed.Add(1)

@@ -208,6 +208,14 @@ type Snapshot struct {
 	WritesDelete int64 `json:"writes_delete"`
 	RowsWritten  int64 `json:"rows_written"`
 
+	// Transaction outcome counters (every DML runs in a transaction —
+	// autocommit or an explicit BEGIN block; the three outcomes are
+	// disjoint). Filled by Gateway.Metrics from the system.
+	TxnBegun     int64 `json:"txn_begun"`
+	TxnCommits   int64 `json:"txn_commits"`
+	TxnAborts    int64 `json:"txn_aborts"`
+	TxnConflicts int64 `json:"txn_conflicts"`
+
 	// TP→AP freshness gauge: the primary's commit LSN, the column store's
 	// replication watermark, and their gap (0 = AP reads are fully fresh).
 	// Filled by Gateway.Metrics from the system, not by the counter set.
@@ -322,6 +330,10 @@ func (s Snapshot) String() string {
 		fmt.Fprintf(&b, " writes=%d (%d/%d/%d ins/upd/del, %d rows) staleness=%d lsns merges=%d",
 			w, s.WritesInsert, s.WritesUpdate, s.WritesDelete, s.RowsWritten,
 			s.StalenessLSNs, s.Merges)
+	}
+	if s.TxnBegun > 0 {
+		fmt.Fprintf(&b, " txns=%d (%d/%d/%d commit/abort/conflict)",
+			s.TxnBegun, s.TxnCommits, s.TxnAborts, s.TxnConflicts)
 	}
 	if s.DurabilityOn {
 		group := float64(0)

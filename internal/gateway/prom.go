@@ -46,6 +46,14 @@ func (g *Gateway) PromText() string {
 		map[string]string{"kind": "delete"}, s.WritesDelete)
 	w.Counter("htap_rows_written_total", "Rows affected across committed DML.", nil, s.RowsWritten)
 
+	w.Counter("htap_txn_begun_total", "Transactions begun (autocommit and explicit blocks).", nil, s.TxnBegun)
+	w.Counter("htap_txn_total", "Finished transactions by outcome.",
+		map[string]string{"outcome": "commit"}, s.TxnCommits)
+	w.Counter("htap_txn_total", "Finished transactions by outcome.",
+		map[string]string{"outcome": "abort"}, s.TxnAborts)
+	w.Counter("htap_txn_total", "Finished transactions by outcome.",
+		map[string]string{"outcome": "conflict"}, s.TxnConflicts)
+
 	w.Gauge("htap_commit_lsn", "Primary's last committed LSN.", nil, float64(s.CommitLSN))
 	w.Gauge("htap_replication_watermark", "Column store's applied-delta watermark LSN.", nil, float64(s.Watermark))
 	w.Gauge("htap_staleness_lsns", "Commit LSN minus replication watermark (0 = AP fully fresh).", nil, float64(s.StalenessLSNs))

@@ -7,14 +7,12 @@ import (
 	"htapxplain/internal/catalog"
 	"htapxplain/internal/exec"
 	"htapxplain/internal/obs"
-	"htapxplain/internal/repl"
 	"htapxplain/internal/rowstore"
 	"htapxplain/internal/sqlparser"
 	"htapxplain/internal/value"
-	"htapxplain/internal/wal"
 )
 
-// DMLResult is the outcome of one committed DML statement.
+// DMLResult is the outcome of one executed DML statement.
 type DMLResult struct {
 	// Kind is "insert", "update" or "delete".
 	Kind         string
@@ -22,16 +20,21 @@ type DMLResult struct {
 	RowsAffected int
 	// LSN is the commit sequence number assigned by the primary; the
 	// statement becomes visible to AP scans once the replication
-	// watermark reaches it.
+	// watermark reaches it. Statements buffered inside an explicit
+	// transaction carry LSN 0 until Commit assigns one.
 	LSN uint64
 }
 
-// Exec parses and executes one DML statement: the mutation commits on the
-// row store (the write primary, with index maintenance and a fresh LSN)
-// and is enqueued on the replication channel for the column store's delta
-// layer. Statements are serialized by a single writer lock, which is what
-// makes the commit LSN a total order. SELECTs are rejected — reads go
-// through Run or the gateway.
+// Exec parses and executes one DML statement as an autocommit
+// transaction: a snapshot is pinned, the statement's effects are buffered
+// and then committed through the multi-writer pipeline (conflict check +
+// heap apply + WAL append under a short critical section, group-commit
+// fsync wait outside it), and the mutations are enqueued for the column
+// store's delta layer. Concurrent Execs proceed in parallel — only the
+// commit critical section serializes, which is what makes the commit LSN
+// a total order. An autocommit UPDATE or DELETE can lose a first-writer-
+// wins race and return ErrConflict; retry. SELECTs are rejected — reads
+// go through Run or the gateway.
 func (s *System) Exec(sql string) (*DMLResult, error) {
 	return s.ExecTraced(sql, nil)
 }
@@ -55,93 +58,31 @@ func (s *System) ExecStmt(stmt sqlparser.Statement) (*DMLResult, error) {
 }
 
 func (s *System) execStmt(stmt sqlparser.Statement, t *obs.QueryTrace) (*DMLResult, error) {
-	switch x := stmt.(type) {
-	case *sqlparser.Insert:
-		return s.execInsert(x, t)
-	case *sqlparser.Update:
-		return s.execUpdate(x, t)
-	case *sqlparser.Delete:
-		return s.execDelete(x, t)
+	switch stmt.(type) {
+	case *sqlparser.Insert, *sqlparser.Update, *sqlparser.Delete:
 	case *sqlparser.Select:
 		return nil, fmt.Errorf("htap: Exec handles DML only; run SELECT through Run")
 	default:
 		return nil, fmt.Errorf("htap: unsupported statement %T", stmt)
 	}
-}
-
-// commit applies fn (which produces the row-store mutation) under the
-// single-writer lock, logs it to the WAL, and enqueues the result for
-// replication. With durability on, commit returns only after the group
-// committer has fsynced the record — the wait happens *outside* the writer
-// lock, so while one committer waits on the disk, the next one is already
-// appending, and a single fsync acknowledges the whole batch. Replication
-// into the in-memory column store may run ahead of the fsync; that is
-// safe, because on a crash both stores are rebuilt from the same log.
-func (s *System) commit(t *obs.QueryTrace, fn func() (*repl.Mutation, error)) (*repl.Mutation, error) {
-	// the apply span covers writer-lock wait plus the heap mutation; the
-	// wal_append span nests inside it, and the group-commit fsync wait is
-	// its own top-level span outside the lock
-	applySpan := t.Begin("apply")
-	s.writeMu.Lock()
-	if s.closed {
-		s.writeMu.Unlock()
-		applySpan.End()
-		return nil, fmt.Errorf("htap: system closed")
-	}
-	if s.walErr != nil {
-		s.writeMu.Unlock()
-		applySpan.End()
-		return nil, fmt.Errorf("htap: write path halted by log failure: %w", s.walErr)
-	}
-	mut, err := fn()
+	tx := s.Begin()
+	res, err := tx.ExecStmt(stmt)
 	if err != nil {
-		s.writeMu.Unlock()
-		applySpan.End()
+		tx.Rollback()
 		return nil, err
 	}
-	if s.wal != nil {
-		rec := wal.Record{LSN: mut.LSN, Kind: wal.KindMutation, Body: wal.EncodeMutation(mut)}
-		walSpan := t.Begin("wal_append")
-		err := s.wal.Append(rec)
-		walSpan.End()
-		if err != nil {
-			// the heap already applied the mutation but the log did not
-			// record it: acknowledging (or accepting more writes) could
-			// lose it on restart, so poison the write path instead
-			s.walErr = err
-			s.writeMu.Unlock()
-			applySpan.End()
-			return nil, fmt.Errorf("htap: logging commit %d: %w", mut.LSN, err)
-		}
+	txr, err := tx.CommitTraced(t)
+	if err != nil {
+		return nil, err
 	}
-	s.replCh <- mut
-	s.writeMu.Unlock()
-	applySpan.End()
-	if s.wal != nil {
-		fsyncSpan := t.Begin("wal_fsync_wait")
-		err := s.wal.WaitDurable(mut.LSN)
-		fsyncSpan.End()
-		if err != nil {
-			// a failed fsync is sticky in the WAL; make it sticky here too,
-			// so retries cannot keep mutating state that will never be
-			// acknowledged durable (and would vanish on restart)
-			s.writeMu.Lock()
-			if s.walErr == nil {
-				s.walErr = err
-			}
-			s.writeMu.Unlock()
-			return nil, fmt.Errorf("htap: commit %d not durable: %w", mut.LSN, err)
-		}
-	}
-	return mut, nil
+	res.LSN = txr.LSN
+	return res, nil
 }
 
-func (s *System) execInsert(ins *sqlparser.Insert, t *obs.QueryTrace) (*DMLResult, error) {
-	meta, ok := s.Cat.Table(ins.Table)
-	if !ok {
-		return nil, fmt.Errorf("htap: no such table %q", ins.Table)
-	}
-	// map the column list (or the full schema) to table positions
+// buildInsertRows maps an INSERT's column list (or the full schema) to
+// table positions and evaluates every VALUES tuple into a full-arity row,
+// coercing each value to its column's declared type.
+func buildInsertRows(meta *catalog.Table, ins *sqlparser.Insert) ([]value.Row, error) {
 	positions := make([]int, 0, len(meta.Columns))
 	if len(ins.Columns) == 0 {
 		for i := range meta.Columns {
@@ -178,102 +119,8 @@ func (s *System) execInsert(ins *sqlparser.Insert, t *obs.QueryTrace) (*DMLResul
 		}
 		rows = append(rows, row)
 	}
-	mut, err := s.commit(t, func() (*repl.Mutation, error) {
-		return s.Row.Insert(ins.Table, rows)
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &DMLResult{Kind: "insert", Table: strings.ToLower(ins.Table),
-		RowsAffected: len(rows), LSN: mut.LSN}, nil
+	return rows, nil
 }
-
-func (s *System) execUpdate(upd *sqlparser.Update, t *obs.QueryTrace) (*DMLResult, error) {
-	tbl, meta, pred, err := s.dmlTarget(upd.Table, upd.Where)
-	if err != nil {
-		return nil, err
-	}
-	schema := exec.TableSchema(meta, strings.ToLower(upd.Table))
-	type setter struct {
-		col int
-		ev  exec.Evaluator
-	}
-	setters := make([]setter, 0, len(upd.Set))
-	for _, sc := range upd.Set {
-		ci := meta.ColumnIndex(sc.Column)
-		if ci < 0 {
-			return nil, fmt.Errorf("htap: no column %q in table %q", sc.Column, upd.Table)
-		}
-		ev, err := exec.Compile(sc.Expr, schema)
-		if err != nil {
-			return nil, fmt.Errorf("htap: SET %s: %w", sc.Column, err)
-		}
-		setters = append(setters, setter{col: ci, ev: ev})
-	}
-	mut, err := s.commit(t, func() (*repl.Mutation, error) {
-		rids, rows, err := matchLive(tbl, pred)
-		if err != nil {
-			return nil, err
-		}
-		if len(rids) == 0 {
-			return nil, errNoMatch
-		}
-		newRows := make([]value.Row, len(rows))
-		for i, r := range rows {
-			nr := r.Clone()
-			for _, st := range setters {
-				v, err := st.ev(r)
-				if err != nil {
-					return nil, err
-				}
-				cv, err := coerce(v, meta.Columns[st.col])
-				if err != nil {
-					return nil, err
-				}
-				nr[st.col] = cv
-			}
-			newRows[i] = nr
-		}
-		return s.Row.Update(upd.Table, rids, newRows)
-	})
-	if err == errNoMatch {
-		return &DMLResult{Kind: "update", Table: strings.ToLower(upd.Table), LSN: s.CommitLSN()}, nil
-	}
-	if err != nil {
-		return nil, err
-	}
-	return &DMLResult{Kind: "update", Table: strings.ToLower(upd.Table),
-		RowsAffected: mut.NumRowsAffected(), LSN: mut.LSN}, nil
-}
-
-func (s *System) execDelete(del *sqlparser.Delete, t *obs.QueryTrace) (*DMLResult, error) {
-	tbl, _, pred, err := s.dmlTarget(del.Table, del.Where)
-	if err != nil {
-		return nil, err
-	}
-	mut, err := s.commit(t, func() (*repl.Mutation, error) {
-		rids, _, err := matchLive(tbl, pred)
-		if err != nil {
-			return nil, err
-		}
-		if len(rids) == 0 {
-			return nil, errNoMatch
-		}
-		return s.Row.Delete(del.Table, rids)
-	})
-	if err == errNoMatch {
-		return &DMLResult{Kind: "delete", Table: strings.ToLower(del.Table), LSN: s.CommitLSN()}, nil
-	}
-	if err != nil {
-		return nil, err
-	}
-	return &DMLResult{Kind: "delete", Table: strings.ToLower(del.Table),
-		RowsAffected: mut.NumRowsAffected(), LSN: mut.LSN}, nil
-}
-
-// errNoMatch is an internal sentinel: the WHERE clause selected no rows,
-// so no LSN was consumed.
-var errNoMatch = fmt.Errorf("htap: no rows matched")
 
 // dmlTarget resolves the target table and compiles the optional WHERE
 // predicate against its schema.
@@ -295,30 +142,6 @@ func (s *System) dmlTarget(table string, where sqlparser.Expr) (*rowstore.Table,
 		pred = ev
 	}
 	return t, meta, pred, nil
-}
-
-// matchLive scans the live rows and returns the RIDs (and rows) the
-// predicate selects; a nil predicate selects everything.
-func matchLive(t *rowstore.Table, pred exec.Evaluator) ([]int64, []value.Row, error) {
-	rids, rows := t.ScanLive()
-	if pred == nil {
-		return rids, rows, nil
-	}
-	// filter in place: ScanLive returns fresh slices, and the write index
-	// never overtakes the read index
-	outIDs := rids[:0]
-	outRows := rows[:0]
-	for i, r := range rows {
-		ok, err := exec.Truthy(pred, r)
-		if err != nil {
-			return nil, nil, err
-		}
-		if ok {
-			outIDs = append(outIDs, rids[i])
-			outRows = append(outRows, r)
-		}
-	}
-	return outIDs, outRows, nil
 }
 
 // evalConst evaluates a constant expression (literals and arithmetic over

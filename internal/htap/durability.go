@@ -9,6 +9,7 @@ import (
 	"htapxplain/internal/catalog"
 	"htapxplain/internal/colstore"
 	"htapxplain/internal/recovery"
+	"htapxplain/internal/repl"
 	"htapxplain/internal/rowstore"
 	"htapxplain/internal/tpch"
 	"htapxplain/internal/wal"
@@ -33,6 +34,10 @@ type DurabilityConfig struct {
 	// CheckpointInterval is the background checkpoint period (default
 	// recovery.DefaultInterval).
 	CheckpointInterval time.Duration
+	// SimulatedSyncLatency adds a modeled device latency to every fsync —
+	// benchmarks and the transaction-throughput gate use it to make
+	// group-commit batching measurable on fast CI disks.
+	SimulatedSyncLatency time.Duration
 	// DisableCheckpointer keeps the periodic checkpointer off — crash
 	// tests use it so the WAL tail deterministically holds every commit.
 	DisableCheckpointer bool
@@ -139,10 +144,11 @@ func (s *System) Checkpoint() (uint64, error) {
 func openDurable(cat *catalog.Catalog, data *tpch.Dataset, dcfg DurabilityConfig, enc colstore.EncodingPolicy) (
 	row *rowstore.Store, col *colstore.Store, w *wal.WAL, info RecoveryInfo, err error) {
 	w, err = wal.Open(wal.Options{
-		Dir:          dcfg.walDir(),
-		SegmentBytes: dcfg.SegmentBytes,
-		SyncInterval: dcfg.SyncInterval,
-		SyncBytes:    dcfg.SyncBytes,
+		Dir:                  dcfg.walDir(),
+		SegmentBytes:         dcfg.SegmentBytes,
+		SyncInterval:         dcfg.SyncInterval,
+		SyncBytes:            dcfg.SyncBytes,
+		SimulatedSyncLatency: dcfg.SimulatedSyncLatency,
 	})
 	if err != nil {
 		return nil, nil, nil, info, err
@@ -195,20 +201,35 @@ func openDurable(cat *catalog.Catalog, data *tpch.Dataset, dcfg DurabilityConfig
 	// to the recovered commit LSN
 	replayFrom := info.CheckpointLSN + 1
 	err = w.Replay(replayFrom, func(rec wal.Record) error {
-		if rec.Kind != wal.KindMutation {
+		var muts []*repl.Mutation
+		switch rec.Kind {
+		case wal.KindMutation:
+			mut, err := wal.DecodeMutation(rec.LSN, rec.Body)
+			if err != nil {
+				return fmt.Errorf("htap: decoding WAL record %d: %w", rec.LSN, err)
+			}
+			muts = []*repl.Mutation{mut}
+		case wal.KindTxn:
+			// a transaction record holds every mutation of one commit; it is
+			// CRC-framed as a unit, so replay sees all of it or none of it —
+			// a torn tail can never resurrect half a transaction
+			var err error
+			muts, err = wal.DecodeTxn(rec.LSN, rec.Body)
+			if err != nil {
+				return fmt.Errorf("htap: decoding WAL txn record %d: %w", rec.LSN, err)
+			}
+		default:
 			return nil
 		}
-		mut, err := wal.DecodeMutation(rec.LSN, rec.Body)
-		if err != nil {
-			return fmt.Errorf("htap: decoding WAL record %d: %w", rec.LSN, err)
+		for _, mut := range muts {
+			if err := row.Replay(mut); err != nil {
+				return err
+			}
+			if err := col.Apply(mut); err != nil {
+				return fmt.Errorf("htap: replaying LSN %d into column store: %w", mut.LSN, err)
+			}
+			info.ReplayedMutations++
 		}
-		if err := row.Replay(mut); err != nil {
-			return err
-		}
-		if err := col.Apply(mut); err != nil {
-			return fmt.Errorf("htap: replaying LSN %d into column store: %w", mut.LSN, err)
-		}
-		info.ReplayedMutations++
 		return nil
 	})
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"htapxplain/internal/catalog"
@@ -104,6 +105,38 @@ type System struct {
 	ckpt     *recovery.Manager
 	recovery RecoveryInfo
 	walErr   error // sticky append failure; guarded by writeMu
+
+	// transaction outcome counters (see Begin / Txn in txn.go); the three
+	// outcomes are disjoint, so begun - committed - aborted - conflicted
+	// is the number of transactions still in flight
+	txnBegun      atomic.Int64
+	txnCommitted  atomic.Int64
+	txnAborted    atomic.Int64
+	txnConflicted atomic.Int64
+}
+
+// TxnStats counts transaction outcomes since boot. Committed, Aborted and
+// Conflicted are disjoint: a first-writer-wins loser counts only as
+// Conflicted, an explicit ROLLBACK (or any non-conflict commit failure)
+// as Aborted.
+type TxnStats struct {
+	Begun      int64
+	Committed  int64
+	Aborted    int64
+	Conflicted int64
+}
+
+// Active derives the number of transactions begun but not yet finished.
+func (t TxnStats) Active() int64 { return t.Begun - t.Committed - t.Aborted - t.Conflicted }
+
+// TxnStats snapshots the transaction outcome counters.
+func (s *System) TxnStats() TxnStats {
+	return TxnStats{
+		Begun:      s.txnBegun.Load(),
+		Committed:  s.txnCommitted.Load(),
+		Aborted:    s.txnAborted.Load(),
+		Conflicted: s.txnConflicted.Load(),
+	}
 }
 
 // New builds the catalog, generates data, loads both storage engines,

@@ -1,6 +1,7 @@
 package htap
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -82,7 +83,26 @@ type dmlMixer struct {
 }
 
 func newMixer(seed int64) *dmlMixer {
-	return &dmlMixer{rng: rand.New(rand.NewSource(seed)), nextKey: 5_000_000}
+	return newMixerAt(seed, 5_000_000)
+}
+
+// newMixerAt gives each concurrent writer its own key range, so writers
+// conflict only on the shared orders rows (a real first-writer-wins race)
+// rather than on every synthetic customer key.
+func newMixerAt(seed, keyBase int64) *dmlMixer {
+	return &dmlMixer{rng: rand.New(rand.NewSource(seed)), nextKey: keyBase}
+}
+
+// execRetry is the concurrent writers' autocommit loop: an UPDATE or
+// DELETE that loses a first-writer-wins race reruns on a fresh snapshot.
+func execRetry(s *System, sql string, attempts int) error {
+	var err error
+	for a := 0; a < attempts; a++ {
+		if _, err = s.Exec(sql); err == nil || !errors.Is(err, ErrConflict) {
+			return err
+		}
+	}
+	return err
 }
 
 func (m *dmlMixer) next() string {
@@ -164,30 +184,38 @@ func TestReplicationDifferentialMixedWorkload(t *testing.T) {
 }
 
 // TestReplicationConcurrentWritesReadsAndMerges exercises the full
-// concurrent pipeline — a writer, closed-loop dual-engine readers, the
-// replication applier and an aggressive background merger — and then
-// quiesces and asserts the engines converged. Under -race this is the
-// test that proves the locking protocol (heap snapshots, copy-on-write
+// concurrent pipeline — multiple autocommit writers racing each other,
+// closed-loop dual-engine readers, the replication applier and an
+// aggressive background merger — and then quiesces and asserts the
+// engines converged. Under -race this is the test that proves the locking
+// protocol (MVCC snapshots, the commit critical section, copy-on-write
 // delete sets, immutable merged chunks) is sound.
 func TestReplicationConcurrentWritesReadsAndMerges(t *testing.T) {
 	s := newWriteSystem(t, Config{ModeledSF: 100, Data: DefaultConfig().Data,
 		Repl: ReplConfig{MergeInterval: time.Millisecond, MergeThreshold: 8}})
-	const writes = 150
-	var wg sync.WaitGroup
+	const (
+		writers       = 3
+		writesPerGoro = 50
+	)
+	var wg, writerWg sync.WaitGroup
 	stopReaders := make(chan struct{})
 	errs := make(chan error, 8)
 
-	wg.Add(1)
-	go func() { // single writer (DML is serialized by the system anyway)
-		defer wg.Done()
-		mix := newMixer(7)
-		for i := 0; i < writes; i++ {
-			if _, err := s.Exec(mix.next()); err != nil {
-				errs <- fmt.Errorf("writer: %w", err)
-				return
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		writerWg.Add(1)
+		go func(w int) { // concurrent writers: shared orders rows can conflict
+			defer wg.Done()
+			defer writerWg.Done()
+			mix := newMixerAt(int64(7+w), int64(5_000_000+w*100_000))
+			for i := 0; i < writesPerGoro; i++ {
+				if err := execRetry(s, mix.next(), 100); err != nil {
+					errs <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
 			}
-		}
-	}()
+		}(w)
+	}
 	for r := 0; r < 2; r++ {
 		wg.Add(1)
 		go func(r int) { // dual-engine readers racing the writer and merger
@@ -213,16 +241,17 @@ func TestReplicationConcurrentWritesReadsAndMerges(t *testing.T) {
 
 	done := make(chan struct{})
 	go func() { defer close(done); wg.Wait() }()
-	// writer finishes first; then stop the readers
+	writersDone := make(chan struct{})
+	go func() { defer close(writersDone); writerWg.Wait() }()
+	// writers finish first; then stop the readers
+waitWriters:
 	for {
 		select {
 		case err := <-errs:
 			close(stopReaders)
 			t.Fatal(err)
-		case <-time.After(10 * time.Millisecond):
-		}
-		if s.CommitLSN() >= writes {
-			break
+		case <-writersDone:
+			break waitWriters
 		}
 	}
 	close(stopReaders)
@@ -414,22 +443,29 @@ func TestReplicationParallelReadDifferential(t *testing.T) {
 func TestReplicationConcurrentDMLAndParallelScans(t *testing.T) {
 	s := newWriteSystem(t, Config{ModeledSF: 100, Data: DefaultConfig().Data,
 		Repl: ReplConfig{MergeInterval: time.Millisecond, MergeThreshold: 8}})
-	const writes = 120
-	var wg sync.WaitGroup
+	const (
+		writers       = 3
+		writesPerGoro = 40
+	)
+	var wg, writerWg sync.WaitGroup
 	stopReaders := make(chan struct{})
 	errs := make(chan error, 8)
 
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		mix := newMixer(13)
-		for i := 0; i < writes; i++ {
-			if _, err := s.Exec(mix.next()); err != nil {
-				errs <- fmt.Errorf("writer: %w", err)
-				return
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		writerWg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer writerWg.Done()
+			mix := newMixerAt(int64(13+w), int64(5_000_000+w*100_000))
+			for i := 0; i < writesPerGoro; i++ {
+				if err := execRetry(s, mix.next(), 100); err != nil {
+					errs <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
 			}
-		}
-	}()
+		}(w)
+	}
 	for r := 0; r < 2; r++ {
 		wg.Add(1)
 		go func(r int) {
@@ -463,15 +499,16 @@ func TestReplicationConcurrentDMLAndParallelScans(t *testing.T) {
 
 	done := make(chan struct{})
 	go func() { defer close(done); wg.Wait() }()
+	writersDone := make(chan struct{})
+	go func() { defer close(writersDone); writerWg.Wait() }()
+waitWriters:
 	for {
 		select {
 		case err := <-errs:
 			close(stopReaders)
 			t.Fatal(err)
-		case <-time.After(10 * time.Millisecond):
-		}
-		if s.CommitLSN() >= writes {
-			break
+		case <-writersDone:
+			break waitWriters
 		}
 	}
 	close(stopReaders)

@@ -1,0 +1,161 @@
+package rowstore
+
+import (
+	"testing"
+
+	"htapxplain/internal/catalog"
+	"htapxplain/internal/value"
+)
+
+// twoColStore builds a tiny store with one two-column table and the given
+// bulk rows.
+func twoColStore(t *testing.T, rows []value.Row) *Store {
+	t.Helper()
+	cat := catalog.New(1)
+	if err := cat.AddTable(&catalog.Table{
+		Name: "t",
+		Columns: []catalog.Column{
+			{Name: "k", Type: catalog.TypeInt},
+			{Name: "v", Type: catalog.TypeInt},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStore(cat, map[string][]value.Row{"t": rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func row2(k, v int64) value.Row { return value.Row{value.NewInt(k), value.NewInt(v)} }
+
+func TestScanLiveAtSnapshotVisibility(t *testing.T) {
+	s := twoColStore(t, []value.Row{row2(1, 10)})
+
+	// commit 1: insert k=2 (via the transactional path)
+	if _, err := s.ApplyAt("t", nil, []value.Row{row2(2, 20)}, 1); err != nil {
+		t.Fatal(err)
+	}
+	s.PublishCommit(1)
+	// commit 2: delete the bulk row (RID 0)
+	if _, err := s.ApplyAt("t", []int64{0}, nil, 2); err != nil {
+		t.Fatal(err)
+	}
+	s.PublishCommit(2)
+
+	tbl, _ := s.Table("t")
+	want := map[uint64][]int64{
+		0: {0},    // snapshot before any commit: only the bulk row
+		1: {0, 1}, // after commit 1: both
+		2: {1},    // after commit 2: bulk row deleted
+		9: {1},    // future snapshots see the latest state
+	}
+	for snap, wantRIDs := range want {
+		rids, rows := tbl.ScanLiveAt(snap)
+		if len(rids) != len(wantRIDs) {
+			t.Fatalf("snap %d: got RIDs %v, want %v", snap, rids, wantRIDs)
+		}
+		for i := range rids {
+			if rids[i] != wantRIDs[i] {
+				t.Fatalf("snap %d: got RIDs %v, want %v", snap, rids, wantRIDs)
+			}
+		}
+		if len(rows) != len(rids) {
+			t.Fatalf("snap %d: %d rows for %d RIDs", snap, len(rows), len(rids))
+		}
+	}
+}
+
+func TestApplyAtDoesNotPublish(t *testing.T) {
+	s := twoColStore(t, []value.Row{row2(1, 10)})
+	if _, err := s.ApplyAt("t", nil, []value.Row{row2(2, 20)}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// applied but unpublished: the commit LSN still reads 0, and a snapshot
+	// pinned at it does not see the new version
+	if got := s.CommitLSN(); got != 0 {
+		t.Fatalf("CommitLSN = %d before PublishCommit, want 0", got)
+	}
+	tbl, _ := s.Table("t")
+	if rids, _ := tbl.ScanLiveAt(s.CommitLSN()); len(rids) != 1 {
+		t.Fatalf("unpublished insert visible: RIDs %v", rids)
+	}
+	s.PublishCommit(1)
+	if rids, _ := tbl.ScanLiveAt(s.CommitLSN()); len(rids) != 2 {
+		t.Fatalf("published insert not visible: RIDs %v", rids)
+	}
+}
+
+func TestFirstConflict(t *testing.T) {
+	s := twoColStore(t, []value.Row{row2(1, 10), row2(2, 20)})
+
+	if rid, conflict, err := s.FirstConflict("t", []int64{0, 1}); err != nil || conflict {
+		t.Fatalf("all-live delete set reported conflict: rid=%d conflict=%v err=%v", rid, conflict, err)
+	}
+	// a concurrent commit tombstones RID 1
+	if _, err := s.ApplyAt("t", []int64{1}, []value.Row{row2(2, 21)}, 1); err != nil {
+		t.Fatal(err)
+	}
+	s.PublishCommit(1)
+	rid, conflict, err := s.FirstConflict("t", []int64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !conflict || rid != 1 {
+		t.Fatalf("expected conflict on RID 1, got rid=%d conflict=%v", rid, conflict)
+	}
+	// out-of-range RIDs are internal errors, not conflicts
+	if _, _, err := s.FirstConflict("t", []int64{99}); err == nil {
+		t.Fatal("out-of-range RID did not error")
+	}
+	if _, _, err := s.FirstConflict("nope", nil); err == nil {
+		t.Fatal("unknown table did not error")
+	}
+}
+
+func TestApplyAtMaintainsIndexesAndArity(t *testing.T) {
+	cat := catalog.New(1)
+	if err := cat.AddTable(&catalog.Table{
+		Name: "t",
+		Columns: []catalog.Column{
+			{Name: "k", Type: catalog.TypeInt},
+			{Name: "v", Type: catalog.TypeInt},
+		},
+		Indexes: []catalog.Index{{Name: "t_k", Table: "t", Column: "k"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStore(cat, map[string][]value.Row{"t": {row2(1, 10)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// delete-and-insert in one commit, like an UPDATE
+	mut, err := s.ApplyAt("t", []int64{0}, []value.Row{row2(1, 11), row2(2, 22)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PublishCommit(1)
+	if len(mut.Deletes) != 1 || len(mut.Inserts) != 2 || mut.LSN != 1 {
+		t.Fatalf("unexpected mutation: %+v", mut)
+	}
+	tbl, _ := s.Table("t")
+	ix, ok := tbl.IndexOn("k")
+	if !ok {
+		t.Fatal("index missing")
+	}
+	if ids := ix.Lookup(value.NewInt(1)); len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("index lookup k=1: %v, want [1]", ids)
+	}
+	if ids := ix.Lookup(value.NewInt(2)); len(ids) != 1 || ids[0] != 2 {
+		t.Fatalf("index lookup k=2: %v, want [2]", ids)
+	}
+	// arity violations are rejected before any mutation
+	if _, err := s.ApplyAt("t", nil, []value.Row{{value.NewInt(1)}}, 2); err == nil {
+		t.Fatal("short row accepted")
+	}
+	// deleting a dead RID is an invariant violation
+	if _, err := s.ApplyAt("t", []int64{0}, nil, 2); err == nil {
+		t.Fatal("double delete accepted")
+	}
+}

@@ -47,8 +47,11 @@ func (l *FloatLit) String() string { return fmt.Sprintf("%g", l.V) }
 // StringLit is a single-quoted string literal.
 type StringLit struct{ V string }
 
-func (l *StringLit) exprNode()      {}
-func (l *StringLit) String() string { return "'" + l.V + "'" }
+func (l *StringLit) exprNode() {}
+
+// String renders the literal back to valid SQL: embedded quotes come out
+// doubled, the same escape the lexer folds on the way in.
+func (l *StringLit) String() string { return "'" + strings.ReplaceAll(l.V, "'", "''") + "'" }
 
 // BinOp enumerates binary operators.
 type BinOp int

@@ -105,8 +105,8 @@ func (s *Delete) String() string {
 // StatementKind classifies a SQL string by its leading keyword without
 // tokenizing the full input — the gateway's admission fast path uses it to
 // route DML around the read-only plan cache. It returns "select",
-// "insert", "update", "delete", or "" when the input starts with none of
-// them.
+// "insert", "update", "delete", "begin", "commit", "rollback", or "" when
+// the input starts with none of them.
 func StatementKind(sql string) string {
 	i, n := 0, len(sql)
 	for i < n {
@@ -130,6 +130,12 @@ func StatementKind(sql string) string {
 		return "update"
 	case "DELETE":
 		return "delete"
+	case "BEGIN":
+		return "begin"
+	case "COMMIT":
+		return "commit"
+	case "ROLLBACK":
+		return "rollback"
 	default:
 		return ""
 	}

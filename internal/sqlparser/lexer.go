@@ -36,6 +36,8 @@ var keywords = map[string]bool{
 	// DML
 	"INSERT": true, "INTO": true, "VALUES": true,
 	"UPDATE": true, "SET": true, "DELETE": true,
+	// transaction blocks
+	"BEGIN": true, "COMMIT": true, "ROLLBACK": true,
 }
 
 // lex tokenizes the input. It returns a descriptive error with byte offset

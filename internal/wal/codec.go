@@ -49,9 +49,17 @@ const (
 	// KindShutdown is the clean-shutdown marker appended by a graceful
 	// Close, stamped with the final commit LSN; it carries no body.
 	KindShutdown Kind = 3
+	// KindTxn is one committed multi-table transaction: a list of
+	// per-table mutation bodies with consecutive LSNs, framed as a single
+	// record so the commit is atomic in the log — a torn or corrupt record
+	// drops the whole transaction, never a prefix of it. The record's LSN
+	// is the transaction's last (highest) mutation LSN, which keeps
+	// Append's non-decreasing-LSN invariant. Single-table commits keep
+	// using KindMutation.
+	KindTxn Kind = 4
 )
 
-func (k Kind) valid() bool { return k >= KindMutation && k <= KindShutdown }
+func (k Kind) valid() bool { return k >= KindMutation && k <= KindTxn }
 
 func (k Kind) String() string {
 	switch k {
@@ -61,6 +69,8 @@ func (k Kind) String() string {
 		return "checkpoint"
 	case KindShutdown:
 		return "shutdown"
+	case KindTxn:
+		return "txn"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -330,4 +340,81 @@ func DecodeMutation(lsn uint64, b []byte) (*repl.Mutation, error) {
 		return nil, fmt.Errorf("wal: %d trailing bytes after mutation", len(b)-off)
 	}
 	return m, nil
+}
+
+// ----------------------------------------------------------- transactions
+
+// Txn body wire format:
+//
+//	u32 mutation count (>= 1)
+//	per mutation: u64 LSN, u32 body length, mutation body (EncodeMutation)
+//
+// Mutation LSNs must be consecutive and the record's LSN must equal the
+// last mutation's, so one transaction occupies one contiguous LSN range
+// and replay can apply its mutations exactly like standalone ones.
+
+// EncodeTxn returns the canonical body encoding of a committed
+// transaction's mutation list (one per touched table, in LSN order).
+func EncodeTxn(muts []*repl.Mutation) []byte {
+	var dst []byte
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(muts)))
+	for _, m := range muts {
+		dst = binary.LittleEndian.AppendUint64(dst, m.LSN)
+		body := EncodeMutation(m)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(body)))
+		dst = append(dst, body...)
+	}
+	return dst
+}
+
+// DecodeTxn decodes a transaction body produced by EncodeTxn. Like
+// DecodeMutation the decode is strict — trailing bytes, an empty
+// mutation list, non-consecutive LSNs or a record LSN that is not the
+// last mutation's are all rejected — so every accepted body is the
+// canonical encoding of the transaction it returns. lsn is the record's
+// LSN (the transaction's last).
+func DecodeTxn(lsn uint64, b []byte) ([]*repl.Mutation, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("wal: truncated transaction header")
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	off := 4
+	if n == 0 {
+		return nil, fmt.Errorf("wal: empty transaction record")
+	}
+	// u64 LSN + u32 length + the 10-byte mutation-body floor per entry
+	if n > (len(b)-off)/22 {
+		return nil, fmt.Errorf("wal: transaction mutation count %d exceeds record", n)
+	}
+	muts := make([]*repl.Mutation, 0, n)
+	var prev uint64
+	for i := 0; i < n; i++ {
+		if len(b)-off < 12 {
+			return nil, fmt.Errorf("wal: truncated transaction mutation header")
+		}
+		mlsn := binary.LittleEndian.Uint64(b[off:])
+		off += 8
+		blen := int(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		if blen > len(b)-off {
+			return nil, fmt.Errorf("wal: transaction mutation length %d exceeds record", blen)
+		}
+		if i > 0 && mlsn != prev+1 {
+			return nil, fmt.Errorf("wal: transaction LSNs not consecutive (%d after %d)", mlsn, prev)
+		}
+		m, err := DecodeMutation(mlsn, b[off:off+blen])
+		if err != nil {
+			return nil, err
+		}
+		off += blen
+		muts = append(muts, m)
+		prev = mlsn
+	}
+	if prev != lsn {
+		return nil, fmt.Errorf("wal: transaction record LSN %d != last mutation LSN %d", lsn, prev)
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("wal: %d trailing bytes after transaction", len(b)-off)
+	}
+	return muts, nil
 }

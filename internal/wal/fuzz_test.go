@@ -40,6 +40,15 @@ func FuzzWALDecode(f *testing.F) {
 	flipped[len(flipped)/3] ^= 0x10
 	f.Add(flipped) // bit flip
 	f.Add(appendFrame(nil, Record{LSN: 3, Kind: KindShutdown}))
+	// a committed two-table transaction record (consecutive LSNs, record
+	// stamped with the last)
+	txnBody := EncodeTxn([]*repl.Mutation{
+		{LSN: 5, Table: "customer", Deletes: []int64{1},
+			Inserts: []repl.RowVersion{{RID: 10, Row: value.Row{value.NewInt(1), value.NewString("a")}}}},
+		{LSN: 6, Table: "orders",
+			Inserts: []repl.RowVersion{{RID: 3, Row: value.Row{value.NewFloat(2.5), value.Null}}}},
+	})
+	f.Add(appendFrame(nil, Record{LSN: 6, Kind: KindTxn, Body: txnBody}))
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}) // absurd length prefix
 	f.Add(bytes.Repeat([]byte{0}, 64))
@@ -72,6 +81,24 @@ func FuzzWALDecode(f *testing.F) {
 					back, err2 := DecodeMutation(rec.LSN, EncodeMutation(mut))
 					if err2 != nil || !reflect.DeepEqual(back, mut) {
 						t.Fatalf("mutation at %d does not round-trip: %v", off, err2)
+					}
+				}
+			}
+			if rec.Kind == KindTxn {
+				muts, err := DecodeTxn(rec.LSN, rec.Body)
+				if err == nil {
+					// accepted transactions round-trip exactly and carry
+					// consecutive LSNs ending at the record's
+					if !bytes.Equal(EncodeTxn(muts), rec.Body) {
+						t.Fatalf("txn body at %d is not canonical", off)
+					}
+					if len(muts) == 0 || muts[len(muts)-1].LSN != rec.LSN {
+						t.Fatalf("txn at %d: accepted with wrong LSN shape", off)
+					}
+					for i := 1; i < len(muts); i++ {
+						if muts[i].LSN != muts[i-1].LSN+1 {
+							t.Fatalf("txn at %d: accepted non-consecutive LSNs", off)
+						}
 					}
 				}
 			}

@@ -1,0 +1,72 @@
+package wal
+
+import (
+	"reflect"
+	"testing"
+
+	"htapxplain/internal/repl"
+	"htapxplain/internal/value"
+)
+
+func txnMuts() []*repl.Mutation {
+	return []*repl.Mutation{
+		{LSN: 7, Table: "customer",
+			Deletes: []int64{3, 9},
+			Inserts: []repl.RowVersion{
+				{RID: 20, Row: value.Row{value.NewInt(1), value.NewString("a"), value.NewFloat(0.5)}},
+			}},
+		{LSN: 8, Table: "orders",
+			Inserts: []repl.RowVersion{
+				{RID: 4, Row: value.Row{value.Null, value.NewBool(true)}},
+				{RID: 5, Row: value.Row{value.NewInt(-2), value.NewString("")}},
+			}},
+		{LSN: 9, Table: "lineitem", Deletes: []int64{0}},
+	}
+}
+
+func TestTxnCodecRoundTrip(t *testing.T) {
+	muts := txnMuts()
+	body := EncodeTxn(muts)
+	back, err := DecodeTxn(9, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, muts) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, muts)
+	}
+}
+
+func TestTxnCodecRejectsMalformed(t *testing.T) {
+	muts := txnMuts()
+	body := EncodeTxn(muts)
+
+	if _, err := DecodeTxn(8, body); err == nil {
+		t.Fatal("accepted record LSN != last mutation LSN")
+	}
+	if _, err := DecodeTxn(9, append(body, 0)); err == nil {
+		t.Fatal("accepted trailing bytes")
+	}
+	if _, err := DecodeTxn(9, body[:len(body)-3]); err == nil {
+		t.Fatal("accepted truncated body")
+	}
+	if _, err := DecodeTxn(0, EncodeTxn(nil)); err == nil {
+		t.Fatal("accepted empty transaction")
+	}
+	gap := txnMuts()
+	gap[2].LSN = 11 // 7, 8, 11: a hole in the transaction's LSN range
+	if _, err := DecodeTxn(11, EncodeTxn(gap)); err == nil {
+		t.Fatal("accepted non-consecutive LSNs")
+	}
+}
+
+func TestTxnRecordKindValid(t *testing.T) {
+	if !KindTxn.valid() {
+		t.Fatal("KindTxn must be a valid record kind")
+	}
+	if KindTxn.String() != "txn" {
+		t.Fatalf("KindTxn.String() = %q", KindTxn.String())
+	}
+	if Kind(5).valid() {
+		t.Fatal("Kind(5) must stay invalid until a codec exists for it")
+	}
+}

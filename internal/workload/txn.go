@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// FamilyTxn tags generated multi-statement transaction blocks.
+const FamilyTxn Family = "txn"
+
+// txnKeyBase is the first customer key the transaction generator uses —
+// its own billion-range, disjoint from both the bulk data and the
+// single-statement DML generator's dmlKeyBase range, so transactional
+// and autocommit writers never contend on generated keys (contention
+// comes only from the hot-row updates below).
+const txnKeyBase = 2_000_000_000
+
+// TxnGenerator produces a deterministic stream of BEGIN ... COMMIT /
+// ROLLBACK blocks over the customer table: each block inserts fresh rows,
+// updates previously inserted ones (a bounded hot set, so concurrent
+// submitters genuinely race and exercise first-writer-wins conflicts),
+// and occasionally deletes — with roughly one block in eight ending in
+// ROLLBACK to keep the abort path exercised under load.
+type TxnGenerator struct {
+	rng      *rand.Rand
+	id       int
+	nextKey  int64
+	inserted []int64
+}
+
+// NewTxnGenerator returns a seeded transaction-block generator.
+func NewTxnGenerator(seed int64) *TxnGenerator {
+	return &TxnGenerator{rng: rand.New(rand.NewSource(seed)), nextKey: txnKeyBase}
+}
+
+func (g *TxnGenerator) insertSQL() string {
+	key := g.nextKey
+	g.nextKey++
+	g.inserted = append(g.inserted, key)
+	return fmt.Sprintf(
+		"INSERT INTO customer (c_custkey, c_name, c_address, c_nationkey, c_phone, c_acctbal, c_mktsegment, c_comment) "+
+			"VALUES (%d, 'txn#%d', 'addr %d', %d, '%02d-%03d', %d.%02d, 'machinery', 'txn write')",
+		key, key, key, g.rng.Intn(25), 10+g.rng.Intn(25), g.rng.Intn(1000),
+		g.rng.Intn(9000), g.rng.Intn(100))
+}
+
+// hotKey picks from the oldest 16 inserted keys — a small stable set that
+// concurrent submitters collide on.
+func (g *TxnGenerator) hotKey() int64 {
+	n := len(g.inserted)
+	if n > 16 {
+		n = 16
+	}
+	return g.inserted[g.rng.Intn(n)]
+}
+
+// Next returns the next transaction block.
+func (g *TxnGenerator) Next() Query {
+	g.id++
+	var b strings.Builder
+	b.WriteString("BEGIN; ")
+	b.WriteString(g.insertSQL())
+	b.WriteString("; ")
+	stmts := 1
+	if len(g.inserted) > 2 {
+		fmt.Fprintf(&b, "UPDATE customer SET c_acctbal = c_acctbal + %d WHERE c_custkey = %d; ",
+			1+g.rng.Intn(100), g.hotKey())
+		stmts++
+	}
+	if len(g.inserted) > 8 && g.rng.Intn(4) == 0 {
+		i := g.rng.Intn(len(g.inserted))
+		fmt.Fprintf(&b, "DELETE FROM customer WHERE c_custkey = %d; ", g.inserted[i])
+		g.inserted = append(g.inserted[:i], g.inserted[i+1:]...)
+		stmts++
+	}
+	tmpl := fmt.Sprintf("txn_block_%d_commit", stmts)
+	if g.rng.Intn(8) == 0 {
+		b.WriteString("ROLLBACK")
+		tmpl = fmt.Sprintf("txn_block_%d_rollback", stmts)
+	} else {
+		b.WriteString("COMMIT")
+	}
+	return Query{ID: g.id, SQL: b.String(), Family: FamilyTxn, Template: tmpl}
+}
+
+// Batch returns the next n transaction blocks.
+func (g *TxnGenerator) Batch(n int) []Query {
+	out := make([]Query, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
