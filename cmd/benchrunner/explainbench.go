@@ -1,0 +1,213 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"htapxplain/internal/explainsvc"
+	"htapxplain/internal/gateway"
+	"htapxplain/internal/htap"
+	"htapxplain/internal/knowledge"
+	"htapxplain/internal/workload"
+)
+
+// The explanation benchmark (-explain-bench) measures /explain serving
+// throughput as client concurrency grows, comparing the knowledge base's
+// two retrieval paths: the exact mutex-guarded linear scan (every reader
+// serializes on the base's lock and sorts the full store) against the
+// copy-on-write HNSW snapshot (wait-free approximate search). The KB is
+// inflated to explainBenchKB entries so retrieval cost dominates the
+// fixed per-explanation pipeline work — at the paper's 20-entry scale
+// both paths are equally instant and the comparison is meaningless.
+// CI runs it once per build and archives BENCH_explain.json.
+
+// ExplainBenchReport is the JSON document written to -explain-out.
+type ExplainBenchReport struct {
+	KBEntries int                 `json:"kb_entries"`
+	Points    []ExplainBenchPoint `json:"points"`
+	// SpeedupAt16 is HNSW explanations/s over linear explanations/s at
+	// the highest client count — the number the serving-scale claim
+	// rests on.
+	SpeedupAt16 float64 `json:"speedup_at_16"`
+}
+
+// ExplainBenchPoint measures explanation throughput at one
+// (retrieval mode, clients) point.
+type ExplainBenchPoint struct {
+	Mode     string  `json:"mode"` // "linear" or "hnsw"
+	Clients  int     `json:"clients"`
+	Explains int     `json:"explains"`
+	EPS      float64 `json:"explanations_per_sec"`
+	P50US    int64   `json:"p50_us"`
+	P99US    int64   `json:"p99_us"`
+}
+
+const (
+	explainBenchKB      = 6000
+	explainBenchPerPt   = 600
+	explainBenchClients = 16
+)
+
+func runExplainBench(outPath string) error {
+	sys, err := htap.New(htap.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	router, kb, _, err := explainsvc.Bootstrap(sys, explainsvc.BootstrapConfig{
+		TrainQueries: 48, Epochs: 25, KBSize: 16, Seed: 7,
+	})
+	if err != nil {
+		return err
+	}
+	// One KB copy per mode (EnableHNSW mutates the base), both inflated
+	// identically before the service builds any index.
+	var buf bytes.Buffer
+	if err := kb.Save(&buf); err != nil {
+		return err
+	}
+	raw := buf.Bytes()
+	pool := workload.NewGenerator(11).Batch(32)
+
+	rep := ExplainBenchReport{KBEntries: explainBenchKB}
+	eps16 := map[string]float64{}
+	for _, mode := range []string{"linear", "hnsw"} {
+		modeKB, err := knowledge.Load(bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+		if err := inflateKB(modeKB, explainBenchKB, 17); err != nil {
+			return err
+		}
+		g := gateway.New(sys, gateway.Config{Workers: explainBenchClients, CacheCapacity: 256})
+		svc, err := explainsvc.New(sys, g, router, modeKB, explainsvc.Config{
+			Seed: 7, LinearScan: mode == "linear",
+			// no maintenance loop: this measures the serving path alone
+		})
+		if err != nil {
+			g.Stop()
+			return err
+		}
+		// warm the plan cache so every timed explanation hits it
+		for _, q := range pool {
+			if _, err := svc.Explain(q.SQL); err != nil {
+				svc.Close()
+				g.Stop()
+				return fmt.Errorf("explain bench warmup %q: %w", q.SQL, err)
+			}
+		}
+		for _, clients := range []int{1, 4, explainBenchClients} {
+			pt, err := benchExplainPoint(svc, pool, mode, clients, explainBenchPerPt)
+			if err != nil {
+				svc.Close()
+				g.Stop()
+				return fmt.Errorf("explain bench (%s, %d clients): %w", mode, clients, err)
+			}
+			rep.Points = append(rep.Points, pt)
+			if clients == explainBenchClients {
+				eps16[mode] = pt.EPS
+			}
+			fmt.Printf("explain %-6s %2d clients: %8.0f explanations/s  p50=%dµs p99=%dµs\n",
+				mode, pt.Clients, pt.EPS, pt.P50US, pt.P99US)
+		}
+		svc.Close()
+		g.Stop()
+	}
+	if eps16["linear"] > 0 {
+		rep.SpeedupAt16 = eps16["hnsw"] / eps16["linear"]
+	}
+	fmt.Printf("hnsw/linear speedup at %d clients: %.1fx\n", explainBenchClients, rep.SpeedupAt16)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}
+
+// inflateKB grows the base to target entries by re-adding curated entries
+// under deterministically perturbed encodings — realistic near-duplicate
+// neighborhoods, exactly what similarity search sifts through at scale.
+func inflateKB(kb *knowledge.Base, target int, seed int64) error {
+	base := kb.Entries()
+	rng := rand.New(rand.NewSource(seed))
+	for kb.Len() < target {
+		src := base[rng.Intn(len(base))]
+		enc := make([]float64, len(src.Encoding))
+		for j, v := range src.Encoding {
+			enc[j] = v + (rng.Float64()-0.5)*0.05
+		}
+		e := *src
+		e.ID = 0
+		e.Encoding = enc
+		if _, err := kb.Add(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// benchExplainPoint serves total explanations split across n closed-loop
+// clients and reports throughput + client-observed latency quantiles.
+func benchExplainPoint(svc *explainsvc.Service, pool []workload.Query, mode string, clients, total int) (ExplainBenchPoint, error) {
+	per := total / clients
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		lats []time.Duration
+		errs = make(chan error, clients)
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			own := make([]time.Duration, 0, per)
+			for i := 0; i < per; i++ {
+				q := pool[(c*per+i)%len(pool)]
+				t0 := time.Now()
+				if _, err := svc.Explain(q.SQL); err != nil {
+					errs <- err
+					return
+				}
+				own = append(own, time.Since(t0))
+			}
+			mu.Lock()
+			lats = append(lats, own...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return ExplainBenchPoint{}, err
+	default:
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	q := func(p float64) int64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return lats[i].Microseconds()
+	}
+	return ExplainBenchPoint{
+		Mode:     mode,
+		Clients:  clients,
+		Explains: clients * per,
+		EPS:      float64(clients*per) / elapsed.Seconds(),
+		P50US:    q(0.50),
+		P99US:    q(0.99),
+	}, nil
+}

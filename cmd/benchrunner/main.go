@@ -12,6 +12,7 @@
 //	benchrunner -obs-bench       # tracing-overhead microbenchmarks -> BENCH_obs.json
 //	benchrunner -compress-bench  # column-encoding microbenchmarks -> BENCH_compress.json
 //	benchrunner -txn-bench       # multi-writer commit microbenchmarks -> BENCH_txn.json
+//	benchrunner -explain-bench   # /explain serving microbenchmarks -> BENCH_explain.json
 package main
 
 import (
@@ -36,6 +37,8 @@ func main() {
 	compOut := flag.String("compress-out", "BENCH_compress.json", "compress-bench: output JSON path")
 	txnBench := flag.Bool("txn-bench", false, "run the multi-writer transaction microbenchmarks instead of the paper experiments")
 	txnOut := flag.String("txn-out", "BENCH_txn.json", "txn-bench: output JSON path")
+	expBench := flag.Bool("explain-bench", false, "run the explanation-serving microbenchmarks instead of the paper experiments")
+	expOut := flag.String("explain-out", "BENCH_explain.json", "explain-bench: output JSON path")
 	flag.Parse()
 
 	if *walBench {
@@ -69,6 +72,13 @@ func main() {
 	if *txnBench {
 		fmt.Println("transaction microbenchmarks: commit throughput at 1/4/16/64 writers x conflict rates + commits-per-fsync ...")
 		if err := runTxnBench(*txnOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *expBench {
+		fmt.Println("explanation microbenchmarks: /explain throughput at 1/4/16 clients, linear scan vs HNSW snapshot retrieval ...")
+		if err := runExplainBench(*expOut); err != nil {
 			fatal(err)
 		}
 		return

@@ -16,20 +16,34 @@
 //	htapserve -load -clients 16 -queries 2000 -distinct 50
 //	htapserve -load -write-frac 0.2          # mixed read/write HTAP load
 //	htapserve -load -write-frac 0.4 -txn-frac 0.5   # + BEGIN..COMMIT blocks
+//	htapserve -load -explain-frac 0.1        # 10% of reads ask for explanations
 //
 // Endpoints:
 //
 //	POST /query    {"sql": "SELECT ..."}   → result rows + routing info
 //	POST /query    {"sql": "INSERT ..."}   → rows_affected + commit LSN
+//	POST /explain  {"sql": "SELECT ..."}   → RAG-grounded explanation of the
+//	                                         routing decision (retrieved KB
+//	                                         entries, modeled latencies)
+//	POST /whyslow  {"sql": "SELECT ..."}   → bottleneck diagnosis + advice
 //	GET  /metrics                          → serving counters, latencies, the
-//	                                         TP→AP freshness gauge and the
-//	                                         wal_*/checkpoint_* gauges
-//	                                         (?format=prometheus → text
+//	                                         TP→AP freshness gauge, the
+//	                                         explain_*/router_*/kb_* service
+//	                                         gauges and the wal_*/checkpoint_*
+//	                                         gauges (?format=prometheus → text
 //	                                         exposition format for scraping)
 //	GET  /debug/traces                     → sampled query span traces,
 //	                                         newest first (-trace-sample,
 //	                                         -slow-query-ms)
 //	GET  /healthz                          → liveness
+//
+// With -explain (default on) the server bootstraps the explanation
+// service: a tree-CNN router and a curated RAG knowledge base (restored
+// from -data-dir when present), served lock-free through an HNSW
+// snapshot index. A background loop watches a sliding window of served
+// explanations for router/calibration drift and, past -drift-threshold,
+// retrains the router online, atomically swaps it into the routing
+// policy, and re-curates + expires the knowledge base.
 //
 // On SIGINT/SIGTERM the server shuts down gracefully: stop admitting,
 // drain in-flight queries, flush the WAL and write a clean-shutdown
@@ -48,11 +62,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"htapxplain/internal/explainsvc"
 	"htapxplain/internal/gateway"
 	"htapxplain/internal/htap"
+	"htapxplain/internal/knowledge"
 	"htapxplain/internal/obs"
 	"htapxplain/internal/treecnn"
 	"htapxplain/internal/workload"
@@ -81,6 +99,16 @@ func main() {
 		traceRing   = flag.Int("trace-ring", 256, "trace ring-buffer capacity served at /debug/traces")
 		slowQueryMS = flag.Int("slow-query-ms", 0, "log the span tree of queries at least this slow (0 disables; forces trace-sample 1)")
 		obsEvery    = flag.Int("observed-every", 0, "dual-execute every Nth cache-miss SELECT for router_observed_accuracy (0 disables)")
+
+		explainOn  = flag.Bool("explain", true, "enable the online explanation service (/explain, /whyslow, drift-driven retraining)")
+		explainFr  = flag.Float64("explain-frac", 0, "load mode: fraction of read submissions served as explanations (0..1)")
+		explainTrN = flag.Int("explain-train", 80, "explanation service: bootstrap training workload size")
+		explainEp  = flag.Int("explain-epochs", 40, "explanation service: bootstrap + online retrain epochs")
+		explainKB  = flag.Int("explain-kb", 20, "explanation service: curated knowledge-base target size")
+		explainK   = flag.Int("explain-k", 2, "explanation service: retrieved similar plan pairs per explanation")
+		driftWin   = flag.Int("drift-window", 128, "explanation service: sliding drift window capacity")
+		driftThr   = flag.Float64("drift-threshold", 0.85, "explanation service: router agreement below this triggers an online retrain")
+		driftIvl   = flag.Duration("drift-interval", 2*time.Second, "explanation service: background drift-check period (0 disables the loop)")
 
 		dataDir   = flag.String("data-dir", "", "data directory for the WAL + checkpoints (empty = volatile)")
 		fsyncIvl  = flag.Duration("fsync-interval", 0, "group-commit fsync window (0 = default 2ms)")
@@ -112,9 +140,46 @@ func main() {
 	if *dataDir != "" {
 		fmt.Println("recovery:", sys.Recovery())
 	}
-	pol, err := buildPolicy(sys, *policy, *trainN, *epochs, *seed)
-	if err != nil {
-		fatal(err)
+	// Bootstrap the explanation service's router + KB before the gateway
+	// so the learned routing policy can be backed by the same router the
+	// maintenance loop retrains and swaps.
+	var (
+		expRouter  *treecnn.Router
+		expKB      *knowledge.Base
+		expDir     string
+		liveRouter atomic.Pointer[treecnn.Router]
+	)
+	if *explainOn {
+		if *dataDir != "" {
+			expDir = filepath.Join(*dataDir, "explain")
+		}
+		r, kb, restored, err := explainsvc.Bootstrap(sys, explainsvc.BootstrapConfig{
+			TrainQueries: *explainTrN, Epochs: *explainEp, KBSize: *explainKB,
+			Seed: *seed, Dir: expDir,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if restored {
+			fmt.Printf("explanation service: restored router + %d KB entries from %s\n", kb.Len(), expDir)
+		} else {
+			fmt.Printf("explanation service: trained router on %d queries, curated %d KB entries\n", *explainTrN, kb.Len())
+		}
+		expRouter, expKB = r, kb
+		liveRouter.Store(r)
+	}
+
+	var pol gateway.RoutingPolicy
+	if *policy == "learned" && expRouter != nil {
+		// the explanation service owns the router lifecycle: route every
+		// query through whatever it most recently swapped in
+		fmt.Println("learned routing backed by the explanation service's live router")
+		pol = gateway.DynamicLearnedPolicy{Source: liveRouter.Load}
+	} else {
+		pol, err = buildPolicy(sys, *policy, *trainN, *epochs, *seed)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	tracer := obs.NewTracer(obs.TracerConfig{
 		SampleRate: *traceRate,
@@ -135,10 +200,25 @@ func main() {
 	})
 	defer g.Stop()
 
+	var svc *explainsvc.Service
+	if *explainOn {
+		svc, err = explainsvc.New(sys, g, expRouter, expKB, explainsvc.Config{
+			K: *explainK, Seed: *seed,
+			Window: *driftWin, DriftThreshold: *driftThr,
+			RetrainEpochs: *explainEp, CheckInterval: *driftIvl,
+			Dir:    expDir,
+			OnSwap: func(r *treecnn.Router) { liveRouter.Store(r) },
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer svc.Close()
+	}
+
 	if *load {
-		fmt.Printf("closed-loop load: %d clients, %d queries over %d distinct templates (write fraction %.2f, txn fraction %.2f)\n",
-			*clients, *queries, *distinct, *writeFrac, *txnFrac)
-		rep := gateway.RunLoad(g, gateway.LoadConfig{
+		fmt.Printf("closed-loop load: %d clients, %d queries over %d distinct templates (write fraction %.2f, txn fraction %.2f, explain fraction %.2f)\n",
+			*clients, *queries, *distinct, *writeFrac, *txnFrac, *explainFr)
+		lc := gateway.LoadConfig{
 			Clients:       *clients,
 			Queries:       *queries,
 			Distinct:      *distinct,
@@ -146,7 +226,12 @@ func main() {
 			TestMix:       *testMix,
 			WriteFraction: *writeFrac,
 			TxnFraction:   *txnFrac,
-		})
+		}
+		if svc != nil && *explainFr > 0 {
+			lc.ExplainFraction = *explainFr
+			lc.Explain = func(sql string) error { _, err := svc.Explain(sql); return err }
+		}
+		rep := gateway.RunLoad(g, lc)
 		fmt.Println(rep)
 		if *writeFrac > 0 {
 			if err := sys.WaitFresh(5 * time.Second); err != nil {
@@ -163,9 +248,13 @@ func main() {
 	}
 
 	fmt.Printf("htapserve: %s routing, listening on %s\n", pol.Name(), *addr)
+	mux := gateway.NewServeMux(g)
+	if svc != nil {
+		explainsvc.Register(mux, svc)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           gateway.NewServeMux(g),
+		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	errCh := make(chan error, 1)
@@ -187,6 +276,9 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "htapserve: drain:", err)
+		}
+		if svc != nil {
+			svc.Close() // stop the maintenance loop + persist router/KB state
 		}
 		g.Stop()
 		sys.Close() // flush WAL + clean-shutdown checkpoint (idempotent with the defer)

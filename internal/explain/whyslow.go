@@ -44,6 +44,15 @@ func (e *Explainer) WhySlow(sql string) (*SlowReport, error) {
 	return buildSlowReport(res, truth), nil
 }
 
+// SlowReportFor renders the bottleneck diagnosis from an already-judged
+// result. It is the serving-path entry point: the online explanation
+// service answers /whyslow from cached plan pairs and modeled latencies
+// without executing the query, so it judges the pair itself and hands the
+// truth here.
+func SlowReportFor(res *htap.Result, truth expert.Truth) *SlowReport {
+	return buildSlowReport(res, truth)
+}
+
 // buildSlowReport is the pure renderer (unit-testable without a system).
 func buildSlowReport(res *htap.Result, truth expert.Truth) *SlowReport {
 	slower := plan.TP

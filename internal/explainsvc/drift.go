@@ -1,0 +1,198 @@
+package explainsvc
+
+import (
+	"sync"
+	"time"
+
+	"htapxplain/internal/htap"
+	"htapxplain/internal/latency"
+	"htapxplain/internal/plan"
+	"htapxplain/internal/treecnn"
+)
+
+// sample is one served explanation in the drift window. Raw modeled
+// latencies are stored — not a precomputed label — so labels are derived
+// at check time with the calibrator's CURRENT scales. A calibration
+// shift therefore retroactively relabels the window: accuracy over old
+// samples drops the moment the model learns reality moved, which is
+// exactly the drift signal the maintenance loop watches.
+type sample struct {
+	sql  string
+	fp   string
+	pair *plan.Pair
+	tpNS int64
+	apNS int64
+	pick plan.Engine // the live router's prediction at serve time
+}
+
+// window is a fixed-capacity ring buffer of recent samples.
+type window struct {
+	mu   sync.Mutex
+	buf  []sample
+	next int
+	n    int
+}
+
+func newWindow(capacity int) *window {
+	return &window{buf: make([]sample, capacity)}
+}
+
+func (w *window) add(s sample) {
+	w.mu.Lock()
+	w.buf[w.next] = s
+	w.next = (w.next + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+	w.mu.Unlock()
+}
+
+func (w *window) snapshot() []sample {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]sample, 0, w.n)
+	start := w.next - w.n
+	for i := 0; i < w.n; i++ {
+		out = append(out, w.buf[(start+i+len(w.buf))%len(w.buf)])
+	}
+	return out
+}
+
+func (w *window) reset() {
+	w.mu.Lock()
+	w.n, w.next = 0, 0
+	w.mu.Unlock()
+}
+
+// modeledWinner labels a sample with today's calibration.
+func modeledWinner(cal *latency.Calibrator, tpNS, apNS int64) plan.Engine {
+	if cal.CalibratedNS(plan.TP, tpNS) <= cal.CalibratedNS(plan.AP, apNS) {
+		return plan.TP
+	}
+	return plan.AP
+}
+
+// windowAccuracy scores the recorded router picks against the calibrated
+// modeled winners. Returns (accuracy, samples); accuracy is 1 on an
+// empty window (no evidence of drift).
+func windowAccuracy(samples []sample, cal *latency.Calibrator) (float64, int) {
+	if len(samples) == 0 {
+		return 1, 0
+	}
+	agree := 0
+	for _, sm := range samples {
+		if sm.pick == modeledWinner(cal, sm.tpNS, sm.apNS) {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(samples)), len(samples)
+}
+
+// loop is the background maintenance job.
+func (s *Service) loop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.CheckInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.CheckNow()
+		}
+	}
+}
+
+// CheckNow runs one drift check, retraining if the window shows the live
+// router disagreeing with the calibrated model beyond threshold. Returns
+// whether a retrain fired. Safe to call concurrently with serving and
+// with the background loop.
+func (s *Service) CheckNow() bool {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	samples := s.win.snapshot()
+	if len(samples) < s.cfg.MinSamples {
+		return false
+	}
+	acc, _ := windowAccuracy(samples, s.gw.Calibrator())
+	if acc >= s.cfg.DriftThreshold {
+		return false
+	}
+	s.retrain(samples)
+	return true
+}
+
+// Retrain forces a retrain-and-refresh cycle over the current window
+// regardless of measured drift — the operational "I changed the
+// hardware" hook. No-op on an empty window; returns whether it ran.
+func (s *Service) Retrain() bool {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	samples := s.win.snapshot()
+	if len(samples) == 0 {
+		return false
+	}
+	s.retrain(samples)
+	return true
+}
+
+// retrain (caller holds maintMu) trains a fresh router on the window
+// labeled by current calibration, atomically swaps it live, re-curates
+// the knowledge base under the new router's encodings, and expires the
+// pre-refresh entries. Re-curation happens BEFORE expiry so concurrent
+// readers always retrieve from a populated KB — a torn state where the
+// base is empty is never published.
+func (s *Service) retrain(samples []sample) {
+	cal := s.gw.Calibrator()
+	tcs := make([]treecnn.Sample, 0, len(samples))
+	for i := range samples {
+		sm := &samples[i]
+		tcs = append(tcs, treecnn.Sample{Pair: sm.pair, Label: modeledWinner(cal, sm.tpNS, sm.apNS)})
+	}
+	gen := s.retrains.Add(1)
+	r := treecnn.New(s.cfg.Seed + gen)
+	r.Train(tcs, s.cfg.RetrainEpochs, s.cfg.Seed+gen+1)
+	s.swapRouter(r)
+	// The old router's routing decisions in the plan cache are stale now.
+	s.gw.InvalidatePlans()
+
+	// KB refresh: everything currently present is older than floor.
+	floor := s.kb.CurSeq()
+	added, seen := 0, make(map[string]bool, len(samples))
+	for i := len(samples) - 1; i >= 0 && added < s.cfg.RecurateMax; i-- {
+		sm := &samples[i] // newest first
+		if seen[sm.fp] {
+			continue
+		}
+		seen[sm.fp] = true
+		winner := modeledWinner(cal, sm.tpNS, sm.apNS)
+		res := &htap.Result{
+			SQL: sm.sql, Pair: *sm.pair,
+			TPTime: time.Duration(cal.CalibratedNS(plan.TP, sm.tpNS)),
+			APTime: time.Duration(cal.CalibratedNS(plan.AP, sm.apNS)),
+			Winner: winner,
+		}
+		truth, err := s.oracle.Judge(res)
+		if err != nil {
+			continue
+		}
+		if _, err := s.kb.Correct(r.EmbedPair(sm.pair), sm.sql,
+			sm.pair.TP.ExplainJSON(), sm.pair.AP.ExplainJSON(),
+			winner, res.Speedup(), s.oracle.Explain(truth), truth.AllFactors()); err != nil {
+			continue
+		}
+		added++
+	}
+	// Only expire once replacements exist: a failed re-curation must not
+	// leave readers with an empty base.
+	if added > 0 {
+		expired := s.kb.ExpireOlderThan(floor)
+		s.kbExpired.Add(int64(expired))
+		s.kb.RebuildIndex()
+	}
+	s.win.reset()
+	if s.cfg.Dir != "" {
+		// Persist best-effort; serving continues regardless.
+		_ = saveState(s.cfg.Dir, r, s.kb)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package explainsvc
+
+// raceEnabled reports whether the race detector is compiled in; tests
+// use it to scale down training work (the detector slows the tree-CNN's
+// float-heavy epochs by an order of magnitude) and stretch deadlines.
+const raceEnabled = true

@@ -1,0 +1,312 @@
+// Package explainsvc wires the paper's explanation pipeline into the
+// serving path as an online service. Three loops run against one shared
+// state:
+//
+//   - Serving: /explain and /whyslow answer from the gateway's cached
+//     plan pairs and the latency model's calibrated estimates — no query
+//     execution — with RAG retrieval going through the knowledge base's
+//     lock-free copy-on-write HNSW snapshot. Requests are admitted
+//     through the gateway's worker pool like any other route.
+//   - Feedback: every explanation records the live router's pick and the
+//     modeled latencies into a sliding window; the gateway's calibrator
+//     feeds observed serve latencies back so modeled costs track reality.
+//   - Maintenance: a background job replays the window against the
+//     current calibration; when the router's agreement with the
+//     calibrated winner drops below threshold it retrains the tree-CNN
+//     on a snapshot of the window, atomically swaps the live router,
+//     re-curates the knowledge base under the new router's encodings and
+//     expires the stale entries. Router and KB persist under a state
+//     directory and survive restarts.
+package explainsvc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"htapxplain/internal/expert"
+	"htapxplain/internal/explain"
+	"htapxplain/internal/gateway"
+	"htapxplain/internal/htap"
+	"htapxplain/internal/knowledge"
+	"htapxplain/internal/llm"
+	"htapxplain/internal/plan"
+	"htapxplain/internal/sqlparser"
+	"htapxplain/internal/treecnn"
+)
+
+// Config tunes the service. Zero values select the documented defaults.
+type Config struct {
+	// K is the number of retrieved similar plan pairs per explanation
+	// (paper default 2).
+	K int
+	// Model generates explanation text (default llm.Doubao()).
+	Model llm.Model
+	// UserContext is the optional third prompt part.
+	UserContext string
+
+	// LinearScan disables the HNSW index: retrieval falls back to the
+	// exact mutex-guarded linear scan. The slow baseline, kept for
+	// benchmarking the snapshot path against.
+	LinearScan bool
+	// HNSWM / HNSWEf are the index's degree and construction beam
+	// (defaults 8 / 32).
+	HNSWM, HNSWEf int
+	// Seed drives index construction and retraining.
+	Seed int64
+
+	// Window is the sliding drift window's capacity in served
+	// explanations (default 128); MinSamples gates drift checks until
+	// the window has substance (default 32).
+	Window, MinSamples int
+	// DriftThreshold is the router-vs-calibrated-winner agreement below
+	// which a retrain fires (default 0.85).
+	DriftThreshold float64
+	// RetrainEpochs bounds online retraining (default 40); RecurateMax
+	// bounds how many window queries are re-judged into the KB per
+	// retrain (default 32).
+	RetrainEpochs, RecurateMax int
+	// CheckInterval is the maintenance-loop period; 0 disables the
+	// background loop (drift checks then run only via CheckNow/Retrain).
+	CheckInterval time.Duration
+
+	// Dir, when non-empty, persists router and KB state (gob) so a
+	// restarted server resumes with its learned state.
+	Dir string
+	// OnSwap, when non-nil, observes every router swap — the hook a
+	// DynamicLearnedPolicy source is kept current through.
+	OnSwap func(*treecnn.Router)
+}
+
+func (c *Config) defaults() {
+	if c.K <= 0 {
+		c.K = 2
+	}
+	if c.Model == nil {
+		c.Model = llm.Doubao()
+	}
+	if c.HNSWM <= 0 {
+		c.HNSWM = 8
+	}
+	if c.HNSWEf <= 0 {
+		c.HNSWEf = 32
+	}
+	if c.Window <= 0 {
+		c.Window = 128
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 32
+	}
+	if c.DriftThreshold <= 0 {
+		c.DriftThreshold = 0.85
+	}
+	if c.RetrainEpochs <= 0 {
+		c.RetrainEpochs = 40
+	}
+	if c.RecurateMax <= 0 {
+		c.RecurateMax = 32
+	}
+}
+
+// Service is the online explanation service. All methods are safe for
+// concurrent use.
+type Service struct {
+	sys    *htap.System
+	gw     *gateway.Gateway
+	kb     *knowledge.Base
+	oracle *expert.Oracle
+	cfg    Config
+
+	router atomic.Pointer[treecnn.Router]
+	win    *window
+
+	served, kbHits, retrains, kbExpired atomic.Int64
+
+	// maintMu serializes maintenance (drift check / retrain / persist) so
+	// overlapping triggers cannot double-retrain on the same window.
+	maintMu  sync.Mutex
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New assembles the service over an already-built system, gateway,
+// router and knowledge base (see Bootstrap for building the latter two).
+// Unless cfg.LinearScan is set, the KB's HNSW index is built here — bulk
+// entries should already be loaded. If cfg.CheckInterval > 0 the
+// maintenance loop starts immediately; Close stops it.
+func New(sys *htap.System, gw *gateway.Gateway, router *treecnn.Router, kb *knowledge.Base, cfg Config) (*Service, error) {
+	if sys == nil || gw == nil || router == nil || kb == nil {
+		return nil, errors.New("explainsvc: sys, gateway, router and kb are all required")
+	}
+	cfg.defaults()
+	s := &Service{
+		sys:    sys,
+		gw:     gw,
+		kb:     kb,
+		oracle: expert.NewOracle(sys),
+		cfg:    cfg,
+		win:    newWindow(cfg.Window),
+		stop:   make(chan struct{}),
+	}
+	s.router.Store(router)
+	if cfg.OnSwap != nil {
+		cfg.OnSwap(router)
+	}
+	if !cfg.LinearScan {
+		kb.EnableHNSW(cfg.HNSWM, cfg.HNSWEf, cfg.Seed)
+	}
+	gw.SetExplainStats(s.Stats)
+	if cfg.CheckInterval > 0 {
+		s.wg.Add(1)
+		go s.loop()
+	}
+	return s, nil
+}
+
+// Router returns the live router (atomically swapped by retrains).
+func (s *Service) Router() *treecnn.Router { return s.router.Load() }
+
+func (s *Service) swapRouter(r *treecnn.Router) {
+	s.router.Store(r)
+	if s.cfg.OnSwap != nil {
+		s.cfg.OnSwap(r)
+	}
+}
+
+// Explanation is one served /explain answer.
+type Explanation struct {
+	*explain.Explanation
+	// PlanCached reports whether the plan pair came from the gateway's
+	// plan cache (warm) or was planned on demand (cold).
+	PlanCached bool
+	// RouterPick is the live router's engine prediction for the pair,
+	// recorded into the drift window.
+	RouterPick plan.Engine
+	// ServeTime is the wall time inside the admitted task.
+	ServeTime time.Duration
+}
+
+// Explain answers "why did this query run the way it did" for a SELECT,
+// grounded in retrieved knowledge-base entries. The work runs admission-
+// controlled on a gateway worker slot; under overload it sheds with
+// gateway.ErrOverloaded like any other route.
+func (s *Service) Explain(sql string) (*Explanation, error) {
+	var (
+		out *Explanation
+		err error
+	)
+	if serr := s.gw.SubmitTask(func() { out, err = s.explainServe(sql) }); serr != nil {
+		return nil, serr
+	}
+	return out, err
+}
+
+// explainServe is the admitted body of Explain.
+func (s *Service) explainServe(sql string) (*Explanation, error) {
+	start := time.Now()
+	res, entry, cached, err := s.modeledResult(sql)
+	if err != nil {
+		return nil, err
+	}
+	rt := s.Router()
+	ex := explain.New(s.sys, rt, s.kb, s.cfg.Model, explain.Options{
+		K: s.cfg.K, UseRAG: true, IncludeGuardrail: true, UserContext: s.cfg.UserContext,
+	})
+	inner, err := ex.ExplainResult(res)
+	if err != nil {
+		return nil, err
+	}
+	pick, _ := rt.Predict(&entry.Pair)
+	s.win.add(sample{
+		sql: sql, fp: entry.Fingerprint, pair: &entry.Pair,
+		tpNS: entry.TPTime.Nanoseconds(), apNS: entry.APTime.Nanoseconds(),
+		pick: pick,
+	})
+	s.served.Add(1)
+	if len(inner.Retrieved) > 0 {
+		s.kbHits.Add(1)
+	}
+	d := time.Since(start)
+	s.gw.ObserveExplainLatency(d)
+	return &Explanation{Explanation: inner, PlanCached: cached, RouterPick: pick, ServeTime: d}, nil
+}
+
+// WhySlow diagnoses the slower engine's bottlenecks for a SELECT, from
+// cached plans and modeled latencies — the query is not executed.
+func (s *Service) WhySlow(sql string) (*explain.SlowReport, error) {
+	var (
+		out *explain.SlowReport
+		err error
+	)
+	if serr := s.gw.SubmitTask(func() { out, err = s.whySlowServe(sql) }); serr != nil {
+		return nil, serr
+	}
+	return out, err
+}
+
+func (s *Service) whySlowServe(sql string) (*explain.SlowReport, error) {
+	start := time.Now()
+	res, _, _, err := s.modeledResult(sql)
+	if err != nil {
+		return nil, err
+	}
+	truth, err := s.oracle.Judge(res)
+	if err != nil {
+		return nil, err
+	}
+	s.served.Add(1)
+	s.gw.ObserveExplainLatency(time.Since(start))
+	return explain.SlowReportFor(res, truth), nil
+}
+
+// modeledResult builds the htap.Result an explanation is grounded in —
+// plan pair from the gateway's cache (planning on miss), latencies from
+// the calibrated model — without executing the query.
+func (s *Service) modeledResult(sql string) (*htap.Result, *gateway.CachedPlan, bool, error) {
+	if kind := sqlparser.StatementKind(sql); kind != "select" {
+		return nil, nil, false, fmt.Errorf("explainsvc: only SELECT statements can be explained, got %s", kind)
+	}
+	entry, cached, err := s.gw.PlanPair(sql)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	cal := s.gw.Calibrator()
+	calTP := cal.CalibratedDuration(plan.TP, entry.TPTime)
+	calAP := cal.CalibratedDuration(plan.AP, entry.APTime)
+	winner := plan.AP
+	if calTP <= calAP {
+		winner = plan.TP
+	}
+	res := &htap.Result{SQL: sql, Pair: entry.Pair, TPTime: calTP, APTime: calAP, Winner: winner}
+	return res, entry, cached, nil
+}
+
+// Stats snapshots the service gauges for the gateway's /metrics.
+func (s *Service) Stats() gateway.ExplainStats {
+	acc, n := windowAccuracy(s.win.snapshot(), s.gw.Calibrator())
+	return gateway.ExplainStats{
+		Served:         s.served.Load(),
+		KBHits:         s.kbHits.Load(),
+		Retrains:       s.retrains.Load(),
+		KBEntries:      int64(s.kb.Len()),
+		KBExpired:      s.kbExpired.Load(),
+		WindowSamples:  int64(n),
+		RouterAccuracy: acc,
+	}
+}
+
+// Close stops the maintenance loop and, when a state directory is
+// configured, persists the live router and knowledge base.
+func (s *Service) Close() error {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+	if s.cfg.Dir == "" {
+		return nil
+	}
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	return saveState(s.cfg.Dir, s.Router(), s.kb)
+}

@@ -159,24 +159,31 @@ type Response struct {
 }
 
 type request struct {
-	sql      string
+	sql string
+	// task, when set, is an admitted unit of non-query work (an /explain
+	// or /whyslow serve) run on a worker slot in place of the SQL pipeline;
+	// sql is ignored.
+	task     func()
 	enqueued time.Time
 	resp     chan *Response
 }
 
 // Gateway serves queries against one htap.System.
 type Gateway struct {
-	sys      *htap.System
-	cfg      Config
-	cache    *PlanCache
-	metrics  Metrics
-	cal      *latency.Calibrator
-	dualN    atomic.Int64 // dual-execution sampling counter
-	queue    chan *request
-	slots    *workerSem
-	stop     chan struct{}
-	stopOnce sync.Once
-	wg       sync.WaitGroup
+	sys     *htap.System
+	cfg     Config
+	cache   *PlanCache
+	metrics Metrics
+	cal     *latency.Calibrator
+	dualN   atomic.Int64 // dual-execution sampling counter
+	// explainStats, when registered, supplies the explanation service's
+	// counters for the metric surfaces (see SetExplainStats).
+	explainStats atomic.Pointer[func() ExplainStats]
+	queue        chan *request
+	slots        *workerSem
+	stop         chan struct{}
+	stopOnce     sync.Once
+	wg           sync.WaitGroup
 }
 
 // workerSem is the DOP-aware admission ledger: a counting semaphore sized
@@ -317,6 +324,96 @@ func (g *Gateway) Submit(sql string) (*Response, error) {
 	}
 }
 
+// SubmitTask enqueues a unit of non-query work behind the same admission
+// control as queries: it waits in the bounded queue, runs on a worker
+// slot, and is shed with ErrOverloaded when the queue is full. The
+// explanation service routes /explain and /whyslow serves through it so
+// explanation load competes honestly with query load for the pool.
+func (g *Gateway) SubmitTask(task func()) error {
+	r := &request{task: task, enqueued: time.Now(), resp: make(chan *Response, 1)}
+	select {
+	case <-g.stop:
+		return ErrStopped
+	case g.queue <- r:
+	default:
+		g.metrics.shed.Add(1)
+		return ErrOverloaded
+	}
+	select {
+	case <-r.resp:
+		return nil
+	case <-g.stop:
+		return ErrStopped
+	}
+}
+
+// PlanPair returns the plan-cache entry for a SELECT — the fingerprinted
+// plan pair with both engines' modeled times — planning and caching it on
+// a miss. This is the explanation service's reuse of the serving path's
+// plans: explaining a query that has been served before costs no parsing
+// or planning at all, and a cold explain warms the cache for the serving
+// path. The returned entry is shared with concurrent serving; Pair,
+// TPTime, APTime and Route are immutable after publication.
+func (g *Gateway) PlanPair(sql string) (entry *CachedPlan, cached bool, err error) {
+	fp, params, err := sqlparser.Fingerprint(sql)
+	if err != nil {
+		return nil, false, fmt.Errorf("gateway: fingerprint: %w", err)
+	}
+	if e, ok := g.cache.Get(fp); ok {
+		return e, true, nil
+	}
+	e, _, err := g.planBoth(sql, fp, sqlparser.ParamKey(params))
+	if err != nil {
+		return nil, false, err
+	}
+	e.Route = g.cfg.Policy.Route(RouteInput{
+		Stmt:   e.stmt,
+		Pair:   &e.Pair,
+		TPTime: e.TPTime,
+		APTime: e.APTime,
+	})
+	g.cache.Put(e)
+	return e, false, nil
+}
+
+// InvalidatePlans empties the plan cache. Callers must invalidate after
+// DDL (index changes): cached pairs, modeled times and routes were
+// planned against the old physical schema.
+func (g *Gateway) InvalidatePlans() { g.cache.Clear() }
+
+// ExplainStats is the explanation service's exported gauge set. The
+// service registers a provider with SetExplainStats so the JSON and
+// Prometheus metric surfaces carry the explain-path metrics without the
+// gateway importing the service package.
+type ExplainStats struct {
+	// Served counts explanations generated; KBHits counts those grounded
+	// in at least one retrieved knowledge-base entry.
+	Served int64
+	KBHits int64
+	// Retrains counts drift-triggered router retrain-swaps; KBEntries and
+	// KBExpired gauge the knowledge base's live size and lifetime expiry.
+	Retrains  int64
+	KBEntries int64
+	KBExpired int64
+	// RouterAccuracy is the live router's pick vs the calibrated modeled
+	// winner over the sliding drift window of WindowSamples serves.
+	WindowSamples  int64
+	RouterAccuracy float64
+}
+
+// SetExplainStats registers the explanation service's stats provider.
+func (g *Gateway) SetExplainStats(fn func() ExplainStats) {
+	if fn != nil {
+		g.explainStats.Store(&fn)
+	}
+}
+
+// ObserveExplainLatency folds one explanation serve duration into the
+// "explain" route-class latency histogram.
+func (g *Gateway) ObserveExplainLatency(d time.Duration) {
+	g.metrics.observeLatency("explain", d)
+}
+
 // Metrics returns a point-in-time snapshot of the serving counters,
 // including the TP→AP freshness gauge (commit LSN vs replication
 // watermark), the background merger's compaction counters, and the
@@ -352,6 +449,16 @@ func (g *Gateway) Metrics() Snapshot {
 	}
 	s.LatencyScaleTP = g.cal.Scale(plan.TP)
 	s.LatencyScaleAP = g.cal.Scale(plan.AP)
+	if fnp := g.explainStats.Load(); fnp != nil {
+		es := (*fnp)()
+		s.ExplainServed = es.Served
+		s.ExplainKBHits = es.KBHits
+		s.RouterRetrains = es.Retrains
+		s.RouterAccuracy = es.RouterAccuracy
+		s.RouterWindowSamples = es.WindowSamples
+		s.KBEntries = es.KBEntries
+		s.KBExpired = es.KBExpired
+	}
 	s.TracesSampled = g.cfg.Tracer.Sampled()
 	ts := g.sys.TxnStats()
 	s.TxnBegun = ts.Begun
@@ -386,7 +493,14 @@ func (g *Gateway) worker() {
 			if !g.slots.acquire() {
 				return
 			}
-			resp := g.serve(r.sql, r.enqueued)
+			var resp *Response
+			if r.task != nil {
+				start := time.Now()
+				r.task()
+				resp = &Response{Kind: "task", ServeTime: time.Since(start)}
+			} else {
+				resp = g.serve(r.sql, r.enqueued)
+			}
 			g.slots.release(1)
 			resp.QueueWait = time.Since(r.enqueued) - resp.ServeTime
 			r.resp <- resp

@@ -47,6 +47,15 @@ type LoadConfig struct {
 	// transactions (including first-writer-wins conflicts, which the
 	// closed loop retries on a fresh snapshot).
 	TxnFraction float64
+	// ExplainFraction routes the given share of the read submissions (0..1)
+	// through the Explain callback instead of a plain Submit, so the load
+	// run exercises the online explanation service alongside TP/AP/DML
+	// traffic. Ignored when Explain is nil.
+	ExplainFraction float64
+	// Explain serves one /explain-style request for the SQL. Required when
+	// ExplainFraction > 0; typically the explanation service's Explain with
+	// the result dropped.
+	Explain func(sql string) error
 }
 
 // RouteLatency is the per-route serve-latency summary of a load run.
@@ -61,6 +70,7 @@ type LoadReport struct {
 	Issued     int64
 	Completed  int64
 	Writes     int64 // completed DML submissions (subset of Completed)
+	Explains   int64 // completed explanation requests (subset of Completed)
 	Shed       int64
 	Failed     int64
 	Elapsed    time.Duration
@@ -75,10 +85,10 @@ type LoadReport struct {
 // String renders the report for logs and CLI output.
 func (r LoadReport) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "issued=%d completed=%d (writes=%d) shed=%d failed=%d in %v (%.0f qps)",
-		r.Issued, r.Completed, r.Writes, r.Shed, r.Failed, r.Elapsed.Round(time.Millisecond),
-		r.Throughput)
-	for _, route := range []string{"tp", "ap", "dml"} {
+	fmt.Fprintf(&b, "issued=%d completed=%d (writes=%d explains=%d) shed=%d failed=%d in %v (%.0f qps)",
+		r.Issued, r.Completed, r.Writes, r.Explains, r.Shed, r.Failed,
+		r.Elapsed.Round(time.Millisecond), r.Throughput)
+	for _, route := range []string{"tp", "ap", "dml", "explain"} {
 		rl, ok := r.PerRoute[route]
 		if !ok || rl.Count == 0 {
 			continue
@@ -129,6 +139,12 @@ func RunLoad(g *Gateway, cfg LoadConfig) LoadReport {
 	if cfg.TxnFraction > 1 {
 		cfg.TxnFraction = 1
 	}
+	if cfg.ExplainFraction < 0 || cfg.Explain == nil {
+		cfg.ExplainFraction = 0
+	}
+	if cfg.ExplainFraction > 1 {
+		cfg.ExplainFraction = 1
+	}
 	var gen *workload.Generator
 	if cfg.TestMix {
 		gen = workload.NewTestGenerator(cfg.Seed)
@@ -164,11 +180,13 @@ func RunLoad(g *Gateway, cfg LoadConfig) LoadReport {
 		}
 	}
 
-	var next, completed, writes, shed, failed atomic.Int64
+	var next, readNext, completed, writes, explains, shed, failed atomic.Int64
+	efrac := cfg.ExplainFraction
 	// per-route latency histograms; obs.Histogram.Observe is atomic, so
 	// every client records directly with no merge step or shared lock
 	routeLat := map[string]*obs.Histogram{
-		"tp": new(obs.Histogram), "ap": new(obs.Histogram), "dml": new(obs.Histogram),
+		"tp": new(obs.Histogram), "ap": new(obs.Histogram),
+		"dml": new(obs.Histogram), "explain": new(obs.Histogram),
 	}
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -187,6 +205,28 @@ func RunLoad(g *Gateway, cfg LoadConfig) LoadReport {
 					if wi, ok := writeIndex(i); ok && wi < int64(len(writePool)) {
 						sql = writePool[wi].SQL
 						isWrite = true
+					}
+				}
+				// divert a share of the read stream to the explanation
+				// service, using the same fraction-crossing technique over a
+				// dedicated read index so the mix is exact regardless of how
+				// reads and writes interleave
+				if !isWrite && efrac > 0 {
+					ri := readNext.Add(1) - 1
+					if lo, hi := int64(float64(ri)*efrac), int64(float64(ri+1)*efrac); hi > lo {
+						begin := time.Now()
+						err := cfg.Explain(sql)
+						switch {
+						case errors.Is(err, ErrOverloaded):
+							shed.Add(1)
+						case err != nil:
+							failed.Add(1)
+						default:
+							completed.Add(1)
+							explains.Add(1)
+							routeLat["explain"].Observe(time.Since(begin))
+						}
+						continue
 					}
 				}
 				resp, err := g.Submit(sql)
@@ -219,6 +259,7 @@ func RunLoad(g *Gateway, cfg LoadConfig) LoadReport {
 		Issued:    int64(cfg.Queries),
 		Completed: completed.Load(),
 		Writes:    writes.Load(),
+		Explains:  explains.Load(),
 		Shed:      shed.Load(),
 		Failed:    failed.Load(),
 		Elapsed:   elapsed,

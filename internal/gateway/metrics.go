@@ -65,21 +65,24 @@ type Metrics struct {
 	// Serve-latency histograms: one overall, one per route class. The
 	// per-stage histograms are only fed from sampled traces, so their
 	// counts are a sample of the per-route ones.
-	latAll obs.Histogram
-	latTP  obs.Histogram
-	latAP  obs.Histogram
-	latDML obs.Histogram
-	stages [len(stageNames)]obs.Histogram
+	latAll     obs.Histogram
+	latTP      obs.Histogram
+	latAP      obs.Histogram
+	latDML     obs.Histogram
+	latExplain obs.Histogram
+	stages     [len(stageNames)]obs.Histogram
 }
 
 // routeHist returns the serve-latency histogram of a route class
-// ("tp", "ap" or "dml").
+// ("tp", "ap", "explain" or "dml").
 func (m *Metrics) routeHist(route string) *obs.Histogram {
 	switch route {
 	case "tp":
 		return &m.latTP
 	case "ap":
 		return &m.latAP
+	case "explain":
+		return &m.latExplain
 	default:
 		return &m.latDML
 	}
@@ -202,6 +205,19 @@ type Snapshot struct {
 	// TracesSampled counts queries that carried a full span trace. Filled
 	// by Gateway.Metrics from the tracer.
 	TracesSampled int64 `json:"traces_sampled"`
+
+	// Explanation-service gauges, filled by Gateway.Metrics from the
+	// registered stats provider (all zero when no service is attached).
+	// RouterAccuracy is the live router's pick vs the calibrated modeled
+	// winner over the service's sliding drift window — distinct from
+	// RouteAccuracy (the serving policy vs raw modeled times) above.
+	ExplainServed       int64   `json:"explain_served"`
+	ExplainKBHits       int64   `json:"explain_kb_hits"`
+	RouterAccuracy      float64 `json:"router_accuracy"`
+	RouterWindowSamples int64   `json:"router_window_samples"`
+	RouterRetrains      int64   `json:"router_retrains"`
+	KBEntries           int64   `json:"kb_entries"`
+	KBExpired           int64   `json:"kb_expired"`
 
 	WritesInsert int64 `json:"writes_insert"`
 	WritesUpdate int64 `json:"writes_update"`

@@ -326,6 +326,9 @@ func TestPrometheusEndpoint(t *testing.T) {
 		`htap_colstore_chunks{encoding="raw"}`, `htap_colstore_chunks{encoding="dict"}`,
 		`htap_colstore_chunks{encoding="for"}`, `htap_colstore_chunks{encoding="rle"}`,
 		"htap_exec_encoded_chunks_total", "htap_exec_decoded_chunks_total",
+		"htap_explain_served_total", "htap_explain_kb_hits_total",
+		"router_accuracy", "htap_router_retrains_total",
+		"htap_kb_entries", "htap_kb_expired_total", `route="explain"`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("exposition missing %q", want)

@@ -148,6 +148,18 @@ func (c *PlanCache) Put(e *CachedPlan) {
 	s.m[e.Fingerprint] = s.lru.PushFront(e)
 }
 
+// Clear drops every cached entry — plan invalidation after DDL, when
+// cached plans no longer reflect the physical schema.
+func (c *PlanCache) Clear() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.m = make(map[string]*list.Element)
+		s.lru.Init()
+		s.mu.Unlock()
+	}
+}
+
 // Len returns the number of cached entries across all shards.
 func (c *PlanCache) Len() int {
 	n := 0

@@ -90,3 +90,22 @@ func (p LearnedPolicy) Route(in RouteInput) plan.Engine {
 	eng, _ := p.Router.Predict(in.Pair)
 	return eng
 }
+
+// DynamicLearnedPolicy routes with whatever router Source currently
+// returns. It is the retrain-swap hook: the explanation service's online
+// maintenance loop atomically swaps in a freshly trained router, and
+// every subsequent route sees it — no gateway restart, no lock. Source
+// must be safe for concurrent use (typically an atomic pointer load) and
+// must never return nil.
+type DynamicLearnedPolicy struct {
+	Source func() *treecnn.Router
+}
+
+// Name implements RoutingPolicy.
+func (DynamicLearnedPolicy) Name() string { return "learned" }
+
+// Route implements RoutingPolicy.
+func (p DynamicLearnedPolicy) Route(in RouteInput) plan.Engine {
+	eng, _ := p.Source().Predict(in.Pair)
+	return eng
+}

@@ -38,6 +38,13 @@ func (g *Gateway) PromText() string {
 		map[string]string{"engine": "ap"}, s.LatencyScaleAP)
 	w.Counter("htap_traces_sampled_total", "Queries that carried a full span trace.", nil, s.TracesSampled)
 
+	w.Counter("htap_explain_served_total", "Explanations served by the /explain and /whyslow endpoints.", nil, s.ExplainServed)
+	w.Counter("htap_explain_kb_hits_total", "Explanations grounded by at least one knowledge-base retrieval.", nil, s.ExplainKBHits)
+	w.Gauge("router_accuracy", "Live router's pick vs the calibrated modeled winner over the sliding drift window.", nil, s.RouterAccuracy)
+	w.Counter("htap_router_retrains_total", "Online tree-CNN retrain-and-swap cycles triggered by drift.", nil, s.RouterRetrains)
+	w.Gauge("htap_kb_entries", "Live knowledge-base entries.", nil, float64(s.KBEntries))
+	w.Counter("htap_kb_expired_total", "Knowledge-base entries expired by maintenance re-curation.", nil, s.KBExpired)
+
 	w.Counter("htap_writes_total", "Committed DML statements by kind.",
 		map[string]string{"kind": "insert"}, s.WritesInsert)
 	w.Counter("htap_writes_total", "Committed DML statements by kind.",
@@ -99,7 +106,7 @@ func (g *Gateway) PromText() string {
 	routes := []struct {
 		name string
 		h    *obs.Histogram
-	}{{"all", &m.latAll}, {"tp", &m.latTP}, {"ap", &m.latAP}, {"dml", &m.latDML}}
+	}{{"all", &m.latAll}, {"tp", &m.latTP}, {"ap", &m.latAP}, {"dml", &m.latDML}, {"explain", &m.latExplain}}
 	for _, r := range routes {
 		w.Histogram("htap_query_latency_seconds", "Serve latency per route class.",
 			map[string]string{"route": r.name}, r.h.Snapshot())

@@ -1,6 +1,7 @@
 package knowledge
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -58,6 +59,76 @@ func TestConcurrentAddAndSearch(t *testing.T) {
 	close(errCh)
 	for err := range errCh {
 		t.Errorf("concurrent op failed: %v", err)
+	}
+	if b.Len() == 0 {
+		t.Error("base should not be empty after the run")
+	}
+}
+
+// TestConcurrentSearchWithHNSWSnapshot is the serving-path variant: with
+// the HNSW index enabled, TopK goes through the copy-on-write snapshot
+// with no lock, racing Correct write-backs, expiry and index rebuilds.
+// Every hit must be a fully-formed live entry — no torn reads.
+func TestConcurrentSearchWithHNSWSnapshot(t *testing.T) {
+	b := New(4)
+	for i := 0; i < 32; i++ {
+		if _, err := b.Add(entry([]float64{float64(i), 1, 0, 0}, "seed", plan.AP)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.EnableHNSW(8, 32, 1)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				hits, err := b.TopK([]float64{float64(r), float64(i % 7), 0, 0}, 3)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if len(hits) == 0 {
+					errCh <- fmt.Errorf("TopK returned no hits at iteration %d", i)
+					return
+				}
+				for _, h := range hits {
+					if h.Entry == nil || len(h.Entry.Encoding) != 4 || h.Entry.Explanation == "" {
+						errCh <- fmt.Errorf("torn or incomplete entry: %+v", h.Entry)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if _, err := b.Correct([]float64{float64(i), 2, 0, 0}, "corrected",
+				"{}", "{}", plan.TP, 2.0, "corrected explanation", nil); err != nil {
+				errCh <- err
+				return
+			}
+			// expire the oldest while keeping a healthy floor of entries
+			if i%10 == 9 {
+				b.ExpireOlderThan(b.CurSeq() - 40)
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			b.RebuildIndex()
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Errorf("concurrent HNSW op failed: %v", err)
 	}
 	if b.Len() == 0 {
 		t.Error("base should not be empty after the run")

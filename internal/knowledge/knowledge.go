@@ -5,6 +5,15 @@
 // stored for future retrieval), staleness expiry, and gob persistence —
 // including the interface the paper describes for accepting new queries
 // with expert explanations.
+//
+// Concurrency model: writers (Add/Correct/ExpireOlderThan) serialize on
+// the base's mutex. Reads take a read lock — except TopK once EnableHNSW
+// has been called: the base then maintains an atomically-published
+// copy-on-write snapshot pairing the vector store's immutable view with
+// a matching entry map, so retrieval under concurrent serving is a
+// wait-free read through the HNSW index, never the mutex-guarded linear
+// scan. Entries are immutable after publication; a snapshot's vector
+// hits and entry lookups are mutually consistent by construction.
 package knowledge
 
 import (
@@ -13,6 +22,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"htapxplain/internal/expert"
 	"htapxplain/internal/plan"
@@ -43,13 +53,26 @@ type Entry struct {
 	Corrected bool
 }
 
+// kbView is the published snapshot: the vector store's immutable view
+// plus the entry map as of the same write. Published whole so TopK's
+// vector hits always resolve against entries from the same moment.
+type kbView struct {
+	vec     *vectordb.View
+	entries map[int]*Entry
+}
+
 // Base is the knowledge base. Safe for concurrent use.
 type Base struct {
 	mu      sync.RWMutex
 	store   *vectordb.Store
 	entries map[int]*Entry
 	seq     int64
-	useHNSW bool
+
+	view     atomic.Pointer[kbView] // nil until EnableHNSW
+	indexed  bool                   // guarded by mu; true once EnableHNSW ran
+	hnswM    int
+	hnswEf   int
+	hnswSeed int64
 }
 
 // New creates an empty knowledge base for encodings of the given
@@ -68,6 +91,16 @@ func (b *Base) Len() int {
 	return len(b.entries)
 }
 
+// CurSeq returns the highest sequence number assigned so far; an entry
+// added next gets a larger one. ExpireOlderThan(CurSeq()) therefore
+// expires everything currently present — the maintenance loop's
+// refresh-all floor.
+func (b *Base) CurSeq() int64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.seq
+}
+
 // Add inserts an entry and returns its assigned ID.
 func (b *Base) Add(e Entry) (int, error) {
 	b.mu.Lock()
@@ -80,6 +113,7 @@ func (b *Base) Add(e Entry) (int, error) {
 	e.ID = id
 	e.Seq = b.seq
 	b.entries[id] = &e
+	b.publishLocked()
 	return id, nil
 }
 
@@ -98,19 +132,36 @@ type Hit struct {
 }
 
 // TopK retrieves the k most similar entries to the query encoding. When
-// the HNSW index is enabled (EnableHNSW), the approximate index is used;
-// otherwise search is exact — matching the paper's setup where the KB is
-// small and search is near-instant.
+// the HNSW index is enabled (EnableHNSW), retrieval goes through the
+// copy-on-write snapshot — a lock-free approximate search, the serving
+// path. Otherwise search is the exact mutex-guarded linear scan —
+// matching the paper's setup where the KB is small and search is
+// near-instant.
 func (b *Base) TopK(encoding []float64, k int) ([]Hit, error) {
+	if v := b.view.Load(); v != nil {
+		hits, err := v.vec.SearchHNSW(encoding, k)
+		if err != nil {
+			return nil, fmt.Errorf("knowledge: %w", err)
+		}
+		if len(hits) == 0 && v.vec.Len() > 0 {
+			// the graph's whole beam was tombstoned (a mass expiry before
+			// the next rebuild): fall back to an exact scan of the same
+			// snapshot so a non-empty base always yields grounding
+			if hits, err = v.vec.Search(encoding, k); err != nil {
+				return nil, fmt.Errorf("knowledge: %w", err)
+			}
+		}
+		out := make([]Hit, 0, len(hits))
+		for _, h := range hits {
+			if e, ok := v.entries[h.ID]; ok {
+				out = append(out, Hit{Entry: e, Distance: h.Distance})
+			}
+		}
+		return out, nil
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	var hits []vectordb.Hit
-	var err error
-	if b.useHNSW {
-		hits, err = b.store.SearchHNSW(encoding, k)
-	} else {
-		hits, err = b.store.Search(encoding, k)
-	}
+	hits, err := b.store.Search(encoding, k)
 	if err != nil {
 		return nil, fmt.Errorf("knowledge: %w", err)
 	}
@@ -123,13 +174,44 @@ func (b *Base) TopK(encoding []float64, k int) ([]Hit, error) {
 	return out, nil
 }
 
-// EnableHNSW builds the HNSW index for approximate search (used by the
-// KB-scaling experiment).
+// EnableHNSW builds the HNSW index and starts publishing copy-on-write
+// snapshots: every subsequent TopK is lock-free. Bulk-load entries
+// before enabling when possible — each post-enable Add clones the
+// snapshot, which is O(entries).
 func (b *Base) EnableHNSW(m, efConstruction int, seed int64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.hnswM, b.hnswEf, b.hnswSeed = m, efConstruction, seed
 	b.store.BuildHNSW(m, efConstruction, seed)
-	b.useHNSW = true
+	b.indexed = true
+	b.publishLocked()
+}
+
+// RebuildIndex reconstructs the HNSW graph from the current live state
+// and publishes a fresh snapshot. The maintenance loop calls it after
+// expiry churn so tombstoned vectors stop shaping the graph topology.
+// No-op before EnableHNSW.
+func (b *Base) RebuildIndex() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.indexed {
+		return
+	}
+	b.store.BuildHNSW(b.hnswM, b.hnswEf, b.hnswSeed)
+	b.publishLocked()
+}
+
+// publishLocked publishes the current state as an immutable snapshot.
+// Caller holds b.mu; no-op until EnableHNSW has run.
+func (b *Base) publishLocked() {
+	if !b.indexed {
+		return
+	}
+	ents := make(map[int]*Entry, len(b.entries))
+	for id, e := range b.entries {
+		ents[id] = e
+	}
+	b.view.Store(&kbView{vec: b.store.Snapshot(), entries: ents})
 }
 
 // Correct implements the expert feedback loop (§III-B): when a generated
@@ -161,6 +243,9 @@ func (b *Base) ExpireOlderThan(maxSeq int64) int {
 				n++
 			}
 		}
+	}
+	if n > 0 {
+		b.publishLocked()
 	}
 	return n
 }
@@ -211,7 +296,9 @@ func (b *Base) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(s)
 }
 
-// Load deserializes a knowledge base previously written by Save.
+// Load deserializes a knowledge base previously written by Save. The
+// HNSW index is not part of the snapshot; call EnableHNSW afterwards to
+// resume lock-free serving retrieval.
 func Load(r io.Reader) (*Base, error) {
 	var s snapshot
 	if err := gob.NewDecoder(r).Decode(&s); err != nil {

@@ -3,6 +3,7 @@ package latency
 import (
 	"math"
 	"sync/atomic"
+	"time"
 
 	"htapxplain/internal/plan"
 )
@@ -92,4 +93,9 @@ func (c *Calibrator) CalibratedNS(e plan.Engine, modeledNS int64) int64 {
 		return modeledNS
 	}
 	return int64(float64(modeledNS) * s)
+}
+
+// CalibratedDuration is CalibratedNS over time.Duration values.
+func (c *Calibrator) CalibratedDuration(e plan.Engine, d time.Duration) time.Duration {
+	return time.Duration(c.CalibratedNS(e, d.Nanoseconds()))
 }

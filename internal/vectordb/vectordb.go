@@ -4,6 +4,18 @@
 // Yashunin, cited by the paper for KB scaling). Distances are cosine or
 // Euclidean. Entries carry opaque payload IDs; the knowledge package maps
 // them to full entries.
+//
+// Concurrency model: the store's authoritative state is guarded by a
+// mutex, which is all the exact linear path ever needs. Once BuildHNSW
+// has been called the store additionally publishes an immutable View —
+// vectors, IDs, tombstones and the HNSW graph as of one point in time —
+// through an atomic pointer. Writers (Add/Delete, serialized by the
+// mutex) never mutate a published view: they clone the affected
+// structures, apply the change, and publish a fresh view, so index
+// searches are wait-free reads with no lock at all. The vector and ID
+// slices are append-only and shared across views (an older view's
+// shorter length never reaches the newer elements); tombstone maps and
+// HNSW adjacency are cloned on write.
 package vectordb
 
 import (
@@ -12,6 +24,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Metric selects the distance function.
@@ -68,10 +81,10 @@ type Store struct {
 	metric Metric
 	vecs   [][]float64
 	ids    []int
-	dead   map[int]bool // tombstoned IDs (expired knowledge)
+	dead   map[int]bool // tombstoned IDs (expired knowledge); replaced, never mutated, once a view is live
 	nextID int
 
-	hnsw *hnswIndex // nil until BuildHNSW
+	view atomic.Pointer[View] // nil until BuildHNSW
 }
 
 // New creates a store for vectors of the given dimension.
@@ -102,8 +115,14 @@ func (s *Store) Add(vec []float64) (int, error) {
 	copy(cp, vec)
 	s.vecs = append(s.vecs, cp)
 	s.ids = append(s.ids, id)
-	if s.hnsw != nil {
-		s.hnsw.insert(len(s.vecs) - 1)
+	if v := s.view.Load(); v != nil {
+		// copy-on-write index maintenance: clone the adjacency maps, insert
+		// into the clone against the grown vector slice, publish. Concurrent
+		// searches keep using the old view untouched.
+		h := v.hnsw.clone()
+		h.vecs = s.vecs
+		h.insert(len(s.vecs) - 1)
+		s.publishLocked(h)
 	}
 	return id, nil
 }
@@ -115,7 +134,16 @@ func (s *Store) Delete(id int) error {
 	if id < 0 || id >= s.nextID || s.dead[id] {
 		return fmt.Errorf("vectordb: no such id %d", id)
 	}
-	s.dead[id] = true
+	// replace rather than mutate: a published view shares this map
+	nd := make(map[int]bool, len(s.dead)+1)
+	for k := range s.dead {
+		nd[k] = true
+	}
+	nd[id] = true
+	s.dead = nd
+	if v := s.view.Load(); v != nil {
+		s.publishLocked(v.hnsw)
+	}
 	return nil
 }
 
@@ -126,13 +154,114 @@ func (s *Store) Search(q []float64, k int) ([]Hit, error) {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	hits := make([]Hit, 0, len(s.vecs))
-	for i, v := range s.vecs {
-		id := s.ids[i]
-		if s.dead[id] {
+	return linearSearch(s.metric, s.vecs, s.ids, s.dead, q, k), nil
+}
+
+// SearchHNSW returns approximate k nearest neighbours through the HNSW
+// index (BuildHNSW must have been called). The search runs against the
+// current immutable view — no lock is taken.
+func (s *Store) SearchHNSW(q []float64, k int) ([]Hit, error) {
+	v := s.view.Load()
+	if v == nil {
+		return nil, fmt.Errorf("vectordb: HNSW index not built")
+	}
+	return v.SearchHNSW(q, k)
+}
+
+// BuildHNSW constructs the HNSW graph over current contents and publishes
+// the first view; subsequent Adds are inserted incrementally (each
+// publishing a fresh view). Calling it again rebuilds the graph from
+// scratch, which drops tombstoned vectors' influence on the topology.
+func (s *Store) BuildHNSW(m, efConstruction int, seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := newHNSW(s.metric, m, efConstruction, seed)
+	h.vecs = s.vecs
+	for i := range s.vecs {
+		h.insert(i)
+	}
+	s.publishLocked(h)
+}
+
+// Snapshot returns the current immutable view, or nil when BuildHNSW has
+// not been called. Callers may search it lock-free for as long as they
+// hold it; it never changes.
+func (s *Store) Snapshot() *View {
+	return s.view.Load()
+}
+
+// publishLocked publishes a view of the current state with the given
+// graph. Caller holds s.mu.
+func (s *Store) publishLocked(h *hnswIndex) {
+	s.view.Store(&View{
+		dim:    s.dim,
+		metric: s.metric,
+		vecs:   s.vecs,
+		ids:    s.ids,
+		dead:   s.dead,
+		hnsw:   h,
+	})
+}
+
+// ---------------------------------------------------------------- views
+
+// View is an immutable point-in-time snapshot of the store: its vectors,
+// IDs, tombstones and HNSW graph. All methods are safe for unlimited
+// concurrent use with no synchronization — nothing a view references is
+// ever mutated after publication.
+type View struct {
+	dim    int
+	metric Metric
+	vecs   [][]float64
+	ids    []int
+	dead   map[int]bool
+	hnsw   *hnswIndex
+}
+
+// Len returns the number of live vectors in the view.
+func (v *View) Len() int { return len(v.ids) - len(v.dead) }
+
+// Search returns the k nearest live vectors to q (exact linear scan over
+// the snapshot).
+func (v *View) Search(q []float64, k int) ([]Hit, error) {
+	if len(q) != v.dim {
+		return nil, fmt.Errorf("vectordb: dimension mismatch: got %d, want %d", len(q), v.dim)
+	}
+	return linearSearch(v.metric, v.vecs, v.ids, v.dead, q, k), nil
+}
+
+// SearchHNSW returns approximate k nearest live neighbours through the
+// snapshot's HNSW graph. Tombstones are filtered before truncating to k,
+// so a burst of expiries (dead nodes still in the graph until the next
+// rebuild) shrinks recall gracefully instead of emptying results.
+func (v *View) SearchHNSW(q []float64, k int) ([]Hit, error) {
+	if len(q) != v.dim {
+		return nil, fmt.Errorf("vectordb: dimension mismatch: got %d, want %d", len(q), v.dim)
+	}
+	idxHits := v.hnsw.search(q, k)
+	out := make([]Hit, 0, k)
+	for _, h := range idxHits {
+		id := v.ids[h.idx]
+		if v.dead[id] {
 			continue
 		}
-		hits = append(hits, Hit{ID: id, Distance: s.metric.Distance(q, v)})
+		out = append(out, Hit{ID: id, Distance: h.dist})
+		if len(out) == k {
+			break
+		}
+	}
+	return out, nil
+}
+
+// linearSearch is the exact scan shared by Store.Search and View.Search.
+func linearSearch(metric Metric, vecs [][]float64, ids []int, dead map[int]bool, q []float64, k int) []Hit {
+	hits := make([]Hit, 0, len(vecs))
+	for i, v := range vecs {
+		id := ids[i]
+		if dead[id] {
+			continue
+		}
+		hits = append(hits, Hit{ID: id, Distance: metric.Distance(q, v)})
 	}
 	sort.Slice(hits, func(i, j int) bool {
 		if hits[i].Distance != hits[j].Distance {
@@ -143,44 +272,7 @@ func (s *Store) Search(q []float64, k int) ([]Hit, error) {
 	if k < len(hits) {
 		hits = hits[:k]
 	}
-	return hits, nil
-}
-
-// SearchHNSW returns approximate k nearest neighbours through the HNSW
-// index (BuildHNSW must have been called).
-func (s *Store) SearchHNSW(q []float64, k int) ([]Hit, error) {
-	if len(q) != s.dim {
-		return nil, fmt.Errorf("vectordb: dimension mismatch: got %d, want %d", len(q), s.dim)
-	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.hnsw == nil {
-		return nil, fmt.Errorf("vectordb: HNSW index not built")
-	}
-	idxHits := s.hnsw.search(q, k)
-	out := make([]Hit, 0, len(idxHits))
-	for _, h := range idxHits {
-		id := s.ids[h.idx]
-		if s.dead[id] {
-			continue
-		}
-		out = append(out, Hit{ID: id, Distance: h.dist})
-	}
-	if k < len(out) {
-		out = out[:k]
-	}
-	return out, nil
-}
-
-// BuildHNSW constructs the HNSW graph over current contents; subsequent
-// Adds are inserted incrementally.
-func (s *Store) BuildHNSW(m, efConstruction int, seed int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.hnsw = newHNSW(s, m, efConstruction, seed)
-	for i := range s.vecs {
-		s.hnsw.insert(i)
-	}
+	return hits
 }
 
 // ---------------------------------------------------------------- HNSW
@@ -190,14 +282,19 @@ type idxHit struct {
 	dist float64
 }
 
-// hnswIndex is a hierarchical navigable small-world graph over the
-// store's vector slice (indices, not IDs).
+// hnswIndex is a hierarchical navigable small-world graph over a vector
+// slice (indices, not IDs). A published index is immutable; writers work
+// on clones. The copy-on-write contract: adjacency maps are cloned per
+// write, and the neighbor slices inside them are treated as immutable —
+// every update builds a fresh slice (see insert/prune) so a clone can
+// share them with the index it was cloned from.
 type hnswIndex struct {
-	s        *Store
+	vecs     [][]float64
+	metric   Metric
 	m        int // max neighbours per layer
 	efCons   int
 	levelMul float64
-	rng      *rand.Rand
+	rng      *rand.Rand // shared across clones; only ever used by the (mutex-serialized) writer
 	// neighbors[level][idx] → neighbor indices
 	neighbors []map[int][]int
 	entry     int
@@ -205,7 +302,7 @@ type hnswIndex struct {
 	size      int
 }
 
-func newHNSW(s *Store, m, efConstruction int, seed int64) *hnswIndex {
+func newHNSW(metric Metric, m, efConstruction int, seed int64) *hnswIndex {
 	if m < 2 {
 		m = 8
 	}
@@ -213,15 +310,30 @@ func newHNSW(s *Store, m, efConstruction int, seed int64) *hnswIndex {
 		efConstruction = 4 * m
 	}
 	return &hnswIndex{
-		s: s, m: m, efCons: efConstruction,
+		metric: metric, m: m, efCons: efConstruction,
 		levelMul: 1.0 / math.Log(float64(m)),
 		rng:      rand.New(rand.NewSource(seed)),
 		entry:    -1,
 	}
 }
 
+// clone shallow-copies the index for a copy-on-write insert: fresh
+// adjacency maps per level, shared (immutable) neighbor slices.
+func (h *hnswIndex) clone() *hnswIndex {
+	cp := *h
+	cp.neighbors = make([]map[int][]int, len(h.neighbors))
+	for l, mp := range h.neighbors {
+		nm := make(map[int][]int, len(mp)+1)
+		for idx, nbs := range mp {
+			nm[idx] = nbs
+		}
+		cp.neighbors[l] = nm
+	}
+	return &cp
+}
+
 func (h *hnswIndex) dist(q []float64, idx int) float64 {
-	return h.s.metric.Distance(q, h.s.vecs[idx])
+	return h.metric.Distance(q, h.vecs[idx])
 }
 
 func (h *hnswIndex) randomLevel() int {
@@ -242,7 +354,7 @@ func (h *hnswIndex) insert(idx int) {
 		h.size++
 		return
 	}
-	q := h.s.vecs[idx]
+	q := h.vecs[idx]
 	cur := h.entry
 	// greedy descent on upper layers
 	for l := h.maxLevel; l > level; l-- {
@@ -258,10 +370,15 @@ func (h *hnswIndex) insert(idx int) {
 		sel := h.selectNearest(cands, h.m)
 		h.neighbors[l][idx] = append([]int{}, sel...)
 		for _, nb := range sel {
-			h.neighbors[l][nb] = append(h.neighbors[l][nb], idx)
-			if len(h.neighbors[l][nb]) > h.m*3 {
-				h.neighbors[l][nb] = h.prune(h.s.vecs[nb], h.neighbors[l][nb], h.m*2)
+			// copy-append: the old slice may be shared with a published view
+			old := h.neighbors[l][nb]
+			nbrs := make([]int, len(old), len(old)+1)
+			copy(nbrs, old)
+			nbrs = append(nbrs, idx)
+			if len(nbrs) > h.m*3 {
+				nbrs = h.prune(h.vecs[nb], nbrs, h.m*2)
 			}
+			h.neighbors[l][nb] = nbrs
 		}
 		if len(cands) > 0 {
 			cur = cands[0].idx
@@ -376,7 +493,7 @@ func mergeHits(a, b []idxHit, ef int) []idxHit {
 func (h *hnswIndex) prune(vec []float64, nbs []int, m int) []int {
 	hits := make([]idxHit, len(nbs))
 	for i, nb := range nbs {
-		hits[i] = idxHit{nb, h.s.metric.Distance(vec, h.s.vecs[nb])}
+		hits[i] = idxHit{nb, h.metric.Distance(vec, h.vecs[nb])}
 	}
 	sort.Slice(hits, func(i, j int) bool { return hits[i].dist < hits[j].dist })
 	if len(hits) > m {
@@ -408,8 +525,7 @@ func (h *hnswIndex) search(q []float64, k int) []idxHit {
 		alt := h.searchLayer(q, 0, ef, 0)
 		res = mergeHits(res, alt, ef)
 	}
-	if k < len(res) {
-		res = res[:k]
-	}
+	// return the full beam (up to ef), not just k: callers filter
+	// tombstones before truncating
 	return res
 }
