@@ -13,6 +13,7 @@
 //	benchrunner -compress-bench  # column-encoding microbenchmarks -> BENCH_compress.json
 //	benchrunner -txn-bench       # multi-writer commit microbenchmarks -> BENCH_txn.json
 //	benchrunner -explain-bench   # /explain serving microbenchmarks -> BENCH_explain.json
+//	benchrunner -shard-bench     # sharded scale-out microbenchmarks -> BENCH_shard.json
 package main
 
 import (
@@ -39,6 +40,8 @@ func main() {
 	txnOut := flag.String("txn-out", "BENCH_txn.json", "txn-bench: output JSON path")
 	expBench := flag.Bool("explain-bench", false, "run the explanation-serving microbenchmarks instead of the paper experiments")
 	expOut := flag.String("explain-out", "BENCH_explain.json", "explain-bench: output JSON path")
+	shardBench := flag.Bool("shard-bench", false, "run the sharded scale-out microbenchmarks instead of the paper experiments")
+	shardOut := flag.String("shard-out", "BENCH_shard.json", "shard-bench: output JSON path")
 	flag.Parse()
 
 	if *walBench {
@@ -79,6 +82,13 @@ func main() {
 	if *expBench {
 		fmt.Println("explanation microbenchmarks: /explain throughput at 1/4/16 clients, linear scan vs HNSW snapshot retrieval ...")
 		if err := runExplainBench(*expOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *shardBench {
+		fmt.Println("shard microbenchmarks: scatter scan/aggregate throughput + routed commit throughput at 1/2/4 shards ...")
+		if err := runShardBench(*shardOut); err != nil {
 			fatal(err)
 		}
 		return

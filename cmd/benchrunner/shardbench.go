@@ -1,0 +1,191 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"htapxplain/internal/catalog"
+	"htapxplain/internal/htap"
+	"htapxplain/internal/shard"
+	"htapxplain/internal/tpch"
+	"htapxplain/internal/workload"
+)
+
+// The shard benchmark (-shard-bench) tracks the distributed-execution
+// trajectory: scatter-gather scan and aggregate throughput plus routed
+// commit throughput at 1/2/4 shards over the parallel benchmark's
+// 10x-scaled dataset (generated once and hash-partitioned per fleet).
+// Fragment DOP is pinned to 1 so the series isolates shard parallelism
+// from intra-shard morsel parallelism. CI runs it once per build and
+// archives BENCH_shard.json.
+
+// ShardBenchReport is the JSON document written to -shard-out.
+type ShardBenchReport struct {
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	PhysRows   int               `json:"lineitem_phys_rows"`
+	Scan       []ShardBenchPoint `json:"scan"`
+	Aggregate  []ShardBenchPoint `json:"aggregate"`
+	Commits    []ShardBenchPoint `json:"commits"`
+}
+
+// ShardBenchPoint is one (workload shape, shard count) measurement.
+// Read points report rows/s through the scatter path; the commit point
+// reports routed single-statement commits/s (RowsPerSec is then
+// commits/s).
+type ShardBenchPoint struct {
+	Shards     int     `json:"shards"`
+	Runs       int     `json:"runs"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	SpeedupX   float64 `json:"speedup_vs_1shard"`
+}
+
+func runShardBench(out string) error {
+	full, err := tpch.Generate(catalog.TPCH(100),
+		tpch.Config{PhysScale: parallelBenchScale, Seed: 42})
+	if err != nil {
+		return err
+	}
+	rep := &ShardBenchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		PhysRows:   len(full.Tables["lineitem"]),
+	}
+
+	scanSQL := `SELECT l_orderkey, l_quantity, l_extendedprice FROM lineitem WHERE l_quantity > 10`
+	aggSQL := `SELECT l_shipmode, COUNT(*), SUM(l_extendedprice), AVG(l_quantity) FROM lineitem WHERE l_quantity > 5 GROUP BY l_shipmode`
+
+	for _, n := range []int{1, 2, 4} {
+		cfg := htap.Config{ModeledSF: 100,
+			Data:      tpch.Config{PhysScale: parallelBenchScale, Seed: 42},
+			Preloaded: full,
+			Repl:      htap.ReplConfig{DisableMerger: true}}
+		c, err := shard.New(n, cfg, shard.Options{FragDOP: 1})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  fleet of %d shard(s) ...\n", n)
+		scan, err := timeScatter(c, scanSQL, n)
+		if err != nil {
+			c.Close()
+			return err
+		}
+		rep.Scan = append(rep.Scan, scan)
+		agg, err := timeScatter(c, aggSQL, n)
+		if err != nil {
+			c.Close()
+			return err
+		}
+		rep.Aggregate = append(rep.Aggregate, agg)
+		com, err := timeCommits(c, n)
+		if err != nil {
+			c.Close()
+			return err
+		}
+		rep.Commits = append(rep.Commits, com)
+		c.Close()
+	}
+
+	for i := range rep.Scan {
+		base := rep.Scan[0].RowsPerSec
+		if base > 0 {
+			rep.Scan[i].SpeedupX = rep.Scan[i].RowsPerSec / base
+		}
+	}
+	for i := range rep.Aggregate {
+		base := rep.Aggregate[0].RowsPerSec
+		if base > 0 {
+			rep.Aggregate[i].SpeedupX = rep.Aggregate[i].RowsPerSec / base
+		}
+	}
+	for i := range rep.Commits {
+		base := rep.Commits[0].RowsPerSec
+		if base > 0 {
+			rep.Commits[i].SpeedupX = rep.Commits[i].RowsPerSec / base
+		}
+	}
+
+	for _, p := range rep.Scan {
+		fmt.Printf("  scan    %d shard(s): %9.0f rows/s (%.2fx)\n", p.Shards, p.RowsPerSec, p.SpeedupX)
+	}
+	for _, p := range rep.Aggregate {
+		fmt.Printf("  agg     %d shard(s): %9.0f rows/s (%.2fx)\n", p.Shards, p.RowsPerSec, p.SpeedupX)
+	}
+	for _, p := range rep.Commits {
+		fmt.Printf("  commits %d shard(s): %9.0f commits/s (%.2fx)\n", p.Shards, p.RowsPerSec, p.SpeedupX)
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("wrote", out)
+	return nil
+}
+
+// timeScatter runs the query through the fleet's scatter-gather path for
+// a minimum wall budget (prepare included — it is part of serving a
+// distributed read).
+func timeScatter(c *shard.Coordinator, sql string, n int) (ShardBenchPoint, error) {
+	const minRuns, minWall = 3, 250 * time.Millisecond
+	var (
+		elapsed time.Duration
+		rows    int64
+		runs    int
+	)
+	for runs < minRuns || elapsed < minWall {
+		start := time.Now()
+		sc, err := c.PrepareScatter(sql, nil)
+		if err != nil {
+			return ShardBenchPoint{}, err
+		}
+		_, stats, err := sc.Run()
+		if err != nil {
+			return ShardBenchPoint{}, err
+		}
+		elapsed += time.Since(start)
+		rows += stats.RowsScanned
+		runs++
+	}
+	return ShardBenchPoint{
+		Shards: n, Runs: runs,
+		ElapsedMS:  1000 * elapsed.Seconds() / float64(runs),
+		RowsPerSec: float64(rows) / elapsed.Seconds(),
+	}, nil
+}
+
+// timeCommits drives single-statement routed DML (autocommit, one shard
+// per statement) and reports commits/s.
+func timeCommits(c *shard.Coordinator, n int) (ShardBenchPoint, error) {
+	const minRuns, minWall = 50, 250 * time.Millisecond
+	gen := workload.NewDMLGenerator(7)
+	var (
+		elapsed time.Duration
+		runs    int
+	)
+	for runs < minRuns || elapsed < minWall {
+		q := gen.Batch(1)[0]
+		start := time.Now()
+		if _, err := c.ExecDML(q.SQL); err != nil {
+			return ShardBenchPoint{}, err
+		}
+		elapsed += time.Since(start)
+		runs++
+	}
+	return ShardBenchPoint{
+		Shards: n, Runs: runs,
+		ElapsedMS:  1000 * elapsed.Seconds() / float64(runs),
+		RowsPerSec: float64(runs) / elapsed.Seconds(),
+	}, nil
+}

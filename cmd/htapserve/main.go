@@ -9,7 +9,11 @@
 // Usage:
 //
 //	htapserve                              # serve on :8080 with cost routing
+//	htapserve -shards 4                    # hash-partitioned 4-shard fleet with
+//	                                         exchange-based distributed reads
 //	htapserve -data-dir /var/lib/htap      # durable serving with recovery
+//	htapserve -shards 4 -data-dir d        # per-shard WAL + checkpoints under
+//	                                         d/shard-0 .. d/shard-3
 //	htapserve -data-dir d -fsync-interval 5ms -checkpoint-interval 10s
 //	htapserve -addr :9090 -policy learned  # train the tree-CNN router first
 //	htapserve -policy rule -workers 16 -queue 256
@@ -72,6 +76,7 @@ import (
 	"htapxplain/internal/htap"
 	"htapxplain/internal/knowledge"
 	"htapxplain/internal/obs"
+	"htapxplain/internal/shard"
 	"htapxplain/internal/treecnn"
 	"htapxplain/internal/workload"
 )
@@ -110,7 +115,9 @@ func main() {
 		driftThr   = flag.Float64("drift-threshold", 0.85, "explanation service: router agreement below this triggers an online retrain")
 		driftIvl   = flag.Duration("drift-interval", 2*time.Second, "explanation service: background drift-check period (0 disables the loop)")
 
-		dataDir   = flag.String("data-dir", "", "data directory for the WAL + checkpoints (empty = volatile)")
+		nShards = flag.Int("shards", 1, "hash-partitioned in-process shards (1 = single system; >1 serves distributed reads and routed writes)")
+
+		dataDir   = flag.String("data-dir", "", "data directory for the WAL + checkpoints (empty = volatile; sharded fleets keep per-shard subdirectories)")
 		fsyncIvl  = flag.Duration("fsync-interval", 0, "group-commit fsync window (0 = default 2ms)")
 		fsyncKB   = flag.Int("fsync-bytes", 0, "force an fsync once this many bytes are buffered (0 = default 256KiB)")
 		segBytes  = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold (0 = default 4MiB)")
@@ -127,18 +134,45 @@ func main() {
 		SegmentBytes:       *segBytes,
 		CheckpointInterval: *ckptIvl,
 	}
-	if *dataDir != "" {
-		fmt.Printf("opening HTAP system from %s (catalog, data, recovery) ...\n", *dataDir)
+	var (
+		sys   *htap.System
+		coord *shard.Coordinator
+		err   error
+	)
+	if *nShards > 1 {
+		// the coordinator owns per-shard durability layout: each shard's
+		// WAL + checkpoints live under dataDir/shard-<i>
+		cfg.Durability.Dir = ""
+		if *dataDir != "" {
+			fmt.Printf("opening %d-shard HTAP fleet from %s (per-shard recovery) ...\n", *nShards, *dataDir)
+		} else {
+			fmt.Printf("building %d-shard HTAP fleet (hash-partitioned, both engines per shard) ...\n", *nShards)
+		}
+		coord, err = shard.New(*nShards, cfg, shard.Options{Dir: *dataDir})
+		if err != nil {
+			fatal(err)
+		}
+		defer coord.Close()
+		sys = coord.Shard(0)
+		if *dataDir != "" {
+			for i := 0; i < coord.NumShards(); i++ {
+				fmt.Printf("recovery shard %d: %v\n", i, coord.Shard(i).Recovery())
+			}
+		}
 	} else {
-		fmt.Println("building HTAP system (catalog, data, both engines) ...")
-	}
-	sys, err := htap.New(cfg)
-	if err != nil {
-		fatal(err)
-	}
-	defer sys.Close()
-	if *dataDir != "" {
-		fmt.Println("recovery:", sys.Recovery())
+		if *dataDir != "" {
+			fmt.Printf("opening HTAP system from %s (catalog, data, recovery) ...\n", *dataDir)
+		} else {
+			fmt.Println("building HTAP system (catalog, data, both engines) ...")
+		}
+		sys, err = htap.New(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		defer sys.Close()
+		if *dataDir != "" {
+			fmt.Println("recovery:", sys.Recovery())
+		}
 	}
 	// Bootstrap the explanation service's router + KB before the gateway
 	// so the learned routing policy can be backed by the same router the
@@ -189,7 +223,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "htapserve: "+format+"\n", args...)
 		},
 	})
-	g := gateway.New(sys, gateway.Config{
+	gcfg := gateway.Config{
 		Workers:       *workers,
 		QueueDepth:    *queue,
 		CacheCapacity: *cacheCap,
@@ -197,7 +231,13 @@ func main() {
 		Policy:        pol,
 		Tracer:        tracer,
 		ObservedEvery: *obsEvery,
-	})
+	}
+	var g *gateway.Gateway
+	if coord != nil {
+		g = gateway.NewSharded(coord, gcfg)
+	} else {
+		g = gateway.New(sys, gcfg)
+	}
 	defer g.Stop()
 
 	var svc *explainsvc.Service
@@ -234,6 +274,14 @@ func main() {
 		rep := gateway.RunLoad(g, lc)
 		fmt.Println(rep)
 		if *writeFrac > 0 {
+			if coord != nil {
+				if err := coord.WaitFresh(5 * time.Second); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("replication: fleet watermark %d = commit LSN %d (fully fresh) across %d shards\n",
+					coord.Watermark(), coord.CommitLSN(), coord.NumShards())
+				return
+			}
 			if err := sys.WaitFresh(5 * time.Second); err != nil {
 				fatal(err)
 			}
@@ -281,7 +329,11 @@ func main() {
 			svc.Close() // stop the maintenance loop + persist router/KB state
 		}
 		g.Stop()
-		sys.Close() // flush WAL + clean-shutdown checkpoint (idempotent with the defer)
+		if coord != nil {
+			coord.Close() // per-shard WAL flush + clean-shutdown checkpoints
+		} else {
+			sys.Close() // flush WAL + clean-shutdown checkpoint (idempotent with the defer)
+		}
 		fmt.Println("htapserve: clean shutdown complete")
 	}
 }

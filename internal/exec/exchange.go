@@ -1,0 +1,326 @@
+// The exchange operator family moves rows between shard-local pipelines
+// in a distributed plan. Within a shard the batch contract is untouched
+// (vectors alias or decode that shard's storage, never mutate); rows that
+// cross a shard boundary are always freshly materialized via
+// Batch.AppendRows, so no pipeline ever aliases another shard's chunks.
+//
+//   - Gather is the consumer side: a BatchOperator fed by N producer
+//     handles (one per shard fragment, each driven on its own goroutine)
+//     that streams the union of their rows to the coordinator's final
+//     stage.
+//   - Shuffle is the repartitioning sender: it drains a shard-local
+//     pipeline and routes every row to one of N destinations by a
+//     caller-supplied partition function (hash of the join key), so a
+//     non-co-partitioned join side can be re-aligned to the owning shards.
+//   - Broadcast is the replicating sender: every row goes to all N
+//     destinations (the small side of a join with no usable partitioning).
+//
+// Exchange work counters are recorded where rows enter their destination:
+// Gather counts on receive, Shuffle/Broadcast count on send — so summing
+// producer and consumer contexts never double-counts a row.
+package exec
+
+import (
+	"htapxplain/internal/value"
+)
+
+// RowSink receives materialized row slabs from a sending exchange. Send
+// reports false when the receiver has gone away (the query was canceled);
+// senders should stop producing. Implementations must tolerate concurrent
+// senders only if documented — Shuffle/Broadcast drive each sink from one
+// goroutine.
+type RowSink interface {
+	Send(rows []value.Row) bool
+}
+
+// RowBuffer is the materializing RowSink: it accumulates every slab into
+// Rows. Used for exchange destinations that must be complete before the
+// consumer plans against them (shuffle/broadcast overrides).
+type RowBuffer struct {
+	Rows []value.Row
+}
+
+func (b *RowBuffer) Send(rows []value.Row) bool {
+	b.Rows = append(b.Rows, rows...)
+	return true
+}
+
+type gatherMsg struct {
+	rows []value.Row
+	err  error
+	done bool
+}
+
+// Gather is the gather exchange: a single-use BatchOperator source fed by
+// a fixed set of producers. Producers run on their own goroutines and push
+// materialized row slabs through a bounded channel; Next re-chunks them
+// into batches for the coordinator's final stage. The first producer error
+// fails the stream. A Gather is never pooled: it is built per query and
+// driven with DrainOnce, not through a Runner.
+type Gather struct {
+	out   Schema
+	ch    chan gatherMsg
+	quit  chan struct{}
+	prods []*GatherProducer
+
+	pending []value.Row
+	pos     int
+	rw      rowWindow
+	done    int
+	err     error
+	closed  bool
+}
+
+// NewGather builds a gather exchange with the given output schema and
+// producer count. Every producer handle must eventually be closed or the
+// stream never terminates.
+func NewGather(out Schema, producers int) *Gather {
+	g := &Gather{
+		out:  out,
+		ch:   make(chan gatherMsg, 2*producers),
+		quit: make(chan struct{}),
+	}
+	g.rw.init(len(out))
+	g.prods = make([]*GatherProducer, producers)
+	for i := range g.prods {
+		g.prods[i] = &GatherProducer{g: g}
+	}
+	return g
+}
+
+// Producers returns the producer handles, one per sending fragment.
+func (g *Gather) Producers() []*GatherProducer { return g.prods }
+
+func (g *Gather) Schema() Schema { return g.out }
+
+// Clone returns the receiver: a live exchange stream cannot be re-driven,
+// so a Gather-rooted tree is single-use by construction (drive it with
+// DrainOnce, never through a pooling Runner).
+func (g *Gather) Clone() BatchOperator { return g }
+
+func (g *Gather) Open(ctx *Context) error {
+	g.closed = false
+	return nil
+}
+
+func (g *Gather) Next(ctx *Context) (*Batch, error) {
+	for {
+		if g.pos < len(g.pending) {
+			end := g.pos + BatchSize
+			if end > len(g.pending) {
+				end = len(g.pending)
+			}
+			b := g.rw.fill(g.pending[g.pos:end])
+			g.pos = end
+			ctx.Stats.BatchesProduced++
+			return b, nil
+		}
+		if g.err != nil {
+			return nil, g.err
+		}
+		if g.done == len(g.prods) {
+			return nil, nil
+		}
+		msg := <-g.ch
+		switch {
+		case msg.err != nil:
+			g.err = msg.err
+			g.done++
+			return nil, g.err
+		case msg.done:
+			g.done++
+		default:
+			g.pending, g.pos = msg.rows, 0
+			ctx.Stats.ExchangeBatches++
+			ctx.Stats.ExchangeRows += int64(len(msg.rows))
+		}
+	}
+}
+
+// Close releases the stream without waiting for the producers: the quit
+// channel unblocks any producer still sending, so an abandoned scatter
+// (error or LIMIT satisfied early) cannot deadlock its fragments.
+func (g *Gather) Close() error {
+	if g.closed {
+		return nil
+	}
+	g.closed = true
+	close(g.quit)
+	g.pending, g.pos = nil, 0
+	return nil
+}
+
+// GatherProducer is one fragment's sending handle on a Gather.
+type GatherProducer struct {
+	g      *Gather
+	closed bool
+}
+
+// Send pushes one materialized row slab to the consumer. The slab must not
+// be mutated after Send. It reports false when the consumer has closed the
+// stream — the producer should stop.
+func (p *GatherProducer) Send(rows []value.Row) bool {
+	if len(rows) == 0 {
+		return true
+	}
+	select {
+	case p.g.ch <- gatherMsg{rows: rows}:
+		return true
+	case <-p.g.quit:
+		return false
+	}
+}
+
+// Close marks the producer finished; a non-nil err fails the whole gather
+// stream. Every producer must be closed exactly once.
+func (p *GatherProducer) Close(err error) {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	select {
+	case p.g.ch <- gatherMsg{err: err, done: true}:
+	case <-p.g.quit:
+	}
+}
+
+// Shuffle is the repartitioning exchange sender: Run drains a shard-local
+// pipeline and routes every materialized row to Dests[Route(row)],
+// flushing per-destination slabs at batch granularity. Route must be a
+// pure function of the row (the hash partitioner), so the same key always
+// lands on the same destination regardless of which shard sent it.
+type Shuffle struct {
+	Route func(value.Row) (int, error)
+	Dests []RowSink
+}
+
+func (s *Shuffle) Run(ctx *Context, op BatchOperator) error {
+	bufs := make([][]value.Row, len(s.Dests))
+	flush := func(d int) bool {
+		if len(bufs[d]) == 0 {
+			return true
+		}
+		ctx.Stats.ExchangeBatches++
+		ctx.Stats.ExchangeRows += int64(len(bufs[d]))
+		ok := s.Dests[d].Send(bufs[d])
+		bufs[d] = nil
+		return ok
+	}
+	var routeErr error
+	err := sendRows(ctx, op, func(rows []value.Row) bool {
+		for _, r := range rows {
+			d, err := s.Route(r)
+			if err != nil {
+				routeErr = err
+				return false
+			}
+			bufs[d] = append(bufs[d], r)
+			if len(bufs[d]) >= BatchSize && !flush(d) {
+				return false
+			}
+		}
+		return true
+	})
+	if err == nil {
+		err = routeErr
+	}
+	if err != nil {
+		return err
+	}
+	for d := range bufs {
+		if !flush(d) {
+			break
+		}
+	}
+	return nil
+}
+
+// Broadcast is the replicating exchange sender: Run drains a shard-local
+// pipeline and sends every materialized row slab to all destinations.
+type Broadcast struct {
+	Dests []RowSink
+}
+
+func (b *Broadcast) Run(ctx *Context, op BatchOperator) error {
+	return sendRows(ctx, op, func(rows []value.Row) bool {
+		for _, d := range b.Dests {
+			ctx.Stats.ExchangeBatches++
+			ctx.Stats.ExchangeRows += int64(len(rows))
+			if !d.Send(rows) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// sendRows drives op and hands each batch's freshly materialized rows to
+// emit; emit returning false stops the drain early (receiver gone).
+func sendRows(ctx *Context, op BatchOperator, emit func([]value.Row) bool) error {
+	if err := op.Open(ctx); err != nil {
+		_ = op.Close()
+		return err
+	}
+	for {
+		b, err := op.Next(ctx)
+		if err != nil {
+			_ = op.Close()
+			return err
+		}
+		if b == nil {
+			break
+		}
+		rows := b.AppendRows(nil)
+		if !emit(rows) {
+			break
+		}
+	}
+	return op.Close()
+}
+
+// MemScan streams a materialized row set as batches — the leaf a fragment
+// plan uses for a table whose rows arrived through a shuffle or broadcast
+// exchange instead of local storage. Rows are already materialized (never
+// storage-aliased), so clones may share them.
+type MemScan struct {
+	Out  Schema
+	Rows []value.Row
+
+	emit   rowEmitter
+	closed bool
+}
+
+func NewMemScan(out Schema, rows []value.Row) *MemScan {
+	return &MemScan{Out: out, Rows: rows}
+}
+
+func (m *MemScan) Schema() Schema       { return m.Out }
+func (m *MemScan) Clone() BatchOperator { return &MemScan{Out: m.Out, Rows: m.Rows} }
+
+func (m *MemScan) Open(ctx *Context) error {
+	m.closed = false
+	m.emit.reset(m.Rows, len(m.Out))
+	ctx.Stats.RowsScanned += int64(len(m.Rows))
+	return nil
+}
+
+func (m *MemScan) Next(ctx *Context) (*Batch, error) {
+	return m.emit.next(ctx), nil
+}
+
+func (m *MemScan) Close() error {
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	m.emit.reset(nil, len(m.Out))
+	return nil
+}
+
+// DrainOnce materializes an operator tree's output without cloning it
+// first — the drive entry point for single-use trees rooted at an
+// exchange, which cannot be re-executed (Drain clones for pooling; a
+// Gather's Clone is itself).
+func DrainOnce(op BatchOperator, ctx *Context) ([]value.Row, error) {
+	return drainOp(op, ctx)
+}

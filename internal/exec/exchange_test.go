@@ -1,0 +1,307 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"htapxplain/internal/catalog"
+	"htapxplain/internal/sqlparser"
+	"htapxplain/internal/value"
+)
+
+func exchangeSchema() Schema {
+	return Schema{
+		{Binding: "t", Name: "k", Type: catalog.TypeInt},
+		{Binding: "t", Name: "v", Type: catalog.TypeFloat},
+	}
+}
+
+func kvRow(k int64, v float64) value.Row {
+	return value.Row{value.NewInt(k), value.NewFloat(v)}
+}
+
+func multiset(rows []value.Row) map[string]int {
+	out := make(map[string]int, len(rows))
+	for _, r := range rows {
+		var b strings.Builder
+		for _, v := range r {
+			b.WriteString(v.Key())
+			b.WriteByte('|')
+		}
+		out[b.String()]++
+	}
+	return out
+}
+
+// TestGatherStreamsAllProducers: a gather fed by concurrent producers must
+// deliver exactly the union of their rows and count the exchange traffic.
+func TestGatherStreamsAllProducers(t *testing.T) {
+	const producers, perProducer = 4, 2500
+	g := NewGather(exchangeSchema(), producers)
+	var want []value.Row
+	for p := 0; p < producers; p++ {
+		for i := 0; i < perProducer; i++ {
+			want = append(want, kvRow(int64(p*perProducer+i), float64(i)))
+		}
+	}
+	var wg sync.WaitGroup
+	for p, prod := range g.Producers() {
+		wg.Add(1)
+		go func(p int, prod *GatherProducer) {
+			defer wg.Done()
+			rows := want[p*perProducer : (p+1)*perProducer]
+			// uneven slabs exercise the re-chunking path
+			for len(rows) > 0 {
+				n := 700
+				if n > len(rows) {
+					n = len(rows)
+				}
+				if !prod.Send(rows[:n]) {
+					t.Error("Send reported closed stream")
+					return
+				}
+				rows = rows[n:]
+			}
+			prod.Close(nil)
+		}(p, prod)
+	}
+	ctx := NewContext()
+	got, err := DrainOnce(g, ctx)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("DrainOnce: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("gathered %d rows, want %d", len(got), len(want))
+	}
+	wm, gm := multiset(want), multiset(got)
+	for k, n := range wm {
+		if gm[k] != n {
+			t.Fatalf("multiset mismatch at %q: got %d want %d", k, gm[k], n)
+		}
+	}
+	if ctx.Stats.ExchangeRows != int64(len(want)) {
+		t.Errorf("ExchangeRows = %d, want %d", ctx.Stats.ExchangeRows, len(want))
+	}
+	if ctx.Stats.ExchangeBatches == 0 {
+		t.Error("ExchangeBatches not counted")
+	}
+}
+
+// TestGatherPropagatesProducerError: the first producer error must fail
+// the stream.
+func TestGatherPropagatesProducerError(t *testing.T) {
+	g := NewGather(exchangeSchema(), 2)
+	boom := errors.New("fragment failed")
+	prods := g.Producers()
+	prods[0].Send([]value.Row{kvRow(1, 1)})
+	prods[0].Close(nil)
+	prods[1].Close(boom)
+	if _, err := DrainOnce(g, NewContext()); !errors.Is(err, boom) {
+		t.Fatalf("DrainOnce err = %v, want %v", err, boom)
+	}
+}
+
+// TestGatherCloseUnblocksProducers: closing an abandoned gather must
+// unblock producers stuck on a full channel (no scatter deadlock).
+func TestGatherCloseUnblocksProducers(t *testing.T) {
+	g := NewGather(exchangeSchema(), 1)
+	prod := g.Producers()[0]
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			if !prod.Send([]value.Row{kvRow(int64(i), 0)}) {
+				return // consumer went away — expected
+			}
+		}
+	}()
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}
+
+// TestShuffleRoutesByKey: every row must land on exactly the destination
+// its route function names, regardless of sending order.
+func TestShuffleRoutesByKey(t *testing.T) {
+	const n, dests = 5000, 3
+	var rows []value.Row
+	for i := 0; i < n; i++ {
+		rows = append(rows, kvRow(int64(i), float64(i)))
+	}
+	var em rowEmitter
+	em.reset(rows, 2)
+	src := &memSource{emit: &em, out: exchangeSchema()}
+
+	bufs := make([]*RowBuffer, dests)
+	sinks := make([]RowSink, dests)
+	for i := range bufs {
+		bufs[i] = &RowBuffer{}
+		sinks[i] = bufs[i]
+	}
+	sh := &Shuffle{
+		Route: func(r value.Row) (int, error) { return int(r[0].I % dests), nil },
+		Dests: sinks,
+	}
+	ctx := NewContext()
+	if err := sh.Run(ctx, src); err != nil {
+		t.Fatalf("Shuffle.Run: %v", err)
+	}
+	total := 0
+	for d, buf := range bufs {
+		total += len(buf.Rows)
+		for _, r := range buf.Rows {
+			if int(r[0].I%dests) != d {
+				t.Fatalf("row k=%d landed on destination %d", r[0].I, d)
+			}
+		}
+	}
+	if total != n {
+		t.Fatalf("shuffled %d rows, want %d", total, n)
+	}
+	if ctx.Stats.ExchangeRows != int64(n) {
+		t.Errorf("ExchangeRows = %d, want %d", ctx.Stats.ExchangeRows, n)
+	}
+}
+
+// TestBroadcastReplicates: every destination receives every row.
+func TestBroadcastReplicates(t *testing.T) {
+	const n, dests = 1200, 4
+	var rows []value.Row
+	for i := 0; i < n; i++ {
+		rows = append(rows, kvRow(int64(i), float64(i)))
+	}
+	var em rowEmitter
+	em.reset(rows, 2)
+	src := &memSource{emit: &em, out: exchangeSchema()}
+	bufs := make([]*RowBuffer, dests)
+	sinks := make([]RowSink, dests)
+	for i := range bufs {
+		bufs[i] = &RowBuffer{}
+		sinks[i] = bufs[i]
+	}
+	ctx := NewContext()
+	if err := (&Broadcast{Dests: sinks}).Run(ctx, src); err != nil {
+		t.Fatalf("Broadcast.Run: %v", err)
+	}
+	for d, buf := range bufs {
+		if len(buf.Rows) != n {
+			t.Fatalf("destination %d got %d rows, want %d", d, len(buf.Rows), n)
+		}
+	}
+	if ctx.Stats.ExchangeRows != int64(n*dests) {
+		t.Errorf("ExchangeRows = %d, want %d", ctx.Stats.ExchangeRows, n*dests)
+	}
+}
+
+// memSource streams a fixed row slice — a minimal BatchOperator leaf for
+// exchange tests.
+type memSource struct {
+	emit *rowEmitter
+	out  Schema
+}
+
+func (m *memSource) Schema() Schema          { return m.out }
+func (m *memSource) Clone() BatchOperator    { return m }
+func (m *memSource) Open(ctx *Context) error { return nil }
+func (m *memSource) Close() error            { return nil }
+func (m *memSource) Next(ctx *Context) (*Batch, error) {
+	return m.emit.next(ctx), nil
+}
+
+// TestPartialMergeAggreesWithSerial: splitting an aggregation into
+// Partial-mode fragments merged by a Merge-mode aggregate must reproduce
+// the single-operator result exactly — including NULL handling, empty
+// fragments and the empty-input global row.
+func TestPartialMergeAgreesWithSerial(t *testing.T) {
+	schema := exchangeSchema()
+	aggs := []AggSpec{
+		{Func: sqlparser.AggCount, Arg: nil, ArgCol: -1},
+		{Func: sqlparser.AggSum, Arg: colEval(1), ArgCol: 1},
+		{Func: sqlparser.AggAvg, Arg: colEval(1), ArgCol: 1},
+		{Func: sqlparser.AggMin, Arg: colEval(1), ArgCol: 1},
+		{Func: sqlparser.AggMax, Arg: colEval(1), ArgCol: 1},
+	}
+	finalOut := Schema{{Name: "k", Type: catalog.TypeInt},
+		{Name: "count", Type: catalog.TypeInt}, {Name: "sum", Type: catalog.TypeFloat},
+		{Name: "avg", Type: catalog.TypeFloat}, {Name: "min", Type: catalog.TypeFloat},
+		{Name: "max", Type: catalog.TypeFloat}}
+	partialOut := Schema{{Name: "k", Type: catalog.TypeInt}}
+	for i := 0; i < len(aggs); i++ {
+		partialOut = append(partialOut,
+			Col{Name: fmt.Sprintf("p%d_state", i)}, Col{Name: fmt.Sprintf("p%d_count", i)})
+	}
+
+	var all []value.Row
+	frags := make([][]value.Row, 3)
+	for i := 0; i < 4000; i++ {
+		r := kvRow(int64(i%7), float64(i%101)-50)
+		if i%13 == 0 {
+			r[1] = value.Null // NULL aggregation inputs
+		}
+		all = append(all, r)
+		frags[i%2] = append(frags[i%2], r) // fragment 2 stays empty
+	}
+
+	serial := func(rows []value.Row, groups []Evaluator, partial bool, merge bool, out Schema, in Schema) []value.Row {
+		var em rowEmitter
+		em.reset(rows, len(in))
+		ha := &HashAggregate{
+			Child: &memSource{emit: &em, out: in}, Groups: groups, Aggs: aggs,
+			Out: out, Partial: partial, Merge: merge,
+		}
+		got, err := DrainOnce(ha, NewContext())
+		if err != nil {
+			t.Fatalf("aggregate: %v", err)
+		}
+		return got
+	}
+	groupBy := []Evaluator{colEval(0)}
+
+	want := serial(all, groupBy, false, false, finalOut, schema)
+
+	var partials []value.Row
+	for _, frag := range frags {
+		partials = append(partials, serial(frag, groupBy, true, false, partialOut, schema)...)
+	}
+	got := serial(partials, []Evaluator{colEval(0)}, false, true, finalOut, partialOut)
+
+	sortRows := func(rs []value.Row) {
+		sort.Slice(rs, func(i, j int) bool { return rs[i][0].Compare(rs[j][0]) < 0 })
+	}
+	sortRows(want)
+	sortRows(got)
+	if len(got) != len(want) {
+		t.Fatalf("merged %d groups, want %d", len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if want[i][j].Compare(got[i][j]) != 0 {
+				t.Fatalf("group %d col %d: got %s want %s", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+
+	// global aggregate over an empty input still yields one (all-empty) row
+	// through the partial/merge split
+	wantEmpty := serial(nil, nil, false, false, finalOut[1:], schema)
+	gotEmpty := serial(serial(nil, nil, true, false, partialOut[1:], schema),
+		nil, false, true, finalOut[1:], partialOut[1:])
+	if len(wantEmpty) != 1 || len(gotEmpty) != 1 {
+		t.Fatalf("empty-input global agg rows: want 1/1, got %d/%d", len(wantEmpty), len(gotEmpty))
+	}
+	for j := range wantEmpty[0] {
+		if wantEmpty[0][j].Compare(gotEmpty[0][j]) != 0 {
+			t.Fatalf("empty-input col %d: got %s want %s", j, gotEmpty[0][j], wantEmpty[0][j])
+		}
+	}
+}
+
+func colEval(i int) Evaluator {
+	return func(r value.Row) (value.Value, error) { return r[i], nil }
+}

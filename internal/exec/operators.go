@@ -1094,6 +1094,18 @@ type HashAggregate struct {
 	// optimizer sets it; operators built by hand leave it nil and always
 	// take the evaluator path.
 	GroupCols []int
+	// Partial makes the aggregate emit mergeable partial states instead of
+	// final values: each output row is the group columns followed by one
+	// (state, count) column pair per aggregate, where count > 0 marks a
+	// valid state (counts advance exactly when sums/mins/maxs do). Out must
+	// be the matching partial schema. This is the shard-local half of a
+	// distributed partial/final aggregate split.
+	Partial bool
+	// Merge makes the aggregate consume partial-state rows (the output of
+	// Partial-mode fragments, typically through a Gather exchange) instead
+	// of raw input: group columns lead each input row and every aggregate
+	// folds its (state, count) pair additively. Out is the final schema.
+	Merge bool
 
 	emit   rowEmitter
 	closed bool
@@ -1103,7 +1115,7 @@ func (a *HashAggregate) Schema() Schema { return a.Out }
 
 func (a *HashAggregate) Clone() BatchOperator {
 	return &HashAggregate{Child: a.Child.Clone(), Groups: a.Groups, Aggs: a.Aggs,
-		Out: a.Out, GroupCols: a.GroupCols}
+		Out: a.Out, GroupCols: a.GroupCols, Partial: a.Partial, Merge: a.Merge}
 }
 
 type aggState struct {
@@ -1128,6 +1140,9 @@ func (a *HashAggregate) newState(group value.Row) *aggState {
 
 // accumulate folds one input row into its group's state.
 func (a *HashAggregate) accumulate(st *aggState, row value.Row) error {
+	if a.Merge {
+		return a.mergeAccumulate(st, row)
+	}
 	for i, spec := range a.Aggs {
 		if spec.Arg == nil { // COUNT(*)
 			st.counts[i]++
@@ -1237,8 +1252,90 @@ func (a *HashAggregate) mergeState(dst, src *aggState) {
 	}
 }
 
-// emitRows renders the final output rows from the (merged) table.
+// mergeAccumulate folds one partial-state row into its group's state
+// (Merge mode). The input layout is the Partial emit layout: group
+// columns, then a (state, count) pair per aggregate. count <= 0 means the
+// fragment never saw a non-NULL value for that aggregate, so the pair is
+// skipped — which is exactly how accumulateArg treats NULLs.
+func (a *HashAggregate) mergeAccumulate(st *aggState, row value.Row) error {
+	base := len(row) - 2*len(a.Aggs)
+	for i, spec := range a.Aggs {
+		state, cnt := row[base+2*i], row[base+2*i+1]
+		if cnt.K != value.KindInt {
+			return fmt.Errorf("exec: merge aggregate expects int count, got %s", cnt.K)
+		}
+		n := cnt.I
+		if n <= 0 {
+			continue
+		}
+		st.counts[i] += n
+		switch spec.Func {
+		case sqlparser.AggSum, sqlparser.AggAvg:
+			f, ok := state.AsFloat()
+			if !ok {
+				return fmt.Errorf("exec: merge aggregate expects numeric sum state, got %s", state.K)
+			}
+			st.sums[i] += f
+		case sqlparser.AggMin, sqlparser.AggMax:
+			if !st.seen[i] {
+				st.mins[i], st.maxs[i] = state, state
+				st.seen[i] = true
+				continue
+			}
+			if state.Compare(st.mins[i]) < 0 {
+				st.mins[i] = state
+			}
+			if state.Compare(st.maxs[i]) > 0 {
+				st.maxs[i] = state
+			}
+		}
+	}
+	return nil
+}
+
+// emitPartialRows renders mergeable partial states (Partial mode): group
+// columns, then per aggregate the state value (SUM/AVG: the running sum;
+// MIN/MAX: the extremum so far; COUNT: unused NULL) and the non-NULL input
+// count.
+func (a *HashAggregate) emitPartialRows(t *aggTable) ([]value.Row, error) {
+	if len(a.Groups) == 0 && len(t.order) == 0 {
+		t.groups[""] = a.newState(nil)
+		t.order = append(t.order, "")
+	}
+	out := make([]value.Row, 0, len(t.order))
+	for _, key := range t.order {
+		st := t.groups[key]
+		row := make(value.Row, 0, len(a.Out))
+		row = append(row, st.group...)
+		for i, spec := range a.Aggs {
+			state := value.Null
+			if st.seen[i] || st.counts[i] > 0 {
+				switch spec.Func {
+				case sqlparser.AggCount:
+					state = value.Null
+				case sqlparser.AggSum, sqlparser.AggAvg:
+					state = value.NewFloat(st.sums[i])
+				case sqlparser.AggMin:
+					state = st.mins[i]
+				case sqlparser.AggMax:
+					state = st.maxs[i]
+				default:
+					return nil, fmt.Errorf("exec: unsupported aggregate %v", spec.Func)
+				}
+			}
+			row = append(row, state, value.NewInt(st.counts[i]))
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// emitRows renders the output rows from the (merged) table — partial
+// states in Partial mode, final aggregate values otherwise.
 func (a *HashAggregate) emitRows(t *aggTable) ([]value.Row, error) {
+	if a.Partial {
+		return a.emitPartialRows(t)
+	}
 	// global aggregate over empty input still yields one row
 	if len(a.Groups) == 0 && len(t.order) == 0 {
 		t.groups[""] = a.newState(nil)

@@ -87,6 +87,8 @@ type Stats struct {
 	ParallelWorkers   int64 // worker goroutines spawned by parallel operators (0 = fully serial)
 	EncodedChunks     int64 // base chunks served by encoded kernels without a full decode (AP only)
 	DecodedChunks     int64 // base chunks with encoded columns fully decoded into batch vectors (AP only)
+	ExchangeBatches   int64 // batches moved across an exchange (shuffle/broadcast/gather) boundary
+	ExchangeRows      int64 // rows moved across an exchange boundary
 }
 
 // Add accumulates o into s.
@@ -108,6 +110,8 @@ func (s *Stats) Add(o Stats) {
 	s.ParallelWorkers += o.ParallelWorkers
 	s.EncodedChunks += o.EncodedChunks
 	s.DecodedChunks += o.DecodedChunks
+	s.ExchangeBatches += o.ExchangeBatches
+	s.ExchangeRows += o.ExchangeRows
 }
 
 // Context carries per-query execution state: the work counters, the degree

@@ -41,6 +41,7 @@ import (
 	"htapxplain/internal/obs"
 	"htapxplain/internal/optimizer"
 	"htapxplain/internal/plan"
+	"htapxplain/internal/shard"
 	"htapxplain/internal/sqlparser"
 	"htapxplain/internal/value"
 )
@@ -168,9 +169,16 @@ type request struct {
 	resp     chan *Response
 }
 
-// Gateway serves queries against one htap.System.
+// Gateway serves queries against one htap.System — or, when built with
+// NewSharded, against a fleet of hash-partitioned shards behind a
+// shard.Coordinator.
 type Gateway struct {
-	sys     *htap.System
+	sys *htap.System
+	// coord, when non-nil, makes the gateway a shard-aware router: DML and
+	// transactions go through the coordinator's key routing, SELECTs run on
+	// one shard when pinned and scatter-gather otherwise. sys is then
+	// shard 0 — the planner behind EXPLAIN and the calibrator's baseline.
+	coord   *shard.Coordinator
 	cfg     Config
 	cache   *PlanCache
 	metrics Metrics
@@ -290,6 +298,21 @@ func New(sys *htap.System, cfg Config) *Gateway {
 	return g
 }
 
+// NewSharded builds a gateway fronting a shard coordinator: the serving
+// pipeline (admission, workers, metrics, tracing) is identical, but
+// statements route through the coordinator's partition-key analysis. A
+// scatter SELECT admits the sum of its fragments' DOPs against the same
+// worker ledger single-system parallel queries use.
+func NewSharded(coord *shard.Coordinator, cfg Config) *Gateway {
+	g := New(coord.Shard(0), cfg)
+	g.coord = coord
+	return g
+}
+
+// Coordinator returns the shard coordinator, nil for a single-system
+// gateway.
+func (g *Gateway) Coordinator() *shard.Coordinator { return g.coord }
+
 // Stop shuts the worker pool down and waits for in-flight queries to
 // finish. Queued-but-unstarted queries are abandoned; their Submit calls
 // return ErrStopped. Idempotent — a signal handler and a deferred Stop may
@@ -362,7 +385,7 @@ func (g *Gateway) PlanPair(sql string) (entry *CachedPlan, cached bool, err erro
 	if e, ok := g.cache.Get(fp); ok {
 		return e, true, nil
 	}
-	e, _, err := g.planBoth(sql, fp, sqlparser.ParamKey(params))
+	e, _, err := g.planBoth(g.sys, sql, fp, sqlparser.ParamKey(params))
 	if err != nil {
 		return nil, false, err
 	}
@@ -461,6 +484,24 @@ func (g *Gateway) Metrics() Snapshot {
 	}
 	s.TracesSampled = g.cfg.Tracer.Sampled()
 	ts := g.sys.TxnStats()
+	if g.coord != nil {
+		// a sharded gateway reports fleet-wide progress: the freshness
+		// gauges become sums across shards and the per-shard breakdown
+		// rides along
+		cs := g.coord.Stats()
+		s.Shards = cs.Shards
+		s.ShardRouted = cs.RoutedQueries
+		s.ShardScatter = cs.ScatterQueries
+		s.ShardScatterFan = cs.ScatterFanout
+		s.ShardExchBatches = cs.ExchangeBatches
+		s.ShardExchRows = cs.ExchangeRows
+		s.ShardCrossTxns = cs.CrossShardTxns
+		s.ShardCoordLSN = cs.CoordLSN
+		s.CommitLSN = g.coord.CommitLSN()
+		s.Watermark = g.coord.Watermark()
+		s.StalenessLSNs = g.coord.Staleness()
+		ts = g.coord.TxnStats()
+	}
 	s.TxnBegun = ts.Begun
 	s.TxnCommits = ts.Committed
 	s.TxnAborts = ts.Aborted
@@ -559,7 +600,18 @@ func (g *Gateway) process(sql string, tr *obs.QueryTrace) *Response {
 	}
 	// classify on the leading keyword only (no tokenization): DML bypasses
 	// the read-only plan cache and goes straight to the write path
-	switch kind := sqlparser.StatementKind(sql); kind {
+	kind := sqlparser.StatementKind(sql)
+	if g.coord != nil {
+		switch kind {
+		case "insert", "update", "delete":
+			return g.processShardedDML(sql, kind, tr)
+		case "begin", "commit", "rollback":
+			return g.processShardedTxn(sql, tr)
+		default:
+			return g.processShardedSelect(sql, tr)
+		}
+	}
+	switch kind {
 	case "insert", "update", "delete":
 		return g.processDML(sql, kind, tr)
 	case "begin", "commit", "rollback":
@@ -591,7 +643,7 @@ func (g *Gateway) process(sql string, tr *obs.QueryTrace) *Response {
 		resp.Cache = CacheTemplateHit
 		g.metrics.tmplHit.Add(1)
 		sp = tr.Begin("plan")
-		phys, err := g.planOne(sql, entry.Route)
+		phys, err := g.planOne(g.sys, sql, entry.Route)
 		sp.End()
 		if err != nil {
 			resp.Err = err
@@ -611,7 +663,7 @@ func (g *Gateway) process(sql string, tr *obs.QueryTrace) *Response {
 		resp.Cache = CacheMiss
 		g.metrics.misses.Add(1)
 		sp = tr.Begin("plan")
-		entry, bp, err := g.planBoth(sql, fp, paramKey)
+		entry, bp, err := g.planBoth(g.sys, sql, fp, paramKey)
 		sp.End()
 		if err != nil {
 			resp.Err = err
@@ -650,7 +702,7 @@ func (g *Gateway) processExplain(orig, body string, analyze bool, tr *obs.QueryT
 	}
 	resp.Cache = CacheMiss
 	sp := tr.Begin("plan")
-	entry, bp, err := g.planBoth(body, "", "")
+	entry, bp, err := g.planBoth(g.sys, body, "", "")
 	sp.End()
 	if err != nil {
 		resp.Err = err
@@ -785,6 +837,158 @@ func (g *Gateway) processTxn(sql string, tr *obs.QueryTrace) *Response {
 	return resp
 }
 
+// processShardedDML serves one write through the coordinator's key
+// routing: inserts split their tuples by hashed partition key, updates
+// and deletes pin to one shard when the WHERE clause fixes the key, and a
+// statement that lands on several shards commits through the two-phase
+// publish.
+func (g *Gateway) processShardedDML(sql, kind string, tr *obs.QueryTrace) *Response {
+	resp := &Response{SQL: sql, Kind: kind}
+	sp := tr.Begin("execute")
+	res, err := g.coord.ExecDML(sql)
+	sp.End()
+	if err != nil {
+		resp.Err = fmt.Errorf("gateway: write: %w", err)
+		return resp
+	}
+	resp.Kind = res.Kind
+	resp.RowsAffected = res.RowsAffected
+	resp.LSN = res.LSN
+	g.metrics.observeWrite(res.Kind, res.RowsAffected)
+	return resp
+}
+
+// processShardedTxn serves a BEGIN ... COMMIT/ROLLBACK block against the
+// shard fleet. The distributed transaction keeps the single-shard fast
+// path when every statement lands on one shard and upgrades to the
+// coordinator's two-phase publish otherwise; conflict semantics are
+// identical to the single-system path ("conflict" asks the client to
+// retry the block on a fresh snapshot).
+func (g *Gateway) processShardedTxn(sql string, tr *obs.QueryTrace) *Response {
+	resp := &Response{SQL: sql, Kind: "txn"}
+	sp := tr.Begin("parse")
+	script, err := sqlparser.ParseScript(sql)
+	sp.End()
+	if err != nil {
+		resp.Err = fmt.Errorf("gateway: txn: %w", err)
+		return resp
+	}
+	tx := g.coord.Begin()
+	results := make([]*htap.DMLResult, 0, len(script.Stmts))
+	for _, stmt := range script.Stmts {
+		res, err := tx.ExecStmt(stmt)
+		if err != nil {
+			tx.Rollback()
+			resp.Kind = "rollback"
+			resp.Err = fmt.Errorf("gateway: txn: %w", err)
+			return resp
+		}
+		results = append(results, res)
+	}
+	if !script.Commit {
+		tx.Rollback()
+		resp.Kind = "rollback"
+		return resp
+	}
+	sp = tr.Begin("commit")
+	txr, err := tx.Commit()
+	sp.End()
+	if err != nil {
+		if errors.Is(err, htap.ErrConflict) {
+			resp.Kind = "conflict"
+		}
+		resp.Err = fmt.Errorf("gateway: txn: %w", err)
+		return resp
+	}
+	resp.Kind = "commit"
+	resp.RowsAffected = txr.RowsAffected
+	resp.LSN = txr.LSN
+	for _, r := range results {
+		g.metrics.observeWrite(r.Kind, r.RowsAffected)
+	}
+	return resp
+}
+
+// processShardedSelect serves a read against the shard fleet. A SELECT
+// whose partitioned tables all pin to one shard plans on that shard and
+// runs through the ordinary engine picker (TP vs AP, calibrator feedback
+// included); anything else scatters as per-shard AP fragments meeting at
+// a Gather exchange, with the total fragment worker demand admitted
+// against the same DOP ledger single-system parallel queries use. The
+// plan cache is bypassed in both paths — its entries are not
+// shard-qualified, so a template cached for shard 2's literals must not
+// serve shard 0's.
+func (g *Gateway) processShardedSelect(sql string, tr *obs.QueryTrace) *Response {
+	resp := &Response{SQL: sql, Kind: "select", Cache: CacheMiss}
+	g.metrics.misses.Add(1)
+	sp := tr.Begin("route")
+	target, dec, err := g.coord.Route(sql)
+	sp.End()
+	if err != nil {
+		resp.Err = fmt.Errorf("gateway: route: %w", err)
+		return resp
+	}
+	if target >= 0 {
+		sys := g.coord.Shard(target)
+		sp = tr.Begin("plan")
+		entry, bp, err := g.planBoth(sys, sql, "", "")
+		sp.End()
+		if err != nil {
+			resp.Err = err
+			return resp
+		}
+		route := g.cfg.Policy.Route(RouteInput{
+			Stmt:   entry.stmt,
+			Pair:   &entry.Pair,
+			TPTime: entry.TPTime,
+			APTime: entry.APTime,
+		})
+		resp.TPTime, resp.APTime = bp.TPTime, bp.APTime
+		g.recordRoute(route, bp.TPTime, bp.APTime)
+		g.execute(resp, pickPlan(bp, route), route, tr, false)
+		if resp.Err == nil {
+			g.coord.NoteRouted(target)
+		}
+		return resp
+	}
+
+	sp = tr.Begin("plan")
+	sc, err := g.coord.PrepareScatter(sql, dec)
+	sp.End()
+	if err != nil {
+		resp.Err = fmt.Errorf("gateway: scatter: %w", err)
+		return resp
+	}
+	// admit the scatter's total fragment demand: this worker's slot covers
+	// one fragment worker; the rest come from the shared ledger, degrading
+	// per-fragment DOP under load so shedding stays honest
+	if want := sc.Workers(); want > 1 {
+		extra := g.slots.tryAcquire(want - 1)
+		if extra > 0 {
+			defer g.slots.release(extra)
+		}
+		sc.LimitWorkers(1 + extra)
+	}
+	resp.Engine = plan.AP
+	g.metrics.routedAP.Add(1)
+	sp = tr.Begin("execute")
+	start := time.Now()
+	rows, stats, err := sc.Run()
+	resp.ExecTime = time.Since(start)
+	sp.End()
+	if err != nil {
+		resp.Err = fmt.Errorf("gateway: scatter execution: %w", err)
+		return resp
+	}
+	resp.Rows = rows
+	resp.Stats = stats
+	if stats.ParallelWorkers > 0 {
+		g.metrics.parallelQueries.Add(1)
+	}
+	g.metrics.observeExec(plan.AP, &stats)
+	return resp
+}
+
 // recordRoute updates routing metrics. Ground truth (the modeled winner)
 // is only known when both engines were planned; half-planned bindings
 // (template hits and their retained plans) count toward routed totals
@@ -856,31 +1060,32 @@ func (g *Gateway) execute(resp *Response, phys *optimizer.PhysPlan, eng plan.Eng
 	g.cal.Observe(eng, resp.ExecTime.Nanoseconds(), modeled.Nanoseconds())
 }
 
-// planOne parses the query and plans only the given engine — the
-// template-hit path.
-func (g *Gateway) planOne(sql string, eng plan.Engine) (*optimizer.PhysPlan, error) {
+// planOne parses the query and plans only the given engine on sys — the
+// template-hit path (sys is the owning shard for routed sharded queries,
+// g.sys otherwise).
+func (g *Gateway) planOne(sys *htap.System, sql string, eng plan.Engine) (*optimizer.PhysPlan, error) {
 	sel, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, fmt.Errorf("gateway: parse: %w", err)
 	}
 	if eng == plan.TP {
-		phys, err := g.sys.Planner.PlanTP(sel)
+		phys, err := sys.Planner.PlanTP(sel)
 		if err != nil {
 			return nil, fmt.Errorf("gateway: TP planning: %w", err)
 		}
 		return phys, nil
 	}
-	phys, err := g.sys.Planner.PlanAP(sel)
+	phys, err := sys.Planner.PlanAP(sel)
 	if err != nil {
 		return nil, fmt.Errorf("gateway: AP planning: %w", err)
 	}
 	return phys, nil
 }
 
-// planBoth parses and plans the query on both engines — the miss path.
-// Each engine binds its own fresh AST, since binding mutates the tree.
-// The returned entry already retains the first bound plans.
-func (g *Gateway) planBoth(sql, fp, paramKey string) (*CachedPlan, *BoundPlan, error) {
+// planBoth parses and plans the query on both of sys's engines — the
+// miss path. Each engine binds its own fresh AST, since binding mutates
+// the tree. The returned entry already retains the first bound plans.
+func (g *Gateway) planBoth(sys *htap.System, sql, fp, paramKey string) (*CachedPlan, *BoundPlan, error) {
 	selTP, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, nil, fmt.Errorf("gateway: parse: %w", err)
@@ -889,11 +1094,11 @@ func (g *Gateway) planBoth(sql, fp, paramKey string) (*CachedPlan, *BoundPlan, e
 	if err != nil {
 		return nil, nil, fmt.Errorf("gateway: parse: %w", err)
 	}
-	tpPlan, err := g.sys.Planner.PlanTP(selTP)
+	tpPlan, err := sys.Planner.PlanTP(selTP)
 	if err != nil {
 		return nil, nil, fmt.Errorf("gateway: TP planning: %w", err)
 	}
-	apPlan, err := g.sys.Planner.PlanAP(selAP)
+	apPlan, err := sys.Planner.PlanAP(selAP)
 	if err != nil {
 		return nil, nil, fmt.Errorf("gateway: AP planning: %w", err)
 	}

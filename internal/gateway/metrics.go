@@ -9,6 +9,7 @@ import (
 	"htapxplain/internal/exec"
 	"htapxplain/internal/obs"
 	"htapxplain/internal/plan"
+	"htapxplain/internal/shard"
 )
 
 // Serving stages with their own latency histogram, fed from sampled query
@@ -231,6 +232,21 @@ type Snapshot struct {
 	TxnCommits   int64 `json:"txn_commits"`
 	TxnAborts    int64 `json:"txn_aborts"`
 	TxnConflicts int64 `json:"txn_conflicts"`
+
+	// Sharding gauges, filled by Gateway.Metrics from the coordinator when
+	// the gateway fronts a shard fleet (Shards nil otherwise). Routed
+	// queries pin to one shard; scatter queries fan out to every shard
+	// through the exchange operators, whose batch/row traffic is counted
+	// here. For a sharded gateway the freshness gauges below are
+	// fleet-wide sums.
+	Shards           []shard.ShardStatus `json:"shards,omitempty"`
+	ShardRouted      int64               `json:"shard_routed_queries,omitempty"`
+	ShardScatter     int64               `json:"shard_scatter_queries,omitempty"`
+	ShardScatterFan  int64               `json:"shard_scatter_fanout,omitempty"`
+	ShardExchBatches int64               `json:"exchange_batches,omitempty"`
+	ShardExchRows    int64               `json:"exchange_rows,omitempty"`
+	ShardCrossTxns   int64               `json:"cross_shard_txns,omitempty"`
+	ShardCoordLSN    uint64              `json:"shard_coordinator_lsn,omitempty"`
 
 	// TP→AP freshness gauge: the primary's commit LSN, the column store's
 	// replication watermark, and their gap (0 = AP reads are fully fresh).

@@ -61,6 +61,12 @@ type Config struct {
 	ModeledSF float64
 	// Data controls physical data generation.
 	Data tpch.Config
+	// Preloaded, when non-nil, is used as the bulk base instead of
+	// generating from Data — the hook the shard coordinator uses to load
+	// each shard with its hash partition. Like generated data it must be
+	// deterministic for the same configuration: a durable reopen whose
+	// checkpoints were destroyed replays the WAL on top of it.
+	Preloaded *tpch.Dataset
 	// Repl controls TP→AP replication and background merging.
 	Repl ReplConfig
 	// Durability controls the WAL + checkpoint subsystem; the zero value
@@ -156,16 +162,22 @@ func New(cfg Config) (*System, error) {
 	// Data is generated even when a checkpoint will supersede it: the
 	// generator is deterministic, so s.Data stays exactly the LSN-0 bulk
 	// base its consumers expect, and the no-checkpoint recovery fallback
-	// (checkpoints destroyed, WAL intact) needs it to replay onto.
-	data, err := tpch.Generate(cat, cfg.Data)
-	if err != nil {
-		return nil, fmt.Errorf("htap: generating data: %w", err)
+	// (checkpoints destroyed, WAL intact) needs it to replay onto. A
+	// preloaded dataset (a shard's partition) takes the same role.
+	data := cfg.Preloaded
+	if data == nil {
+		var err error
+		data, err = tpch.Generate(cat, cfg.Data)
+		if err != nil {
+			return nil, fmt.Errorf("htap: generating data: %w", err)
+		}
 	}
 	var (
 		row  *rowstore.Store
 		col  *colstore.Store
 		w    *wal.WAL
 		info RecoveryInfo
+		err  error
 	)
 	if cfg.Durability.Enabled() {
 		row, col, w, info, err = openDurable(cat, data, cfg.Durability, cfg.Encoding)

@@ -352,7 +352,52 @@ func (tx *Txn) Commit() (*TxnResult, error) {
 //
 // On ErrConflict the shared state is untouched and the transaction is
 // finished; retry with a fresh Begin.
+//
+// The pipeline is split into Prepare (conflict check, lock held on
+// success) and Publish/Abort so a cross-shard coordinator can run
+// two-phase commit over several systems; this single-system path is
+// exactly Prepare → Publish → durability wait.
 func (tx *Txn) CommitTraced(t *obs.QueryTrace) (*TxnResult, error) {
+	p, err := tx.Prepare(t)
+	if err != nil {
+		return nil, err
+	}
+	res, wait, err := p.Publish()
+	if err != nil {
+		return nil, err
+	}
+	if wait != nil {
+		if err := wait(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Prepared is a transaction that passed conflict detection and is holding
+// its system's commit critical section. Exactly one of Publish or Abort
+// must follow — until then every other committer on the same shard is
+// blocked. The window is the two-phase-commit vote: once every
+// participating shard is Prepared, the whole cross-shard transaction can
+// no longer fail over conflicts, so publishing all participants commits
+// it atomically with respect to other writers (each shard's readers see
+// its part at its local commit LSN).
+type Prepared struct {
+	tx        *Txn
+	names     []string // sorted dirty tables; empty = nothing to publish
+	locked    bool
+	trace     *obs.QueryTrace
+	applySpan obs.SpanEnd
+}
+
+// Prepare enters the commit critical section: it finishes the
+// transaction, takes the system's write mutex and runs first-writer-wins
+// conflict detection. On success the mutex is HELD by the returned
+// Prepared and the caller must Publish or Abort it; on failure (conflict,
+// closed or poisoned system) the mutex is released, the outcome counters
+// are advanced and the transaction is dead. A transaction with an empty
+// write set prepares without locking anything.
+func (tx *Txn) Prepare(t *obs.QueryTrace) (*Prepared, error) {
 	if tx.done {
 		return nil, errTxnDone
 	}
@@ -367,8 +412,7 @@ func (tx *Txn) CommitTraced(t *obs.QueryTrace) (*TxnResult, error) {
 	}
 	if len(names) == 0 {
 		// nothing to publish: no LSN is consumed, like a no-match UPDATE
-		s.txnCommitted.Add(1)
-		return &TxnResult{LSN: s.CommitLSN()}, nil
+		return &Prepared{tx: tx, trace: t}, nil
 	}
 	// deterministic apply/log order keeps multi-table commits comparable
 	// across runs (and keeps lock-free readers' view order stable)
@@ -406,15 +450,47 @@ func (tx *Txn) CommitTraced(t *obs.QueryTrace) (*TxnResult, error) {
 				ErrConflict, name, rid)
 		}
 	}
+	return &Prepared{tx: tx, names: names, locked: true, trace: t, applySpan: applySpan}, nil
+}
+
+// Abort releases the critical section without publishing anything — the
+// cross-shard coordinator's answer when another participant's Prepare
+// failed. Shared state is untouched.
+func (p *Prepared) Abort() {
+	s := p.tx.sys
+	if p.locked {
+		p.locked = false
+		s.writeMu.Unlock()
+		p.applySpan.End()
+	}
+	s.txnAborted.Add(1)
+}
+
+// Publish applies the write set at consecutive local LSNs, publishes the
+// commit point, logs it and releases the critical section. The returned
+// wait closure (nil on a volatile system or an empty commit) performs the
+// group-commit durability wait and must be called outside every lock —
+// after ALL participants have published, in the cross-shard case.
+func (p *Prepared) Publish() (*TxnResult, func() error, error) {
+	tx, t := p.tx, p.trace
+	s := tx.sys
+	if !p.locked {
+		// empty write set: nothing was locked, nothing publishes
+		s.txnCommitted.Add(1)
+		return &TxnResult{LSN: s.CommitLSN()}, nil, nil
+	}
+	p.locked = false
+	applySpan := p.applySpan
+
 	// apply every table at consecutive LSNs, publish once at the end
 	lsn := s.Row.CommitLSN()
-	muts := make([]*repl.Mutation, 0, len(names))
-	for _, name := range names {
+	muts := make([]*repl.Mutation, 0, len(p.names))
+	for _, name := range p.names {
 		tw := tx.writes[name]
 		inserts := make([]value.Row, 0, tw.liveInserts)
-		for _, p := range tw.inserts {
-			if !p.dead {
-				inserts = append(inserts, p.row)
+		for _, pr := range tw.inserts {
+			if !pr.dead {
+				inserts = append(inserts, pr.row)
 			}
 		}
 		lsn++
@@ -428,7 +504,7 @@ func (tx *Txn) CommitTraced(t *obs.QueryTrace) (*TxnResult, error) {
 			s.writeMu.Unlock()
 			applySpan.End()
 			s.txnAborted.Add(1)
-			return nil, err
+			return nil, nil, err
 		}
 		muts = append(muts, mut)
 	}
@@ -450,7 +526,7 @@ func (tx *Txn) CommitTraced(t *obs.QueryTrace) (*TxnResult, error) {
 			s.writeMu.Unlock()
 			applySpan.End()
 			s.txnAborted.Add(1)
-			return nil, fmt.Errorf("htap: logging commit %d: %w", lsn, err)
+			return nil, nil, fmt.Errorf("htap: logging commit %d: %w", lsn, err)
 		}
 	}
 	for _, mut := range muts {
@@ -459,7 +535,12 @@ func (tx *Txn) CommitTraced(t *obs.QueryTrace) (*TxnResult, error) {
 	s.writeMu.Unlock()
 	applySpan.End()
 
-	if s.wal != nil {
+	res := &TxnResult{LSN: lsn, RowsAffected: tx.rowsAffected, Tables: p.names}
+	if s.wal == nil {
+		s.txnCommitted.Add(1)
+		return res, nil, nil
+	}
+	wait := func() error {
 		fsyncSpan := t.Begin("wal_fsync_wait")
 		err := s.wal.WaitDurable(lsn)
 		fsyncSpan.End()
@@ -471,9 +552,10 @@ func (tx *Txn) CommitTraced(t *obs.QueryTrace) (*TxnResult, error) {
 			}
 			s.writeMu.Unlock()
 			s.txnAborted.Add(1)
-			return nil, fmt.Errorf("htap: commit %d not durable: %w", lsn, err)
+			return fmt.Errorf("htap: commit %d not durable: %w", lsn, err)
 		}
+		s.txnCommitted.Add(1)
+		return nil
 	}
-	s.txnCommitted.Add(1)
-	return &TxnResult{LSN: lsn, RowsAffected: tx.rowsAffected, Tables: names}, nil
+	return res, wait, nil
 }

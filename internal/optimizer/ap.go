@@ -3,6 +3,7 @@ package optimizer
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"htapxplain/internal/exec"
 	"htapxplain/internal/plan"
@@ -77,6 +78,19 @@ func (p *Planner) PlanAP(sel *sqlparser.Select) (*PhysPlan, error) {
 // zone-map pruner is attached when a range/equality predicate allows
 // chunk skipping.
 func (p *Planner) apAccess(a *analysis, t boundTable) (built, error) {
+	if a.overrides != nil {
+		if rows, ok := a.overrides[strings.ToLower(t.binding)]; ok {
+			// Exchange-delivered rows replace the local scan: full table
+			// schema, pre-filtered at their source shard, so neither the
+			// table predicates nor the zone pruner apply again.
+			out := exec.TableSchema(t.meta, t.binding)
+			node := &plan.Node{Op: plan.OpTableScan, Engine: plan.AP,
+				Cost: float64(len(rows)) * apScanPerRow,
+				Rows: math.Max(1, float64(len(rows))), Relation: t.meta.Name + " (exchange)"}
+			return built{op: exec.NewMemScan(out, rows), node: node,
+				rows: math.Max(1, float64(len(rows)))}, nil
+		}
+	}
 	ct, ok := p.Col.Table(t.meta.Name)
 	if !ok {
 		return built{}, fmt.Errorf("optimizer: column store missing table %q", t.meta.Name)

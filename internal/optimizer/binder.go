@@ -13,6 +13,7 @@ import (
 
 	"htapxplain/internal/catalog"
 	"htapxplain/internal/sqlparser"
+	"htapxplain/internal/value"
 )
 
 // boundTable is one FROM entry resolved against the catalog.
@@ -36,6 +37,12 @@ type analysis struct {
 	tablePreds map[string][]sqlparser.Expr // binding → single-table conjuncts
 	joinPreds  []joinPred
 	otherPreds []sqlparser.Expr // multi-table non-equi conjuncts
+
+	// overrides substitutes materialized rows for a binding's base-table
+	// scan — the hook distributed fragments use to read shuffled/broadcast
+	// exchange output instead of local storage. Override rows carry the
+	// full table schema and are already filtered at their source.
+	overrides map[string][]value.Row
 }
 
 func (a *analysis) table(binding string) (boundTable, bool) {

@@ -1,0 +1,395 @@
+// Distributed (shard-aware) planning: routing analysis that decides
+// whether a statement pins to one shard or scatters, which tables must
+// move through an exchange (shuffle/broadcast) to make the per-shard join
+// local, and fragment planning that splits a scatter query into a
+// shard-local partial plan plus the coordinator's final gather/merge
+// stage.
+//
+// The split reuses the single-node planner wholesale: a fragment is just
+// PlanAP with (a) exchange-delivered row overrides standing in for
+// non-local tables and (b) the aggregate flipped into Partial mode (or a
+// Top-N/limit pre-reduction for plain selects). The final stage is the
+// same finish() tail — merge aggregate, ordering, limit, projection —
+// applied on top of the gather stream.
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"htapxplain/internal/catalog"
+	"htapxplain/internal/exec"
+	"htapxplain/internal/plan"
+	"htapxplain/internal/sqlparser"
+	"htapxplain/internal/value"
+)
+
+// PartitionView tells the distributed planner how tables are laid out
+// without importing the shard package: PartitionColumn returns a table's
+// hash-partition key column, or ok=false when the table is replicated to
+// every shard.
+type PartitionView interface {
+	PartitionColumn(table string) (string, bool)
+}
+
+// PinnedTable is one hash-partitioned table referenced by a statement and
+// whether its partition key is fixed by an equality predicate.
+type PinnedTable struct {
+	Binding string
+	Table   string
+	Column  string      // partition-key column
+	Key     value.Value // the pinned literal when Pinned
+	Pinned  bool
+}
+
+// TableMove says how one table's rows reach the shard fragments that join
+// against them: either broadcast (every fragment sees the full filtered
+// row set) or shuffled by ShuffleCol (rows land on the shard whose anchor
+// partition they can join). Preds are the table's own filter conjuncts,
+// applied at the sending scan so only useful rows cross the exchange.
+type TableMove struct {
+	Binding    string
+	Table      string
+	Broadcast  bool
+	ShuffleCol string // column of Binding routed on when !Broadcast
+	Preds      []sqlparser.Expr
+}
+
+// DistDecision is the routing analysis of one SELECT: every partitioned
+// table it touches (with pin status) and the exchange moves a scatter
+// execution needs. The shard coordinator turns pinned keys into shard
+// numbers — if every partitioned table pins to the same shard the whole
+// statement routes there; otherwise it scatters.
+type DistDecision struct {
+	Partitioned []PinnedTable
+	Moves       []TableMove
+}
+
+// AllPinned reports whether every partitioned table's key is fixed by an
+// equality predicate (no partitioned tables counts: a replicated-only
+// query runs anywhere).
+func (d *DistDecision) AllPinned() bool {
+	for _, t := range d.Partitioned {
+		if !t.Pinned {
+			return false
+		}
+	}
+	return true
+}
+
+// AnalyzeDist classifies a SELECT against the partition layout. It binds
+// (and thereby qualifies) the statement in place, so callers should pass
+// a dedicated parse, not one shared with concurrent planning.
+func AnalyzeDist(cat *catalog.Catalog, sel *sqlparser.Select, pv PartitionView) (*DistDecision, error) {
+	a, err := bind(cat, sel)
+	if err != nil {
+		return nil, err
+	}
+	d := &DistDecision{}
+	var parted []boundTable
+	for _, t := range a.tables {
+		pcol, ok := pv.PartitionColumn(t.meta.Name)
+		if !ok {
+			continue // replicated everywhere — never moves, never pins
+		}
+		parted = append(parted, t)
+		pt := PinnedTable{Binding: t.binding, Table: t.meta.Name, Column: pcol}
+		if key, ok := PinnedEq(a.tablePreds[t.binding], pcol); ok {
+			pt.Key, pt.Pinned = key, true
+		}
+		d.Partitioned = append(d.Partitioned, pt)
+	}
+	d.Moves = resolveMoves(a, parted, pv)
+	return d, nil
+}
+
+// PinnedEq finds a `col = literal` conjunct among the predicates and
+// returns the literal — the pin the shard router hashes to a shard. The
+// shard coordinator also uses it on DML WHERE clauses.
+func PinnedEq(preds []sqlparser.Expr, pcol string) (value.Value, bool) {
+	for _, p := range preds {
+		be, ok := p.(*sqlparser.BinaryExpr)
+		if !ok || be.Op != sqlparser.OpEq {
+			continue
+		}
+		col, lit := be.Left, be.Right
+		if isLiteral(col) {
+			col, lit = lit, col
+		}
+		ref, ok := col.(*sqlparser.ColumnRef)
+		if !ok || !strings.EqualFold(ref.Column, pcol) || !isLiteral(lit) {
+			continue
+		}
+		if v := litValue(lit); v.K != value.KindNull {
+			return v, true
+		}
+	}
+	return value.Null, false
+}
+
+// resolveMoves decides, greedily and largest-first, which partitioned
+// tables stay local to their own shard (the anchor set) and which must
+// move. The largest table anchors; another table stays local when an
+// equi-join links both partition keys (co-partitioned), shuffles by its
+// join column when it joins an anchored table's partition key (rows
+// re-align to the owning shard), and broadcasts otherwise. Broadcasting
+// against disjoint anchor partitions produces no duplicates: each row
+// joins only the anchor rows its shard owns.
+func resolveMoves(a *analysis, parted []boundTable, pv PartitionView) []TableMove {
+	if len(parted) <= 1 {
+		return nil
+	}
+	sort.SliceStable(parted, func(i, j int) bool {
+		if parted[i].meta.Rows != parted[j].meta.Rows {
+			return parted[i].meta.Rows > parted[j].meta.Rows
+		}
+		return parted[i].binding < parted[j].binding
+	})
+	pcolOf := func(t boundTable) string {
+		c, _ := pv.PartitionColumn(t.meta.Name)
+		return c
+	}
+	anchored := map[string]string{strings.ToLower(parted[0].binding): pcolOf(parted[0])}
+	var moves []TableMove
+	for _, t := range parted[1:] {
+		bind := strings.ToLower(t.binding)
+		tp := pcolOf(t)
+		local := false
+		shuffleCol := ""
+		for _, jp := range a.joinPreds {
+			tCol, aCol, aBind, ok := joinSides(jp, bind)
+			if !ok {
+				continue
+			}
+			apcol, isAnchor := anchored[aBind]
+			if !isAnchor || !strings.EqualFold(aCol, apcol) {
+				continue // only joins against an anchor's partition key align shards
+			}
+			if strings.EqualFold(tCol, tp) {
+				local = true
+				break
+			}
+			if shuffleCol == "" {
+				shuffleCol = tCol
+			}
+		}
+		switch {
+		case local:
+			anchored[bind] = tp
+		case shuffleCol != "":
+			moves = append(moves, TableMove{Binding: t.binding, Table: t.meta.Name,
+				ShuffleCol: shuffleCol, Preds: a.tablePreds[t.binding]})
+		default:
+			moves = append(moves, TableMove{Binding: t.binding, Table: t.meta.Name,
+				Broadcast: true, Preds: a.tablePreds[t.binding]})
+		}
+	}
+	return moves
+}
+
+// joinSides orients an equi-join conjunct around binding: it returns
+// binding's column, the other side's column and (lowercased) binding.
+func joinSides(jp joinPred, binding string) (tCol, oCol, oBind string, ok bool) {
+	switch {
+	case strings.EqualFold(jp.aBind, binding):
+		return jp.aCol, jp.bCol, strings.ToLower(jp.bBind), true
+	case strings.EqualFold(jp.bBind, binding):
+		return jp.bCol, jp.aCol, strings.ToLower(jp.aBind), true
+	}
+	return "", "", "", false
+}
+
+// MoveScanSelect synthesizes the sending-side scan for a table move:
+// SELECT * FROM table AS binding WHERE <the table's own conjuncts>. Each
+// shard plans it against local storage; the union of all shards' outputs
+// is the full filtered row set. The Select shares Preds AST nodes with
+// the routed statement, so per-shard planning of moves must be sequential
+// (bind qualifies expressions in place).
+func MoveScanSelect(m TableMove) *sqlparser.Select {
+	return &sqlparser.Select{
+		Items: []sqlparser.SelectItem{{Star: true}},
+		From:  []sqlparser.TableRef{{Name: m.Table, Alias: m.Binding}},
+		Where: sqlparser.AndAll(m.Preds),
+		Limit: -1,
+	}
+}
+
+// FragmentPlan is one shard's half of a scatter query plus the recipe for
+// the coordinator's final stage. Frag runs on the shard (partial
+// aggregate, or Top-N/limit pre-reduction) and its rows cross the gather
+// exchange with schema FragSchema; MakeFinal wraps the gather source with
+// the merge aggregate / ordering / limit / projection tail. MakeFinal is
+// identical across shards — the coordinator calls it once, on any
+// fragment's plan.
+type FragmentPlan struct {
+	Frag       *PhysPlan
+	FragSchema exec.Schema
+	MakeFinal  func(src exec.BatchOperator) (exec.BatchOperator, error)
+}
+
+// PlanFragment plans the shard-local fragment of a scatter SELECT.
+// overrides maps (lowercased) bindings of moved tables to their
+// exchange-delivered rows. Like every planner entry point it binds the
+// statement in place, so each shard plans from its own parse.
+func (p *Planner) PlanFragment(sel *sqlparser.Select, overrides map[string][]value.Row) (*FragmentPlan, error) {
+	a, err := bind(p.Cat, sel)
+	if err != nil {
+		return nil, err
+	}
+	a.overrides = overrides
+	shape := apShape()
+	b, err := p.apJoinTree(a)
+	if err != nil {
+		return nil, err
+	}
+	if len(a.otherPreds) > 0 {
+		pred, err := exec.Compile(sqlparser.AndAll(a.otherPreds), b.op.Schema())
+		if err != nil {
+			return nil, err
+		}
+		b = built{
+			op: &exec.FilterOp{Child: b.op, Pred: pred},
+			node: &plan.Node{Op: plan.OpFilter, Engine: plan.AP,
+				Cost: b.node.Cost + b.rows*apFilterPerRow, Rows: mathMax1(b.rows * 0.5),
+				Condition: condString(a.otherPreds), Children: []*plan.Node{b.node}},
+			rows:      mathMax1(b.rows * 0.5),
+			parChunks: b.parChunks,
+			parRoot:   b.parRoot,
+		}
+	}
+	if sel.HasAggregate() || len(sel.GroupBy) > 0 {
+		return fragmentAgg(a, shape, b)
+	}
+	return fragmentPlain(a, shape, b)
+}
+
+// fragmentAgg splits an aggregation: the shard half is the planner's own
+// HashAggregate flipped into Partial mode (so encoded pushdown and
+// morsel parallelism keep working), the final half a Merge-mode aggregate
+// over the gathered partial states followed by the usual tail.
+func fragmentAgg(a *analysis, shape engineShape, b built) (*FragmentPlan, error) {
+	ab, err := buildAggregate(a, shape, b)
+	if err != nil {
+		return nil, err
+	}
+	ha, ok := ab.op.(*exec.HashAggregate)
+	if !ok {
+		return nil, fmt.Errorf("optimizer: aggregate fragment root is %T, want *exec.HashAggregate", ab.op)
+	}
+	finalOut := ha.Out
+	nGroups := len(finalOut) - len(ha.Aggs)
+	partial := make(exec.Schema, 0, nGroups+2*len(ha.Aggs))
+	partial = append(partial, finalOut[:nGroups]...)
+	for i := range ha.Aggs {
+		// state columns are typed loosely: the values carry their own kind
+		// (a MIN over strings ships string states) and nothing recompiles
+		// expressions against a partial schema
+		partial = append(partial,
+			exec.Col{Name: fmt.Sprintf("__p%d_state", i), Type: catalog.TypeFloat},
+			exec.Col{Name: fmt.Sprintf("__p%d_count", i), Type: catalog.TypeInt})
+	}
+	ha.Partial = true
+	ha.Out = partial
+
+	aggs := ha.Aggs
+	rows := ab.rows
+	makeFinal := func(src exec.BatchOperator) (exec.BatchOperator, error) {
+		groups := make([]exec.Evaluator, nGroups)
+		for i := range groups {
+			i := i
+			groups[i] = func(r value.Row) (value.Value, error) { return r[i], nil }
+		}
+		fb := built{
+			op: &exec.HashAggregate{Child: src, Groups: groups, Aggs: aggs,
+				Out: finalOut, Merge: true},
+			node: &plan.Node{Op: plan.OpHashAggregate, Engine: plan.AP,
+				Cost: shape.costAgg(rows), Rows: rows},
+			rows: rows,
+		}
+		return finalTail(a, shape, fb, true)
+	}
+	return &FragmentPlan{Frag: fragPhys(ab), FragSchema: partial, MakeFinal: makeFinal}, nil
+}
+
+// fragmentPlain handles scatter selects with no aggregation: the fragment
+// ships join-tree rows (pre-reduced to the first Limit+Offset rows in the
+// final order when a bound exists) and the final stage re-orders, limits
+// and projects.
+func fragmentPlain(a *analysis, shape engineShape, b built) (*FragmentPlan, error) {
+	sel := a.sel
+	fb := b
+	if sel.Limit >= 0 {
+		n := sel.Limit + sel.Offset
+		if len(sel.OrderBy) > 0 {
+			keys, err := orderKeys(a, b.op.Schema(), false)
+			if err != nil {
+				return nil, err
+			}
+			fb = built{
+				op: &exec.TopNOp{Child: b.op, Keys: keys, N: n},
+				node: &plan.Node{Op: plan.OpTopN, Engine: plan.AP,
+					Cost: b.node.Cost + shape.costTopN(b.rows, n),
+					Rows: mathMax1(float64(n)), Children: []*plan.Node{b.node}},
+				rows: mathMax1(float64(n)), parChunks: b.parChunks,
+			}
+		} else {
+			fb = built{
+				op: &exec.LimitOp{Child: b.op, N: n},
+				node: &plan.Node{Op: plan.OpLimit, Engine: plan.AP,
+					Cost: b.node.Cost, Rows: mathMax1(float64(n)),
+					Children: []*plan.Node{b.node}},
+				rows: mathMax1(float64(n)), parChunks: b.parChunks,
+			}
+		}
+	}
+	rows := fb.rows
+	makeFinal := func(src exec.BatchOperator) (exec.BatchOperator, error) {
+		gb := built{op: src, rows: rows,
+			node: &plan.Node{Op: plan.OpTableScan, Engine: plan.AP, Rows: rows,
+				Relation: "gather"}}
+		return finalTail(a, shape, gb, false)
+	}
+	return &FragmentPlan{Frag: fragPhys(fb), FragSchema: fb.op.Schema(), MakeFinal: makeFinal}, nil
+}
+
+// finalTail applies the coordinator-side ordering/limit/projection, the
+// same sequence finish uses after aggregation.
+func finalTail(a *analysis, shape engineShape, fb built, agged bool) (exec.BatchOperator, error) {
+	sel := a.sel
+	var err error
+	if len(sel.OrderBy) > 0 {
+		fb, err = buildOrdering(a, shape, fb, agged)
+		if err != nil {
+			return nil, err
+		}
+	} else if sel.Limit >= 0 {
+		fb = buildLimit(sel, shape, fb)
+	}
+	if agged {
+		fb, err = projectAggOutput(a, fb)
+	} else {
+		fb, err = projectPlain(a, fb)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return fb.op, nil
+}
+
+// fragPhys wraps a fragment's built tree into a PhysPlan with the usual
+// DOP choice — each shard picks parallelism from its own chunk supply.
+func fragPhys(b built) *PhysPlan {
+	dop := chooseDOP(b.parChunks)
+	if dop > 1 && !exec.CanParallelize(b.op) {
+		dop = 1
+	}
+	return &PhysPlan{Engine: plan.AP, Root: b.op, Explain: b.node, DOP: dop}
+}
+
+func mathMax1(v float64) float64 {
+	if v < 1 {
+		return 1
+	}
+	return v
+}

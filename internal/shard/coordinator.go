@@ -1,0 +1,531 @@
+package shard
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"htapxplain/internal/catalog"
+	"htapxplain/internal/exec"
+	"htapxplain/internal/htap"
+	"htapxplain/internal/optimizer"
+	"htapxplain/internal/plan"
+	"htapxplain/internal/sqlparser"
+	"htapxplain/internal/tpch"
+	"htapxplain/internal/value"
+)
+
+// Coordinator owns a set of hash-partitioned htap.Systems and routes all
+// traffic across them. Point statements (and any SELECT whose partitioned
+// tables are all pinned by equality predicates to one shard) run on
+// exactly one shard; everything else scatters as per-shard plan fragments
+// whose outputs meet at a Gather exchange. Cross-shard transactions
+// commit through a two-phase publish ordered by the coordinator's commit
+// sequence (see Txn.Commit).
+type Coordinator struct {
+	shards []*htap.System
+	scheme Scheme
+	cat    *catalog.Catalog
+
+	// fragDOP, when >0, overrides every scatter fragment's planner-chosen
+	// DOP — benchmarks use it to measure shard scaling at fixed per-shard
+	// parallelism.
+	fragDOP int
+
+	// commitMu serializes cross-shard commits: prepare-all / publish-all
+	// runs under it, so two distributed transactions can never deadlock on
+	// each other's shard write locks (shards are also always prepared in
+	// ascending order).
+	commitMu sync.Mutex
+	// coordLSN is the coordinator's commit sequence for cross-shard
+	// transactions.
+	coordLSN atomic.Uint64
+
+	met metrics
+}
+
+type metrics struct {
+	shardQueries    []atomic.Int64 // per shard: statements executed there
+	routedQueries   atomic.Int64   // single-shard SELECT routes
+	scatterQueries  atomic.Int64   // scatter-gather SELECT executions
+	scatterFanout   atomic.Int64   // total shards touched by SELECTs
+	exchangeBatches atomic.Int64
+	exchangeRows    atomic.Int64
+	crossShardTxns  atomic.Int64
+}
+
+// Options tunes coordinator construction beyond the per-shard htap
+// config.
+type Options struct {
+	// Scheme is the partitioning layout; nil uses TPCHScheme.
+	Scheme Scheme
+	// FragDOP, when >0, fixes every scatter fragment's DOP instead of the
+	// planner's per-shard choice.
+	FragDOP int
+	// Dir, when non-empty, makes every shard durable under
+	// Dir/shard-<i>/ (each shard keeps its own WAL and checkpoints).
+	Dir string
+}
+
+// New builds an n-shard coordinator. The full dataset is generated once
+// and hash-partitioned: each shard's htap.System is preloaded with the
+// rows whose partition key it owns (replicated tables load everywhere),
+// so shard construction costs one generation regardless of n. n=1 is the
+// degenerate case whose single shard holds exactly the data a plain
+// htap.System would — the reference for differential tests.
+func New(n int, cfg htap.Config, opt Options) (*Coordinator, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", n)
+	}
+	if cfg.ModeledSF <= 0 {
+		cfg.ModeledSF = htap.DefaultConfig().ModeledSF
+	}
+	if cfg.Data.PhysScale <= 0 {
+		cfg.Data = tpch.DefaultConfig()
+	}
+	scheme := opt.Scheme
+	if scheme == nil {
+		scheme = TPCHScheme()
+	}
+	cat := catalog.TPCH(cfg.ModeledSF)
+	full := cfg.Preloaded
+	if full == nil {
+		var err error
+		full, err = tpch.Generate(cat, cfg.Data)
+		if err != nil {
+			return nil, err
+		}
+	}
+	c := &Coordinator{
+		shards:  make([]*htap.System, 0, n),
+		scheme:  scheme,
+		cat:     cat,
+		fragDOP: opt.FragDOP,
+	}
+	c.met.shardQueries = make([]atomic.Int64, n)
+	for i := 0; i < n; i++ {
+		scfg := cfg
+		part, err := partitionDataset(full, cat, scheme, i, n)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		scfg.Preloaded = part
+		if opt.Dir != "" {
+			scfg.Durability.Dir = filepath.Join(opt.Dir, ShardDirName(i))
+		}
+		sys, err := htap.New(scfg)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("shard: building shard %d: %w", i, err)
+		}
+		c.shards = append(c.shards, sys)
+	}
+	return c, nil
+}
+
+// ShardDirName is the on-disk directory for shard i under a durable
+// coordinator's data directory.
+func ShardDirName(i int) string { return fmt.Sprintf("shard-%d", i) }
+
+// partitionDataset filters one shard's slice out of the full dataset:
+// partitioned tables keep only the rows whose hashed key lands on shard
+// i, replicated tables share the full row slice (safe because the MVCC
+// heap never mutates loaded rows in place — updates are tombstone +
+// fresh insert).
+func partitionDataset(full *tpch.Dataset, cat *catalog.Catalog, scheme Scheme, i, n int) (*tpch.Dataset, error) {
+	part := &tpch.Dataset{
+		Cat:       full.Cat,
+		Tables:    make(map[string][]value.Row, len(full.Tables)),
+		Seed:      full.Seed,
+		PhysScale: full.PhysScale,
+	}
+	for name, rows := range full.Tables {
+		pcol, ok := scheme.PartitionColumn(name)
+		if !ok || n == 1 {
+			part.Tables[name] = rows
+			continue
+		}
+		meta, ok := cat.Table(name)
+		if !ok {
+			return nil, fmt.Errorf("shard: partitioned table %q missing from catalog", name)
+		}
+		ci := meta.ColumnIndex(pcol)
+		if ci < 0 {
+			return nil, fmt.Errorf("shard: table %q has no partition column %q", name, pcol)
+		}
+		var mine []value.Row
+		for _, r := range rows {
+			if ShardOf(r[ci], n) == i {
+				mine = append(mine, r)
+			}
+		}
+		part.Tables[name] = mine
+	}
+	return part, nil
+}
+
+// NumShards returns the shard count.
+func (c *Coordinator) NumShards() int { return len(c.shards) }
+
+// Shard exposes one shard's htap.System (shard 0 backs single-system
+// paths like EXPLAIN and the gateway's calibrator).
+func (c *Coordinator) Shard(i int) *htap.System { return c.shards[i] }
+
+// Scheme returns the partitioning layout.
+func (c *Coordinator) Scheme() Scheme { return c.scheme }
+
+// Catalog returns the shared (per-shard identical) catalog.
+func (c *Coordinator) Catalog() *catalog.Catalog { return c.cat }
+
+// Close shuts every shard down (final checkpoints when durable).
+func (c *Coordinator) Close() {
+	for _, s := range c.shards {
+		if s != nil {
+			s.Close()
+		}
+	}
+}
+
+// CommitLSN sums the shards' commit LSNs — a monotonic progress gauge
+// for the whole fleet (individual shards advance independently).
+func (c *Coordinator) CommitLSN() uint64 {
+	var sum uint64
+	for _, s := range c.shards {
+		sum += s.CommitLSN()
+	}
+	return sum
+}
+
+// Watermark sums the shards' replication watermarks.
+func (c *Coordinator) Watermark() uint64 {
+	var sum uint64
+	for _, s := range c.shards {
+		sum += s.Watermark()
+	}
+	return sum
+}
+
+// Staleness sums the shards' replication lags.
+func (c *Coordinator) Staleness() uint64 {
+	var sum uint64
+	for _, s := range c.shards {
+		sum += s.Staleness()
+	}
+	return sum
+}
+
+// WaitFresh blocks until every shard's column store has caught up to the
+// commit LSN it had when the call started.
+func (c *Coordinator) WaitFresh(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for _, s := range c.shards {
+		if err := s.WaitFresh(time.Until(deadline)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TxnStats sums the shards' transaction outcome counters. A cross-shard
+// transaction counts once per participating shard.
+func (c *Coordinator) TxnStats() htap.TxnStats {
+	var t htap.TxnStats
+	for _, s := range c.shards {
+		st := s.TxnStats()
+		t.Begun += st.Begun
+		t.Committed += st.Committed
+		t.Aborted += st.Aborted
+		t.Conflicted += st.Conflicted
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+
+// Route analyzes a SELECT and decides where it runs: a shard number when
+// every partitioned table it touches pins (via an equality predicate on
+// its partition key) to the same shard, or -1 when the statement must
+// scatter. The DistDecision is returned so a scatter can reuse it.
+func (c *Coordinator) Route(sql string) (int, *optimizer.DistDecision, error) {
+	sel, err := sqlparser.Parse(sql)
+	if err != nil {
+		return 0, nil, err
+	}
+	dec, err := optimizer.AnalyzeDist(c.cat, sel, c.scheme)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(dec.Partitioned) == 0 {
+		// replicated tables only: any shard has the full data
+		return 0, dec, nil
+	}
+	if dec.AllPinned() {
+		target := -1
+		for _, pt := range dec.Partitioned {
+			s := ShardOf(pt.Key, len(c.shards))
+			if target == -1 {
+				target = s
+			} else if target != s {
+				return -1, dec, nil
+			}
+		}
+		return target, dec, nil
+	}
+	return -1, dec, nil
+}
+
+// RunOn executes a SELECT entirely on one shard through its dual-engine
+// pipeline (both plans race and cross-check, exactly like a single-node
+// run).
+func (c *Coordinator) RunOn(i int, sql string) (*htap.Result, error) {
+	res, err := c.shards[i].Run(sql)
+	if err != nil {
+		return nil, err
+	}
+	c.met.shardQueries[i].Add(1)
+	c.met.routedQueries.Add(1)
+	c.met.scatterFanout.Add(1) // routed queries touch exactly one shard
+	return res, nil
+}
+
+// NoteRouted records the routing counters for a single-shard SELECT whose
+// execution ran outside the coordinator (the gateway plans and executes
+// routed queries itself so they flow through its engine picker and
+// calibrator; only the bookkeeping lands here).
+func (c *Coordinator) NoteRouted(i int) {
+	c.met.shardQueries[i].Add(1)
+	c.met.routedQueries.Add(1)
+	c.met.scatterFanout.Add(1)
+}
+
+// QueryResult is the outcome of a coordinator-routed SELECT.
+type QueryResult struct {
+	Rows  []value.Row
+	Stats exec.Stats
+	// Shard is the executing shard for a routed query, -1 for a scatter.
+	Shard int
+	// Fanout is the number of shards the query touched.
+	Fanout int
+}
+
+// Query routes and executes one SELECT: single-shard when the routing
+// analysis pins it, scatter-gather otherwise.
+func (c *Coordinator) Query(sql string) (*QueryResult, error) {
+	target, dec, err := c.Route(sql)
+	if err != nil {
+		return nil, err
+	}
+	if target >= 0 {
+		res, err := c.RunOn(target, sql)
+		if err != nil {
+			return nil, err
+		}
+		rows := res.TPRows
+		if res.Winner == plan.AP {
+			rows = res.APRows
+		}
+		return &QueryResult{Rows: rows, Shard: target, Fanout: 1}, nil
+	}
+	sc, err := c.PrepareScatter(sql, dec)
+	if err != nil {
+		return nil, err
+	}
+	rows, stats, err := sc.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{Rows: rows, Stats: stats, Shard: -1, Fanout: len(c.shards)}, nil
+}
+
+// Scatter is one prepared scatter-gather execution: exchange moves have
+// already run (their rows sit in per-shard overrides inside the
+// fragments) and every shard's fragment is planned. The gateway admits
+// Workers() against its pool, optionally LimitWorkers() down to the
+// grant, then Run()s once.
+type Scatter struct {
+	c         *Coordinator
+	frags     []*optimizer.FragmentPlan
+	moveStats exec.Stats
+}
+
+// PrepareScatter resolves a SELECT's exchange moves and plans one
+// fragment per shard. dec may be nil (it is re-derived) or the decision
+// Route returned for the same sql.
+func (c *Coordinator) PrepareScatter(sql string, dec *optimizer.DistDecision) (*Scatter, error) {
+	if dec == nil {
+		sel, err := sqlparser.Parse(sql)
+		if err != nil {
+			return nil, err
+		}
+		dec, err = optimizer.AnalyzeDist(c.cat, sel, c.scheme)
+		if err != nil {
+			return nil, err
+		}
+	}
+	n := len(c.shards)
+	overrides := make([]map[string][]value.Row, n)
+	var moveStats exec.Stats
+
+	// Resolve each move: scan the table on every shard (with its filter
+	// conjuncts pushed into the scan) and shuffle/broadcast the rows into
+	// per-destination buffers. Move scans across shards share predicate
+	// AST nodes (binding mutates them), so they run sequentially.
+	for _, m := range dec.Moves {
+		meta, ok := c.cat.Table(m.Table)
+		if !ok {
+			return nil, fmt.Errorf("shard: no such table %q", m.Table)
+		}
+		bufs := make([]*exec.RowBuffer, n)
+		sinks := make([]exec.RowSink, n)
+		for i := range bufs {
+			bufs[i] = &exec.RowBuffer{}
+			sinks[i] = bufs[i]
+		}
+		var route func(value.Row) (int, error)
+		if !m.Broadcast {
+			ci := meta.ColumnIndex(m.ShuffleCol)
+			if ci < 0 {
+				return nil, fmt.Errorf("shard: table %q has no column %q to shuffle on", m.Table, m.ShuffleCol)
+			}
+			route = func(r value.Row) (int, error) { return ShardOf(r[ci], n), nil }
+		}
+		for s := 0; s < n; s++ {
+			phys, err := c.shards[s].Planner.PlanAP(optimizer.MoveScanSelect(m))
+			if err != nil {
+				return nil, fmt.Errorf("shard: planning move scan of %s on shard %d: %w", m.Table, s, err)
+			}
+			ctx := exec.NewContext()
+			if m.Broadcast {
+				err = (&exec.Broadcast{Dests: sinks}).Run(ctx, phys.Root)
+			} else {
+				err = (&exec.Shuffle{Route: route, Dests: sinks}).Run(ctx, phys.Root)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("shard: moving %s from shard %d: %w", m.Table, s, err)
+			}
+			moveStats.Add(ctx.Stats)
+		}
+		key := strings.ToLower(m.Binding)
+		for s := range bufs {
+			if overrides[s] == nil {
+				overrides[s] = make(map[string][]value.Row)
+			}
+			overrides[s][key] = bufs[s].Rows
+		}
+	}
+
+	frags := make([]*optimizer.FragmentPlan, n)
+	for s := 0; s < n; s++ {
+		sel, err := sqlparser.Parse(sql)
+		if err != nil {
+			return nil, err
+		}
+		frags[s], err = c.shards[s].Planner.PlanFragment(sel, overrides[s])
+		if err != nil {
+			return nil, fmt.Errorf("shard: planning fragment on shard %d: %w", s, err)
+		}
+		if c.fragDOP > 0 {
+			frags[s].Frag.DOP = c.fragDOP
+		}
+	}
+	return &Scatter{c: c, frags: frags, moveStats: moveStats}, nil
+}
+
+// Workers is the total worker demand: the sum of every fragment's DOP.
+// The gateway admits this against its worker pool.
+func (sc *Scatter) Workers() int {
+	total := 0
+	for _, f := range sc.frags {
+		d := f.Frag.DOP
+		if d < 1 {
+			d = 1
+		}
+		total += d
+	}
+	return total
+}
+
+// LimitWorkers scales fragment DOPs down so their sum fits the granted
+// worker count (each fragment always keeps at least one).
+func (sc *Scatter) LimitWorkers(granted int) {
+	per := granted / len(sc.frags)
+	if per < 1 {
+		per = 1
+	}
+	for _, f := range sc.frags {
+		if f.Frag.DOP > per {
+			f.Frag.DOP = per
+		}
+	}
+}
+
+// Run executes the scatter: one goroutine per shard drains its fragment
+// and feeds a Gather exchange; the coordinator drains the final stage
+// (merge aggregate, global sort/limit, projection) on top of the gather.
+func (sc *Scatter) Run() ([]value.Row, exec.Stats, error) {
+	n := len(sc.frags)
+	total := sc.moveStats
+
+	g := exec.NewGather(sc.frags[0].FragSchema, n)
+	prods := g.Producers()
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := exec.NewContext()
+			ctx.DOP = sc.frags[i].Frag.DOP
+			rows, err := sc.frags[i].Frag.Execute(ctx)
+			mu.Lock()
+			total.Add(ctx.Stats)
+			mu.Unlock()
+			if err != nil {
+				prods[i].Close(err)
+				return
+			}
+			for len(rows) > 0 {
+				nn := exec.BatchSize
+				if nn > len(rows) {
+					nn = len(rows)
+				}
+				if !prods[i].Send(rows[:nn]) {
+					break
+				}
+				rows = rows[nn:]
+			}
+			prods[i].Close(nil)
+		}(i)
+	}
+
+	final, err := sc.frags[0].MakeFinal(g)
+	if err != nil {
+		_ = g.Close() // unblocks any producers still sending
+		wg.Wait()
+		return nil, total, err
+	}
+	fctx := exec.NewContext()
+	rows, err := exec.DrainOnce(final, fctx)
+	wg.Wait()
+	mu.Lock()
+	total.Add(fctx.Stats)
+	mu.Unlock()
+
+	c := sc.c
+	c.met.scatterQueries.Add(1)
+	c.met.scatterFanout.Add(int64(n))
+	for i := range c.met.shardQueries {
+		c.met.shardQueries[i].Add(1)
+	}
+	c.met.exchangeBatches.Add(total.ExchangeBatches)
+	c.met.exchangeRows.Add(total.ExchangeRows)
+	if err != nil {
+		return nil, total, err
+	}
+	return rows, total, nil
+}

@@ -1,0 +1,398 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"htapxplain/internal/htap"
+	"htapxplain/internal/value"
+	"htapxplain/internal/workload"
+)
+
+func newCoordinator(t *testing.T, n int, opt Options) *Coordinator {
+	t.Helper()
+	c, err := New(n, htap.DefaultConfig(), opt)
+	if err != nil {
+		t.Fatalf("New(%d shards): %v", n, err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func newReference(t *testing.T) *htap.System {
+	t.Helper()
+	ref, err := htap.New(htap.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ref.Close)
+	return ref
+}
+
+// testRowKey renders a row with floats rounded to 4 decimals (and -0.0
+// collapsed) — the engine's own result-comparison normalization, which
+// absorbs accumulation-order differences between a scatter's partial
+// aggregates and the reference's serial aggregation.
+func testRowKey(r value.Row) string {
+	var b strings.Builder
+	for _, v := range r {
+		switch v.K {
+		case value.KindInt:
+			fmt.Fprintf(&b, "i%d|", v.I)
+		case value.KindFloat:
+			f := math.Round(v.F*1e4) / 1e4
+			if f == 0 {
+				f = 0
+			}
+			fmt.Fprintf(&b, "f%.4f|", f)
+		case value.KindString:
+			b.WriteString("s" + v.S + "|")
+		case value.KindBool:
+			fmt.Fprintf(&b, "b%d|", v.I)
+		default:
+			b.WriteString("n|")
+		}
+	}
+	return b.String()
+}
+
+func renderRows(rows []value.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = testRowKey(r)
+	}
+	return out
+}
+
+func sameMultiset(a, b []value.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ka, kb := renderRows(a), renderRows(b)
+	sort.Strings(ka)
+	sort.Strings(kb)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// referenceRows runs sql on the unsharded reference and returns the
+// winning engine's rows.
+func referenceRows(t *testing.T, ref *htap.System, sql string) []value.Row {
+	t.Helper()
+	res, err := ref.Run(sql)
+	if err != nil {
+		t.Fatalf("reference Run(%q): %v", sql, err)
+	}
+	if !res.ResultsAgree {
+		t.Fatalf("reference engines disagree on %q", sql)
+	}
+	return res.APRows
+}
+
+// The differential suite: every query class the scatter planner splits —
+// global aggregate, group-by with the full aggregate set, partition-wise
+// join, broadcast join, plain scan with ORDER BY / LIMIT — plus a
+// replicated-table route.
+var diffQueries = []struct {
+	sql     string
+	ordered bool
+}{
+	{"SELECT COUNT(*) FROM customer", false},
+	{"SELECT c_mktsegment, COUNT(*), SUM(c_acctbal), AVG(c_acctbal), MIN(c_acctbal), MAX(c_acctbal) FROM customer GROUP BY c_mktsegment", false},
+	{"SELECT o_orderstatus, COUNT(*), SUM(o_totalprice) FROM orders WHERE o_totalprice > 1000 GROUP BY o_orderstatus", false},
+	// orders ⋈ lineitem co-partition on the order key: partition-wise join
+	{"SELECT o_orderstatus, COUNT(*), SUM(l_quantity) FROM orders, lineitem WHERE l_orderkey = o_orderkey GROUP BY o_orderstatus", false},
+	// customer ⋈ orders joins off customer's partition key: broadcast move
+	{"SELECT c_mktsegment, COUNT(*), SUM(o_totalprice) FROM customer, orders WHERE o_custkey = c_custkey GROUP BY c_mktsegment", false},
+	{"SELECT c_custkey, c_name, c_acctbal FROM customer WHERE c_acctbal > 5000 ORDER BY c_custkey LIMIT 20", true},
+	{"SELECT COUNT(*) FROM nation", false},
+}
+
+// TestShardDifferential is the acceptance harness: every query in the
+// suite, at scatter DOP {1, 4} and shard counts {1, 4}, interleaved with
+// barriered rounds of DML applied identically to the sharded coordinator
+// and to a single unsharded reference system, must return the same
+// multiset of rows (ordered queries: the same sequence).
+func TestShardDifferential(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		for _, dop := range []int{1, 4} {
+			t.Run(fmt.Sprintf("shards=%d/dop=%d", shards, dop), func(t *testing.T) {
+				c := newCoordinator(t, shards, Options{FragDOP: dop})
+				ref := newReference(t)
+				gen := workload.NewDMLGenerator(31)
+
+				for round := 0; round < 3; round++ {
+					if round > 0 {
+						// a barriered round of identical DML on both systems
+						for _, q := range gen.Batch(20) {
+							if _, err := c.ExecDML(q.SQL); err != nil {
+								t.Fatalf("round %d coordinator %q: %v", round, q.SQL, err)
+							}
+							if _, err := ref.Exec(q.SQL); err != nil {
+								t.Fatalf("round %d reference %q: %v", round, q.SQL, err)
+							}
+						}
+					}
+					if err := c.WaitFresh(10 * time.Second); err != nil {
+						t.Fatal(err)
+					}
+					if err := ref.WaitFresh(10 * time.Second); err != nil {
+						t.Fatal(err)
+					}
+					for _, q := range diffQueries {
+						got, err := c.Query(q.sql)
+						if err != nil {
+							t.Fatalf("round %d Query(%q): %v", round, q.sql, err)
+						}
+						want := referenceRows(t, ref, q.sql)
+						if q.ordered {
+							g, w := renderRows(got.Rows), renderRows(want)
+							if len(g) != len(w) {
+								t.Fatalf("round %d %q: %d rows, want %d", round, q.sql, len(g), len(w))
+							}
+							for i := range g {
+								if g[i] != w[i] {
+									t.Fatalf("round %d %q: row %d = %s, want %s", round, q.sql, i, g[i], w[i])
+								}
+							}
+						} else if !sameMultiset(got.Rows, want) {
+							t.Fatalf("round %d %q: sharded result diverges (%d vs %d rows)",
+								round, q.sql, len(got.Rows), len(want))
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPointRoutingTouchesOneShard asserts the TP routing property: a
+// point lookup pinned by its partition key executes on exactly one shard
+// and the scatter fanout gauge advances by exactly 1 per routed query.
+func TestPointRoutingTouchesOneShard(t *testing.T) {
+	c := newCoordinator(t, 4, Options{})
+	for key := int64(1); key <= 20; key++ {
+		before := c.Stats()
+		sql := fmt.Sprintf("SELECT c_custkey, c_name FROM customer WHERE c_custkey = %d", key)
+		target, dec, err := c.Route(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if target < 0 {
+			t.Fatalf("point lookup %q scattered: %+v", sql, dec)
+		}
+		if want := ShardOf(value.NewInt(key), 4); target != want {
+			t.Fatalf("key %d routed to shard %d, want %d", key, target, want)
+		}
+		if _, err := c.Query(sql); err != nil {
+			t.Fatal(err)
+		}
+		after := c.Stats()
+		if got := after.ScatterFanout - before.ScatterFanout; got != 1 {
+			t.Fatalf("key %d: fanout advanced by %d, want 1", key, got)
+		}
+		touched := 0
+		for i := range after.Shards {
+			d := after.Shards[i].Queries - before.Shards[i].Queries
+			if d < 0 || d > 1 {
+				t.Fatalf("key %d: shard %d query delta %d", key, i, d)
+			}
+			touched += int(d)
+		}
+		if touched != 1 {
+			t.Fatalf("key %d touched %d shards, want exactly 1", key, touched)
+		}
+		if after.ScatterQueries != before.ScatterQueries {
+			t.Fatalf("point lookup counted as scatter")
+		}
+	}
+
+	// and the converse: an unpinned aggregate scatters to all shards
+	before := c.Stats()
+	if _, err := c.Query("SELECT COUNT(*) FROM customer"); err != nil {
+		t.Fatal(err)
+	}
+	after := c.Stats()
+	if got := after.ScatterFanout - before.ScatterFanout; got != 4 {
+		t.Fatalf("scatter fanout advanced by %d, want 4", got)
+	}
+	if after.ScatterQueries-before.ScatterQueries != 1 {
+		t.Fatalf("scatter not counted")
+	}
+	if after.ExchangeRows <= before.ExchangeRows {
+		t.Fatalf("scatter moved no exchange rows")
+	}
+}
+
+// TestDMLRouting: generated writes pin the customer partition key, so
+// each must buffer on exactly one shard and total row counts must match
+// what an unsharded system reports.
+func TestDMLRouting(t *testing.T) {
+	c := newCoordinator(t, 4, Options{})
+	ref := newReference(t)
+	gen := workload.NewDMLGenerator(57)
+	for _, q := range gen.Batch(40) {
+		got, err := c.ExecDML(q.SQL)
+		if err != nil {
+			t.Fatalf("ExecDML(%q): %v", q.SQL, err)
+		}
+		want, err := ref.Exec(q.SQL)
+		if err != nil {
+			t.Fatalf("reference Exec(%q): %v", q.SQL, err)
+		}
+		if got.RowsAffected != want.RowsAffected {
+			t.Fatalf("%q: sharded affected %d rows, reference %d", q.SQL, got.RowsAffected, want.RowsAffected)
+		}
+	}
+	st := c.Stats()
+	if st.CrossShardTxns != 0 {
+		t.Fatalf("single-key DML produced %d cross-shard commits", st.CrossShardTxns)
+	}
+	var sum uint64
+	for _, sh := range st.Shards {
+		sum += sh.CommitLSN
+	}
+	if sum == 0 {
+		t.Fatal("no shard advanced its commit LSN")
+	}
+}
+
+// TestCrossShardTxn drives the two-phase path: one transaction inserting
+// keys that hash to different shards must commit atomically on all of
+// them, count once in the cross-shard gauge, and be readable afterwards.
+func TestCrossShardTxn(t *testing.T) {
+	const n = 4
+	c := newCoordinator(t, n, Options{})
+
+	// pick one key per shard from a private range
+	keys := make([]int64, 0, n)
+	seen := map[int]int64{}
+	for k := int64(2_000_000_000); len(seen) < n; k++ {
+		s := ShardOf(value.NewInt(k), n)
+		if _, ok := seen[s]; !ok {
+			seen[s] = k
+			keys = append(keys, k)
+		}
+	}
+
+	tx := c.Begin()
+	for _, k := range keys {
+		sql := fmt.Sprintf("INSERT INTO customer (c_custkey, c_name, c_address, c_nationkey, c_phone, c_acctbal, c_mktsegment, c_comment) VALUES (%d, 'xshard', 'a', 1, '11-000', 10.0, 'building', 'cross')", k)
+		if _, err := tx.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := tx.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CrossShard || len(res.Shards) != n {
+		t.Fatalf("commit = %+v, want cross-shard over %d shards", res, n)
+	}
+	if res.RowsAffected != n {
+		t.Fatalf("RowsAffected = %d, want %d", res.RowsAffected, n)
+	}
+	if st := c.Stats(); st.CrossShardTxns != 1 {
+		t.Fatalf("CrossShardTxns = %d, want 1", st.CrossShardTxns)
+	}
+	for _, k := range keys {
+		q, err := c.Query(fmt.Sprintf("SELECT c_custkey FROM customer WHERE c_custkey = %d", k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(q.Rows) != 1 || q.Fanout != 1 {
+			t.Fatalf("key %d: %d rows at fanout %d after cross-shard commit", k, len(q.Rows), q.Fanout)
+		}
+	}
+
+	// conflicts abort the whole distributed transaction: two racing
+	// cross-shard updates of the same keys — first to commit wins, the
+	// loser reports a conflict and leaves no partial effects
+	tx1, tx2 := c.Begin(), c.Begin()
+	for _, k := range keys[:2] {
+		u := fmt.Sprintf("UPDATE customer SET c_acctbal = c_acctbal + 1 WHERE c_custkey = %d", k)
+		if _, err := tx1.Exec(u); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx2.Exec(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.Commit(); !errors.Is(err, htap.ErrConflict) {
+		t.Fatalf("second writer committed with err=%v, want conflict", err)
+	}
+}
+
+// TestUpdateCannotMovePartitionKey: repartitioning via UPDATE is
+// rejected, not silently misrouted.
+func TestUpdateCannotMovePartitionKey(t *testing.T) {
+	c := newCoordinator(t, 2, Options{})
+	_, err := c.ExecDML("UPDATE customer SET c_custkey = 999 WHERE c_custkey = 1")
+	if err == nil || !strings.Contains(err.Error(), "partition key") {
+		t.Fatalf("err = %v, want partition-key rejection", err)
+	}
+}
+
+// TestScatterGatherRace is the CI -race gauntlet: concurrent AP scatters
+// race single-shard DML (and the background mergers) at N=4. The test
+// asserts nothing about row counts — it exists so the race detector sees
+// scatter fragments, exchange channels, per-shard commits and metrics
+// all running at once.
+func TestScatterGatherRace(t *testing.T) {
+	c := newCoordinator(t, 4, Options{})
+	const writers, readers, iters = 2, 2, 8
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*iters+readers*iters)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			gen := workload.NewDMLGenerator(int64(9000 + w*1000))
+			for i := 0; i < iters; i++ {
+				if _, err := c.ExecDML(gen.Next().SQL); err != nil && !errors.Is(err, htap.ErrConflict) {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			queries := []string{
+				"SELECT c_mktsegment, COUNT(*), SUM(c_acctbal) FROM customer GROUP BY c_mktsegment",
+				"SELECT COUNT(*) FROM customer WHERE c_acctbal > 0",
+				"SELECT c_custkey, c_name FROM customer WHERE c_custkey = 17",
+			}
+			for i := 0; i < iters; i++ {
+				if _, err := c.Query(queries[(r+i)%len(queries)]); err != nil {
+					errs <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.ScatterQueries == 0 || st.RoutedQueries == 0 {
+		t.Fatalf("gauntlet exercised scatter=%d routed=%d, want both > 0", st.ScatterQueries, st.RoutedQueries)
+	}
+}

@@ -1,0 +1,46 @@
+package shard
+
+// ShardStatus is one shard's gauges in a coordinator stats snapshot.
+type ShardStatus struct {
+	Queries   int64  `json:"queries"`
+	CommitLSN uint64 `json:"commit_lsn"`
+	Watermark uint64 `json:"watermark"`
+	Staleness uint64 `json:"staleness"`
+}
+
+// Stats is a point-in-time snapshot of the coordinator's counters — the
+// source for the gateway's per-shard /metrics gauges.
+type Stats struct {
+	Shards          []ShardStatus `json:"shards"`
+	RoutedQueries   int64         `json:"routed_queries"`
+	ScatterQueries  int64         `json:"scatter_queries"`
+	ScatterFanout   int64         `json:"scatter_fanout"`
+	ExchangeBatches int64         `json:"exchange_batches"`
+	ExchangeRows    int64         `json:"exchange_rows"`
+	CrossShardTxns  int64         `json:"cross_shard_txns"`
+	CoordLSN        uint64        `json:"coord_lsn"`
+}
+
+// Stats snapshots the coordinator's counters and each shard's progress
+// gauges.
+func (c *Coordinator) Stats() Stats {
+	st := Stats{
+		Shards:          make([]ShardStatus, len(c.shards)),
+		RoutedQueries:   c.met.routedQueries.Load(),
+		ScatterQueries:  c.met.scatterQueries.Load(),
+		ScatterFanout:   c.met.scatterFanout.Load(),
+		ExchangeBatches: c.met.exchangeBatches.Load(),
+		ExchangeRows:    c.met.exchangeRows.Load(),
+		CrossShardTxns:  c.met.crossShardTxns.Load(),
+		CoordLSN:        c.coordLSN.Load(),
+	}
+	for i, s := range c.shards {
+		st.Shards[i] = ShardStatus{
+			Queries:   c.met.shardQueries[i].Load(),
+			CommitLSN: s.CommitLSN(),
+			Watermark: s.Watermark(),
+			Staleness: s.Staleness(),
+		}
+	}
+	return st
+}

@@ -15,6 +15,10 @@ const FamilyDML Family = "dml"
 // use a private key range far above the bulk-loaded data, so the
 // statements never collide with generated read workloads; deletes target
 // previously inserted keys, keeping the table size bounded over long runs.
+// Every statement pins c_custkey — the table's hash-partition key — so
+// against a sharded fleet each write routes to exactly one shard and
+// commits through the single-shard fast path; the shard package's routing
+// and differential tests depend on this invariant.
 type DMLGenerator struct {
 	rng      *rand.Rand
 	id       int

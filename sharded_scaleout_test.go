@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"htapxplain/internal/catalog"
+	"htapxplain/internal/htap"
+	"htapxplain/internal/shard"
+	"htapxplain/internal/tpch"
+)
+
+// The sharded scale-out gate runs the morsel benchmarks' 10x-scaled
+// dataset through hash-partitioned shard fleets: the same physical rows
+// are generated once and partitioned across 1 and 4 in-process shards, so
+// a scatter fragment on the 4-shard fleet scans a quarter of the data.
+// FragDOP is pinned to 1 — the measured speedup is pure shard
+// parallelism, not intra-shard morsel parallelism.
+
+var (
+	scaleDataOnce sync.Once
+	scaleDataVal  *tpch.Dataset
+	scaleDataErr  error
+)
+
+func scaleoutDataset(tb testing.TB) *tpch.Dataset {
+	tb.Helper()
+	scaleDataOnce.Do(func() {
+		scaleDataVal, scaleDataErr = tpch.Generate(catalog.TPCH(100),
+			tpch.Config{PhysScale: 0.02, Seed: 42})
+	})
+	if scaleDataErr != nil {
+		tb.Fatalf("tpch.Generate: %v", scaleDataErr)
+	}
+	return scaleDataVal
+}
+
+func scaleoutCoordinator(tb testing.TB, shards int) *shard.Coordinator {
+	tb.Helper()
+	cfg := htap.Config{
+		ModeledSF: 100,
+		Data:      tpch.Config{PhysScale: 0.02, Seed: 42},
+		Preloaded: scaleoutDataset(tb),
+		Repl:      htap.ReplConfig{DisableMerger: true},
+	}
+	c, err := shard.New(shards, cfg, shard.Options{FragDOP: 1})
+	if err != nil {
+		tb.Fatalf("shard.New(%d): %v", shards, err)
+	}
+	return c
+}
+
+// scatterBest runs the query n times through the fleet's scatter-gather
+// path and returns the fastest execution (prepare excluded — it is the
+// same parse/plan work on both fleets and the gate measures execution
+// scaling).
+func scatterBest(tb testing.TB, c *shard.Coordinator, sql string, n int) time.Duration {
+	tb.Helper()
+	best := time.Duration(-1)
+	for i := 0; i < n; i++ {
+		sc, err := c.PrepareScatter(sql, nil)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		start := time.Now()
+		rows, _, err := sc.Run()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if len(rows) == 0 {
+			tb.Fatal("scatter produced no rows")
+		}
+		if d := time.Since(start); best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// TestShardedScaleout is the acceptance gate for distributed execution:
+// the large-scan/aggregate pipeline on a 4-shard fleet must be at least
+// 2x faster than on a single shard holding the same data. Like the
+// morsel-parallelism gate, it needs real cores and skips under the race
+// detector.
+func TestShardedScaleout(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing gate skipped under the race detector")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs to demonstrate 4-shard speedup, have %d", runtime.NumCPU())
+	}
+	prev := runtime.GOMAXPROCS(0)
+	if prev < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	c1 := scaleoutCoordinator(t, 1)
+	defer c1.Close()
+	c4 := scaleoutCoordinator(t, 4)
+	defer c4.Close()
+
+	// warm both fleets (runner pools, fragment planning caches)
+	scatterBest(t, c1, parallelAggSQL, 1)
+	scatterBest(t, c4, parallelAggSQL, 1)
+
+	serial := scatterBest(t, c1, parallelAggSQL, 5)
+	parallel := scatterBest(t, c4, parallelAggSQL, 5)
+	speedup := float64(serial) / float64(parallel)
+	t.Logf("scatter scan+aggregate: 1 shard %v, 4 shards %v → %.2fx", serial, parallel, speedup)
+	if speedup < 2 {
+		t.Errorf("4-shard speedup = %.2fx, want >= 2x (1 shard %v, 4 shards %v)",
+			speedup, serial, parallel)
+	}
+}
+
+// BenchmarkSharded_ScanAggregate measures the scatter pipeline at 1/2/4
+// shards — the before/after series for exchange-based scale-out.
+func BenchmarkSharded_ScanAggregate(b *testing.B) {
+	for _, n := range []int{1, 2, 4} {
+		n := n
+		b.Run(benchName("Shards", n), func(b *testing.B) {
+			c := scaleoutCoordinator(b, n)
+			defer c.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var rows int64
+			for i := 0; i < b.N; i++ {
+				sc, err := c.PrepareScatter(parallelAggSQL, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, stats, err := sc.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows += stats.RowsScanned
+			}
+			b.ReportMetric(float64(rows)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
